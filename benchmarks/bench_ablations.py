@@ -1,0 +1,99 @@
+"""Experiments ABL-COVER and ABL-SPLIT — the design-choice ablations.
+
+* ABL-COVER — Theorem 1/3 take the *least* ``(c+3) log n`` neighbours as
+  the covering sequence; a greedy max-coverage variant buys shorter
+  sequences at the cost of storing their identities.
+* ABL-SPLIT — Theorem 1 moves destinations to the binary table once the
+  uncovered remainder drops below a threshold: ``n / log log n`` in the 6n
+  analysis, ``n / log n`` in the refined 3n remark.
+"""
+
+from __future__ import annotations
+
+from repro.core import TwoLevelScheme, verify_scheme
+from repro.graphs import gnp_random_graph
+
+NS = (64, 128, 256)
+
+
+def _measure_covering(ii_alpha):
+    rows = []
+    for n in NS:
+        graph = gnp_random_graph(n, seed=n + 71)
+        least = TwoLevelScheme(graph, ii_alpha, strategy="least")
+        greedy = TwoLevelScheme(graph, ii_alpha, strategy="greedy")
+        for scheme in (least, greedy):
+            assert verify_scheme(scheme, sample_pairs=150, seed=n).ok()
+        rows.append(
+            (
+                n,
+                sum(len(least.covering_sequence_of(u)) for u in graph.nodes) / n,
+                sum(len(greedy.covering_sequence_of(u)) for u in graph.nodes) / n,
+                least.space_report().total_bits,
+                greedy.space_report().total_bits,
+            )
+        )
+    return rows
+
+
+def _measure_split(ii_alpha):
+    rows = []
+    for n in NS:
+        graph = gnp_random_graph(n, seed=n + 73)
+        log_rule = TwoLevelScheme(graph, ii_alpha, split_rule="log")
+        loglog_rule = TwoLevelScheme(graph, ii_alpha, split_rule="loglog")
+        rows.append(
+            (
+                n,
+                max(len(log_rule.encode_function(u)) for u in graph.nodes),
+                max(len(loglog_rule.encode_function(u)) for u in graph.nodes),
+            )
+        )
+    return rows
+
+
+def test_ablation_covering_strategy(benchmark, ii_alpha, write_result):
+    rows = benchmark.pedantic(_measure_covering, args=(ii_alpha,),
+                              rounds=1, iterations=1)
+    lines = [
+        "Ablation ABL-COVER: least-neighbour vs greedy covering sequences",
+        "",
+        "          mean |cover| least   greedy     total bits least   greedy",
+    ]
+    for n, mean_least, mean_greedy, bits_least, bits_greedy in rows:
+        lines.append(
+            f"  n={n:4d}  {mean_least:18.1f}  {mean_greedy:7.1f}  "
+            f"{bits_least:17d}  {bits_greedy:7d}"
+        )
+    lines += [
+        "",
+        "  greedy shortens the sequence but must store its identities;",
+        "  the paper's 'least' choice keeps the encoding self-describing.",
+    ]
+    write_result("ablation_covering", "\n".join(lines))
+    for _, mean_least, mean_greedy, _, _ in rows:
+        assert mean_greedy <= mean_least
+
+
+def test_ablation_split_threshold(benchmark, ii_alpha, write_result):
+    rows = benchmark.pedantic(_measure_split, args=(ii_alpha,),
+                              rounds=1, iterations=1)
+    lines = [
+        "Ablation ABL-SPLIT: unary/binary split threshold in Theorem 1",
+        "",
+        "          worst bits/node  n/log n rule   n/loglog n rule   budgets 3n | 6n",
+    ]
+    for n, worst_log, worst_loglog in rows:
+        lines.append(
+            f"  n={n:4d}  {worst_log:23d}  {worst_loglog:14d}   "
+            f"{3 * n:5d} | {6 * n}"
+        )
+    lines += [
+        "",
+        "  both stay within their analysed budgets; the refined n/log n rule",
+        "  realises the paper's 'slightly more precise counting ... 3n'.",
+    ]
+    write_result("ablation_split", "\n".join(lines))
+    for n, worst_log, worst_loglog in rows:
+        assert worst_log <= 3 * n
+        assert worst_loglog <= 6 * n

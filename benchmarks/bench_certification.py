@@ -1,0 +1,64 @@
+"""Experiment ALMOST-ALL — how many sampled graphs are 'Kolmogorov random'?
+
+The paper's bounds hold for ``c log n``-random graphs, "a fraction of at
+least 1 − 1/n^c of all graphs".  We cannot test Kolmogorov randomness
+directly, but we can test the three structural consequences the proofs
+actually use (Lemmas 1–3): this bench samples many G(n, 1/2) instances per
+``n`` and reports the fraction passing certification — which should rise
+towards 1 as ``n`` grows, mirroring the paper's counting bound.
+"""
+
+from __future__ import annotations
+
+from repro.graphs import certify_random_graph, gnp_random_graph
+from repro.kolmogorov import delta_random_fraction
+
+NS = (16, 24, 32, 48, 64, 96)
+SAMPLES = 40
+
+
+def _measure():
+    rows = []
+    for n in NS:
+        passed = 0
+        diameter_failures = 0
+        for i in range(SAMPLES):
+            graph = gnp_random_graph(n, seed=n * 10_000 + i)
+            certificate = certify_random_graph(graph)
+            if certificate.certified:
+                passed += 1
+            elif not certificate.diameter_two:
+                diameter_failures += 1
+        rows.append((n, passed / SAMPLES, diameter_failures))
+    return rows
+
+
+def test_certification_rate_rises_with_n(benchmark, write_result):
+    rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    lines = [
+        f"Certification rate of G(n, 1/2) samples ({SAMPLES} seeds per n)",
+        "",
+        "          certified   diameter>2 failures   paper's 1 - 1/n^3",
+    ]
+    for n, rate, diam_failures in rows:
+        lines.append(
+            f"  n={n:4d}  {rate:9.2%}   {diam_failures:19d}   "
+            f"{delta_random_fraction(n, 3.0):17.6f}"
+        )
+    lines += [
+        "",
+        "  small samples occasionally miss diameter 2; from n ≈ 48 on,",
+        "  effectively every sample satisfies all three lemmas — 'almost",
+        "  all graphs' made operational.",
+    ]
+    write_result("certification", "\n".join(lines))
+    rates = [rate for _, rate, _ in rows]
+    # Monotone-ish rise and saturation at 100%.
+    assert rates[-1] == 1.0
+    assert rates[-2] == 1.0
+    assert rates[0] <= rates[-1]
+
+
+def test_certification_speed(benchmark):
+    graph = gnp_random_graph(64, seed=123)
+    benchmark(certify_random_graph, graph)

@@ -1,0 +1,95 @@
+"""Experiment FIG1/T9 — Figure 1's family: worst-case Ω(n² log n) at stretch < 2.
+
+For each k the bench builds ``G_B(k)`` under a random adversarial outer
+relabelling, verifies the optimal scheme routes with stretch 1, measures
+the inner tables (Lehmer-coded permutations, ``log₂ k!`` bits each),
+*recovers the permutation from every inner node's table*, and confirms any
+wrong-middle detour already costs stretch 2.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.analysis import best_law
+from repro.bitio import log2_factorial
+from repro.core import verify_scheme
+from repro.lowerbounds import (
+    ExplicitLowerBoundScheme,
+    detour_stretch,
+    recover_outer_assignment,
+)
+
+KS = (8, 16, 32, 64)
+
+
+def _assignment(k: int, seed: int) -> list[int]:
+    labels = list(range(2 * k + 1, 3 * k + 1))
+    random.Random(seed).shuffle(labels)
+    return labels
+
+
+def _measure(ii_alpha):
+    # The paper's n = 3k−1 / 3k−2 remark: the variant family must behave
+    # identically (stretch 1, permutation recovery) at non-multiples of 3.
+    for n in (23, 47):
+        variant = ExplicitLowerBoundScheme.for_any_n(n, ii_alpha)
+        assert verify_scheme(variant, sample_pairs=200, seed=n).ok()
+        assert len(recover_outer_assignment(variant, 1)) == variant.k
+    rows = []
+    for k in KS:
+        assignment = _assignment(k, k)
+        scheme = ExplicitLowerBoundScheme.from_parameters(
+            k, ii_alpha, outer_assignment=assignment
+        )
+        verification = verify_scheme(scheme, sample_pairs=400, seed=k)
+        assert verification.ok()
+        recovered = all(
+            recover_outer_assignment(scheme, inner) == tuple(assignment)
+            for inner in scheme.inner_nodes
+        )
+        inner_bits = sum(
+            len(scheme.encode_function(u)) for u in scheme.inner_nodes
+        )
+        total_bits = scheme.space_report().total_bits
+        rows.append((k, inner_bits, total_bits, recovered, detour_stretch(k)))
+    return rows
+
+
+def test_fig1_worst_case_family(benchmark, ii_alpha, write_result):
+    rows = benchmark.pedantic(_measure, args=(ii_alpha,), rounds=1, iterations=1)
+    ns = [3 * k for k, *_ in rows]
+    totals = [total for _, _, total, _, _ in rows]
+    fits = best_law(ns, totals, candidates=["n log n", "n^2", "n^2 log n"])
+    lines = [
+        "Theorem 9 / Figure 1 (explicit worst case), model α, stretch < 2",
+        "",
+        "  inner tables are the adversary's permutation: log₂ k! bits each",
+        "",
+    ]
+    for k, inner_bits, total_bits, recovered, detour in rows:
+        n = 3 * k
+        lines.append(
+            f"  n={n:4d} (k={k:3d})  inner bits = {inner_bits:7d}  "
+            f"k·log₂k! = {k * log2_factorial(k):9.0f}  total = {total_bits:7d}  "
+            f"(n²/9)log n = {(n * n / 9) * math.log2(n):9.0f}  "
+            f"perm recovered: {recovered}  detour stretch: {detour}"
+        )
+    lines += [
+        "",
+        f"  best-fit law for total bits: {fits[0].law} "
+        f"(constant {fits[0].constant:.4f})",
+        "  paper row: worst case lower bound, α — Ω(n² log n), stretch < 2",
+    ]
+    write_result("fig1_worstcase", "\n".join(lines))
+    benchmark.extra_info["fit"] = fits[0].law
+    assert fits[0].law == "n^2 log n"
+    for k, inner_bits, _, recovered, detour in rows:
+        assert recovered
+        assert detour >= 2.0
+        assert inner_bits >= k * log2_factorial(k)
+
+
+def test_fig1_build_speed(benchmark, ii_alpha):
+    benchmark(ExplicitLowerBoundScheme.from_parameters, 32, ii_alpha)

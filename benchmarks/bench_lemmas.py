@@ -1,0 +1,78 @@
+"""Experiment LEMMAS — the structural backbone (Lemmas 1–3, Claim 1).
+
+Sweeps ``n`` and measures, over seeded G(n, 1/2):
+
+* the worst degree deviation against Lemma 1's ``√((δ+log n) n)`` scale;
+* the diameter (Lemma 2 says exactly 2);
+* the worst least-neighbour cover prefix against Lemma 3's ``(c+3) log n``;
+* Claim 1's per-step coverage ratio (≥ 1/3 while the remainder is large).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.graphs import (
+    claim1_remainders,
+    cover_prefix_length,
+    degree_statistics,
+    diameter,
+    gnp_random_graph,
+)
+
+NS = (64, 128, 256, 512)
+
+
+def _measure():
+    rows = []
+    for n in NS:
+        graph = gnp_random_graph(n, seed=n + 3)
+        stats = degree_statistics(graph)
+        diam = diameter(graph)
+        worst_prefix = max(cover_prefix_length(graph, u) for u in graph.nodes)
+        worst_ratio = 1.0
+        threshold = n / math.log2(math.log2(n))
+        for u in (1, n // 2, n):
+            remainders = claim1_remainders(graph, u)
+            for before, after in zip(remainders, remainders[1:]):
+                if before > threshold:
+                    worst_ratio = min(worst_ratio, (before - after) / before)
+        rows.append((n, stats, diam, worst_prefix, worst_ratio))
+    return rows
+
+
+def test_lemmas_hold_across_sizes(benchmark, write_result):
+    rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    lines = [
+        "Lemmas 1-3 and Claim 1 on G(n, 1/2) (one certified sample per n)",
+        "",
+        "          degree dev   L1 scale   diam   cover prefix   (c+3)log n   "
+        "worst step ratio",
+    ]
+    for n, stats, diam, worst_prefix, worst_ratio in rows:
+        lines.append(
+            f"  n={n:4d}  {stats.max_deviation:8d}  {stats.lemma1_bound:9.1f}  "
+            f"{diam:5d}  {worst_prefix:12d}  {6 * math.log2(n):10.1f}  "
+            f"{worst_ratio:.3f}"
+        )
+    lines += [
+        "",
+        "  paper: Lemma 1 band, Lemma 2 diameter 2, Lemma 3 O(log n) cover,",
+        "         Claim 1 ratio ≥ 1/3 while remainder > n/loglog n",
+    ]
+    write_result("lemmas", "\n".join(lines))
+    for n, stats, diam, worst_prefix, worst_ratio in rows:
+        assert stats.within_band
+        assert diam == 2
+        assert worst_prefix <= 6 * math.log2(n)
+        assert worst_ratio >= 1.0 / 3.0
+
+
+def test_diameter_check_speed(benchmark):
+    graph = gnp_random_graph(512, seed=5)
+    benchmark(diameter, graph)
+
+
+def test_cover_prefix_speed(benchmark):
+    graph = gnp_random_graph(256, seed=5)
+    benchmark(cover_prefix_length, graph, 1)

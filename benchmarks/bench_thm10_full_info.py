@@ -1,0 +1,65 @@
+"""Experiment T10 — full-information routing: Θ(n³), lower bound n³/4.
+
+Measures the real serialised size of the full-information scheme (upper
+bound) and runs the Theorem 10 codec whose ledger instantiates
+``|F(u)| ≥ n²/4 − o(n²)`` per node.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import best_law, fit_power_law
+from repro.core import FullInformationScheme
+from repro.graphs import gnp_random_graph
+from repro.incompressibility import Theorem10Codec, evaluate_codec
+
+NS = (32, 48, 64, 96)
+
+
+def _measure(ii_alpha):
+    rows = []
+    for n in NS:
+        graph = gnp_random_graph(n, seed=n + 41)
+        scheme = FullInformationScheme(graph, ii_alpha)
+        total = scheme.space_report().total_bits
+        codec = Theorem10Codec(scheme, 1)
+        report = evaluate_codec(codec, graph)
+        assert report.round_trip_ok
+        rows.append((n, total, codec.accounting(graph)))
+    return rows
+
+
+def test_thm10_cubic_size_and_bound(benchmark, ii_alpha, write_result):
+    rows = benchmark.pedantic(_measure, args=(ii_alpha,), rounds=1, iterations=1)
+    ns = [n for n, _, _ in rows]
+    totals = [total for _, total, _ in rows]
+    fits = best_law(ns, totals, candidates=["n^2", "n^2 log n", "n^3"])
+    power = fit_power_law(ns, totals)
+    lines = [
+        "Theorem 10 (full-information routing), model α",
+        "",
+    ]
+    for n, total, ledger in rows:
+        lines.append(
+            f"  n={n:3d}  total = {total:9d} bits  T/n³ = {total / n**3:.3f}  "
+            f"|F(1)| = {ledger['function_bits']:6d} ≥ implied "
+            f"{ledger['implied_function_bound']:6d}  (n²/4 = {n * n // 4})"
+        )
+    lines += [
+        "",
+        f"  best-fit law : {fits[0].law} (constant {fits[0].constant:.3f})",
+        f"  power-law fit: n^{power.exponent:.3f}",
+        "  codec round trip: E(G) reconstructed from u, row(u), F(u), rest",
+        "  paper row: Θ(n³) for full information shortest path in model α",
+    ]
+    write_result("thm10_full_info", "\n".join(lines))
+    benchmark.extra_info["fit"] = fits[0].law
+    assert fits[0].law == "n^3"
+    assert 2.7 <= power.exponent <= 3.3
+    for n, _, ledger in rows:
+        assert ledger["function_bits"] >= ledger["implied_function_bound"]
+        assert ledger["implied_function_bound"] >= 0.6 * n * n / 4
+
+
+def test_thm10_build_speed(benchmark, ii_alpha):
+    graph = gnp_random_graph(64, seed=41)
+    benchmark(FullInformationScheme, graph, ii_alpha)

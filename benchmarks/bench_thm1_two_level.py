@@ -1,0 +1,63 @@
+"""Experiment T1-UB-IB/II — Theorem 1: shortest path in O(n²) bits (Table 1).
+
+Paper claims reproduced here:
+
+* per-node routing functions fit in 6n bits (3n with the refined split);
+* the complete scheme occupies Θ(n²) bits on average over graphs —
+  the ``avg-upper`` IB/II × α cells of Table 1;
+* the scheme routes on shortest paths (stretch 1).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import best_law, fit_power_law, mean_total_bits, run_size_sweep
+from repro.core import TwoLevelScheme
+from repro.graphs import gnp_random_graph
+
+NS = (64, 96, 128, 192, 256)
+SEEDS = (0, 1, 2)
+
+
+def _measure(ii_alpha):
+    return run_size_sweep(
+        "thm1-two-level", ii_alpha, ns=NS, seeds=SEEDS, verify_pairs=200
+    )
+
+
+def test_thm1_total_size_is_quadratic(benchmark, ii_alpha, write_result):
+    points = benchmark.pedantic(_measure, args=(ii_alpha,), rounds=1, iterations=1)
+    means = mean_total_bits(points)
+    fits = best_law(list(means), list(means.values()),
+                    candidates=["n", "n log n", "n^2", "n^2 log n", "n^3"])
+    power = fit_power_law(list(means), list(means.values()))
+    worst_per_node = max(p.max_node_bits / p.n for p in points)
+    lines = ["Theorem 1 (two-level scheme), model II ∧ α, G(n, 1/2), 3 seeds", ""]
+    lines += [f"  n={n:4d}  mean total bits = {mean:12.0f}  T/n² = {mean / n / n:.3f}"
+              for n, mean in means.items()]
+    lines += [
+        "",
+        f"  best-fit law  : {fits[0].law} (constant {fits[0].constant:.2f}, "
+        f"rel-RMS {fits[0].relative_rms_error:.3f})",
+        f"  power-law fit : n^{power.exponent:.3f} (R² {power.r_squared:.4f})",
+        f"  worst bits/node ÷ n : {worst_per_node:.2f}  (paper: ≤ 6; refined ≤ 3)",
+        f"  verified stretch    : {max(p.verified_max_stretch for p in points):.1f}"
+        " (paper: 1)",
+        "  paper row: average case upper bound, IB/II with α — O(n²)",
+    ]
+    write_result("thm1_two_level", "\n".join(lines))
+    benchmark.extra_info["fit"] = fits[0].law
+    benchmark.extra_info["constant"] = round(fits[0].constant, 3)
+    assert fits[0].law == "n^2"
+    assert worst_per_node <= 3.0
+    assert all(p.verified_max_stretch <= 1.0 for p in points)
+
+
+def test_thm1_build_speed(benchmark, ii_alpha):
+    graph = gnp_random_graph(128, seed=7)
+    benchmark(TwoLevelScheme, graph, ii_alpha)
+
+
+def test_thm1_encode_speed(benchmark, ii_alpha):
+    graph = gnp_random_graph(128, seed=7)
+    scheme = TwoLevelScheme(graph, ii_alpha)
+    benchmark(lambda: [scheme.encode_function(u) for u in graph.nodes])

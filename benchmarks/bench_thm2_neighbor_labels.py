@@ -1,0 +1,64 @@
+"""Experiment T1-UB-IIγ — Theorem 2: O(n log² n) bits with rich labels.
+
+Reproduces the ``avg-upper`` II × γ cell of Table 1: when nodes may be
+arbitrarily relabelled (and label bits are charged), shortest-path routing
+costs Θ(n log² n) in total — label bits dominate, routing functions are one
+bit.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis import best_law, fit_power_law, mean_total_bits, run_size_sweep
+from repro.core import NeighborLabelScheme
+from repro.graphs import gnp_random_graph
+
+NS = (64, 96, 128, 192, 256, 384)
+SEEDS = (0, 1, 2)
+
+
+def _measure(ii_gamma):
+    return run_size_sweep(
+        "thm2-neighbor-labels", ii_gamma, ns=NS, seeds=SEEDS, verify_pairs=200
+    )
+
+
+def test_thm2_total_size_is_n_polylog(benchmark, ii_gamma, write_result):
+    points = benchmark.pedantic(_measure, args=(ii_gamma,), rounds=1, iterations=1)
+    means = mean_total_bits(points)
+    fits = best_law(
+        list(means), list(means.values()),
+        candidates=["n", "n log n", "n log^2 n", "n^2"],
+    )
+    power = fit_power_law(list(means), list(means.values()))
+    lines = ["Theorem 2 (neighbour labels), model II ∧ γ, G(n, 1/2), 3 seeds", ""]
+    for n, mean in means.items():
+        lines.append(
+            f"  n={n:4d}  mean total bits = {mean:10.0f}  "
+            f"T/(n log² n) = {mean / (n * math.log2(n) ** 2):.3f}"
+        )
+    routing_bits = sum(p.routing_bits for p in points if p.n == NS[-1]) / len(SEEDS)
+    lines += [
+        "",
+        f"  best-fit law  : {fits[0].law} (constant {fits[0].constant:.2f}, "
+        f"rel-RMS {fits[0].relative_rms_error:.3f})",
+        f"  power-law fit : n^{power.exponent:.3f}",
+        f"  routing bits at n={NS[-1]}: {routing_bits:.0f} (one bit per node — O(1))",
+        "  paper row: average case upper bound, II with γ — O(n log² n)",
+    ]
+    write_result("thm2_neighbor_labels", "\n".join(lines))
+    benchmark.extra_info["fit"] = fits[0].law
+    # log n vs log² n are hard to separate over one decade of n; the O-claim
+    # is the bound itself plus decisively sub-quadratic growth.
+    assert fits[0].law in ("n log n", "n log^2 n")
+    assert power.exponent < 1.5  # decisively sub-quadratic
+    for n, mean in means.items():
+        assert mean <= 2.0 * n * math.log2(n) ** 2  # the O(n log² n) budget
+    assert routing_bits == NS[-1]
+    assert all(p.verified_max_stretch <= 1.0 for p in points)
+
+
+def test_thm2_build_speed(benchmark, ii_gamma):
+    graph = gnp_random_graph(128, seed=7)
+    benchmark(NeighborLabelScheme, graph, ii_gamma)

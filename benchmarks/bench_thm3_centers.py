@@ -1,0 +1,60 @@
+"""Experiment T1-S1.5 — Theorem 3: stretch 1.5 in O(n log n) total bits.
+
+The first point of the space/stretch trade-off (Corollary 1.3): allowing
+stretch 1.5 — the only possible value strictly between 1 and 2 on
+diameter-2 graphs — drops the average-case total from Θ(n²) to O(n log n).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis import best_law, fit_power_law, mean_total_bits, run_size_sweep
+from repro.core import CenterScheme
+from repro.graphs import gnp_random_graph
+
+NS = (64, 96, 128, 192, 256, 384)
+SEEDS = (0, 1, 2)
+
+
+def _measure(ii_alpha):
+    return run_size_sweep(
+        "thm3-centers", ii_alpha, ns=NS, seeds=SEEDS, verify_pairs=300
+    )
+
+
+def test_thm3_size_and_stretch(benchmark, ii_alpha, write_result):
+    points = benchmark.pedantic(_measure, args=(ii_alpha,), rounds=1, iterations=1)
+    means = mean_total_bits(points)
+    fits = best_law(
+        list(means), list(means.values()),
+        candidates=["n", "n log log n", "n log n", "n log^2 n", "n^2"],
+    )
+    power = fit_power_law(list(means), list(means.values()))
+    worst_stretch = max(p.verified_max_stretch for p in points)
+    lines = ["Theorem 3 (routing centres), model II, G(n, 1/2), 3 seeds", ""]
+    for n, mean in means.items():
+        lines.append(
+            f"  n={n:4d}  mean total bits = {mean:9.0f}  "
+            f"T/(n log n) = {mean / (n * math.log2(n)):.2f}"
+        )
+    lines += [
+        "",
+        f"  best-fit law  : {fits[0].law} (constant {fits[0].constant:.2f})",
+        f"  power-law fit : n^{power.exponent:.3f}",
+        f"  verified max stretch : {worst_stretch} (paper: 1.5)",
+        "  paper constant: < (6c+20) n log n = 38 n log n with c = 3",
+        "  paper row: Corollary 1.3 — O(n log n) for 1 < s < 2 in model II",
+    ]
+    write_result("thm3_centers", "\n".join(lines))
+    benchmark.extra_info["fit"] = fits[0].law
+    assert fits[0].law in ("n log n", "n log^2 n")  # n log n up to small-n noise
+    assert power.exponent < 1.5
+    assert worst_stretch <= 1.5
+    for n, mean in means.items():
+        assert mean <= 38 * n * math.log2(n)
+
+
+def test_thm3_build_speed(benchmark, ii_alpha):
+    graph = gnp_random_graph(128, seed=7)
+    benchmark(CenterScheme, graph, ii_alpha)

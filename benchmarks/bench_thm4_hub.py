@@ -1,0 +1,54 @@
+"""Experiment T1-S2 — Theorem 4: stretch 2 in n log log n + 6n total bits."""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis import best_law, mean_total_bits, run_size_sweep
+from repro.core import HubScheme
+from repro.graphs import gnp_random_graph
+
+NS = (64, 96, 128, 192, 256, 384)
+SEEDS = (0, 1, 2)
+
+
+def _measure(ii_alpha):
+    return run_size_sweep(
+        "thm4-hub", ii_alpha, ns=NS, seeds=SEEDS, verify_pairs=300
+    )
+
+
+def test_thm4_size_and_stretch(benchmark, ii_alpha, write_result):
+    points = benchmark.pedantic(_measure, args=(ii_alpha,), rounds=1, iterations=1)
+    means = mean_total_bits(points)
+    fits = best_law(
+        list(means), list(means.values()),
+        candidates=["n", "n log log n", "n log n", "n^2"],
+    )
+    worst_stretch = max(p.verified_max_stretch for p in points)
+    lines = ["Theorem 4 (hub scheme), model II, G(n, 1/2), 3 seeds", ""]
+    for n, mean in means.items():
+        loglog = math.log2(math.log2(n))
+        lines.append(
+            f"  n={n:4d}  mean total bits = {mean:8.0f}  "
+            f"T/(n loglog n) = {mean / (n * loglog):.2f}  "
+            f"budget n·loglog n + 6n = {n * loglog + 6 * n:.0f}"
+        )
+    lines += [
+        "",
+        f"  best-fit law : {fits[0].law} (constant {fits[0].constant:.2f})",
+        f"  verified max stretch : {worst_stretch} (paper: 2)",
+        "  paper row: Corollary 1.4 — O(n log log n) for s = 2 in model II",
+    ]
+    write_result("thm4_hub", "\n".join(lines))
+    benchmark.extra_info["fit"] = fits[0].law
+    assert fits[0].law in ("n log log n", "n")
+    assert worst_stretch <= 2.0
+    for n, mean in means.items():
+        # gamma codes double the loglog term; 6n covers hub + slack.
+        assert mean <= n * 2 * math.log2(math.log2(n)) + 6 * n + n
+
+
+def test_thm4_build_speed(benchmark, ii_alpha):
+    graph = gnp_random_graph(128, seed=7)
+    benchmark(HubScheme, graph, ii_alpha)

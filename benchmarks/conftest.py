@@ -1,0 +1,60 @@
+"""Shared infrastructure for the reproduction benches.
+
+Every bench (a) times the operation under ``pytest-benchmark`` and
+(b) measures the paper's quantity (bits, stretch, recovered structure),
+asserts the claimed *shape*, and appends a human-readable block to
+``benchmarks/results/<bench>.txt`` so EXPERIMENTS.md can quote it.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.models import Knowledge, Labeling, RoutingModel
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def write_result(results_dir):
+    """Write (overwrite) one bench's result block and echo it."""
+
+    def _write(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text)
+        print(f"\n[{name}]\n{text}")
+
+    return _write
+
+
+@pytest.fixture(scope="session")
+def ii_alpha():
+    return RoutingModel(Knowledge.II, Labeling.ALPHA)
+
+
+@pytest.fixture(scope="session")
+def ii_gamma():
+    return RoutingModel(Knowledge.II, Labeling.GAMMA)
+
+
+@pytest.fixture(scope="session")
+def ii_beta():
+    return RoutingModel(Knowledge.II, Labeling.BETA)
+
+
+@pytest.fixture(scope="session")
+def ib_alpha():
+    return RoutingModel(Knowledge.IB, Labeling.ALPHA)
+
+
+@pytest.fixture(scope="session")
+def ia_alpha():
+    return RoutingModel(Knowledge.IA, Labeling.ALPHA)

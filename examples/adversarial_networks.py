@@ -1,0 +1,87 @@
+"""The two adversaries: fixed ports (Theorem 8) and the Figure 1 graph (Theorem 9).
+
+Run:  python examples/adversarial_networks.py [k]
+
+Part 1 wires a random network with adversarial port assignments and shows
+that any shortest-path routing function is forced to memorise a permutation
+of ~n/2 elements per node — and that re-assignable ports (model IB) erase
+that cost entirely.
+
+Part 2 builds the paper's explicit three-layer graph, routes on it with
+stretch 1, recovers the adversary's relabelling out of a single routing
+table, and shows why any scheme with stretch < 2 must pay the same price.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import sys
+
+from repro import Knowledge, Labeling, RoutingModel, gnp_random_graph, verify_scheme
+from repro.bitio import log2_factorial
+from repro.core import route_message
+from repro.lowerbounds import (
+    ExplicitLowerBoundScheme,
+    detour_stretch,
+    recover_outer_assignment,
+    run_theorem8_experiment,
+)
+
+
+def part1_port_adversary(n: int = 64) -> None:
+    print(f"== Part 1: the port adversary (Theorem 8) on G({n}, 1/2) ==")
+    graph = gnp_random_graph(n, seed=21)
+    ia_alpha = RoutingModel(Knowledge.IA, Labeling.ALPHA)
+    result = run_theorem8_experiment(graph, ia_alpha, seed=3)
+    print(f"   adversarial permutations recovered from routing tables: "
+          f"{result.recovered_all}")
+    print(f"   forced bits: {result.total_permutation_bits} "
+          f"(≈ Σ log₂ d(u)! = {result.theory_bits:.0f})")
+    print(f"   per node: {result.mean_node_bits:.0f} bits "
+          f"≈ (n/2) log(n/2) = {(n / 2) * math.log2(n / 2):.0f}")
+    print("   under model IB the same network costs 0 extra bits — the "
+          "scheme just renumbers its ports.\n")
+
+
+def part2_figure1(k: int = 16) -> None:
+    n = 3 * k
+    print(f"== Part 2: the explicit worst case (Theorem 9, Figure 1), "
+          f"n = 3k = {n} ==")
+    labels = list(range(2 * k + 1, 3 * k + 1))
+    random.Random(4).shuffle(labels)
+    model = RoutingModel(Knowledge.II, Labeling.ALPHA)
+    scheme = ExplicitLowerBoundScheme.from_parameters(
+        k, model, outer_assignment=labels
+    )
+    verification = verify_scheme(scheme, sample_pairs=500, seed=0)
+    print(f"   optimal scheme verified: delivered {verification.delivered}"
+          f"/{verification.pairs_checked}, max stretch "
+          f"{verification.max_stretch}")
+
+    inner = 1
+    outer = labels[0]
+    trace = route_message(scheme, inner, outer)
+    print(f"   forced route {inner} -> {outer}: "
+          f"{' -> '.join(map(str, trace.path))} (the unique 2-hop path)")
+    print(f"   any other middle node costs stretch {detour_stretch(k):.1f} "
+          f"— hence stretch < 2 forces the correct table entry")
+
+    recovered = recover_outer_assignment(scheme, inner)
+    print(f"   adversary's relabelling read back from node {inner}'s table: "
+          f"{recovered == tuple(labels)}")
+    bits = len(scheme.encode_function(inner))
+    print(f"   that table costs {bits} bits ≥ log₂ k! = {log2_factorial(k):.0f}"
+          f" — at each of the k = {k} inner nodes")
+    print(f"   total forced: ≈ (n²/9) log n bits, even though *random* "
+          f"graphs of this size need only ~1.5 n² bits.")
+
+
+def main(k: int = 16) -> None:
+    part1_port_adversary()
+    part2_figure1(k)
+
+
+if __name__ == "__main__":
+    args = [int(a) for a in sys.argv[1:2]]
+    main(*args)

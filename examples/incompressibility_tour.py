@@ -1,0 +1,79 @@
+"""A tour of the incompressibility method, run as actual codecs.
+
+Run:  python examples/incompressibility_tour.py [n]
+
+Every lower-bound proof in the paper is a compression argument: "if the
+routing function were small, the graph would compress below its Kolmogorov
+complexity".  This tour runs those arguments as real encoders/decoders:
+
+1. random graphs refuse to compress (compressors + the Lemma 1 codec);
+2. structured graphs compress exactly where the lemmas say they must;
+3. the Theorem 6 codec encodes a graph *through its routing function* and
+   round-trips it, yielding the per-node lower bound on |F(u)|.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import Knowledge, Labeling, RoutingModel, gnp_random_graph
+from repro.core import TwoLevelScheme
+from repro.graphs import encode_graph, path_graph, star_graph
+from repro.incompressibility import (
+    Lemma1Codec,
+    Lemma2Codec,
+    Lemma3Codec,
+    Theorem6Codec,
+    evaluate_codec,
+)
+from repro.errors import CodecError
+from repro.kolmogorov import best_estimate
+
+
+def main(n: int = 96) -> None:
+    random_graph = gnp_random_graph(n, seed=13)
+    code = encode_graph(random_graph)
+    estimate = best_estimate(code)
+    print(f"== 1. A random graph resists compression ==")
+    print(f"   E(G) is {len(code)} bits; best of zlib/bz2/lzma: "
+          f"{estimate.bits} bits (ratio {estimate.ratio:.3f})")
+
+    report = evaluate_codec(Lemma1Codec(), random_graph)
+    print(f"   Lemma 1 codec savings: {report.savings} bits "
+          f"(no deviant degree to exploit)")
+    for codec, name in ((Lemma2Codec(), "Lemma 2"), (Lemma3Codec(), "Lemma 3")):
+        try:
+            codec.encode(random_graph)
+            print(f"   {name} codec unexpectedly applied!")
+        except CodecError:
+            print(f"   {name} codec refuses: the structure it needs does not "
+                  f"exist on a random graph")
+
+    print(f"\n== 2. Structured graphs compress exactly as the lemmas predict ==")
+    star = star_graph(n)
+    report = evaluate_codec(Lemma1Codec(node=1), star)
+    print(f"   star graph, Lemma 1 codec: saves {report.savings} bits "
+          f"(the centre's degree is maximally deviant)")
+    path = path_graph(n)
+    report = evaluate_codec(Lemma2Codec(), path)
+    print(f"   path graph, Lemma 2 codec: round-trips with {report.savings} "
+          f"bits saved (a distant pair exists)")
+
+    print(f"\n== 3. Theorem 6: encode the graph through its routing function ==")
+    model = RoutingModel(Knowledge.II, Labeling.ALPHA)
+    scheme = TwoLevelScheme(random_graph, model)
+    codec = Theorem6Codec(scheme, node=1)
+    report = evaluate_codec(codec, random_graph)
+    ledger = codec.accounting(random_graph)
+    print(f"   graph reconstructed exactly from (u, row(u), F(u), remainder): "
+          f"{report.round_trip_ok}")
+    print(f"   F(u) reveals {ledger['deleted_bits']} edges of E(G) "
+          f"at {ledger['overhead_bits']} bits of overhead")
+    print(f"   ⇒ |F(u)| ≥ {ledger['implied_function_bound']} bits "
+          f"(measured |F(u)| = {ledger['function_bits']})")
+    print(f"   summed over n nodes this is the paper's Ω(n²) for model II ∧ α.")
+
+
+if __name__ == "__main__":
+    args = [int(a) for a in sys.argv[1:2]]
+    main(*args)

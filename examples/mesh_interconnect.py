@@ -1,0 +1,73 @@
+"""Routing a multiprocessor mesh: where the paper's schemes stop, and what then.
+
+Run:  python examples/mesh_interconnect.py [rows] [cols]
+
+A ``rows × cols`` torus interconnect has diameter ``(rows + cols) // 2`` —
+far above the diameter-2 world of Kolmogorov random graphs, so the
+Theorem 1–5 builders refuse it (correctly).  This example shows the
+refusal, then routes the mesh with the library's general-graph layer
+(interval routing and tree cover), and finally runs a permutation-traffic
+workload through the queueing simulator to expose contention.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import Knowledge, Labeling, RoutingModel, build_scheme, verify_scheme
+from repro.errors import SchemeBuildError
+from repro.graphs import diameter, torus_graph
+from repro.simulator import EventDrivenSimulator, summarize
+from repro.simulator.workloads import permutation_traffic
+
+
+def main(rows: int = 8, cols: int = 8) -> None:
+    graph = torus_graph(rows, cols)
+    print(f"{rows}x{cols} torus: {graph.n} nodes, {graph.edge_count} links, "
+          f"diameter {diameter(graph)}")
+
+    ii_alpha = RoutingModel(Knowledge.II, Labeling.ALPHA)
+    try:
+        build_scheme("thm1-two-level", graph, ii_alpha)
+        print("unexpected: Theorem 1 accepted a torus!")
+    except SchemeBuildError as exc:
+        print(f"\nTheorem 1 correctly refuses: {exc}")
+
+    print("\n== General-graph schemes ==")
+    menu = [
+        ("full-table", RoutingModel(Knowledge.IA, Labeling.ALPHA), {}),
+        ("interval", RoutingModel(Knowledge.II, Labeling.BETA), {}),
+        ("tree-cover", RoutingModel(Knowledge.II, Labeling.GAMMA),
+         {"num_trees": 4}),
+    ]
+    for name, model, params in menu:
+        scheme = build_scheme(name, graph, model, **params)
+        report = scheme.space_report()
+        verification = verify_scheme(scheme, sample_pairs=500, seed=1)
+        assert verification.all_delivered
+        print(f"  {name:12s} {report.total_bits:8d} bits  "
+              f"max stretch {verification.max_stretch:5.2f}  "
+              f"mean {verification.mean_stretch:.2f}")
+
+    print("\n== Permutation traffic with per-node forwarding queues ==")
+    scheme = build_scheme(
+        "tree-cover", graph, RoutingModel(Knowledge.II, Labeling.GAMMA),
+        num_trees=4,
+    )
+    sim = EventDrivenSimulator(scheme, link_latency=1.0, node_service_time=0.25)
+    for i, (source, dest) in enumerate(permutation_traffic(graph, seed=3)):
+        sim.inject(source, dest, at_time=i * 0.02)
+    records = sim.run()
+    metrics = summarize(records, graph)
+    hottest = max(sim.forward_counts.values()) if sim.forward_counts else 0
+    print(f"  delivered {metrics.delivered}/{metrics.messages}, "
+          f"mean latency {metrics.mean_latency:.2f}, "
+          f"mean hops {metrics.mean_hops:.2f}, "
+          f"hottest node forwarded {hottest} messages")
+    print("\nThe library degrades gracefully: exact-but-large, or compact "
+          "with measured stretch — and the simulator quantifies both.")
+
+
+if __name__ == "__main__":
+    args = [int(a) for a in sys.argv[1:3]]
+    main(*args)

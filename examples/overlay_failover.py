@@ -1,0 +1,70 @@
+"""Full-information routing as a fail-over mechanism in an overlay network.
+
+Run:  python examples/overlay_failover.py [n] [seed]
+
+Scenario: a densely meshed overlay (e.g. a peer-to-peer control plane)
+whose links fail in waves.  The paper introduces *full information*
+shortest path routing schemes exactly for this: "these schemes allow
+alternative, shortest, paths to be taken whenever an outgoing link is
+down."  We simulate waves of failures and compare delivery of the
+full-information scheme against the compact single-path Theorem 1 scheme,
+then show the event-driven engine delivering a burst of traffic.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import Knowledge, Labeling, RoutingModel, build_scheme, gnp_random_graph
+from repro.simulator import (
+    EventDrivenSimulator,
+    Network,
+    sample_link_failures,
+    summarize,
+)
+
+
+def main(n: int = 96, seed: int = 5) -> None:
+    graph = gnp_random_graph(n, seed=seed)
+    model = RoutingModel(Knowledge.II, Labeling.ALPHA)
+    full_info = build_scheme("full-information", graph, model)
+    single = build_scheme("thm1-two-level", graph, model)
+    print(f"Overlay with {n} peers, {graph.edge_count} links")
+    print(f"  full-information tables: "
+          f"{full_info.space_report().total_bits / 8 / 1024:.1f} KiB")
+    print(f"  Theorem 1 tables       : "
+          f"{single.space_report().total_bits / 8 / 1024:.1f} KiB\n")
+
+    pairs = [(u, w) for u in range(1, 17) for w in range(n - 16, n + 1)]
+    print(f"{'failed links':>13s} {'full-info delivery':>19s} "
+          f"{'single-path delivery':>21s} {'full-info stretch':>18s}")
+    waves = [0] + [graph.edge_count * share // 100 for share in (10, 25, 45)]
+    for wave in waves:
+        failures = sample_link_failures(graph, wave, seed=wave + 1)
+        metrics_full = summarize(
+            [Network(full_info, failures).route(u, w) for u, w in pairs], graph
+        )
+        metrics_single = summarize(
+            [Network(single, failures).route(u, w) for u, w in pairs], graph
+        )
+        print(f"{wave:>13d} {metrics_full.delivered_fraction:>19.3f} "
+              f"{metrics_single.delivered_fraction:>21.3f} "
+              f"{metrics_full.max_stretch:>18.2f}")
+
+    print("\nEvent-driven burst: 200 messages through the degraded overlay")
+    failures = sample_link_failures(graph, graph.edge_count // 4, seed=99)
+    sim = EventDrivenSimulator(full_info, link_latency=0.35, failed_links=failures)
+    for i in range(200):
+        sim.inject(1 + i % n, 1 + (i * 37) % n, at_time=i * 0.01)
+    records = [r for r in sim.run() if r.source != r.destination]
+    metrics = summarize(records, graph)
+    print(f"  delivered {metrics.delivered}/{metrics.messages}, "
+          f"mean latency {metrics.mean_latency:.2f} time units, "
+          f"mean hops {metrics.mean_hops:.2f}")
+    print("\nThe n³-bit scheme keeps the overlay alive through failures the "
+          "n²-bit scheme cannot survive — the space buys exactly that.")
+
+
+if __name__ == "__main__":
+    args = [int(a) for a in sys.argv[1:3]]
+    main(*args)

@@ -1,0 +1,65 @@
+"""Quickstart: build a compact routing scheme and route messages with it.
+
+Run:  python examples/quickstart.py [n] [seed]
+
+Builds the paper's Theorem 1 scheme on a random network, measures its real
+serialised size against the classical full routing table, verifies it
+routes on shortest paths, and shows a few concrete routes.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import (
+    Knowledge,
+    Labeling,
+    RoutingModel,
+    build_scheme,
+    certify_random_graph,
+    gnp_random_graph,
+    route_message,
+    verify_scheme,
+)
+
+
+def main(n: int = 128, seed: int = 7) -> None:
+    print(f"== Sampling G(n={n}, 1/2) with seed {seed} ==")
+    graph = gnp_random_graph(n, seed=seed)
+    certificate = certify_random_graph(graph)
+    print(f"   edges: {graph.edge_count}, diameter 2: {certificate.diameter_two}, "
+          f"Kolmogorov-random properties certified: {certificate.certified}")
+
+    model = RoutingModel(Knowledge.II, Labeling.ALPHA)
+    print(f"\n== Building schemes under model {model} ==")
+    compact = build_scheme("thm1-two-level", graph, model)
+    baseline = build_scheme("full-table", graph, model)
+    compact_report = compact.space_report()
+    baseline_report = baseline.space_report()
+    print(f"   Theorem 1 scheme : {compact_report.total_bits:9d} bits total "
+          f"({compact_report.mean_node_bits:.0f} bits/node, "
+          f"T/n² = {compact_report.bits_per_n_squared():.2f})")
+    print(f"   full table       : {baseline_report.total_bits:9d} bits total "
+          f"({baseline_report.mean_node_bits:.0f} bits/node)")
+    print(f"   space saved      : "
+          f"{1 - compact_report.total_bits / baseline_report.total_bits:.1%}")
+
+    print("\n== Verifying shortest-path routing over sampled pairs ==")
+    result = verify_scheme(compact, sample_pairs=1000, seed=0)
+    print(f"   pairs routed: {result.pairs_checked}, delivered: {result.delivered}, "
+          f"max stretch: {result.max_stretch:.2f} (paper guarantees 1.0)")
+    assert result.ok()
+
+    print("\n== Example routes ==")
+    for source, dest in [(1, n), (2, n // 2), (n, 1)]:
+        trace = route_message(compact, source, dest)
+        print(f"   {source:3d} -> {dest:3d}: path {' -> '.join(map(str, trace.path))}"
+              f"  ({trace.hops} hop{'s' if trace.hops != 1 else ''})")
+
+    print("\nDone: the scheme stores ~1.5 bits per node pair yet routes "
+          "every message on a shortest path.")
+
+
+if __name__ == "__main__":
+    args = [int(a) for a in sys.argv[1:3]]
+    main(*args)

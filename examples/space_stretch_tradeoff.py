@@ -1,0 +1,60 @@
+"""The paper's space/stretch menu, measured on one network.
+
+Run:  python examples/space_stretch_tradeoff.py [n] [seed]
+
+Builds every construction from Theorems 1-5 (plus the baselines) on the
+same random graph and prints the trade-off table the paper's Corollary 1
+describes: each step down in space is paid for in stretch.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import (
+    Knowledge,
+    Labeling,
+    RoutingModel,
+    build_scheme,
+    gnp_random_graph,
+    verify_scheme,
+)
+
+MENU = [
+    # (scheme, model labeling, paper bound, paper stretch)
+    ("full-information", Labeling.ALPHA, "O(n³)", "1 (all options)"),
+    ("full-table", Labeling.ALPHA, "O(n² log n)", "1"),
+    ("thm1-two-level", Labeling.ALPHA, "O(n²)", "1"),
+    ("thm2-neighbor-labels", Labeling.GAMMA, "O(n log² n)", "1"),
+    ("thm3-centers", Labeling.ALPHA, "O(n log n)", "1.5"),
+    ("thm4-hub", Labeling.ALPHA, "O(n log log n)", "2"),
+    ("thm5-probe", Labeling.ALPHA, "O(n)", "6 log n"),
+]
+
+
+def main(n: int = 128, seed: int = 11) -> None:
+    graph = gnp_random_graph(n, seed=seed)
+    print(f"Space/stretch trade-off on G(n={n}, 1/2), seed {seed}, "
+          f"{graph.edge_count} edges\n")
+    print(f"{'scheme':22s} {'model':8s} {'paper size':>14s} {'bits measured':>14s} "
+          f"{'bits/node':>10s} {'stretch':>8s} {'paper':>9s}")
+    for name, labeling, paper_size, paper_stretch in MENU:
+        model = RoutingModel(Knowledge.II, labeling)
+        scheme = build_scheme(name, graph, model)
+        report = scheme.space_report()
+        verification = verify_scheme(scheme, sample_pairs=600, seed=1)
+        assert verification.ok(), f"{name} failed verification"
+        print(
+            f"{name:22s} {str(model.labeling):8s} {paper_size:>14s} "
+            f"{report.total_bits:>14d} {report.mean_node_bits:>10.1f} "
+            f"{verification.max_stretch:>8.1f} {paper_stretch:>9s}"
+        )
+    print(
+        "\nReading downwards: every row gives up a little path quality for an"
+        "\norder of magnitude of table space — Corollary 1 of the paper."
+    )
+
+
+if __name__ == "__main__":
+    args = [int(a) for a in sys.argv[1:3]]
+    main(*args)

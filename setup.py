@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file only
+enables ``pip install -e .`` on environments whose setuptools lacks PEP 660
+editable-wheel support (e.g. offline boxes without the ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,107 @@
+"""repro — a reproduction of *Optimal Routing Tables* (PODC 1996).
+
+Buhrman, Hoepman and Vitányi determine the optimal space needed to store
+routing schemes in static networks, in nine models and both worst-case and
+on average, using the incompressibility method.  This library makes every
+object in that paper executable:
+
+* :mod:`repro.graphs` — labelled graphs, port assignments, the canonical
+  ``E(G)`` encoding, random and explicit lower-bound families;
+* :mod:`repro.models` — the nine models (IA/IB/II × α/β/γ) and the space
+  accounting rules;
+* :mod:`repro.core` — the routing schemes of Theorems 1–5, the baselines,
+  full-information routing and verification;
+* :mod:`repro.incompressibility` — the proofs of Lemmas 1–3 and Theorems
+  6/10 as runnable graph codecs with exact bit accounting;
+* :mod:`repro.lowerbounds` — the Theorem 8 port adversary and the Theorem 9
+  explicit worst-case family;
+* :mod:`repro.simulator` — a message-level network simulator with failure
+  injection;
+* :mod:`repro.analysis` — growth-law fitting and the Table 1 reproduction.
+
+Quickstart::
+
+    from repro import (
+        Knowledge, Labeling, RoutingModel, build_scheme,
+        gnp_random_graph, verify_scheme,
+    )
+
+    graph = gnp_random_graph(128, seed=1)
+    model = RoutingModel(Knowledge.II, Labeling.ALPHA)
+    scheme = build_scheme("thm1-two-level", graph, model)
+    print(scheme.space_report().summary())
+    assert verify_scheme(scheme, sample_pairs=500).ok()
+"""
+
+from repro.core import (
+    CenterScheme,
+    FullInformationScheme,
+    FullTableScheme,
+    HubScheme,
+    IntervalRoutingScheme,
+    NeighborLabelScheme,
+    ProbeScheme,
+    RoutingScheme,
+    TwoLevelScheme,
+    available_schemes,
+    build_scheme,
+    route_message,
+    verify_scheme,
+)
+from repro.errors import (
+    AnalysisError,
+    BitstreamError,
+    CodecError,
+    GraphError,
+    ModelError,
+    PortAssignmentError,
+    ReproError,
+    RoutingError,
+    SchemeBuildError,
+)
+from repro.graphs import (
+    LabeledGraph,
+    PortAssignment,
+    certify_random_graph,
+    gnp_random_graph,
+    lower_bound_graph,
+)
+from repro.models import Knowledge, Labeling, RoutingModel, SpaceReport, all_models
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisError",
+    "BitstreamError",
+    "CenterScheme",
+    "CodecError",
+    "FullInformationScheme",
+    "FullTableScheme",
+    "GraphError",
+    "HubScheme",
+    "IntervalRoutingScheme",
+    "Knowledge",
+    "LabeledGraph",
+    "Labeling",
+    "ModelError",
+    "NeighborLabelScheme",
+    "PortAssignment",
+    "PortAssignmentError",
+    "ProbeScheme",
+    "ReproError",
+    "RoutingError",
+    "RoutingModel",
+    "RoutingScheme",
+    "SchemeBuildError",
+    "SpaceReport",
+    "TwoLevelScheme",
+    "all_models",
+    "available_schemes",
+    "build_scheme",
+    "certify_random_graph",
+    "gnp_random_graph",
+    "lower_bound_graph",
+    "route_message",
+    "verify_scheme",
+    "__version__",
+]

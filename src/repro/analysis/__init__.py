@@ -1,0 +1,54 @@
+"""Analysis toolkit: growth-law fitting, sweeps, and the Table 1 renderer."""
+
+from repro.analysis.average_case import Corollary1Estimate, corollary1_average
+from repro.analysis.comparison import (
+    DEFAULT_MENU,
+    ComparisonRow,
+    compare_schemes,
+    format_comparison,
+)
+from repro.analysis.exact_average import (
+    ExactAverage,
+    all_graphs,
+    exact_average_bits,
+)
+from repro.analysis.experiments import (
+    SweepPoint,
+    SweepSummary,
+    mean_total_bits,
+    run_size_sweep,
+    summarize_sweep,
+)
+from repro.analysis.scaling import (
+    GROWTH_LAWS,
+    LawFit,
+    PowerLawFit,
+    best_law,
+    fit_power_law,
+)
+from repro.analysis.tables import PAPER_TABLE1, Table1Entry, format_table1
+
+__all__ = [
+    "ComparisonRow",
+    "Corollary1Estimate",
+    "DEFAULT_MENU",
+    "ExactAverage",
+    "GROWTH_LAWS",
+    "LawFit",
+    "PAPER_TABLE1",
+    "PowerLawFit",
+    "SweepPoint",
+    "SweepSummary",
+    "Table1Entry",
+    "all_graphs",
+    "best_law",
+    "compare_schemes",
+    "corollary1_average",
+    "format_comparison",
+    "exact_average_bits",
+    "fit_power_law",
+    "format_table1",
+    "mean_total_bits",
+    "run_size_sweep",
+    "summarize_sweep",
+]

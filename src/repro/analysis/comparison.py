@@ -1,0 +1,109 @@
+"""Side-by-side scheme comparison on a single graph.
+
+Used by the CLI's ``compare`` command and the examples: build several
+schemes on the same topology, verify each, and tabulate measured size and
+stretch.  Schemes whose model requirements or structural prerequisites the
+graph does not meet are reported as refusals rather than hidden.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core import build_scheme, verify_scheme
+from repro.errors import ModelError, SchemeBuildError
+from repro.graphs import LabeledGraph
+from repro.models import Knowledge, Labeling, RoutingModel
+
+__all__ = ["ComparisonRow", "compare_schemes", "format_comparison", "DEFAULT_MENU"]
+
+DEFAULT_MENU: Tuple[Tuple[str, RoutingModel], ...] = (
+    ("full-information", RoutingModel(Knowledge.II, Labeling.ALPHA)),
+    ("full-table", RoutingModel(Knowledge.IA, Labeling.ALPHA)),
+    ("multi-interval", RoutingModel(Knowledge.IA, Labeling.ALPHA)),
+    ("thm1-two-level", RoutingModel(Knowledge.II, Labeling.ALPHA)),
+    ("thm2-neighbor-labels", RoutingModel(Knowledge.II, Labeling.GAMMA)),
+    ("thm3-centers", RoutingModel(Knowledge.II, Labeling.ALPHA)),
+    ("thm4-hub", RoutingModel(Knowledge.II, Labeling.ALPHA)),
+    ("thm5-probe", RoutingModel(Knowledge.II, Labeling.ALPHA)),
+    ("interval", RoutingModel(Knowledge.II, Labeling.BETA)),
+    ("tree-cover", RoutingModel(Knowledge.II, Labeling.GAMMA)),
+)
+"""Every registered scheme with its natural model."""
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One scheme's measured outcome on the comparison graph."""
+
+    scheme: str
+    model: RoutingModel
+    built: bool
+    total_bits: int = 0
+    max_node_bits: int = 0
+    max_stretch: float = 0.0
+    mean_stretch: float = 0.0
+    refusal: Optional[str] = None
+
+
+def compare_schemes(
+    graph: LabeledGraph,
+    menu: Sequence[Tuple[str, RoutingModel]] = DEFAULT_MENU,
+    sample_pairs: Optional[int] = 400,
+    seed: int = 0,
+) -> List[ComparisonRow]:
+    """Build and verify every scheme in the menu on one graph."""
+    rows = []
+    for name, model in menu:
+        try:
+            scheme = build_scheme(name, graph, model)
+        except (SchemeBuildError, ModelError) as exc:
+            rows.append(
+                ComparisonRow(
+                    scheme=name, model=model, built=False, refusal=str(exc)
+                )
+            )
+            continue
+        report = scheme.space_report()
+        verification = verify_scheme(
+            scheme, sample_pairs=sample_pairs, seed=seed
+        )
+        if not verification.all_delivered:
+            raise SchemeBuildError(
+                f"{name} failed delivery during comparison: "
+                f"{verification.failures[:2]}"
+            )
+        rows.append(
+            ComparisonRow(
+                scheme=name,
+                model=model,
+                built=True,
+                total_bits=report.total_bits,
+                max_node_bits=report.max_node_bits,
+                max_stretch=verification.max_stretch,
+                mean_stretch=verification.mean_stretch,
+            )
+        )
+    return rows
+
+
+def format_comparison(rows: Sequence[ComparisonRow]) -> str:
+    """Human-readable comparison table."""
+    lines = [
+        f"{'scheme':22s} {'model':8s} {'total bits':>11s} {'max/node':>9s} "
+        f"{'max stretch':>12s} {'mean':>6s}"
+    ]
+    for row in rows:
+        if not row.built:
+            lines.append(
+                f"{row.scheme:22s} {str(row.model.labeling):8s} "
+                f"{'—':>11s} {'—':>9s}  refused: {row.refusal}"
+            )
+            continue
+        lines.append(
+            f"{row.scheme:22s} {str(row.model.labeling):8s} "
+            f"{row.total_bits:>11d} {row.max_node_bits:>9d} "
+            f"{row.max_stretch:>12.2f} {row.mean_stretch:>6.2f}"
+        )
+    return "\n".join(lines)

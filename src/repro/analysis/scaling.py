@@ -1,0 +1,113 @@
+"""Growth-law fitting for the reproduction benches.
+
+The paper's claims are asymptotic (``O(n²)``, ``Θ(n log log n)``, ...), so
+the benches validate *shape*: measure total bits over a sweep of ``n``,
+then find which candidate growth law fits best.  Two tools:
+
+* :func:`fit_power_law` — least-squares slope in log-log space (the
+  empirical exponent of ``T(n) ≈ a n^b``);
+* :func:`best_law` — per-candidate one-parameter fits (constant multiplier)
+  ranked by relative RMS error, over the paper's menu of laws.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+__all__ = ["GROWTH_LAWS", "LawFit", "PowerLawFit", "fit_power_law", "best_law"]
+
+
+def _loglog(n: float) -> float:
+    return math.log2(max(math.log2(max(n, 4.0)), 2.0))
+
+
+GROWTH_LAWS: Dict[str, Callable[[float], float]] = {
+    "1": lambda n: 1.0,
+    "log n": lambda n: math.log2(max(n, 2.0)),
+    "n": lambda n: n,
+    "n log log n": lambda n: n * _loglog(n),
+    "n log n": lambda n: n * math.log2(max(n, 2.0)),
+    "n log^2 n": lambda n: n * math.log2(max(n, 2.0)) ** 2,
+    "n^2": lambda n: n * n,
+    "n^2 log n": lambda n: n * n * math.log2(max(n, 2.0)),
+    "n^3": lambda n: float(n) ** 3,
+}
+"""The growth laws appearing in the paper's Table 1."""
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """Result of a log-log linear regression ``T(n) = a · n^b``."""
+
+    exponent: float
+    coefficient: float
+    r_squared: float
+
+
+def fit_power_law(ns: Sequence[float], values: Sequence[float]) -> PowerLawFit:
+    """Fit ``T(n) = a n^b`` by least squares in log-log space."""
+    if len(ns) != len(values) or len(ns) < 2:
+        raise AnalysisError("need at least two (n, value) samples")
+    if any(n <= 0 for n in ns) or any(v <= 0 for v in values):
+        raise AnalysisError("power-law fitting needs positive samples")
+    log_n = np.log(np.asarray(ns, dtype=float))
+    log_v = np.log(np.asarray(values, dtype=float))
+    slope, intercept = np.polyfit(log_n, log_v, 1)
+    predicted = slope * log_n + intercept
+    residual = float(np.sum((log_v - predicted) ** 2))
+    total = float(np.sum((log_v - log_v.mean()) ** 2))
+    r_squared = 1.0 - residual / total if total > 0 else 1.0
+    return PowerLawFit(
+        exponent=float(slope),
+        coefficient=float(math.exp(intercept)),
+        r_squared=r_squared,
+    )
+
+
+@dataclass(frozen=True)
+class LawFit:
+    """One candidate law fitted with its best constant multiplier."""
+
+    law: str
+    constant: float
+    relative_rms_error: float
+
+
+def best_law(
+    ns: Sequence[float],
+    values: Sequence[float],
+    candidates: Sequence[str] | None = None,
+) -> List[LawFit]:
+    """Rank candidate growth laws by relative RMS error (best first).
+
+    For each law ``g`` the constant ``c`` minimising ``Σ (T_i - c g(n_i))²``
+    is ``Σ T g / Σ g²``; the reported error is the RMS of
+    ``(T_i - c g(n_i)) / T_i``.
+    """
+    if len(ns) != len(values) or len(ns) < 2:
+        raise AnalysisError("need at least two (n, value) samples")
+    names = list(candidates) if candidates is not None else list(GROWTH_LAWS)
+    unknown = [name for name in names if name not in GROWTH_LAWS]
+    if unknown:
+        raise AnalysisError(f"unknown growth laws: {unknown}")
+    values_arr = np.asarray(values, dtype=float)
+    fits = []
+    for name in names:
+        g = np.asarray([GROWTH_LAWS[name](n) for n in ns], dtype=float)
+        constant = float(np.dot(values_arr, g) / np.dot(g, g))
+        relative = (values_arr - constant * g) / values_arr
+        fits.append(
+            LawFit(
+                law=name,
+                constant=constant,
+                relative_rms_error=float(np.sqrt(np.mean(relative**2))),
+            )
+        )
+    fits.sort(key=lambda fit: fit.relative_rms_error)
+    return fits

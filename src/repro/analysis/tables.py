@@ -1,0 +1,107 @@
+"""Rendering the paper's Table 1 with measured entries.
+
+Table 1 is a 3×3 grid (knowledge × labelling) in three sections: worst-case
+lower bounds, average-case upper bounds, average-case lower bounds.  The
+benches fill a :class:`Table1Entry` per cell they reproduce;
+:func:`format_table1` lays the grid out exactly like the paper so the two
+can be compared side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.models import Knowledge, Labeling
+
+__all__ = ["Table1Entry", "format_table1", "PAPER_TABLE1"]
+
+_Key = Tuple[str, Knowledge, Labeling]
+
+
+@dataclass(frozen=True)
+class Table1Entry:
+    """One measured cell of Table 1."""
+
+    section: str
+    """One of 'worst-lower', 'avg-upper', 'avg-lower'."""
+    knowledge: Knowledge
+    labeling: Labeling
+    paper_bound: str
+    measured: str
+
+    @property
+    def key(self) -> _Key:
+        """The cell coordinate."""
+        return (self.section, self.knowledge, self.labeling)
+
+
+PAPER_TABLE1: Dict[_Key, str] = {
+    # worst case — lower bounds
+    ("worst-lower", Knowledge.IB, Labeling.BETA): "Ω(n² log n) [3]",
+    ("worst-lower", Knowledge.II, Labeling.ALPHA): "Ω(n² log n)",
+    ("worst-lower", Knowledge.II, Labeling.BETA): "Ω(n²) [2]",
+    ("worst-lower", Knowledge.II, Labeling.GAMMA): "Ω(n^(7/6)) [9]",
+    # average case — upper bounds
+    ("avg-upper", Knowledge.IA, Labeling.ALPHA): "O(n² log n)",
+    ("avg-upper", Knowledge.IB, Labeling.ALPHA): "O(n²)",
+    ("avg-upper", Knowledge.II, Labeling.ALPHA): "O(n²)",
+    ("avg-upper", Knowledge.II, Labeling.GAMMA): "O(n log² n)",
+    # average case — lower bounds
+    ("avg-lower", Knowledge.IA, Labeling.ALPHA): "Ω(n² log n)",
+    ("avg-lower", Knowledge.IB, Labeling.GAMMA): "Ω(n²)",
+    ("avg-lower", Knowledge.II, Labeling.ALPHA): "Ω(n²)",
+}
+"""The filled cells of the paper's Table 1 (arrows/open cells omitted)."""
+
+_SECTION_TITLES = {
+    "worst-lower": "worst case — lower bounds",
+    "avg-upper": "average case — upper bounds",
+    "avg-lower": "average case — lower bounds",
+}
+
+_ROW_LABELS = {
+    Knowledge.IA: "port assignment fixed (IA)",
+    Knowledge.IB: "port assignment free (IB)",
+    Knowledge.II: "neighbours known (II)",
+}
+
+_COLUMN_LABELS = {
+    Labeling.ALPHA: "no relabelling (α)",
+    Labeling.BETA: "permutation (β)",
+    Labeling.GAMMA: "free relabelling (γ)",
+}
+
+
+def format_table1(
+    entries: Iterable[Table1Entry], include_paper: bool = True
+) -> str:
+    """Render measured entries in the paper's Table 1 layout."""
+    by_key: Dict[_Key, Table1Entry] = {entry.key: entry for entry in entries}
+    column_order = [Labeling.ALPHA, Labeling.BETA, Labeling.GAMMA]
+    row_order = [Knowledge.IA, Knowledge.IB, Knowledge.II]
+    width = 50
+    lines = ["Size of shortest path routing schemes: reproduction of Table 1", ""]
+    header = " " * 30 + "".join(
+        _COLUMN_LABELS[labeling].ljust(width) for labeling in column_order
+    )
+    for section in ("worst-lower", "avg-upper", "avg-lower"):
+        lines.append(_SECTION_TITLES[section])
+        lines.append(header)
+        for knowledge in row_order:
+            cells = []
+            for labeling in column_order:
+                key = (section, knowledge, labeling)
+                entry: Optional[Table1Entry] = by_key.get(key)
+                if entry is not None:
+                    text = entry.measured
+                    if include_paper:
+                        text = f"{entry.paper_bound} | {text}"
+                elif key in PAPER_TABLE1:
+                    text = f"{PAPER_TABLE1[key]} | (not measured)"
+                else:
+                    text = "—"
+                cells.append(text.ljust(width - 2)[: width - 2] + "  ")
+            lines.append(_ROW_LABELS[knowledge].ljust(30) + "".join(cells))
+        lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,53 @@
+"""Bit-level coding substrate.
+
+Everything the paper measures is a number of *bits*; this package provides
+the exact machinery to produce and parse them:
+
+* :class:`~repro.bitio.bitarray.BitArray` — immutable packed bit sequences;
+* :class:`~repro.bitio.writer.BitWriter` / :class:`~repro.bitio.reader.BitReader`
+  — sequential codecs with unary, Elias gamma/delta and the paper's
+  self-delimiting ``ẑ``/``z'`` codes (Definition 4);
+* :mod:`~repro.bitio.combinatorial` — enumerative codes for subsets
+  (interconnection patterns) and permutations (port assignments,
+  relabellings).
+"""
+
+from repro.bitio.bitarray import BitArray
+from repro.bitio.combinatorial import (
+    decode_permutation,
+    decode_subset,
+    encode_permutation,
+    encode_subset,
+    log2_binomial,
+    log2_factorial,
+    permutation_code_width,
+    rank_permutation,
+    rank_subset,
+    read_subset,
+    subset_code_width,
+    unrank_permutation,
+    unrank_subset,
+    write_subset,
+)
+from repro.bitio.reader import BitReader
+from repro.bitio.writer import BitWriter
+
+__all__ = [
+    "BitArray",
+    "BitReader",
+    "BitWriter",
+    "decode_permutation",
+    "decode_subset",
+    "encode_permutation",
+    "encode_subset",
+    "log2_binomial",
+    "log2_factorial",
+    "permutation_code_width",
+    "rank_permutation",
+    "rank_subset",
+    "read_subset",
+    "subset_code_width",
+    "unrank_permutation",
+    "unrank_subset",
+    "write_subset",
+]

@@ -1,0 +1,139 @@
+"""A compact, immutable sequence of bits.
+
+:class:`BitArray` is the currency of the whole library: graph encodings
+(Definition 2 of the paper), serialised routing functions, and the
+incompressibility codecs all produce and consume it.  It stores bits packed
+eight per byte (most significant bit first) and exposes a small, explicit
+API: indexing, slicing, concatenation and conversion to/from ``'01'`` text.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.errors import BitstreamError
+
+__all__ = ["BitArray"]
+
+
+class BitArray:
+    """An immutable array of bits, packed MSB-first into bytes."""
+
+    __slots__ = ("_buf", "_length")
+
+    def __init__(self, bits: Iterable[int] = ()) -> None:
+        buf = bytearray()
+        length = 0
+        for bit in bits:
+            if bit not in (0, 1):
+                raise BitstreamError(f"bit must be 0 or 1, got {bit!r}")
+            if length % 8 == 0:
+                buf.append(0)
+            if bit:
+                buf[-1] |= 1 << (7 - (length % 8))
+            length += 1
+        self._buf = bytes(buf)
+        self._length = length
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def _from_packed(cls, buf: bytes, length: int) -> "BitArray":
+        """Build directly from packed bytes (internal fast path)."""
+        if length > 8 * len(buf):
+            raise BitstreamError(
+                f"length {length} exceeds capacity of {len(buf)} bytes"
+            )
+        instance = cls.__new__(cls)
+        instance._buf = bytes(buf)
+        instance._length = length
+        return instance
+
+    @classmethod
+    def from01(cls, text: str) -> "BitArray":
+        """Parse a string of ``'0'``/``'1'`` characters."""
+        try:
+            return cls(int(ch) for ch in text)
+        except ValueError as exc:
+            raise BitstreamError(f"invalid bit character in {text!r}") from exc
+
+    @classmethod
+    def from_int(cls, value: int, width: int) -> "BitArray":
+        """Encode ``value`` as exactly ``width`` bits, most significant first."""
+        if width < 0:
+            raise BitstreamError(f"width must be non-negative, got {width}")
+        if value < 0:
+            raise BitstreamError(f"value must be non-negative, got {value}")
+        if width < value.bit_length():
+            raise BitstreamError(f"value {value} does not fit in {width} bits")
+        return cls((value >> (width - 1 - i)) & 1 for i in range(width))
+
+    @classmethod
+    def zeros(cls, length: int) -> "BitArray":
+        """An all-zero bit array of the given length."""
+        if length < 0:
+            raise BitstreamError(f"length must be non-negative, got {length}")
+        return cls._from_packed(bytes((length + 7) // 8), length)
+
+    # -- accessors ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __iter__(self) -> Iterator[int]:
+        for i in range(self._length):
+            yield self[i]
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            start, stop, step = index.indices(self._length)
+            return BitArray(self[i] for i in range(start, stop, step))
+        if index < 0:
+            index += self._length
+        if not 0 <= index < self._length:
+            raise IndexError(f"bit index {index} out of range")
+        return (self._buf[index // 8] >> (7 - (index % 8))) & 1
+
+    def to01(self) -> str:
+        """Render as a string of ``'0'``/``'1'`` characters."""
+        return "".join("1" if bit else "0" for bit in self)
+
+    def to_int(self) -> int:
+        """Interpret the whole array as a big-endian unsigned integer."""
+        value = 0
+        for bit in self:
+            value = (value << 1) | bit
+        return value
+
+    def to_bytes(self) -> bytes:
+        """Packed byte representation (final byte zero-padded)."""
+        return self._buf
+
+    def count(self, bit: int = 1) -> int:
+        """Number of positions equal to ``bit``."""
+        ones = sum(byte.bit_count() for byte in self._buf)
+        return ones if bit else self._length - ones
+
+    # -- operators ---------------------------------------------------------
+
+    def __add__(self, other: "BitArray") -> "BitArray":
+        if not isinstance(other, BitArray):
+            return NotImplemented
+        if self._length % 8 == 0:
+            return BitArray._from_packed(
+                self._buf + other._buf, self._length + len(other)
+            )
+        combined = BitArray(list(self) + list(other))
+        return combined
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BitArray):
+            return NotImplemented
+        return self._length == other._length and self._buf == other._buf
+
+    def __hash__(self) -> int:
+        return hash((self._buf, self._length))
+
+    def __repr__(self) -> str:
+        preview = self.to01() if self._length <= 64 else self.to01()[:61] + "..."
+        return f"BitArray({preview!r}, length={self._length})"

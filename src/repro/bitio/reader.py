@@ -1,0 +1,96 @@
+"""Sequential bit reader mirroring :class:`repro.bitio.writer.BitWriter`.
+
+Every ``write_*`` method on the writer has a matching ``read_*`` here; a
+value written then read round-trips exactly.  Reads past the end of the
+stream raise :class:`~repro.errors.BitstreamError` rather than returning
+garbage, so truncated encodings are always detected.
+"""
+
+from __future__ import annotations
+
+from repro.bitio.bitarray import BitArray
+from repro.errors import BitstreamError
+
+__all__ = ["BitReader"]
+
+
+class BitReader:
+    """Sequential reader over a :class:`BitArray`."""
+
+    def __init__(self, bits: BitArray) -> None:
+        self._bits = bits
+        self._pos = 0
+
+    @property
+    def position(self) -> int:
+        """Current read offset in bits."""
+        return self._pos
+
+    @property
+    def remaining(self) -> int:
+        """Number of unread bits."""
+        return len(self._bits) - self._pos
+
+    def at_end(self) -> bool:
+        """True when every bit has been consumed."""
+        return self._pos >= len(self._bits)
+
+    # -- primitive reads ---------------------------------------------------
+
+    def read_bit(self) -> int:
+        """Read a single bit."""
+        if self._pos >= len(self._bits):
+            raise BitstreamError("read past end of bit stream")
+        bit = self._bits[self._pos]
+        self._pos += 1
+        return bit
+
+    def read_bits(self, count: int) -> BitArray:
+        """Read ``count`` bits as a :class:`BitArray`."""
+        if count < 0:
+            raise BitstreamError(f"count must be non-negative, got {count}")
+        if self._pos + count > len(self._bits):
+            raise BitstreamError(
+                f"requested {count} bits but only {self.remaining} remain"
+            )
+        chunk = self._bits[self._pos : self._pos + count]
+        self._pos += count
+        return chunk
+
+    def read_uint(self, width: int) -> int:
+        """Read a fixed-width big-endian unsigned integer."""
+        return self.read_bits(width).to_int()
+
+    # -- prefix codes ------------------------------------------------------
+
+    def read_unary(self) -> int:
+        """Read a ``1^k 0`` unary code, returning ``k``."""
+        count = 0
+        while self.read_bit():
+            count += 1
+        return count
+
+    def read_hat(self) -> BitArray:
+        """Read a hat-coded (``ẑ``) payload."""
+        length = self.read_unary()
+        return self.read_bits(length)
+
+    def read_prime(self) -> BitArray:
+        """Read a prime-coded (``z'``) payload."""
+        length_bits = self.read_hat()
+        length = length_bits.to_int()
+        if len(length_bits) != length.bit_length():
+            raise BitstreamError("malformed prime code: non-canonical length")
+        return self.read_bits(length)
+
+    def read_gamma(self) -> int:
+        """Read an Elias gamma code (shifted so zero is representable)."""
+        width = self.read_unary()
+        mantissa = self.read_uint(width)
+        return (1 << width) + mantissa - 1
+
+    def read_delta(self) -> int:
+        """Read an Elias delta code (shifted so zero is representable)."""
+        width = self.read_gamma()
+        mantissa = self.read_uint(width)
+        return (1 << width) + mantissa - 1

@@ -1,0 +1,391 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``schemes``
+    List the registered routing schemes.
+``certify N``
+    Sample G(N, 1/2) and check the Lemma 1–3 randomness properties.
+``build SCHEME N``
+    Build a scheme on a sampled graph and print its space report
+    (optionally ``--save`` the packed scheme to a file).
+``route SCHEME N SRC DST``
+    Build and route one message, printing the path.
+``verify SCHEME N``
+    Route sampled pairs and report delivery/stretch.
+``simulate SCHEME N``
+    Push a workload through the network simulator, optionally with
+    failed links.
+``codec NAME N``
+    Run an incompressibility codec against a sampled or structured graph.
+
+All sampling is seeded (``--seed``) and therefore reproducible.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core import available_schemes, build_scheme, route_message, verify_scheme
+from repro.core.persistence import pack_scheme
+from repro.errors import ReproError
+from repro.graphs import (
+    certify_random_graph,
+    cycle_graph,
+    gnp_random_graph,
+    path_graph,
+    star_graph,
+)
+from repro.incompressibility import (
+    Lemma1Codec,
+    Lemma2Codec,
+    Lemma3Codec,
+    evaluate_codec,
+)
+from repro.models import Knowledge, Labeling, RoutingModel
+from repro.simulator import (
+    Network,
+    sample_link_failures,
+    sample_node_failures,
+    summarize,
+)
+from repro.simulator.workloads import (
+    all_to_one,
+    hotspot_pairs,
+    one_to_all,
+    permutation_traffic,
+    uniform_pairs,
+)
+
+__all__ = ["main", "parse_model"]
+
+_CODECS = {
+    "lemma1": Lemma1Codec,
+    "lemma2": Lemma2Codec,
+    "lemma3": Lemma3Codec,
+}
+
+_STRUCTURED = {
+    "random": None,  # handled via gnp
+    "path": path_graph,
+    "cycle": cycle_graph,
+    "star": star_graph,
+}
+
+
+def parse_model(text: str) -> RoutingModel:
+    """Parse ``II.alpha`` / ``ia.gamma`` style model names."""
+    try:
+        knowledge_text, labeling_text = text.split(".")
+        knowledge = Knowledge[knowledge_text.upper()]
+        labeling = Labeling[labeling_text.upper()]
+    except (ValueError, KeyError) as exc:
+        raise argparse.ArgumentTypeError(
+            f"model must look like II.alpha (one of IA/IB/II and "
+            f"alpha/beta/gamma), got {text!r}"
+        ) from exc
+    return RoutingModel(knowledge, labeling)
+
+
+def _make_graph(kind: str, n: int, seed: int):
+    if kind == "random":
+        return gnp_random_graph(n, seed=seed)
+    return _STRUCTURED[kind](n)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Optimal Routing Tables (PODC 1996), executable.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("schemes", help="list registered routing schemes")
+
+    certify = sub.add_parser("certify", help="certify a sampled random graph")
+    certify.add_argument("n", type=int)
+    certify.add_argument("--seed", type=int, default=0)
+    certify.add_argument("--c", type=float, default=3.0)
+
+    build = sub.add_parser("build", help="build a scheme and report its size")
+    build.add_argument("scheme", choices=available_schemes())
+    build.add_argument("n", type=int)
+    build.add_argument("--seed", type=int, default=0)
+    build.add_argument("--model", type=parse_model, default=None)
+    build.add_argument("--save", type=str, default=None,
+                       help="write the packed scheme blob to this file")
+
+    route = sub.add_parser("route", help="route one message")
+    route.add_argument("scheme", choices=available_schemes())
+    route.add_argument("n", type=int)
+    route.add_argument("source", type=int)
+    route.add_argument("destination", type=int)
+    route.add_argument("--seed", type=int, default=0)
+    route.add_argument("--model", type=parse_model, default=None)
+
+    verify = sub.add_parser("verify", help="verify delivery and stretch")
+    verify.add_argument("scheme", choices=available_schemes())
+    verify.add_argument("n", type=int)
+    verify.add_argument("--seed", type=int, default=0)
+    verify.add_argument("--pairs", type=int, default=500)
+    verify.add_argument("--model", type=parse_model, default=None)
+
+    simulate = sub.add_parser("simulate", help="run a workload through the simulator")
+    simulate.add_argument("scheme", choices=available_schemes())
+    simulate.add_argument("n", type=int)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--model", type=parse_model, default=None)
+    simulate.add_argument("--messages", type=int, default=200)
+    simulate.add_argument("--failures", type=int, default=0,
+                          help="number of links to fail")
+    simulate.add_argument("--node-failures", type=int, default=0,
+                          help="number of nodes to crash")
+    simulate.add_argument(
+        "--workload",
+        choices=("uniform", "hotspot", "all-to-one", "one-to-all", "permutation"),
+        default="uniform",
+    )
+
+    codec = sub.add_parser("codec", help="run an incompressibility codec")
+    codec.add_argument("name", choices=sorted(_CODECS))
+    codec.add_argument("n", type=int)
+    codec.add_argument("--seed", type=int, default=0)
+    codec.add_argument("--graph", choices=sorted(_STRUCTURED), default="random")
+
+    compare = sub.add_parser(
+        "compare", help="build every scheme on one graph and tabulate"
+    )
+    compare.add_argument("n", type=int)
+    compare.add_argument("--seed", type=int, default=0)
+    compare.add_argument("--pairs", type=int, default=300)
+
+    bootstrap = sub.add_parser(
+        "bootstrap", help="simulate disseminating a scheme's tables"
+    )
+    bootstrap.add_argument("scheme", choices=available_schemes())
+    bootstrap.add_argument("n", type=int)
+    bootstrap.add_argument("--seed", type=int, default=0)
+    bootstrap.add_argument("--model", type=parse_model, default=None)
+    bootstrap.add_argument("--root", type=int, default=1)
+    bootstrap.add_argument("--rate", type=float, default=10_000.0,
+                           help="link rate in bits per time unit")
+
+    report = sub.add_parser(
+        "report",
+        help="aggregate benchmarks/results/*.txt into one reproduction report",
+    )
+    report.add_argument(
+        "--results-dir", type=str, default="benchmarks/results",
+    )
+    report.add_argument("--output", type=str, default=None,
+                        help="write the report here instead of stdout")
+    return parser
+
+
+def _default_model(scheme: str) -> RoutingModel:
+    if scheme == "thm2-neighbor-labels":
+        return RoutingModel(Knowledge.II, Labeling.GAMMA)
+    if scheme in ("interval", "chain-comparison"):
+        return RoutingModel(Knowledge.II, Labeling.BETA)
+    return RoutingModel(Knowledge.II, Labeling.ALPHA)
+
+
+def _cmd_schemes(_: argparse.Namespace) -> int:
+    for name in available_schemes():
+        print(name)
+    return 0
+
+
+def _cmd_certify(args: argparse.Namespace) -> int:
+    graph = gnp_random_graph(args.n, seed=args.seed)
+    cert = certify_random_graph(graph, c=args.c)
+    print(f"G({args.n}, 1/2) seed {args.seed}: {graph.edge_count} edges")
+    print(f"  degrees within Lemma 1 band : {cert.degrees_in_band} "
+          f"(max deviation {cert.max_degree_deviation}, "
+          f"scale {cert.lemma1_scale:.1f})")
+    print(f"  diameter 2 (Lemma 2)        : {cert.diameter_two}")
+    print(f"  cover prefix (Lemma 3)      : {cert.max_cover_prefix} "
+          f"<= {cert.lemma3_scale:.1f}: {cert.cover_within_bound}")
+    print(f"  estimated deficiency        : {cert.estimated_deficiency} bits")
+    print(f"  certified                   : {cert.certified}")
+    return 0 if cert.certified else 1
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    model = args.model or _default_model(args.scheme)
+    graph = gnp_random_graph(args.n, seed=args.seed)
+    scheme = build_scheme(args.scheme, graph, model)
+    report = scheme.space_report()
+    print(report.summary())
+    if args.save:
+        blob = pack_scheme(scheme)
+        with open(args.save, "wb") as handle:
+            handle.write(blob)
+        print(f"packed scheme written to {args.save} ({len(blob)} bytes)")
+    return 0
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    model = args.model or _default_model(args.scheme)
+    graph = gnp_random_graph(args.n, seed=args.seed)
+    scheme = build_scheme(args.scheme, graph, model)
+    trace = route_message(scheme, args.source, args.destination)
+    print(" -> ".join(map(str, trace.path)))
+    print(f"{trace.hops} hops")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    model = args.model or _default_model(args.scheme)
+    graph = gnp_random_graph(args.n, seed=args.seed)
+    scheme = build_scheme(args.scheme, graph, model)
+    result = verify_scheme(scheme, sample_pairs=args.pairs, seed=args.seed)
+    print(f"pairs: {result.pairs_checked}  delivered: {result.delivered}  "
+          f"max stretch: {result.max_stretch:.2f}  "
+          f"bound: {scheme.stretch_bound():.2f}  ok: {result.ok()}")
+    return 0 if result.ok() else 1
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    model = args.model or _default_model(args.scheme)
+    graph = gnp_random_graph(args.n, seed=args.seed)
+    scheme = build_scheme(args.scheme, graph, model)
+    failures = (
+        sample_link_failures(graph, args.failures, seed=args.seed)
+        if args.failures
+        else set()
+    )
+    node_failures = (
+        sample_node_failures(graph, args.node_failures, seed=args.seed)
+        if args.node_failures
+        else set()
+    )
+    if args.workload == "uniform":
+        pairs = uniform_pairs(graph, args.messages, seed=args.seed)
+    elif args.workload == "hotspot":
+        pairs = hotspot_pairs(graph, args.messages, seed=args.seed)
+    elif args.workload == "all-to-one":
+        pairs = all_to_one(graph)
+    elif args.workload == "one-to-all":
+        pairs = one_to_all(graph)
+    else:
+        pairs = permutation_traffic(graph, seed=args.seed)
+    network = Network(scheme, failures, failed_nodes=node_failures)
+    records = [network.route(s, t) for s, t in pairs]
+    metrics = summarize(records, graph)
+    print(f"messages: {metrics.messages}  delivered: {metrics.delivered} "
+          f"({metrics.delivered_fraction:.1%})")
+    if metrics.delivered:
+        print(f"mean hops: {metrics.mean_hops:.2f}  "
+              f"mean stretch: {metrics.mean_stretch:.2f}  "
+              f"max stretch: {metrics.max_stretch:.2f}")
+    for reason, count in sorted(metrics.drop_reasons.items()):
+        print(f"  dropped ({count}): {reason}")
+    return 0
+
+
+def _cmd_codec(args: argparse.Namespace) -> int:
+    graph = _make_graph(args.graph, args.n, args.seed)
+    codec = _CODECS[args.name]()
+    try:
+        report = evaluate_codec(codec, graph)
+    except ReproError as exc:
+        print(f"{codec.name}: inapplicable — {exc}")
+        return 1
+    print(f"{codec.name} on {args.graph} graph (n={args.n}):")
+    print(f"  baseline E(G): {report.baseline_bits} bits")
+    print(f"  encoded      : {report.encoded_bits} bits")
+    print(f"  savings      : {report.savings} bits")
+    print(f"  round trip   : {report.round_trip_ok}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.analysis import compare_schemes, format_comparison
+
+    graph = gnp_random_graph(args.n, seed=args.seed)
+    rows = compare_schemes(graph, sample_pairs=args.pairs, seed=args.seed)
+    print(f"G({args.n}, 1/2) seed {args.seed}: {graph.edge_count} edges\n")
+    print(format_comparison(rows))
+    return 0
+
+
+def _cmd_bootstrap(args: argparse.Namespace) -> int:
+    from repro.simulator import simulate_dissemination
+
+    model = args.model or _default_model(args.scheme)
+    graph = gnp_random_graph(args.n, seed=args.seed)
+    scheme = build_scheme(args.scheme, graph, model)
+    result = simulate_dissemination(
+        scheme, root=args.root, link_rate_bits=args.rate
+    )
+    print(f"{args.scheme} on G({args.n}, 1/2): "
+          f"{result.total_payload_bits} payload bits")
+    print(f"  control traffic : {result.total_bit_hops} bit-hops")
+    print(f"  boot makespan   : {result.makespan:.2f} time units")
+    print(f"  mean install    : {result.mean_install_time:.2f} time units")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    import pathlib
+
+    results_dir = pathlib.Path(args.results_dir)
+    if not results_dir.is_dir():
+        print(
+            f"error: {results_dir} not found — run "
+            f"`pytest benchmarks/ --benchmark-only` first",
+            file=sys.stderr,
+        )
+        return 2
+    blocks = []
+    for path in sorted(results_dir.glob("*.txt")):
+        title = path.stem.replace("_", " ")
+        blocks.append(f"## {title}\n\n```\n{path.read_text().rstrip()}\n```")
+    if not blocks:
+        print(f"error: no result files in {results_dir}", file=sys.stderr)
+        return 2
+    text = (
+        "# Reproduction report — Optimal Routing Tables (PODC 1996)\n\n"
+        + "\n\n".join(blocks)
+        + "\n"
+    )
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"report written to {args.output} ({len(blocks)} experiments)")
+    else:
+        print(text)
+    return 0
+
+
+_COMMANDS = {
+    "schemes": _cmd_schemes,
+    "certify": _cmd_certify,
+    "build": _cmd_build,
+    "route": _cmd_route,
+    "verify": _cmd_verify,
+    "simulate": _cmd_simulate,
+    "codec": _cmd_codec,
+    "bootstrap": _cmd_bootstrap,
+    "compare": _cmd_compare,
+    "report": _cmd_report,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,66 @@
+"""Scheme registry and a single entry point for building schemes by name.
+
+Benches and examples refer to schemes by their string name (the ones used
+in DESIGN.md's experiment index); :func:`build_scheme` dispatches to the
+right class and surfaces the paper's model restrictions as build errors.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.errors import SchemeBuildError
+from repro.graphs import LabeledGraph
+from repro.models import RoutingModel
+from repro.core.centers import CenterScheme
+from repro.core.chain import ChainComparisonScheme
+from repro.core.full_information import FullInformationScheme
+from repro.core.full_table import FullTableScheme
+from repro.core.hub import HubScheme
+from repro.core.interval import IntervalRoutingScheme
+from repro.core.multi_interval import MultiIntervalScheme
+from repro.core.neighbor_labels import NeighborLabelScheme
+from repro.core.probe import ProbeScheme
+from repro.core.scheme import RoutingScheme
+from repro.core.tree_cover import TreeCoverScheme
+from repro.core.two_level import TwoLevelScheme
+
+__all__ = ["SCHEME_BUILDERS", "available_schemes", "build_scheme"]
+
+_Builder = Callable[..., RoutingScheme]
+
+SCHEME_BUILDERS: Dict[str, _Builder] = {
+    FullTableScheme.scheme_name: FullTableScheme,
+    TwoLevelScheme.scheme_name: TwoLevelScheme,
+    NeighborLabelScheme.scheme_name: NeighborLabelScheme,
+    CenterScheme.scheme_name: CenterScheme,
+    HubScheme.scheme_name: HubScheme,
+    ProbeScheme.scheme_name: ProbeScheme,
+    FullInformationScheme.scheme_name: FullInformationScheme,
+    IntervalRoutingScheme.scheme_name: IntervalRoutingScheme,
+    ChainComparisonScheme.scheme_name: ChainComparisonScheme,
+    TreeCoverScheme.scheme_name: TreeCoverScheme,
+    MultiIntervalScheme.scheme_name: MultiIntervalScheme,
+}
+
+
+def available_schemes() -> tuple[str, ...]:
+    """Names accepted by :func:`build_scheme`, in a stable order."""
+    return tuple(sorted(SCHEME_BUILDERS))
+
+
+def build_scheme(
+    name: str, graph: LabeledGraph, model: RoutingModel, **params
+) -> RoutingScheme:
+    """Build the named scheme for a graph under a model.
+
+    Raises :class:`~repro.errors.SchemeBuildError` for unknown names and
+    propagates the scheme's own model/topology errors.
+    """
+    try:
+        builder = SCHEME_BUILDERS[name]
+    except KeyError as exc:
+        raise SchemeBuildError(
+            f"unknown scheme {name!r}; available: {', '.join(available_schemes())}"
+        ) from exc
+    return builder(graph, model, **params)

@@ -1,0 +1,108 @@
+"""Theorem 3 — stretch 1.5 with ``O(n log n)`` bits total (model II).
+
+Pick one node ``u*`` and its covering neighbours (Lemma 3):
+``B = {u*, v₁, ..., v_m}`` with ``m = O(log n)``.  Every node of the graph
+is adjacent to some member of ``B`` (diameter 2), so ``B`` acts as a set of
+*routing centres*: members of ``B`` store a full Theorem 1 function
+(≤ ``6n`` bits); every other node stores just the label of one adjacent
+centre (``⌈log(n+1)⌉`` bits) and forwards everything non-local there.
+
+Routes take at most 3 hops where shortest paths take 2 — stretch 1.5, the
+only possible value strictly between 1 and 2 on a diameter-2 graph.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Tuple
+
+from repro.bitio import BitArray, BitReader, BitWriter
+from repro.errors import RoutingError, SchemeBuildError
+from repro.graphs import LabeledGraph
+from repro.models import RoutingModel, minimal_label_bits
+from repro.core.scheme import HopDecision, LocalRoutingFunction, RoutingScheme
+from repro.core.two_level import TwoLevelScheme
+
+__all__ = ["CenterScheme", "RelayFunction"]
+
+
+class RelayFunction(LocalRoutingFunction):
+    """Non-centre rule: deliver to neighbours, relay everything else."""
+
+    def __init__(self, node: int, neighbors: Tuple[int, ...], center: int) -> None:
+        super().__init__(node)
+        self._neighbor_set = frozenset(neighbors)
+        if center not in self._neighbor_set:
+            raise RoutingError(
+                f"node {node}: designated centre {center} is not adjacent"
+            )
+        self._center = center
+
+    @property
+    def center(self) -> int:
+        """The adjacent routing centre this node relays through."""
+        return self._center
+
+    def next_hop(self, destination: Hashable, state: Any = None) -> HopDecision:
+        dest = int(destination)
+        if dest in self._neighbor_set:
+            return HopDecision(dest)
+        return HopDecision(self._center)
+
+
+class CenterScheme(RoutingScheme):
+    """The Theorem 3 construction (stretch ≤ 1.5)."""
+
+    scheme_name = "thm3-centers"
+
+    def __init__(
+        self,
+        graph: LabeledGraph,
+        model: RoutingModel,
+        anchor: int = 1,
+    ) -> None:
+        super().__init__(graph, model)
+        model.require(neighbors_known=True)
+        # Centres reuse the Theorem 1 construction for their own functions.
+        self._inner = TwoLevelScheme(graph, model)
+        cover = self._inner.covering_sequence_of(anchor)
+        self._centers = frozenset({anchor} | set(cover))
+        self._relay_center: Dict[int, int] = {}
+        for v in graph.nodes:
+            if v in self._centers:
+                continue
+            adjacent_centers = self._centers & graph.neighbor_set(v)
+            if not adjacent_centers:
+                raise SchemeBuildError(
+                    f"node {v} is not adjacent to any routing centre; "
+                    f"graph violates the Lemma 3 cover at anchor {anchor}"
+                )
+            self._relay_center[v] = min(adjacent_centers)
+
+    @property
+    def centers(self) -> frozenset[int]:
+        """The routing-centre set ``B``."""
+        return self._centers
+
+    # -- RoutingScheme interface ------------------------------------------------
+
+    def _build_function(self, u: int) -> LocalRoutingFunction:
+        if u in self._centers:
+            return self._inner.function(u)
+        return RelayFunction(u, self._graph.neighbors(u), self._relay_center[u])
+
+    def encode_function(self, u: int) -> BitArray:
+        if u in self._centers:
+            return self._inner.encode_function(u)
+        writer = BitWriter()
+        writer.write_uint(self._relay_center[u], minimal_label_bits(self._graph.n))
+        return writer.getvalue()
+
+    def decode_function(self, u: int, bits: BitArray) -> LocalRoutingFunction:
+        if u in self._centers:
+            return self._inner.decode_function(u, bits)
+        reader = BitReader(bits)
+        center = reader.read_uint(minimal_label_bits(self._graph.n))
+        return RelayFunction(u, self._graph.neighbors(u), center)
+
+    def stretch_bound(self) -> float:
+        return 1.5

@@ -1,0 +1,167 @@
+"""The introduction's motivating example: relabelling a chain.
+
+"On a chain, for example, the routing function is much less complicated if
+we can relabel the graph and number the nodes in increasing order along the
+chain."  This module makes that observation executable:
+
+* under model α a chain with scrambled labels needs a full table — each
+  node must look every destination up;
+* under models β/γ the strategy renumbers the nodes monotonically along
+  the chain, after which the routing function is a single comparison
+  (``destination < my number ⇒ left, else right``) stored in O(1) bits.
+
+:class:`ChainComparisonScheme` implements the relabelled version for any
+graph that is a simple path, and serves as the library's didactic example
+of why the α/β/γ distinction changes the space bounds.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from repro.bitio import BitArray, BitReader, BitWriter
+from repro.errors import RoutingError, SchemeBuildError
+from repro.graphs import LabeledGraph
+from repro.models import RoutingModel
+from repro.core.scheme import HopDecision, LocalRoutingFunction, RoutingScheme
+
+__all__ = ["ChainComparisonScheme", "ComparisonFunction", "chain_order"]
+
+
+def chain_order(graph: LabeledGraph) -> List[int]:
+    """The nodes of a path graph in end-to-end order.
+
+    Raises :class:`~repro.errors.SchemeBuildError` when the graph is not a
+    simple path (chain).
+    """
+    n = graph.n
+    if n == 1:
+        return [1]
+    if graph.edge_count != n - 1:
+        raise SchemeBuildError("a chain on n nodes has exactly n - 1 edges")
+    ends = [u for u in graph.nodes if graph.degree(u) == 1]
+    if len(ends) != 2 or any(graph.degree(u) > 2 for u in graph.nodes):
+        raise SchemeBuildError("graph is not a simple chain")
+    order = [min(ends)]
+    previous: Optional[int] = None
+    while len(order) < n:
+        current = order[-1]
+        next_nodes = [
+            v for v in graph.neighbors(current) if v != previous
+        ]
+        if len(next_nodes) != 1:
+            raise SchemeBuildError("graph is not a simple chain")
+        previous = current
+        order.append(next_nodes[0])
+    return order
+
+
+class ComparisonFunction(LocalRoutingFunction):
+    """O(1)-state rule: compare the destination's position with our own."""
+
+    def __init__(
+        self,
+        node: int,
+        position: int,
+        left: Optional[int],
+        right: Optional[int],
+    ) -> None:
+        super().__init__(node)
+        self._position = position
+        self._left = left
+        self._right = right
+
+    def next_hop(self, destination: Hashable, state: Any = None) -> HopDecision:
+        position = int(destination)
+        if position == self._position:
+            raise RoutingError(f"node {self.node}: message already delivered")
+        if position < self._position:
+            if self._left is None:
+                raise RoutingError(
+                    f"chain end {self.node}: no left neighbour toward "
+                    f"position {position}"
+                )
+            return HopDecision(self._left)
+        if self._right is None:
+            raise RoutingError(
+                f"chain end {self.node}: no right neighbour toward "
+                f"position {position}"
+            )
+        return HopDecision(self._right)
+
+
+class ChainComparisonScheme(RoutingScheme):
+    """Comparison routing on a relabelled chain (models β/γ).
+
+    Addresses are chain positions ``1..n``; the per-node state is the
+    node's own position plus its two neighbours — all derivable at decode
+    time from one gamma-coded position, so the stored routing function is
+    O(log n) bits under β (the position is the new label itself, uncharged)
+    and the comparison rule is uniform.
+    """
+
+    scheme_name = "chain-comparison"
+
+    def __init__(self, graph: LabeledGraph, model: RoutingModel) -> None:
+        super().__init__(graph, model)
+        model.require(relabeling=True)
+        order = chain_order(graph)
+        self._position: Dict[int, int] = {
+            node: i + 1 for i, node in enumerate(order)
+        }
+        self._order = order
+
+    # -- addressing ----------------------------------------------------------
+
+    def address_of(self, node: int) -> int:
+        """Destination addresses are chain positions (the β relabelling)."""
+        return self._position[node]
+
+    def node_of_address(self, address: Hashable) -> int:
+        try:
+            return self._order[int(address) - 1]
+        except (IndexError, TypeError, ValueError) as exc:
+            raise RoutingError(f"invalid chain position {address!r}") from exc
+
+    def position_of(self, node: int) -> int:
+        """This node's position along the chain."""
+        return self._position[node]
+
+    # -- RoutingScheme interface ----------------------------------------------
+
+    def _neighbors_by_side(
+        self, node: int
+    ) -> Tuple[Optional[int], Optional[int]]:
+        position = self._position[node]
+        left = self._order[position - 2] if position > 1 else None
+        right = self._order[position] if position < self._graph.n else None
+        return left, right
+
+    def _build_function(self, u: int) -> ComparisonFunction:
+        left, right = self._neighbors_by_side(u)
+        return ComparisonFunction(u, self._position[u], left, right)
+
+    def encode_function(self, u: int) -> BitArray:
+        """Under β the position *is* the node's new label; we store only a
+        marker bit for the uniform comparison rule.  (The position is
+        written too so the decoder is self-contained, gamma-coded — still
+        O(log n), far below the full table's (n-1) log n.)"""
+        writer = BitWriter()
+        writer.write_bit(1)
+        writer.write_gamma(self._position[u] - 1)
+        return writer.getvalue()
+
+    def decode_function(self, u: int, bits: BitArray) -> ComparisonFunction:
+        reader = BitReader(bits)
+        if reader.read_bit() != 1:
+            raise RoutingError("corrupt chain-comparison encoding")
+        position = reader.read_gamma() + 1
+        if position != self._position[u]:
+            raise RoutingError(
+                f"node {u}: stored position {position} contradicts the chain"
+            )
+        left, right = self._neighbors_by_side(u)
+        return ComparisonFunction(u, position, left, right)
+
+    def stretch_bound(self) -> float:
+        return 1.0

@@ -1,0 +1,134 @@
+"""Full-information shortest path routing (Section 1; Theorem 10).
+
+The routing function at ``u`` must return, for each destination ``v``,
+**all** edges incident to ``u`` on shortest paths from ``u`` to ``v`` —
+the scheme a network runs when it wants to pick alternative shortest paths
+as links go down.  Stored naively this is one ``d(u)``-bit edge bitmap per
+destination, ``O(n³)`` bits in total, and Theorem 10 proves ``n³/4 - o(n³)``
+bits are necessary on random graphs (see
+:mod:`repro.incompressibility.theorem10` for the executable argument).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Iterable, Tuple
+
+import numpy as np
+
+from repro.bitio import BitArray, BitReader, BitWriter
+from repro.errors import RoutingError, SchemeBuildError
+from repro.graphs import LabeledGraph, distance_matrix
+from repro.models import RoutingModel
+from repro.core.scheme import HopDecision, LocalRoutingFunction, RoutingScheme
+
+__all__ = ["FullInformationScheme", "FullInformationFunction"]
+
+
+class FullInformationFunction(LocalRoutingFunction):
+    """Destination → set of shortest-path neighbours."""
+
+    def __init__(
+        self,
+        node: int,
+        options: Dict[int, Tuple[int, ...]],
+    ) -> None:
+        super().__init__(node)
+        self._options = {dest: tuple(hops) for dest, hops in options.items()}
+
+    def shortest_edges(self, destination: int) -> Tuple[int, ...]:
+        """All neighbours of this node lying on shortest paths to ``destination``."""
+        try:
+            return self._options[destination]
+        except KeyError as exc:
+            raise RoutingError(
+                f"node {self.node}: no entry for destination {destination}"
+            ) from exc
+
+    def next_hop(self, destination: Hashable, state: Any = None) -> HopDecision:
+        return HopDecision(self.shortest_edges(int(destination))[0])
+
+    def next_hop_avoiding(
+        self, destination: int, blocked: Iterable[int]
+    ) -> HopDecision:
+        """Route around failed incident links, still on a shortest path.
+
+        Raises :class:`~repro.errors.RoutingError` when every shortest-path
+        edge toward the destination is blocked — the situation where a
+        single-path scheme would already have failed on the *first* fault.
+        """
+        blocked_set = set(blocked)
+        for hop in self.shortest_edges(destination):
+            if hop not in blocked_set:
+                return HopDecision(hop)
+        raise RoutingError(
+            f"node {self.node}: all shortest-path edges toward "
+            f"{destination} have failed"
+        )
+
+
+class FullInformationScheme(RoutingScheme):
+    """Stores every shortest-path option: the ``O(n³)`` upper bound."""
+
+    scheme_name = "full-information"
+
+    def __init__(self, graph: LabeledGraph, model: RoutingModel) -> None:
+        super().__init__(graph, model)
+        self._dist = distance_matrix(graph)
+        if (self._dist < 0).any():
+            raise SchemeBuildError(
+                "full-information scheme requires a connected graph"
+            )
+        self._options: Dict[int, Dict[int, Tuple[int, ...]]] = {
+            u: self._build_options(u) for u in graph.nodes
+        }
+
+    def _build_options(self, u: int) -> Dict[int, Tuple[int, ...]]:
+        graph = self._graph
+        neighbors = graph.neighbors(u)
+        neighbor_rows = self._dist[np.array(neighbors) - 1, :]
+        own_row = self._dist[u - 1, :]
+        options: Dict[int, Tuple[int, ...]] = {}
+        for w in graph.nodes:
+            if w == u:
+                continue
+            mask = neighbor_rows[:, w - 1] == own_row[w - 1] - 1
+            hops = tuple(nb for nb, good in zip(neighbors, mask) if good)
+            if not hops:
+                raise SchemeBuildError(f"no shortest edge from {u} to {w}")
+            options[w] = hops
+        return options
+
+    # -- RoutingScheme interface ------------------------------------------------
+
+    def _build_function(self, u: int) -> FullInformationFunction:
+        return FullInformationFunction(u, self._options[u])
+
+    def encode_function(self, u: int) -> BitArray:
+        """Per destination, a ``d(u)``-bit bitmap over the sorted neighbours."""
+        graph = self._graph
+        neighbors = graph.neighbors(u)
+        writer = BitWriter()
+        for w in graph.nodes:
+            if w == u:
+                continue
+            chosen = set(self._options[u][w])
+            for nb in neighbors:
+                writer.write_bit(1 if nb in chosen else 0)
+        return writer.getvalue()
+
+    def decode_function(self, u: int, bits: BitArray) -> FullInformationFunction:
+        graph = self._graph
+        neighbors = graph.neighbors(u)
+        reader = BitReader(bits)
+        options: Dict[int, Tuple[int, ...]] = {}
+        for w in graph.nodes:
+            if w == u:
+                continue
+            hops = tuple(
+                nb for nb in neighbors if reader.read_bit()
+            )
+            options[w] = hops
+        return FullInformationFunction(u, options)
+
+    def stretch_bound(self) -> float:
+        return 1.0

@@ -1,0 +1,127 @@
+"""The classical full routing table — the paper's trivial upper bound.
+
+Every node stores, for every destination, the outgoing *port* of a shortest
+path: ``(n - 1) ⌈log d(u)⌉ ≈ n log n`` bits per node and ``O(n² log n)``
+total.  It works in every one of the nine models (ports are whatever the
+network gives us, no neighbour knowledge or relabelling needed), which is
+exactly why the paper uses it as the baseline that Theorem 8 shows to be
+optimal under ``IA ∧ α``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Optional
+
+import numpy as np
+
+from repro.bitio import BitArray, BitReader, BitWriter
+from repro.errors import RoutingError, SchemeBuildError
+from repro.graphs import LabeledGraph, PortAssignment, distance_matrix
+from repro.models import RoutingModel
+from repro.core.scheme import HopDecision, LocalRoutingFunction, RoutingScheme
+
+__all__ = ["FullTableScheme", "PortTableFunction"]
+
+
+class PortTableFunction(LocalRoutingFunction):
+    """Destination → port table; the network resolves port → link."""
+
+    def __init__(
+        self, node: int, ports: Dict[int, int], assignment: PortAssignment
+    ) -> None:
+        super().__init__(node)
+        self._ports = dict(ports)
+        self._assignment = assignment
+
+    def port_for(self, destination: int) -> int:
+        """The stored port for a destination (1-based)."""
+        try:
+            return self._ports[destination]
+        except KeyError as exc:
+            raise RoutingError(
+                f"node {self.node}: no table entry for destination {destination}"
+            ) from exc
+
+    def next_hop(self, destination: Hashable, state: Any = None) -> HopDecision:
+        port = self.port_for(int(destination))
+        return HopDecision(self._assignment.neighbor(self.node, port))
+
+
+class FullTableScheme(RoutingScheme):
+    """Shortest-path routing with one explicit port entry per destination."""
+
+    scheme_name = "full-table"
+
+    def __init__(
+        self,
+        graph: LabeledGraph,
+        model: RoutingModel,
+        ports: Optional[PortAssignment] = None,
+    ) -> None:
+        super().__init__(graph, model)
+        if ports is None:
+            ports = PortAssignment.identity(graph)
+        if model.ports_reassignable and not ports.is_identity():
+            # A model-IB strategy would always normalise its ports first.
+            ports = PortAssignment.identity(graph)
+        self._ports = ports
+        self._dist = distance_matrix(graph)
+        if (self._dist < 0).any():
+            raise SchemeBuildError("full-table scheme requires a connected graph")
+        self._tables: Dict[int, Dict[int, int]] = {
+            u: self._build_table(u) for u in graph.nodes
+        }
+
+    @property
+    def port_assignment(self) -> PortAssignment:
+        """The port assignment the tables are expressed against."""
+        return self._ports
+
+    def _build_table(self, u: int) -> Dict[int, int]:
+        """Least-neighbour-on-a-shortest-path table for one node."""
+        graph = self._graph
+        neighbors = graph.neighbors(u)
+        neighbor_rows = self._dist[np.array(neighbors) - 1, :]
+        own_row = self._dist[u - 1, :]
+        table: Dict[int, int] = {}
+        for w in graph.nodes:
+            if w == u:
+                continue
+            on_shortest = neighbor_rows[:, w - 1] == own_row[w - 1] - 1
+            index = int(np.argmax(on_shortest))
+            if not on_shortest[index]:
+                raise SchemeBuildError(
+                    f"no shortest-path neighbour from {u} to {w}"
+                )
+            table[w] = self._ports.port(u, neighbors[index])
+        return table
+
+    # -- RoutingScheme interface ----------------------------------------------
+
+    def _build_function(self, u: int) -> PortTableFunction:
+        return PortTableFunction(u, self._tables[u], self._ports)
+
+    def entry_width(self, u: int) -> int:
+        """Fixed width of one port entry at ``u``: ``⌈log₂ d(u)⌉`` bits."""
+        return max(self._graph.degree(u) - 1, 0).bit_length()
+
+    def encode_function(self, u: int) -> BitArray:
+        """``n - 1`` fixed-width port entries in destination order."""
+        width = self.entry_width(u)
+        writer = BitWriter()
+        for w in self._graph.nodes:
+            if w != u:
+                writer.write_uint(self._tables[u][w] - 1, width)
+        return writer.getvalue()
+
+    def decode_function(self, u: int, bits: BitArray) -> PortTableFunction:
+        width = self.entry_width(u)
+        reader = BitReader(bits)
+        ports = {}
+        for w in self._graph.nodes:
+            if w != u:
+                ports[w] = reader.read_uint(width) + 1
+        return PortTableFunction(u, ports, self._ports)
+
+    def stretch_bound(self) -> float:
+        return 1.0

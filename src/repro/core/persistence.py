@@ -1,0 +1,115 @@
+"""Whole-scheme serialisation: pack every local function into one blob.
+
+A deployed routing scheme is distributed to nodes as their individual
+function encodings; for storage, transport and offline diffing it is
+convenient to hold the whole scheme in one self-describing byte string.
+The container format is deliberately simple:
+
+``magic | version | scheme-name' | n' | per-node prime-coded functions``
+
+where ``x'`` is the paper's self-delimiting prime code.  Loading restores
+the per-node bit strings exactly; rebuilding live functions additionally
+needs the graph and model (the knowledge the paper's models grant for
+free), which the caller supplies — the blob never smuggles uncharged
+information.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.bitio import BitArray, BitReader, BitWriter
+from repro.errors import CodecError
+from repro.graphs import LabeledGraph
+from repro.models import RoutingModel
+from repro.core.builder import build_scheme
+from repro.core.scheme import RoutingScheme
+
+__all__ = ["SchemeBlob", "pack_scheme", "unpack_blob", "restore_scheme"]
+
+_MAGIC = 0b10110101
+_VERSION = 1
+
+
+@dataclass(frozen=True)
+class SchemeBlob:
+    """A deserialised container: name, size and per-node function bits."""
+
+    scheme_name: str
+    n: int
+    functions: Dict[int, BitArray]
+
+    @property
+    def total_function_bits(self) -> int:
+        """Sum of the packed routing-function lengths."""
+        return sum(len(bits) for bits in self.functions.values())
+
+
+def pack_scheme(scheme: RoutingScheme) -> bytes:
+    """Serialise every local function of a scheme into one byte string."""
+    writer = BitWriter()
+    writer.write_uint(_MAGIC, 8)
+    writer.write_uint(_VERSION, 8)
+    name_bytes = scheme.scheme_name.encode("utf-8")
+    name_bits = BitArray(
+        (byte >> (7 - i)) & 1 for byte in name_bytes for i in range(8)
+    )
+    writer.write_prime(name_bits)
+    writer.write_gamma(scheme.graph.n)
+    for u in scheme.graph.nodes:
+        writer.write_prime(scheme.encode_function(u))
+    bits = writer.getvalue()
+    # Length in bits travels in a 32-bit header so byte padding is explicit.
+    header = len(bits).to_bytes(4, "big")
+    return header + bits.to_bytes()
+
+
+def unpack_blob(data: bytes) -> SchemeBlob:
+    """Parse a packed scheme back into per-node bit strings."""
+    if len(data) < 4:
+        raise CodecError("blob too short for its length header")
+    bit_length = int.from_bytes(data[:4], "big")
+    payload = data[4:]
+    if bit_length > 8 * len(payload):
+        raise CodecError("blob length header exceeds payload")
+    bits = BitArray._from_packed(payload, bit_length)
+    reader = BitReader(bits)
+    if reader.read_uint(8) != _MAGIC:
+        raise CodecError("bad magic: not a packed routing scheme")
+    version = reader.read_uint(8)
+    if version != _VERSION:
+        raise CodecError(f"unsupported scheme blob version {version}")
+    name_bits = reader.read_prime()
+    if len(name_bits) % 8:
+        raise CodecError("scheme name is not byte-aligned")
+    name = bytes(
+        name_bits[8 * i : 8 * i + 8].to_int() for i in range(len(name_bits) // 8)
+    ).decode("utf-8")
+    n = reader.read_gamma()
+    functions = {u: reader.read_prime() for u in range(1, n + 1)}
+    if not reader.at_end():
+        raise CodecError(f"{reader.remaining} trailing bits in scheme blob")
+    return SchemeBlob(scheme_name=name, n=n, functions=functions)
+
+
+def restore_scheme(
+    data: bytes, graph: LabeledGraph, model: RoutingModel, **params
+) -> RoutingScheme:
+    """Rebuild a live scheme whose functions come from a packed blob.
+
+    The scheme object is rebuilt from the graph/model (free knowledge) and
+    every local function is then replaced by its decoded twin from the
+    blob, so the restored scheme routes exactly as the packed one did.
+    """
+    blob = unpack_blob(data)
+    if blob.n != graph.n:
+        raise CodecError(
+            f"blob is for n={blob.n} but the graph has n={graph.n}"
+        )
+    scheme = build_scheme(blob.scheme_name, graph, model, **params)
+    for u in graph.nodes:
+        scheme._function_cache[u] = scheme.decode_function(
+            u, blob.functions[u]
+        )
+    return scheme

@@ -1,0 +1,190 @@
+"""Routing-scheme abstractions.
+
+A *routing scheme* for a graph comprises a *local routing function* per
+node: given a destination (and, for the stateful Theorem 5 scheme, the
+message's header state) it names the neighbour to forward to.  Schemes also
+serialise every local function to a real bit string — the paper's space
+requirement is the measured length of those strings, never a formula.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, Optional
+
+from repro.bitio import BitArray
+from repro.errors import RoutingError
+from repro.graphs import LabeledGraph
+from repro.models import NodeSpace, RoutingModel, SpaceReport
+
+__all__ = ["HopDecision", "LocalRoutingFunction", "RoutingScheme", "StaticFunction"]
+
+
+@dataclass(frozen=True)
+class HopDecision:
+    """The output of a local routing function for one message."""
+
+    next_node: int
+    """Label of the neighbour to forward to."""
+    state: Any = None
+    """Replacement header state carried with the message (None = stateless)."""
+
+
+class LocalRoutingFunction(abc.ABC):
+    """The routing function F(u) of a single node."""
+
+    def __init__(self, node: int) -> None:
+        self._node = node
+
+    @property
+    def node(self) -> int:
+        """The node this function is installed on."""
+        return self._node
+
+    @abc.abstractmethod
+    def next_hop(self, destination: Hashable, state: Any = None) -> HopDecision:
+        """Choose the outgoing edge for a message addressed to ``destination``.
+
+        ``destination`` is the destination's *address* — its plain label in
+        models α/β, or the scheme's complex label under model γ.  Raises
+        :class:`~repro.errors.RoutingError` when the function has no entry
+        (which on a correctly built scheme never happens for valid
+        addresses; the paper's model γ explicitly assumes only valid labels
+        are presented).
+        """
+
+
+class RoutingScheme(abc.ABC):
+    """A full routing scheme: one local function per node, plus accounting."""
+
+    scheme_name: str = "abstract"
+
+    def __init__(self, graph: LabeledGraph, model: RoutingModel) -> None:
+        self._graph = graph
+        self._model = model
+        self._function_cache: Dict[int, LocalRoutingFunction] = {}
+
+    # -- identity ------------------------------------------------------------
+
+    @property
+    def graph(self) -> LabeledGraph:
+        """The static network the scheme was generated for."""
+        return self._graph
+
+    @property
+    def model(self) -> RoutingModel:
+        """The model the scheme was built (and is charged) under."""
+        return self._model
+
+    # -- addressing ----------------------------------------------------------
+
+    def address_of(self, node: int) -> Hashable:
+        """The label used to address messages to ``node``.
+
+        Plain-label schemes return the node itself; model-γ schemes return
+        their complex labels.
+        """
+        return node
+
+    def node_of_address(self, address: Hashable) -> int:
+        """Map an address back to the node it names (for bookkeeping)."""
+        if isinstance(address, int):
+            return address
+        raise RoutingError(f"cannot resolve address {address!r}")
+
+    # -- routing ---------------------------------------------------------------
+
+    def function(self, u: int) -> LocalRoutingFunction:
+        """The local routing function installed at ``u`` (cached)."""
+        if u not in self._function_cache:
+            self._function_cache[u] = self._build_function(u)
+        return self._function_cache[u]
+
+    @abc.abstractmethod
+    def _build_function(self, u: int) -> LocalRoutingFunction:
+        """Construct the local function for one node."""
+
+    # -- serialisation -----------------------------------------------------------
+
+    @abc.abstractmethod
+    def encode_function(self, u: int) -> BitArray:
+        """Serialise F(u) to the bits actually charged for it."""
+
+    @abc.abstractmethod
+    def decode_function(self, u: int, bits: BitArray) -> LocalRoutingFunction:
+        """Rebuild F(u) from its serialised form.
+
+        The decoder may use exactly the knowledge the model grants for free
+        (neighbour labels under II, the identity port convention under IB)
+        and nothing else.
+        """
+
+    # -- accounting ----------------------------------------------------------------
+
+    def label_bits(self, u: int) -> int:
+        """Charged label bits for ``u`` (0 except under model γ)."""
+        return 0
+
+    def aux_bits(self, u: int) -> int:
+        """Charged auxiliary knowledge for ``u`` (e.g. neighbour vectors)."""
+        return 0
+
+    def space_report(self) -> SpaceReport:
+        """Measure the scheme: every node's serialised function length."""
+        report = SpaceReport(
+            model=self._model, scheme_name=self.scheme_name, n=self._graph.n
+        )
+        for u in self._graph.nodes:
+            report.add(
+                NodeSpace(
+                    node=u,
+                    routing_bits=len(self.encode_function(u)),
+                    label_bits=self.label_bits(u),
+                    aux_bits=self.aux_bits(u),
+                )
+            )
+        return report
+
+    # -- guarantees -------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def stretch_bound(self) -> float:
+        """The stretch factor this scheme advertises."""
+
+    def hop_limit(self) -> int:
+        """Upper bound on hops before the walker declares a routing loop."""
+        return 4 * self._graph.n + 8
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(n={self._graph.n}, model={self._model}, "
+            f"stretch<= {self.stretch_bound()})"
+        )
+
+
+class StaticFunction(LocalRoutingFunction):
+    """A stateless function backed by an explicit destination → hop map."""
+
+    def __init__(
+        self,
+        node: int,
+        table: Dict[Hashable, int],
+        default: Optional[int] = None,
+    ) -> None:
+        super().__init__(node)
+        self._table = dict(table)
+        self._default = default
+
+    def next_hop(self, destination: Hashable, state: Any = None) -> HopDecision:
+        if destination in self._table:
+            return HopDecision(self._table[destination])
+        if self._default is not None:
+            return HopDecision(self._default)
+        raise RoutingError(
+            f"node {self.node}: no routing entry for destination {destination!r}"
+        )
+
+    def as_table(self) -> Dict[Hashable, int]:
+        """A copy of the underlying destination → next-hop map."""
+        return dict(self._table)

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch the whole family with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class BitstreamError(ReproError):
+    """Raised on malformed bit streams (truncation, bad prefix codes)."""
+
+
+class GraphError(ReproError):
+    """Raised for structurally invalid graphs or node/edge lookups."""
+
+
+class PortAssignmentError(GraphError):
+    """Raised when a port assignment is not a valid local bijection."""
+
+
+class ModelError(ReproError):
+    """Raised when a scheme is built or charged under an incompatible model."""
+
+
+class SchemeBuildError(ReproError):
+    """Raised when a routing-scheme construction cannot be completed.
+
+    The compact constructions of the paper rely on structural properties of
+    Kolmogorov random graphs (diameter 2, logarithmic neighbour covers).  On
+    graphs lacking those properties the builders raise this error rather than
+    silently producing an incorrect scheme.
+    """
+
+
+class RoutingError(ReproError):
+    """Raised when routing a message fails (no port, loop, hop limit)."""
+
+
+class CodecError(ReproError):
+    """Raised when an incompressibility codec cannot encode or decode."""
+
+
+class AnalysisError(ReproError):
+    """Raised for invalid analysis inputs (e.g. empty scaling samples)."""

@@ -1,0 +1,35 @@
+"""Optional networkx interoperability.
+
+networkx is not a runtime dependency of the library; it is used by tests as
+an independent cross-check of distances/diameters and offered to users who
+already hold networkx graphs.  Import errors surface only when these
+functions are actually called.
+"""
+
+from __future__ import annotations
+
+from repro.errors import GraphError
+from repro.graphs.graph import LabeledGraph
+
+__all__ = ["to_networkx", "from_networkx"]
+
+
+def to_networkx(graph: LabeledGraph):
+    """Convert to a :class:`networkx.Graph` with the same integer labels."""
+    import networkx as nx
+
+    result = nx.Graph()
+    result.add_nodes_from(graph.nodes)
+    result.add_edges_from(graph.edges())
+    return result
+
+
+def from_networkx(nx_graph) -> LabeledGraph:
+    """Convert from networkx; nodes must be exactly ``1..n``."""
+    nodes = sorted(nx_graph.nodes())
+    n = len(nodes)
+    if nodes != list(range(1, n + 1)):
+        raise GraphError(
+            "networkx graph must be labelled 1..n; use networkx.relabel_nodes"
+        )
+    return LabeledGraph(n, ((int(u), int(v)) for u, v in nx_graph.edges()))

@@ -1,0 +1,261 @@
+"""Structural properties behind the paper's three lemmas.
+
+* **Lemma 1** — on random graphs every degree is ``(n-1)/2 ± O(√(n log n))``:
+  :func:`degree_statistics` measures the deviation band.
+* **Lemma 2** — random graphs have diameter 2: :func:`diameter` and the fast
+  :func:`is_diameter_two` check via one boolean matrix product.
+* **Lemma 3 / Claim 1** — from every node ``u`` all non-neighbours are
+  reachable through the least ``(c+3) log n`` neighbours of ``u``, and each
+  successive least neighbour covers ≥ 1/3 of what remains:
+  :func:`covering_sequence` and :func:`claim1_remainders`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graphs.graph import LabeledGraph
+
+__all__ = [
+    "DegreeStatistics",
+    "degree_statistics",
+    "distance_matrix",
+    "diameter",
+    "is_diameter_two",
+    "eccentricity",
+    "covering_sequence",
+    "cover_prefix_length",
+    "claim1_remainders",
+    "common_neighbors",
+    "min_common_neighbors",
+    "lemma3_bound",
+]
+
+
+@dataclass(frozen=True)
+class DegreeStatistics:
+    """Summary of a graph's degree sequence against the Lemma 1 band."""
+
+    n: int
+    min_degree: int
+    max_degree: int
+    mean_degree: float
+    max_deviation: int
+    """Largest ``|d(v) - (n-1)/2|`` over all nodes."""
+    lemma1_bound: float
+    """The ``√((δ + log n) n)`` scale the deviations should respect."""
+
+    @property
+    def within_band(self) -> bool:
+        """True when every degree deviation is within the Lemma 1 scale.
+
+        The scale ``√((δ + log n) n)`` already carries a comfortable
+        constant: on ``G(n, 1/2)`` the worst deviation concentrates near
+        ``√(n ln(2n) / 2)``, roughly a third of the scale, while skewed
+        graphs (stars, the Figure 1 family) overshoot it.
+        """
+        return self.max_deviation <= self.lemma1_bound
+
+
+def degree_statistics(
+    graph: LabeledGraph, deficiency: float | None = None
+) -> DegreeStatistics:
+    """Measure the degree band of Lemma 1.
+
+    ``deficiency`` is the randomness deficiency ``δ(n)`` (defaults to
+    ``3 log n``, the class of graphs the paper's averages are taken over).
+    """
+    n = graph.n
+    degrees = [graph.degree(u) for u in graph.nodes]
+    center = (n - 1) / 2.0
+    if deficiency is None:
+        deficiency = 3.0 * math.log2(max(n, 2))
+    bound = math.sqrt((deficiency + math.log2(max(n, 2))) * n)
+    return DegreeStatistics(
+        n=n,
+        min_degree=min(degrees),
+        max_degree=max(degrees),
+        mean_degree=sum(degrees) / n,
+        max_deviation=int(max(abs(d - center) for d in degrees) + 0.5),
+        lemma1_bound=bound,
+    )
+
+
+def distance_matrix(graph: LabeledGraph, max_distance: int | None = None) -> np.ndarray:
+    """All-pairs hop distances via repeated boolean matrix products.
+
+    Unreached pairs get ``-1``.  For the diameter-2 graphs dominating this
+    library the loop runs exactly twice, so the cost is two dense products —
+    far faster than ``n`` BFS traversals in pure Python.
+    """
+    n = graph.n
+    adjacency = graph.adjacency_matrix()
+    dist = np.full((n, n), -1, dtype=np.int32)
+    np.fill_diagonal(dist, 0)
+    reach = np.eye(n, dtype=bool)
+    frontier = np.eye(n, dtype=bool)
+    hops = 0
+    limit = max_distance if max_distance is not None else n
+    work = adjacency.astype(np.float32)
+    while frontier.any() and hops < limit:
+        hops += 1
+        expanded = (frontier.astype(np.float32) @ work) > 0
+        frontier = expanded & ~reach
+        dist[frontier] = hops
+        reach |= frontier
+    return dist
+
+
+def diameter(graph: LabeledGraph) -> int:
+    """The graph diameter (raises on disconnected graphs)."""
+    dist = distance_matrix(graph)
+    if (dist < 0).any():
+        raise GraphError("diameter undefined: graph is disconnected")
+    return int(dist.max())
+
+
+def is_diameter_two(graph: LabeledGraph) -> bool:
+    """Fast Lemma 2 check: every non-adjacent pair has a common neighbour."""
+    n = graph.n
+    if n == 1:
+        return False
+    adjacency = graph.adjacency_matrix()
+    off_diagonal = adjacency.copy()
+    np.fill_diagonal(off_diagonal, True)
+    if off_diagonal.all():
+        return False  # complete graph: diameter 1
+    two_step = (adjacency.astype(np.float32) @ adjacency.astype(np.float32)) > 0
+    covered = adjacency | two_step
+    np.fill_diagonal(covered, True)
+    return bool(covered.all())
+
+
+def eccentricity(graph: LabeledGraph, u: int) -> int:
+    """Largest hop distance from ``u`` (single-source BFS)."""
+    seen = {u: 0}
+    frontier = [u]
+    depth = 0
+    while frontier:
+        depth += 1
+        next_frontier = []
+        for x in frontier:
+            for y in graph.neighbor_set(x):
+                if y not in seen:
+                    seen[y] = depth
+                    next_frontier.append(y)
+        frontier = next_frontier
+    if len(seen) != graph.n:
+        raise GraphError("eccentricity undefined: graph is disconnected")
+    return max(seen.values())
+
+
+def covering_sequence(
+    graph: LabeledGraph, u: int, strategy: str = "least"
+) -> Tuple[List[int], List[List[int]]]:
+    """Neighbours ``v₁..v_m`` of ``u`` covering every non-neighbour, plus
+    the newly-covered sets ``A_t`` of Claim 1.
+
+    ``strategy='least'`` replays the paper: take neighbours in increasing
+    label order and stop once all of ``A₀`` is covered (Lemma 3 promises a
+    prefix of length ``(c+3) log n`` on random graphs).  ``strategy='greedy'``
+    picks the neighbour covering the most still-uncovered targets — the
+    ablation considered in DESIGN.md.
+
+    Raises :class:`~repro.errors.GraphError` when no full cover exists,
+    i.e. some non-neighbour is at distance > 2 from ``u``.
+    """
+    remaining = set(graph.non_neighbors(u))
+    sequence: List[int] = []
+    newly_covered: List[List[int]] = []
+    if strategy == "least":
+        for v in graph.neighbors(u):
+            if not remaining:
+                break
+            covered = sorted(remaining & graph.neighbor_set(v))
+            sequence.append(v)
+            newly_covered.append(covered)
+            remaining -= set(covered)
+    elif strategy == "greedy":
+        candidates = set(graph.neighbors(u))
+        while remaining and candidates:
+            best = max(
+                sorted(candidates),
+                key=lambda v: len(remaining & graph.neighbor_set(v)),
+            )
+            covered = sorted(remaining & graph.neighbor_set(best))
+            if not covered:
+                break
+            sequence.append(best)
+            newly_covered.append(covered)
+            remaining -= set(covered)
+            candidates.discard(best)
+    else:
+        raise GraphError(f"unknown covering strategy {strategy!r}")
+    if remaining:
+        raise GraphError(
+            f"node {u}: {len(remaining)} non-neighbours not coverable at "
+            f"distance 2 (graph is not Lemma 3-like)"
+        )
+    return sequence, newly_covered
+
+
+def cover_prefix_length(graph: LabeledGraph, u: int) -> int:
+    """Length of the least-neighbour prefix needed to cover ``A₀`` (Lemma 3)."""
+    sequence, _ = covering_sequence(graph, u, strategy="least")
+    return len(sequence)
+
+
+def claim1_remainders(graph: LabeledGraph, u: int, strategy: str = "least") -> List[int]:
+    """The sequence ``m₀ ≥ m₁ ≥ ...`` of uncovered counts from Claim 1.
+
+    ``m₀ = |A₀|`` and ``m_t = m_{t-1} - |A_t|``; Claim 1 says each step with
+    ``m_{t-1} > n / log log n`` removes at least a third of the remainder.
+    """
+    _, newly_covered = covering_sequence(graph, u, strategy)
+    remainders = [len(graph.non_neighbors(u))]
+    for covered in newly_covered:
+        remainders.append(remainders[-1] - len(covered))
+    return remainders
+
+
+def common_neighbors(graph: LabeledGraph, u: int, v: int) -> Tuple[int, ...]:
+    """Nodes adjacent to both ``u`` and ``v``, in increasing order.
+
+    On a diameter-2 graph this is the set of shortest-path intermediaries —
+    exactly what a full-information function stores per non-adjacent pair,
+    and what link-failure resilience draws on.
+    """
+    return tuple(
+        sorted(graph.neighbor_set(u) & graph.neighbor_set(v))
+    )
+
+
+def min_common_neighbors(graph: LabeledGraph) -> int:
+    """The worst shortest-path redundancy over non-adjacent pairs.
+
+    On ``G(n, 1/2)`` every non-adjacent pair shares about ``n/4``
+    neighbours, which is why full-information routing survives so many
+    failures (the simulator benches measure the consequence).
+    """
+    n = graph.n
+    adjacency = graph.adjacency_matrix()
+    counts = adjacency.astype(np.float32) @ adjacency.astype(np.float32)
+    worst = None
+    for u in range(n):
+        for v in range(u + 1, n):
+            if adjacency[u, v]:
+                continue
+            shared = int(counts[u, v])
+            if worst is None or shared < worst:
+                worst = shared
+    return worst if worst is not None else 0
+
+
+def lemma3_bound(n: int, c: float = 3.0) -> float:
+    """The ``(c+3) log n`` prefix-length bound of Lemma 3."""
+    return (c + 3.0) * math.log2(max(n, 2))

@@ -1,0 +1,45 @@
+"""Executable incompressibility arguments.
+
+Each of the paper's compression proofs is implemented as a
+:class:`~repro.incompressibility.framework.GraphCodec` — a real
+encoder/decoder whose measured length realises the proof's bit accounting:
+
+* :class:`~repro.incompressibility.lemma1.Lemma1Codec` — degree deviations
+  compress (Lemma 1);
+* :class:`~repro.incompressibility.lemma2.Lemma2Codec` — distance > 2
+  pairs compress (Lemma 2);
+* :class:`~repro.incompressibility.lemma3.Lemma3Codec` — uncovered
+  witnesses compress (Lemma 3);
+* :class:`~repro.incompressibility.theorem6.Theorem6Codec` — a shortest
+  path routing function reveals ``n/2`` edges (Theorem 6's ``Ω(n²)``);
+* :class:`~repro.incompressibility.theorem10.Theorem10Codec` — a
+  full-information function reveals ``n²/4`` edges (Theorem 10's ``Ω(n³)``).
+"""
+
+from repro.incompressibility.claim1 import Claim1Codec, coverage_deviation
+from repro.incompressibility.framework import CodecReport, GraphCodec, evaluate_codec
+from repro.incompressibility.lemma1 import Lemma1Codec
+from repro.incompressibility.lemma2 import Lemma2Codec, find_distant_pair
+from repro.incompressibility.lemma3 import (
+    Lemma3Codec,
+    cover_prefix_size,
+    find_uncovered_witness,
+)
+from repro.incompressibility.theorem6 import Theorem6Codec
+from repro.incompressibility.theorem10 import Theorem10Codec
+
+__all__ = [
+    "Claim1Codec",
+    "CodecReport",
+    "GraphCodec",
+    "Lemma1Codec",
+    "Lemma2Codec",
+    "Lemma3Codec",
+    "Theorem10Codec",
+    "Theorem6Codec",
+    "cover_prefix_size",
+    "coverage_deviation",
+    "evaluate_codec",
+    "find_distant_pair",
+    "find_uncovered_witness",
+]

@@ -1,0 +1,38 @@
+"""Kolmogorov-complexity machinery (computable surrogates).
+
+The paper's proofs live and die by one fact: a ``δ``-random graph's edge
+string ``E(G)`` admits no description shorter than ``n(n-1)/2 - δ(n)``
+bits.  This package provides the computable stand-ins: compression-based
+upper bounds on ``C(x)`` and the exact counting inequalities (fractions of
+incompressible objects, Chernoff tails) quoted in Sections 2–3.
+"""
+
+from repro.kolmogorov.counting import (
+    binomial_band_count,
+    chernoff_tail,
+    delta_random_fraction,
+    incompressible_fraction,
+    lemma1_deviation_bound,
+)
+from repro.kolmogorov.estimator import (
+    COMPRESSORS,
+    ComplexityEstimate,
+    best_estimate,
+    compressed_length_bits,
+    estimate_complexity,
+    estimate_permutation_complexity,
+)
+
+__all__ = [
+    "COMPRESSORS",
+    "ComplexityEstimate",
+    "best_estimate",
+    "binomial_band_count",
+    "chernoff_tail",
+    "compressed_length_bits",
+    "delta_random_fraction",
+    "estimate_complexity",
+    "estimate_permutation_complexity",
+    "incompressible_fraction",
+    "lemma1_deviation_bound",
+]

@@ -1,0 +1,71 @@
+"""Counting bounds used by the incompressibility arguments.
+
+These are the closed-form inequalities quoted in Sections 2–3 of the
+paper: the fraction of strings compressible by ``c`` bits, the fraction of
+``δ``-random graphs, and the Chernoff tail (Eq. 3) behind Lemma 1 and
+Claim 1.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "incompressible_fraction",
+    "delta_random_fraction",
+    "chernoff_tail",
+    "binomial_band_count",
+    "lemma1_deviation_bound",
+]
+
+
+def incompressible_fraction(c: int) -> float:
+    """Fraction of strings with ``C(x) > |x| - c``: at least ``1 - 2^{-c}``."""
+    if c < 0:
+        raise ValueError(f"c must be non-negative, got {c}")
+    return 1.0 - 2.0 ** (-c)
+
+
+def delta_random_fraction(n: int, c: float = 3.0) -> float:
+    """Fraction of graphs on ``n`` nodes that are ``c log n``-random.
+
+    With ``δ(n) = c log n`` the counting bound gives at least
+    ``1 - 1/n^c`` (the paper's "almost all graphs").
+    """
+    if n < 2:
+        return 0.0
+    return 1.0 - float(n) ** (-c)
+
+
+def chernoff_tail(n: int, p: float, k: float) -> float:
+    """Eq. (3): ``Pr(|s_n - np| > k) ≤ 2 e^{-k² / 4npq}``."""
+    if not 0.0 < p < 1.0:
+        raise ValueError(f"p must be in (0, 1), got {p}")
+    q = 1.0 - p
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    return min(2.0 * math.exp(-(k * k) / (4.0 * n * p * q)), 1.0)
+
+
+def binomial_band_count(n: int, k: int) -> int:
+    """``m = Σ_{|d - (n-1)/2| ≥ k} C(n-1, d)`` from Eq. (2) of Lemma 1.
+
+    The exact count of interconnection patterns whose weight deviates from
+    the mean by at least ``k``; its logarithm is the cost of addressing one
+    such pattern.
+    """
+    if n < 2:
+        raise ValueError(f"n must be at least 2, got {n}")
+    center = (n - 1) / 2.0
+    return sum(
+        math.comb(n - 1, d)
+        for d in range(0, n)
+        if abs(d - center) >= k
+    )
+
+
+def lemma1_deviation_bound(n: int, deficiency: float) -> float:
+    """The ``O(√((δ(n) + log n) n))`` degree-deviation scale of Lemma 1."""
+    if n < 2:
+        return 0.0
+    return math.sqrt((deficiency + math.log2(n)) * n)

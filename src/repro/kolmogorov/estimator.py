@@ -1,0 +1,98 @@
+"""Computable upper bounds on Kolmogorov complexity.
+
+``C(x)`` itself is uncomputable; what *is* computable is the length of any
+particular compressed encoding, which upper-bounds ``C(x)`` up to an
+additive constant.  The incompressibility method only needs the converse
+direction for random objects — that they do **not** compress — and real
+compressors demonstrate that convincingly: a ``G(n, 1/2)`` edge string
+resists zlib/bz2/lzma to within a small header overhead.
+
+Estimators report bit lengths so they plug directly into the paper's
+accounting.
+"""
+
+from __future__ import annotations
+
+import bz2
+import lzma
+import zlib
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from repro.bitio import BitArray
+
+__all__ = [
+    "ComplexityEstimate",
+    "compressed_length_bits",
+    "estimate_complexity",
+    "best_estimate",
+    "estimate_permutation_complexity",
+    "COMPRESSORS",
+]
+
+_Compressor = Callable[[bytes], bytes]
+
+COMPRESSORS: Dict[str, _Compressor] = {
+    "zlib": lambda data: zlib.compress(data, level=9),
+    "bz2": lambda data: bz2.compress(data, compresslevel=9),
+    "lzma": lambda data: lzma.compress(data, preset=9),
+}
+
+
+@dataclass(frozen=True)
+class ComplexityEstimate:
+    """An upper-bound estimate ``C(x) ≤ bits`` from a named compressor."""
+
+    compressor: str
+    original_bits: int
+    bits: int
+
+    @property
+    def deficiency(self) -> int:
+        """Apparent randomness deficiency ``|x| - C̃(x)`` (clamped at 0)."""
+        return max(self.original_bits - self.bits, 0)
+
+    @property
+    def ratio(self) -> float:
+        """Compression ratio ``C̃(x) / |x|`` (1.0 or more ⇒ incompressible)."""
+        if self.original_bits == 0:
+            return 1.0
+        return self.bits / self.original_bits
+
+
+def compressed_length_bits(data: bytes, compressor: str = "zlib") -> int:
+    """Compressed size of ``data`` in bits under a named compressor."""
+    if compressor not in COMPRESSORS:
+        raise KeyError(
+            f"unknown compressor {compressor!r}; choose from {sorted(COMPRESSORS)}"
+        )
+    return 8 * len(COMPRESSORS[compressor](data))
+
+
+def estimate_complexity(bits: BitArray, compressor: str = "zlib") -> ComplexityEstimate:
+    """Estimate ``C(x)`` of a bit string via one compressor."""
+    return ComplexityEstimate(
+        compressor=compressor,
+        original_bits=len(bits),
+        bits=compressed_length_bits(bits.to_bytes(), compressor),
+    )
+
+
+def best_estimate(bits: BitArray) -> ComplexityEstimate:
+    """The tightest (smallest) estimate across all available compressors."""
+    estimates = [estimate_complexity(bits, name) for name in COMPRESSORS]
+    return min(estimates, key=lambda e: e.bits)
+
+
+def estimate_permutation_complexity(perm) -> ComplexityEstimate:
+    """Estimate ``C(π)`` of a permutation against its ``log₂ k!`` content.
+
+    Theorem 9 relies on "a fraction at least ``1 − 1/2^k`` of such
+    permutations π has ``C(π) = k log k − O(k)``".  We Lehmer-rank the
+    permutation to its information-theoretically minimal bit string and let
+    the compressors attack it: the estimate's ``original_bits`` is
+    ``⌈log₂ k!⌉`` and a random permutation's ``deficiency`` stays near 0.
+    """
+    from repro.bitio import encode_permutation
+
+    return best_estimate(encode_permutation(tuple(perm)))

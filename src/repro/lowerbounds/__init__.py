@@ -1,0 +1,65 @@
+"""Lower-bound experiments (Theorems 7–9).
+
+* :mod:`~repro.lowerbounds.port_permutation` — the Theorem 8 adversary:
+  random port assignments force ``(n/2) log(n/2)`` bits per node under
+  ``IA ∧ α``;
+* :mod:`~repro.lowerbounds.claim23` — Claims 2 and 3 of Theorem 7: any
+  routing function plus ``n/2 + o(n)`` choice bits reconstructs the
+  interconnection pattern, so ``F(u)`` must hold ``Ω(n)`` bits when
+  neighbours are unknown;
+* :mod:`~repro.lowerbounds.explicit_graph` — the Figure 1 family of
+  Theorem 9: stretch < 2 under model α forces ``k log k`` bits at each of
+  the ``k = n/3`` inner nodes.
+"""
+
+from repro.lowerbounds.claim23 import (
+    Theorem7NodeLedger,
+    claim2_holds,
+    claim2_lhs,
+    decode_neighbor_choices,
+    encode_neighbor_choices,
+    port_destination_lists,
+    theorem7_ledger,
+)
+from repro.lowerbounds.explicit_graph import (
+    ExplicitLowerBoundScheme,
+    detour_stretch,
+    recover_outer_assignment,
+    theorem9_theory_bits,
+)
+from repro.lowerbounds.port_permutation import (
+    Theorem8Result,
+    decode_port_permutation,
+    encode_port_permutation,
+    recover_port_permutation,
+    run_theorem8_experiment,
+)
+from repro.lowerbounds.port_steganography import (
+    embed_bits_in_ports,
+    extract_bits_from_ports,
+    node_port_capacity,
+    total_port_capacity,
+)
+
+__all__ = [
+    "ExplicitLowerBoundScheme",
+    "Theorem7NodeLedger",
+    "Theorem8Result",
+    "claim2_holds",
+    "claim2_lhs",
+    "decode_neighbor_choices",
+    "decode_port_permutation",
+    "detour_stretch",
+    "embed_bits_in_ports",
+    "encode_neighbor_choices",
+    "encode_port_permutation",
+    "extract_bits_from_ports",
+    "node_port_capacity",
+    "port_destination_lists",
+    "recover_outer_assignment",
+    "recover_port_permutation",
+    "run_theorem8_experiment",
+    "theorem7_ledger",
+    "theorem9_theory_bits",
+    "total_port_capacity",
+]

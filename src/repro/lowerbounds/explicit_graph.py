@@ -1,0 +1,325 @@
+"""Theorem 9 — the explicit worst-case family of Figure 1 (model α).
+
+``G_B`` has three layers of ``k`` nodes (``n = 3k``): inner nodes adjacent
+to all middle nodes, and each middle node holding one pendant outer node.
+The inner→outer shortest path runs through the unique middle partner
+(length 2); every alternative has length ≥ 4, i.e. stretch ≥ 2.  So any
+routing scheme with stretch < 2 must, at *every* inner node, map each outer
+label to its correct middle neighbour — a full permutation of the outer
+labels, ``log₂ k! = k log k - O(k)`` bits, at each of ``k = n/3`` nodes:
+``Ω(n² log n)`` total, even though shortest-path routing on random graphs
+needs only ``O(n²)``.
+
+:class:`ExplicitLowerBoundScheme` is the *optimal* scheme for ``G_B``: its
+inner tables are stored as Lehmer codes (the minimal representation), it
+routes with stretch 1, and :func:`recover_outer_assignment` demonstrates
+the proof's key step — reading the adversary's permutation back out of any
+single inner node's routing function.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Sequence, Tuple
+
+from repro.bitio import (
+    BitArray,
+    BitReader,
+    BitWriter,
+    decode_permutation,
+    encode_permutation,
+    log2_factorial,
+)
+from repro.errors import GraphError, RoutingError, SchemeBuildError
+from repro.graphs import (
+    LabeledGraph,
+    lower_bound_graph,
+    lower_bound_graph_variant,
+)
+from repro.models import RoutingModel
+from repro.core.scheme import HopDecision, LocalRoutingFunction, RoutingScheme
+
+__all__ = [
+    "ExplicitLowerBoundScheme",
+    "recover_outer_assignment",
+    "detour_stretch",
+    "theorem9_theory_bits",
+]
+
+
+class _InnerFunction(LocalRoutingFunction):
+    """Inner-layer rule: the permutation-bearing table."""
+
+    def __init__(
+        self,
+        node: int,
+        middles: Tuple[int, ...],
+        outer_to_middle: Dict[int, int],
+    ) -> None:
+        super().__init__(node)
+        self._middles = middles
+        self._middle_set = frozenset(middles)
+        self._outer_to_middle = dict(outer_to_middle)
+
+    @property
+    def outer_to_middle(self) -> Dict[int, int]:
+        """The full outer-label → middle-partner map (the permutation)."""
+        return dict(self._outer_to_middle)
+
+    def next_hop(self, destination: Hashable, state: Any = None) -> HopDecision:
+        dest = int(destination)
+        if dest in self._middle_set:
+            return HopDecision(dest)
+        if dest in self._outer_to_middle:
+            return HopDecision(self._outer_to_middle[dest])
+        # Another inner node: any middle node reaches it; take the least.
+        return HopDecision(self._middles[0])
+
+
+class _MiddleFunction(LocalRoutingFunction):
+    """Middle-layer rule: pendant partner, inner fan, relay the rest."""
+
+    def __init__(
+        self, node: int, inners: Tuple[int, ...], partner: int
+    ) -> None:
+        super().__init__(node)
+        self._inners = inners
+        self._inner_set = frozenset(inners)
+        self._partner = partner
+
+    @property
+    def partner(self) -> int:
+        """This middle node's pendant outer node."""
+        return self._partner
+
+    def next_hop(self, destination: Hashable, state: Any = None) -> HopDecision:
+        dest = int(destination)
+        if dest == self._partner:
+            return HopDecision(dest)
+        if dest in self._inner_set:
+            return HopDecision(dest)
+        # Other middle or other outer: descend to the least inner node,
+        # whose table knows every partner edge.
+        return HopDecision(self._inners[0])
+
+
+class _OuterFunction(LocalRoutingFunction):
+    """Outer-layer rule: a pendant has exactly one way out."""
+
+    def __init__(self, node: int, middle: int) -> None:
+        super().__init__(node)
+        self._middle = middle
+
+    def next_hop(self, destination: Hashable, state: Any = None) -> HopDecision:
+        return HopDecision(self._middle)
+
+
+class ExplicitLowerBoundScheme(RoutingScheme):
+    """The optimal (stretch 1) scheme for ``G_B`` with minimal inner tables."""
+
+    scheme_name = "thm9-explicit"
+
+    def __init__(
+        self,
+        graph: LabeledGraph,
+        model: RoutingModel,
+        k: int | None = None,
+        inner_count: int | None = None,
+    ) -> None:
+        super().__init__(graph, model)
+        model.require(relabeling=False)  # Theorem 9 lives in model α
+        if k is None:
+            if graph.n % 3:
+                raise SchemeBuildError(
+                    f"G_B has n = 3k nodes, got n = {graph.n} "
+                    f"(pass k/inner_count for the 3k-1 and 3k-2 variants)"
+                )
+            k = graph.n // 3
+        if inner_count is None:
+            inner_count = graph.n - 2 * k
+        if inner_count < 1 or inner_count + 2 * k != graph.n:
+            raise SchemeBuildError(
+                f"inconsistent layers: n={graph.n}, k={k}, "
+                f"inner_count={inner_count}"
+            )
+        self._k = k
+        self._inner_count = inner_count
+        self._outer_base = inner_count + k
+        self._inner = tuple(range(1, inner_count + 1))
+        self._middle = tuple(range(inner_count + 1, inner_count + k + 1))
+        self._outer = tuple(range(self._outer_base + 1, graph.n + 1))
+        self._partner_of_middle: Dict[int, int] = {}
+        for m in self._middle:
+            pendants = [
+                nb for nb in graph.neighbors(m) if nb in set(self._outer)
+            ]
+            if len(pendants) != 1:
+                raise SchemeBuildError(
+                    f"middle node {m} must have exactly one outer pendant, "
+                    f"got {pendants} — not a G_B graph"
+                )
+            self._partner_of_middle[m] = pendants[0]
+        self._middle_of_outer = {
+            outer: m for m, outer in self._partner_of_middle.items()
+        }
+        self._validate_layers()
+
+    def _validate_layers(self) -> None:
+        graph = self._graph
+        inner_set = set(self._inner)
+        for i in self._inner:
+            if set(graph.neighbors(i)) != set(self._middle):
+                raise SchemeBuildError(
+                    f"inner node {i} must be adjacent to exactly the middle "
+                    f"layer — not a G_B graph"
+                )
+        for o in self._outer:
+            if graph.degree(o) != 1:
+                raise SchemeBuildError(
+                    f"outer node {o} must be a pendant — not a G_B graph"
+                )
+        if inner_set & set(self._middle):
+            raise SchemeBuildError("layer ranges overlap")
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def from_parameters(
+        cls,
+        k: int,
+        model: RoutingModel,
+        outer_assignment: Sequence[int] | None = None,
+    ) -> "ExplicitLowerBoundScheme":
+        """Build ``G_B(k)`` with a chosen adversarial relabelling and wrap it."""
+        graph = lower_bound_graph(k, outer_assignment)
+        return cls(graph, model, k=k)
+
+    @classmethod
+    def for_any_n(
+        cls, n: int, model: RoutingModel
+    ) -> "ExplicitLowerBoundScheme":
+        """The paper's remark: "For n = 3k-1 or n = 3k-2 we can use G_B,
+        dropping v_k and v_{k-1}" — i.e. shrink the inner layer."""
+        graph, k, inner_count = lower_bound_graph_variant(n)
+        return cls(graph, model, k=k, inner_count=inner_count)
+
+    # -- layer accessors ----------------------------------------------------------
+
+    @property
+    def k(self) -> int:
+        """Layer size; ``n = 3k``."""
+        return self._k
+
+    @property
+    def inner_nodes(self) -> Tuple[int, ...]:
+        """The ``k`` permutation-bearing nodes."""
+        return self._inner
+
+    def partner_of(self, middle: int) -> int:
+        """The outer pendant of a middle node."""
+        return self._partner_of_middle[middle]
+
+    # -- RoutingScheme interface ------------------------------------------------
+
+    def _build_function(self, u: int) -> LocalRoutingFunction:
+        if u in set(self._inner):
+            outer_to_middle = {
+                outer: m for outer, m in self._middle_of_outer.items()
+            }
+            return _InnerFunction(u, self._middle, outer_to_middle)
+        if u in set(self._middle):
+            return _MiddleFunction(u, self._inner, self._partner_of_middle[u])
+        return _OuterFunction(u, self._graph.neighbors(u)[0])
+
+    def _assignment_permutation(self) -> Tuple[int, ...]:
+        """Outer assignment as a 0-based permutation: position i ↦ label index.
+
+        Entry ``i`` says which outer label (offset from ``2k+1``) hangs off
+        middle node ``k+1+i``.
+        """
+        return tuple(
+            self._partner_of_middle[m] - (self._outer_base + 1)
+            for m in self._middle
+        )
+
+    def encode_function(self, u: int) -> BitArray:
+        k = self._k
+        writer = BitWriter()
+        if u in set(self._inner):
+            # The minimal representation of the outer → middle table is the
+            # Lehmer rank of the adversary's permutation: log2(k!) bits.
+            writer.write_bits(encode_permutation(self._assignment_permutation()))
+            return writer.getvalue()
+        if u in set(self._middle):
+            width = max(k - 1, 0).bit_length()
+            writer.write_uint(
+                self._partner_of_middle[u] - (self._outer_base + 1), width
+            )
+            return writer.getvalue()
+        return writer.getvalue()  # outer pendants: zero bits
+
+    def decode_function(self, u: int, bits: BitArray) -> LocalRoutingFunction:
+        k = self._k
+        base = self._outer_base
+        if u in set(self._inner):
+            perm = decode_permutation(bits, k)
+            outer_to_middle = {
+                base + 1 + label_index: self._inner_count + 1 + position
+                for position, label_index in enumerate(perm)
+            }
+            return _InnerFunction(u, self._middle, outer_to_middle)
+        if u in set(self._middle):
+            width = max(k - 1, 0).bit_length()
+            reader = BitReader(bits)
+            partner = base + 1 + reader.read_uint(width)
+            return _MiddleFunction(u, self._inner, partner)
+        return _OuterFunction(u, self._graph.neighbors(u)[0])
+
+    def stretch_bound(self) -> float:
+        return 1.0
+
+
+def recover_outer_assignment(
+    scheme: ExplicitLowerBoundScheme, inner_node: int
+) -> Tuple[int, ...]:
+    """Reconstruct the adversary's permutation from one inner node's table.
+
+    The proof's pivotal step: "given such a local routing function we can
+    reconstruct the permutation (by collecting the response of the local
+    routing function for each of the nodes ... and grouping all pairs
+    reached over the same edge)".
+    """
+    function = scheme.function(inner_node)
+    if not isinstance(function, _InnerFunction):
+        raise RoutingError(f"{inner_node} is not an inner node")
+    k = scheme.k
+    first_middle = scheme._inner_count + 1
+    assignment = [0] * k
+    for outer, middle in function.outer_to_middle.items():
+        assignment[middle - first_middle] = outer
+    return tuple(assignment)
+
+
+def detour_stretch(k: int, inner: int = 1, wrong_offset: int = 1) -> float:
+    """Length ratio of the best route through a *wrong* middle node.
+
+    Routing inner → outer via any middle node other than the partner costs
+    at least 4 hops against the shortest 2 — stretch 2.  Returned measured,
+    not assumed: we compute the true shortest detour on the actual graph.
+    """
+    graph = lower_bound_graph(k)
+    outer = 2 * k + 1  # partner of middle k+1
+    wrong_middle = k + 1 + wrong_offset
+    if wrong_middle > 2 * k:
+        raise GraphError("wrong_offset exceeds the middle layer")
+    # Best path from the wrong middle onwards (breadth-first search).
+    from repro.graphs import distance_matrix
+
+    dist = distance_matrix(graph)
+    detour = 1 + int(dist[wrong_middle - 1, outer - 1])
+    shortest = int(dist[inner - 1, outer - 1])
+    return detour / shortest
+
+
+def theorem9_theory_bits(k: int) -> float:
+    """The paper's bound: ``k log₂ k!`` bits across the inner layer."""
+    return k * log2_factorial(k)

@@ -1,0 +1,109 @@
+"""Footnote 1, executable: port assignments as a covert storage channel.
+
+The paper refuses to combine model II (neighbours known) with free port
+assignment, because "the actual port assignment doesn't matter at all, and
+can in fact be used to represent ``d(v) log d(v)`` bits of the routing
+function: each assignment of ports corresponds to a permutation of the
+ranks of the neighbours".
+
+This module *performs* that trick: an arbitrary payload is embedded into a
+graph's port assignment (``⌊log₂ d(v)!⌋`` bits per node, via Lehmer
+unranking) and extracted back.  The total channel capacity on a random
+graph is ``≈ (n²/2)(log(n/2) - log e)`` bits — a constant fraction of a
+full routing table, free and uncharged — which is exactly why the model
+combination would trivialise Table 1.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from repro.bitio import (
+    BitArray,
+    BitReader,
+    BitWriter,
+    rank_permutation,
+    unrank_permutation,
+)
+from repro.errors import ReproError
+from repro.graphs import LabeledGraph, PortAssignment
+
+__all__ = [
+    "node_port_capacity",
+    "total_port_capacity",
+    "embed_bits_in_ports",
+    "extract_bits_from_ports",
+]
+
+
+def node_port_capacity(degree: int) -> int:
+    """Payload bits one node's port permutation can carry: ``⌊log₂ d!⌋``."""
+    if degree < 0:
+        raise ReproError(f"degree must be non-negative, got {degree}")
+    if degree <= 1:
+        return 0
+    return math.factorial(degree).bit_length() - 1
+
+
+def total_port_capacity(graph: LabeledGraph) -> int:
+    """Total covert capacity of a graph's port assignments."""
+    return sum(node_port_capacity(graph.degree(u)) for u in graph.nodes)
+
+
+def embed_bits_in_ports(
+    graph: LabeledGraph, payload: BitArray
+) -> Tuple[PortAssignment, int]:
+    """Hide ``payload`` inside a port assignment.
+
+    Nodes are filled in label order; each node of degree ``d`` absorbs the
+    next ``⌊log₂ d!⌋`` payload bits as the Lehmer rank of its neighbour
+    permutation.  Returns the assignment and the number of bits embedded
+    (payloads longer than the capacity raise
+    :class:`~repro.errors.ReproError`).
+    """
+    capacity = total_port_capacity(graph)
+    if len(payload) > capacity:
+        raise ReproError(
+            f"payload of {len(payload)} bits exceeds the port channel "
+            f"capacity of {capacity} bits"
+        )
+    reader = BitReader(payload)
+    port_of = {}
+    for u in graph.nodes:
+        degree = graph.degree(u)
+        bits = min(node_port_capacity(degree), reader.remaining)
+        rank = reader.read_uint(bits) if bits else 0
+        perm = unrank_permutation(rank, degree) if degree else ()
+        neighbors = graph.neighbors(u)
+        port_of[u] = {nb: perm[i] + 1 for i, nb in enumerate(neighbors)}
+    return PortAssignment(graph, port_of), len(payload)
+
+
+def extract_bits_from_ports(
+    ports: PortAssignment, length: int
+) -> BitArray:
+    """Read ``length`` payload bits back out of a port assignment."""
+    graph = ports.graph
+    if length > total_port_capacity(graph):
+        raise ReproError("requested more bits than the channel can hold")
+    writer = BitWriter()
+    remaining = length
+    for u in graph.nodes:
+        if remaining <= 0:
+            break
+        degree = graph.degree(u)
+        bits = min(node_port_capacity(degree), remaining)
+        if bits == 0:
+            continue
+        rank = rank_permutation(ports.permutation_at(u))
+        if rank >= (1 << bits):
+            raise ReproError(
+                f"node {u}: permutation rank {rank} does not fit the "
+                f"declared {bits}-bit channel — not a payload assignment"
+            )
+        writer.write_uint(rank, bits)
+        remaining -= bits
+    if remaining > 0:
+        raise ReproError(f"channel exhausted with {remaining} bits unread")
+    return writer.getvalue()

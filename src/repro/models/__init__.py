@@ -1,0 +1,23 @@
+"""The paper's nine routing models and space-accounting rules.
+
+A model is the product of a :class:`~repro.models.knowledge.Knowledge`
+level (IA, IB, II) and a :class:`~repro.models.labels.Labeling` freedom
+(α, β, γ).  :class:`~repro.models.accounting.SpaceReport` implements the
+paper's charging discipline: routing-function bits always count, label bits
+count under γ, and auxiliary neighbour knowledge counts under IA/IB.
+"""
+
+from repro.models.accounting import NodeSpace, SpaceReport, minimal_label_bits
+from repro.models.knowledge import Knowledge
+from repro.models.labels import Labeling
+from repro.models.model import RoutingModel, all_models
+
+__all__ = [
+    "Knowledge",
+    "Labeling",
+    "NodeSpace",
+    "RoutingModel",
+    "SpaceReport",
+    "all_models",
+    "minimal_label_bits",
+]

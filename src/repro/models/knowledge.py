@@ -1,0 +1,47 @@
+"""The knowledge axis: what a node knows before any table is installed.
+
+The paper distinguishes (Section 1):
+
+* **IA** — ports distinguish incident edges, the assignment is fixed and
+  possibly adversarial, and neighbours' labels are unknown;
+* **IB** — as IA, but the routing strategy may re-assign ports before
+  building the scheme (a purely local action);
+* **II** — each incident edge carries the label of the node it connects to,
+  i.e. neighbours are known for free.
+
+The paper explicitly rules out combining II with free port assignment: that
+combination would hand every node ``d(v) log d(v)`` free bits of routing
+information (footnote 1).
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["Knowledge"]
+
+
+class Knowledge(enum.Enum):
+    """Prior local knowledge available at every node."""
+
+    IA = "IA"
+    """Fixed (possibly adversarial) port assignment; neighbours unknown."""
+
+    IB = "IB"
+    """Re-assignable port assignment; neighbours unknown."""
+
+    II = "II"
+    """Neighbours known for free (edges carry the remote node's label)."""
+
+    @property
+    def neighbors_known(self) -> bool:
+        """True when nodes see their neighbours' labels without charge."""
+        return self is Knowledge.II
+
+    @property
+    def ports_reassignable(self) -> bool:
+        """True when the scheme may pick the port assignment itself."""
+        return self is Knowledge.IB
+
+    def __str__(self) -> str:
+        return self.value

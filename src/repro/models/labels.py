@@ -1,0 +1,47 @@
+"""The label axis: how much freedom the strategy has over node names.
+
+The paper distinguishes (Section 1):
+
+* **α** — labels are fixed (``1..n``), no relabelling;
+* **β** — labels may be permuted within ``1..n`` before building the scheme;
+* **γ** — arbitrary labels may be assigned, but every bit of a node's label
+  is added to that node's space requirement (otherwise routing information
+  could be smuggled into uncharged names).
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["Labeling"]
+
+
+class Labeling(enum.Enum):
+    """Relabelling freedom granted to the routing strategy."""
+
+    ALPHA = "alpha"
+    """No relabelling; nodes keep their given labels ``1..n``."""
+
+    BETA = "beta"
+    """Labels may be permuted, but the range stays ``1..n``."""
+
+    GAMMA = "gamma"
+    """Arbitrary labels allowed; label bits are charged to each node."""
+
+    @property
+    def relabeling_allowed(self) -> bool:
+        """True when the strategy may rename nodes at all."""
+        return self is not Labeling.ALPHA
+
+    @property
+    def labels_charged(self) -> bool:
+        """True when label bits count toward the space requirement."""
+        return self is Labeling.GAMMA
+
+    @property
+    def symbol(self) -> str:
+        """The Greek letter used in the paper's tables."""
+        return {"alpha": "α", "beta": "β", "gamma": "γ"}[self.value]
+
+    def __str__(self) -> str:
+        return self.symbol

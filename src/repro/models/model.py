@@ -1,0 +1,79 @@
+"""The nine routing models: a product of knowledge and label freedom.
+
+Every routing scheme in :mod:`repro.core` declares which models it is valid
+in; the builders refuse incompatible combinations (e.g. the Theorem 2
+scheme needs both known neighbours and free relabelling, so it exists only
+in ``II ∧ γ``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import ModelError
+from repro.models.knowledge import Knowledge
+from repro.models.labels import Labeling
+
+__all__ = ["RoutingModel", "all_models"]
+
+
+@dataclass(frozen=True)
+class RoutingModel:
+    """One of the paper's nine models, e.g. ``II ∧ α``."""
+
+    knowledge: Knowledge
+    labeling: Labeling
+
+    @property
+    def neighbors_known(self) -> bool:
+        """Neighbour labels available for free (model II)."""
+        return self.knowledge.neighbors_known
+
+    @property
+    def ports_reassignable(self) -> bool:
+        """Scheme may choose the port assignment (model IB)."""
+        return self.knowledge.ports_reassignable
+
+    @property
+    def relabeling_allowed(self) -> bool:
+        """Scheme may rename nodes (models β, γ)."""
+        return self.labeling.relabeling_allowed
+
+    @property
+    def labels_charged(self) -> bool:
+        """Label bits count toward the space requirement (model γ)."""
+        return self.labeling.labels_charged
+
+    def require(
+        self,
+        neighbors_known: bool | None = None,
+        ports_reassignable: bool | None = None,
+        relabeling: bool | None = None,
+    ) -> None:
+        """Assert model capabilities, raising :class:`ModelError` otherwise.
+
+        ``None`` means "don't care"; ``True``/``False`` demand the exact
+        capability.  Builders call this up front so misuse fails loudly.
+        """
+        checks = [
+            ("neighbours known", neighbors_known, self.neighbors_known),
+            ("ports reassignable", ports_reassignable, self.ports_reassignable),
+            ("relabelling allowed", relabeling, self.relabeling_allowed),
+        ]
+        for name, wanted, actual in checks:
+            if wanted is not None and wanted != actual:
+                raise ModelError(
+                    f"model {self} has {name}={actual}, but the scheme "
+                    f"requires {name}={wanted}"
+                )
+
+    def __str__(self) -> str:
+        return f"{self.knowledge} ∧ {self.labeling}"
+
+
+def all_models() -> Iterator[RoutingModel]:
+    """Iterate over all nine models in the paper's table order."""
+    for knowledge in Knowledge:
+        for labeling in Labeling:
+            yield RoutingModel(knowledge, labeling)

@@ -1,0 +1,43 @@
+"""Message-level network simulator.
+
+Executes any :class:`~repro.core.scheme.RoutingScheme` on its graph:
+immediate walking (:class:`~repro.simulator.network.Network`), discrete
+events (:class:`~repro.simulator.network.EventDrivenSimulator`),
+reproducible link-failure injection, and delivery/stretch metrics.
+"""
+
+from repro.simulator.bootstrap import BootstrapResult, simulate_dissemination
+from repro.simulator.failures import (
+    sample_incident_failures,
+    sample_link_failures,
+    sample_node_failures,
+)
+from repro.simulator.message import DeliveryRecord, Message
+from repro.simulator.metrics import RoutingMetrics, summarize
+from repro.simulator.network import EventDrivenSimulator, Network
+from repro.simulator.workloads import (
+    all_to_one,
+    hotspot_pairs,
+    one_to_all,
+    permutation_traffic,
+    uniform_pairs,
+)
+
+__all__ = [
+    "BootstrapResult",
+    "DeliveryRecord",
+    "EventDrivenSimulator",
+    "Message",
+    "Network",
+    "RoutingMetrics",
+    "all_to_one",
+    "hotspot_pairs",
+    "one_to_all",
+    "permutation_traffic",
+    "sample_incident_failures",
+    "sample_link_failures",
+    "sample_node_failures",
+    "simulate_dissemination",
+    "summarize",
+    "uniform_pairs",
+]

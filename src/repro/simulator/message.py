@@ -1,0 +1,42 @@
+"""Message objects carried by the network simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable, List, Optional
+
+__all__ = ["Message", "DeliveryRecord"]
+
+
+@dataclass
+class Message:
+    """One in-flight message."""
+
+    msg_id: int
+    source: int
+    destination: int
+    address: Hashable
+    """Destination address as the scheme expects it (label or complex label)."""
+    state: Any = None
+    """Header state (used by the Theorem 5 probe scheme)."""
+    path: List[int] = field(default_factory=list)
+
+    @property
+    def hops(self) -> int:
+        """Edges traversed so far."""
+        return max(len(self.path) - 1, 0)
+
+
+@dataclass(frozen=True)
+class DeliveryRecord:
+    """Outcome of one routed message."""
+
+    msg_id: int
+    source: int
+    destination: int
+    delivered: bool
+    hops: int
+    path: tuple[int, ...]
+    latency: float = 0.0
+    """Simulated time from injection to delivery (event-driven runs)."""
+    drop_reason: Optional[str] = None

@@ -1,0 +1,69 @@
+"""Aggregate metrics over simulated deliveries."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.graphs import LabeledGraph, distance_matrix
+from repro.simulator.message import DeliveryRecord
+
+__all__ = ["RoutingMetrics", "summarize"]
+
+
+@dataclass(frozen=True)
+class RoutingMetrics:
+    """Delivery and stretch statistics of one batch of messages."""
+
+    messages: int
+    delivered: int
+    mean_hops: float
+    mean_stretch: float
+    max_stretch: float
+    p95_stretch: float
+    mean_latency: float
+    drop_reasons: Dict[str, int]
+
+    @property
+    def delivered_fraction(self) -> float:
+        """Share of messages that reached their destination."""
+        if self.messages == 0:
+            return 0.0
+        return self.delivered / self.messages
+
+
+def summarize(
+    records: Sequence[DeliveryRecord], graph: LabeledGraph
+) -> RoutingMetrics:
+    """Compute metrics; stretch is hops over graph distance per pair."""
+    dist = distance_matrix(graph)
+    stretches = []
+    hops = []
+    latencies = []
+    drops: Dict[str, int] = {}
+    delivered = 0
+    for record in records:
+        if not record.delivered:
+            reason = record.drop_reason or "unknown"
+            drops[reason] = drops.get(reason, 0) + 1
+            continue
+        delivered += 1
+        hops.append(record.hops)
+        latencies.append(record.latency)
+        shortest = int(dist[record.source - 1, record.destination - 1])
+        stretches.append(record.hops / shortest if shortest > 0 else 1.0)
+    return RoutingMetrics(
+        messages=len(records),
+        delivered=delivered,
+        mean_hops=float(np.mean(hops)) if hops else math.nan,
+        mean_stretch=float(np.mean(stretches)) if stretches else math.nan,
+        max_stretch=float(np.max(stretches)) if stretches else math.nan,
+        p95_stretch=(
+            float(np.percentile(stretches, 95)) if stretches else math.nan
+        ),
+        mean_latency=float(np.mean(latencies)) if latencies else math.nan,
+        drop_reasons=drops,
+    )

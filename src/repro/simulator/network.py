@@ -1,0 +1,329 @@
+"""Message-level network simulation.
+
+Two execution modes over the same routing schemes:
+
+* :class:`Network` — an immediate hop-by-hop walker with link-failure
+  awareness, used for delivery/stretch measurements.  Full-information
+  functions route *around* failed incident links (the exact capability the
+  paper defines them for); single-path functions drop when their chosen
+  link is down.
+* :class:`EventDrivenSimulator` — a discrete-event engine (FIFO links of
+  configurable latency, global event queue) for time-domain experiments
+  such as congestion-free latency distributions.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.core import RoutingScheme
+from repro.core.full_information import FullInformationFunction
+from repro.errors import RoutingError
+from repro.simulator.message import DeliveryRecord, Message
+
+__all__ = ["Network", "EventDrivenSimulator"]
+
+Link = FrozenSet[int]
+
+
+def _as_links(edges: Iterable[Tuple[int, int]]) -> Set[Link]:
+    return {frozenset(edge) for edge in edges}
+
+
+class Network:
+    """A static network executing one routing scheme, with failures."""
+
+    def __init__(
+        self,
+        scheme: RoutingScheme,
+        failed_links: Iterable[Tuple[int, int]] = (),
+        failed_nodes: Iterable[int] = (),
+    ) -> None:
+        self._scheme = scheme
+        self._failed: Set[Link] = _as_links(failed_links)
+        self._failed_nodes: Set[int] = set(failed_nodes)
+        self._counter = itertools.count()
+
+    @property
+    def scheme(self) -> RoutingScheme:
+        """The routing scheme installed on this network."""
+        return self._scheme
+
+    @property
+    def failed_links(self) -> Set[Link]:
+        """Currently failed links (as frozensets of endpoints)."""
+        return set(self._failed)
+
+    def fail_link(self, u: int, v: int) -> None:
+        """Mark one link as failed."""
+        self._failed.add(frozenset((u, v)))
+
+    def restore_link(self, u: int, v: int) -> None:
+        """Bring one link back up."""
+        self._failed.discard(frozenset((u, v)))
+
+    @property
+    def failed_nodes(self) -> Set[int]:
+        """Currently crashed nodes."""
+        return set(self._failed_nodes)
+
+    def fail_node(self, node: int) -> None:
+        """Crash one node: it neither forwards nor receives."""
+        self._failed_nodes.add(node)
+
+    def restore_node(self, node: int) -> None:
+        """Bring a crashed node back."""
+        self._failed_nodes.discard(node)
+
+    def _blocked_neighbors(self, node: int) -> List[int]:
+        return [
+            nb
+            for nb in self._scheme.graph.neighbor_set(node)
+            if frozenset((node, nb)) in self._failed
+            or nb in self._failed_nodes
+        ]
+
+    def _choose_hop(self, node: int, message: Message):
+        """One forwarding decision, honouring failures where possible."""
+        function = self._scheme.function(node)
+        if isinstance(function, FullInformationFunction) and (
+            self._failed or self._failed_nodes
+        ):
+            return function.next_hop_avoiding(
+                int(message.address), self._blocked_neighbors(node)
+            )
+        return function.next_hop(message.address, message.state)
+
+    def route(self, source: int, destination: int) -> DeliveryRecord:
+        """Walk one message from source to destination."""
+        message = Message(
+            msg_id=next(self._counter),
+            source=source,
+            destination=destination,
+            address=self._scheme.address_of(destination),
+            path=[source],
+        )
+        if source in self._failed_nodes or destination in self._failed_nodes:
+            return self._drop(message, "endpoint node is down")
+        limit = self._scheme.hop_limit()
+        current = source
+        while current != destination:
+            if message.hops >= limit:
+                return self._drop(message, f"hop limit {limit} exceeded")
+            try:
+                decision = self._choose_hop(current, message)
+            except RoutingError as exc:
+                return self._drop(message, str(exc))
+            next_node = decision.next_node
+            if frozenset((current, next_node)) in self._failed:
+                return self._drop(
+                    message, f"link {current}-{next_node} is down"
+                )
+            if next_node in self._failed_nodes:
+                return self._drop(message, f"node {next_node} is down")
+            if next_node != current and not self._scheme.graph.has_edge(
+                current, next_node
+            ):
+                return self._drop(
+                    message, f"{current} forwarded to non-adjacent {next_node}"
+                )
+            message.state = decision.state
+            message.path.append(next_node)
+            current = next_node
+        return DeliveryRecord(
+            msg_id=message.msg_id,
+            source=source,
+            destination=destination,
+            delivered=True,
+            hops=message.hops,
+            path=tuple(message.path),
+        )
+
+    def _drop(self, message: Message, reason: str) -> DeliveryRecord:
+        return DeliveryRecord(
+            msg_id=message.msg_id,
+            source=message.source,
+            destination=message.destination,
+            delivered=False,
+            hops=message.hops,
+            path=tuple(message.path),
+            drop_reason=reason,
+        )
+
+
+class EventDrivenSimulator:
+    """Discrete-event execution with FIFO forwarding queues.
+
+    Each hop costs ``link_latency`` time units on the wire; when
+    ``node_service_time`` is positive every node additionally serialises its
+    forwarding work (one message at a time), so traffic concentrating on a
+    node — the Theorem 4 hub, a hotspot destination — queues up and the
+    latency distribution shows it.  ``queue_capacity`` (in messages of
+    backlog) turns overload into explicit drops.
+    """
+
+    def __init__(
+        self,
+        scheme: RoutingScheme,
+        link_latency: float = 1.0,
+        failed_links: Iterable[Tuple[int, int]] = (),
+        node_service_time: float = 0.0,
+        queue_capacity: Optional[int] = None,
+        failed_nodes: Iterable[int] = (),
+    ) -> None:
+        if link_latency <= 0:
+            raise RoutingError(f"link latency must be positive, got {link_latency}")
+        if node_service_time < 0:
+            raise RoutingError(
+                f"service time must be non-negative, got {node_service_time}"
+            )
+        if queue_capacity is not None and queue_capacity < 1:
+            raise RoutingError(
+                f"queue capacity must be positive, got {queue_capacity}"
+            )
+        self._network = Network(scheme, failed_links, failed_nodes)
+        self._scheme = scheme
+        self._latency = link_latency
+        self._service = node_service_time
+        self._capacity = queue_capacity
+        self._queue: List[Tuple[float, int, Message, float]] = []
+        self._sequence = itertools.count()
+        self._records: List[DeliveryRecord] = []
+        self._busy_until: dict[int, float] = {}
+        self._forward_counts: dict[int, int] = {}
+
+    @property
+    def forward_counts(self) -> dict[int, int]:
+        """Messages forwarded per node in the last :meth:`run` (congestion)."""
+        return dict(self._forward_counts)
+
+    def inject(self, source: int, destination: int, at_time: float = 0.0) -> None:
+        """Schedule a message injection."""
+        message = Message(
+            msg_id=next(self._network._counter),
+            source=source,
+            destination=destination,
+            address=self._scheme.address_of(destination),
+            path=[source],
+        )
+        heapq.heappush(
+            self._queue, (at_time, next(self._sequence), message, at_time)
+        )
+
+    def run(self) -> List[DeliveryRecord]:
+        """Process all events; returns one record per injected message."""
+        limit_base = self._scheme.hop_limit()
+        self._busy_until = {}
+        self._forward_counts = {}
+        while self._queue:
+            now, _, message, injected_at = heapq.heappop(self._queue)
+            current = message.path[-1]
+            if current == message.destination:
+                self._records.append(
+                    DeliveryRecord(
+                        msg_id=message.msg_id,
+                        source=message.source,
+                        destination=message.destination,
+                        delivered=True,
+                        hops=message.hops,
+                        path=tuple(message.path),
+                        latency=now - injected_at,
+                    )
+                )
+                continue
+            if message.hops >= limit_base:
+                self._records.append(
+                    DeliveryRecord(
+                        msg_id=message.msg_id,
+                        source=message.source,
+                        destination=message.destination,
+                        delivered=False,
+                        hops=message.hops,
+                        path=tuple(message.path),
+                        latency=now - injected_at,
+                        drop_reason="hop limit exceeded",
+                    )
+                )
+                continue
+            try:
+                decision = self._network._choose_hop(current, message)
+            except RoutingError as exc:
+                self._records.append(
+                    DeliveryRecord(
+                        msg_id=message.msg_id,
+                        source=message.source,
+                        destination=message.destination,
+                        delivered=False,
+                        hops=message.hops,
+                        path=tuple(message.path),
+                        latency=now - injected_at,
+                        drop_reason=str(exc),
+                    )
+                )
+                continue
+            # A single-path scheme may have chosen a dead link or node:
+            # drop, as the hop-by-hop walker does.
+            chosen_link = frozenset((current, decision.next_node))
+            if (
+                chosen_link in self._network.failed_links
+                or decision.next_node in self._network.failed_nodes
+            ):
+                if decision.next_node in self._network.failed_nodes:
+                    reason = f"node {decision.next_node} is down"
+                else:
+                    reason = f"link {current}-{decision.next_node} is down"
+                self._records.append(
+                    DeliveryRecord(
+                        msg_id=message.msg_id,
+                        source=message.source,
+                        destination=message.destination,
+                        delivered=False,
+                        hops=message.hops,
+                        path=tuple(message.path),
+                        latency=now - injected_at,
+                        drop_reason=reason,
+                    )
+                )
+                continue
+            # Serialise forwarding through the node's processor.
+            departure = now
+            if self._service > 0:
+                backlog = max(self._busy_until.get(current, 0.0) - now, 0.0)
+                if (
+                    self._capacity is not None
+                    and backlog / self._service >= self._capacity
+                ):
+                    self._records.append(
+                        DeliveryRecord(
+                            msg_id=message.msg_id,
+                            source=message.source,
+                            destination=message.destination,
+                            delivered=False,
+                            hops=message.hops,
+                            path=tuple(message.path),
+                            latency=now - injected_at,
+                            drop_reason=f"queue overflow at node {current}",
+                        )
+                    )
+                    continue
+                start = max(now, self._busy_until.get(current, 0.0))
+                departure = start + self._service
+                self._busy_until[current] = departure
+            self._forward_counts[current] = (
+                self._forward_counts.get(current, 0) + 1
+            )
+            message.state = decision.state
+            message.path.append(decision.next_node)
+            heapq.heappush(
+                self._queue,
+                (
+                    departure + self._latency,
+                    next(self._sequence),
+                    message,
+                    injected_at,
+                ),
+            )
+        records, self._records = self._records, []
+        return records

@@ -1,0 +1,50 @@
+"""Shared fixtures: graphs and models reused across the suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import gnp_random_graph
+from repro.models import Knowledge, Labeling, RoutingModel
+
+
+@pytest.fixture(scope="session")
+def random_graph_32():
+    """A certified-random-sized G(32, 1/2) sample (session-cached)."""
+    return gnp_random_graph(32, seed=101)
+
+
+@pytest.fixture(scope="session")
+def random_graph_64():
+    """A G(64, 1/2) sample (session-cached)."""
+    return gnp_random_graph(64, seed=202)
+
+
+@pytest.fixture(scope="session")
+def model_ii_alpha():
+    """Model II ∧ α: neighbours known, no relabelling."""
+    return RoutingModel(Knowledge.II, Labeling.ALPHA)
+
+
+@pytest.fixture(scope="session")
+def model_ii_gamma():
+    """Model II ∧ γ: neighbours known, charged free relabelling."""
+    return RoutingModel(Knowledge.II, Labeling.GAMMA)
+
+
+@pytest.fixture(scope="session")
+def model_ii_beta():
+    """Model II ∧ β: neighbours known, permutation relabelling."""
+    return RoutingModel(Knowledge.II, Labeling.BETA)
+
+
+@pytest.fixture(scope="session")
+def model_ib_alpha():
+    """Model IB ∧ α: free port assignment, no relabelling."""
+    return RoutingModel(Knowledge.IB, Labeling.ALPHA)
+
+
+@pytest.fixture(scope="session")
+def model_ia_alpha():
+    """Model IA ∧ α: the fully static adversarial model."""
+    return RoutingModel(Knowledge.IA, Labeling.ALPHA)

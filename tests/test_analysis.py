@@ -1,0 +1,123 @@
+"""Tests for scaling fits, sweeps and the Table 1 renderer."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    GROWTH_LAWS,
+    PAPER_TABLE1,
+    Table1Entry,
+    best_law,
+    fit_power_law,
+    format_table1,
+    mean_total_bits,
+    run_size_sweep,
+)
+from repro.errors import AnalysisError
+from repro.models import Knowledge, Labeling, RoutingModel
+
+
+class TestPowerLaw:
+    def test_exact_square(self):
+        ns = [16, 32, 64, 128]
+        fit = fit_power_law(ns, [7 * n * n for n in ns])
+        assert fit.exponent == pytest.approx(2.0)
+        assert fit.coefficient == pytest.approx(7.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_noise_tolerated(self):
+        ns = [16, 32, 64, 128, 256]
+        values = [3 * n**1.5 * (1 + 0.02 * (-1) ** i) for i, n in enumerate(ns)]
+        fit = fit_power_law(ns, values)
+        assert fit.exponent == pytest.approx(1.5, abs=0.1)
+
+    def test_rejects_short_input(self):
+        with pytest.raises(AnalysisError):
+            fit_power_law([4], [16])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(AnalysisError):
+            fit_power_law([4, 8], [16, -2])
+
+
+class TestBestLaw:
+    def test_identifies_n_squared(self):
+        ns = [32, 64, 128, 256]
+        fits = best_law(ns, [3 * n * n for n in ns])
+        assert fits[0].law == "n^2"
+        assert fits[0].constant == pytest.approx(3.0)
+        assert fits[0].relative_rms_error < 1e-9
+
+    def test_identifies_n_log_n(self):
+        ns = [64, 128, 256, 512, 1024]
+        fits = best_law(ns, [5 * n * math.log2(n) for n in ns])
+        assert fits[0].law == "n log n"
+
+    def test_distinguishes_n2_from_n2_log(self):
+        ns = [64, 128, 256, 512, 1024]
+        fits = best_law(ns, [n * n * math.log2(n) for n in ns],
+                        candidates=["n^2", "n^2 log n"])
+        assert fits[0].law == "n^2 log n"
+
+    def test_unknown_candidate_rejected(self):
+        with pytest.raises(AnalysisError):
+            best_law([2, 4], [1, 2], candidates=["n^9"])
+
+    def test_all_laws_evaluable(self):
+        for law, fn in GROWTH_LAWS.items():
+            assert fn(128) > 0
+
+
+class TestSweep:
+    def test_sweep_is_reproducible(self, model_ii_alpha):
+        a = run_size_sweep("thm5-probe", model_ii_alpha, ns=[24], seeds=(0,),
+                           verify_pairs=None)
+        b = run_size_sweep("thm5-probe", model_ii_alpha, ns=[24], seeds=(0,),
+                           verify_pairs=None)
+        assert a == b
+
+    def test_sweep_verifies_schemes(self, model_ii_alpha):
+        points = run_size_sweep(
+            "thm4-hub", model_ii_alpha, ns=[24, 32], seeds=(0, 1),
+            verify_pairs=60,
+        )
+        assert len(points) == 4
+        assert all(p.verified_max_stretch <= 2.0 for p in points)
+
+    def test_mean_total_bits(self, model_ii_alpha):
+        points = run_size_sweep(
+            "thm5-probe", model_ii_alpha, ns=[24, 32], seeds=(0, 1),
+            verify_pairs=None,
+        )
+        means = mean_total_bits(points)
+        assert means == {24: 24.0, 32: 32.0}
+
+
+class TestTable1:
+    def test_paper_cells_present(self):
+        assert len(PAPER_TABLE1) == 11
+
+    def test_render_with_measured_entry(self):
+        entry = Table1Entry(
+            section="avg-upper",
+            knowledge=Knowledge.II,
+            labeling=Labeling.ALPHA,
+            paper_bound="O(n²)",
+            measured="1.45 n² (fit)",
+        )
+        text = format_table1([entry])
+        assert "1.45 n² (fit)" in text
+        assert "average case — upper bounds" in text
+        assert "neighbours known (II)" in text
+
+    def test_unmeasured_paper_cells_shown(self):
+        text = format_table1([])
+        assert "(not measured)" in text
+        assert "Ω(n² log n)" in text
+
+    def test_empty_cells_are_dashes(self):
+        text = format_table1([])
+        assert "—" in text

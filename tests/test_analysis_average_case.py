@@ -1,0 +1,83 @@
+"""Tests for the Corollary 1 average with trivial-bound fallback."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import corollary1_average
+from repro.errors import AnalysisError
+from repro.kolmogorov import estimate_permutation_complexity
+from repro.models import Knowledge, Labeling, RoutingModel
+
+
+class TestCorollary1Average:
+    def test_large_n_never_falls_back(self, model_ii_alpha):
+        estimate = corollary1_average(
+            "thm1-two-level", model_ii_alpha, n=64, samples=10
+        )
+        assert estimate.fallback_count == 0
+        assert estimate.fallback_fraction == 0.0
+        assert estimate.mean_total_bits == estimate.mean_compact_bits
+        # Corollary 1.1: the average is O(n²).
+        assert estimate.mean_total_bits <= 6 * 64 * 64
+
+    def test_small_n_falls_back_sometimes(self, model_ii_alpha):
+        """At tiny n the non-random sliver is visible — and is charged the
+        trivial full-table bound, exactly as the paper's computation."""
+        estimate = corollary1_average(
+            "thm1-two-level", model_ii_alpha, n=14, samples=60
+        )
+        assert estimate.samples == 60
+        assert 0 < estimate.fallback_count < 60
+        assert estimate.fallback_contribution > 0.0
+        assert estimate.mean_total_bits > 0
+
+    def test_fallback_fraction_shrinks_with_n(self, model_ii_alpha):
+        small = corollary1_average(
+            "thm1-two-level", model_ii_alpha, n=14, samples=40
+        )
+        large = corollary1_average(
+            "thm1-two-level", model_ii_alpha, n=40, samples=40
+        )
+        assert large.fallback_fraction <= small.fallback_fraction
+
+    def test_deterministic(self, model_ii_alpha):
+        a = corollary1_average("thm4-hub", model_ii_alpha, n=32, samples=8)
+        b = corollary1_average("thm4-hub", model_ii_alpha, n=32, samples=8)
+        assert a == b
+
+    def test_rejects_zero_samples(self, model_ii_alpha):
+        with pytest.raises(AnalysisError):
+            corollary1_average("thm4-hub", model_ii_alpha, n=32, samples=0)
+
+    def test_gamma_scheme_average(self, model_ii_gamma):
+        import math
+
+        estimate = corollary1_average(
+            "thm2-neighbor-labels", model_ii_gamma, n=64, samples=8
+        )
+        # Corollary 1.2: O(n log² n) on average.
+        assert estimate.mean_total_bits <= 2 * 64 * math.log2(64) ** 2
+
+
+class TestPermutationComplexity:
+    def test_random_permutation_incompressible(self):
+        import random
+
+        rng = random.Random(7)
+        perm = list(range(600))
+        rng.shuffle(perm)
+        estimate = estimate_permutation_complexity(perm)
+        # Theorem 9's counting: C(π) ≈ log₂ k! for almost all π.
+        assert estimate.bits >= 0.9 * estimate.original_bits
+
+    def test_identity_is_trivial_rank(self):
+        estimate = estimate_permutation_complexity(range(600))
+        # Lehmer rank 0: the minimal encoding is all zeros → collapses.
+        assert estimate.deficiency > 0.8 * estimate.original_bits
+
+    def test_original_bits_is_log_factorial(self):
+        from repro.bitio import permutation_code_width
+
+        estimate = estimate_permutation_complexity(range(100))
+        assert estimate.original_bits == permutation_code_width(100)

@@ -1,0 +1,122 @@
+"""Tests for the scheme-comparison helper and the new graph families."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    DEFAULT_MENU,
+    compare_schemes,
+    format_comparison,
+)
+from repro.errors import GraphError
+from repro.graphs import (
+    diameter,
+    distance_matrix,
+    gnp_random_graph,
+    grid_graph,
+    torus_graph,
+)
+from repro.models import Knowledge, Labeling, RoutingModel
+
+
+class TestGridAndTorus:
+    def test_grid_structure(self):
+        graph = grid_graph(3, 4)
+        assert graph.n == 12
+        assert graph.edge_count == 3 * 3 + 2 * 4  # horizontal + vertical
+        assert graph.has_edge(1, 2)
+        assert graph.has_edge(1, 5)
+        assert not graph.has_edge(4, 5)  # row wrap must not exist
+
+    def test_grid_diameter(self):
+        assert diameter(grid_graph(3, 5)) == 2 + 4
+
+    def test_grid_rejects_degenerate(self):
+        with pytest.raises(GraphError):
+            grid_graph(0, 3)
+
+    def test_torus_is_regular(self):
+        graph = torus_graph(4, 5)
+        assert all(graph.degree(u) == 4 for u in graph.nodes)
+        assert graph.edge_count == 2 * 20
+
+    def test_torus_wraps(self):
+        graph = torus_graph(3, 4)
+        assert graph.has_edge(1, 4)  # row wrap
+        assert graph.has_edge(1, 9)  # column wrap
+
+    def test_torus_rejects_small(self):
+        with pytest.raises(GraphError):
+            torus_graph(2, 5)
+
+    def test_torus_distances_symmetric(self):
+        graph = torus_graph(4, 4)
+        dist = distance_matrix(graph)
+        assert (dist == dist.T).all()
+        assert dist.max() == 4  # 2 + 2 wrap-around radius
+
+
+class TestComparison:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        graph = gnp_random_graph(40, seed=43)
+        return compare_schemes(graph, sample_pairs=150, seed=1)
+
+    def test_every_menu_entry_reported(self, rows):
+        assert len(rows) == len(DEFAULT_MENU)
+        assert {row.scheme for row in rows} == {name for name, _ in DEFAULT_MENU}
+
+    def test_dense_graph_builds_everything(self, rows):
+        assert all(row.built for row in rows)
+
+    def test_stretch_respects_models(self, rows):
+        by_name = {row.scheme: row for row in rows}
+        assert by_name["full-table"].max_stretch == 1.0
+        assert by_name["thm3-centers"].max_stretch <= 1.5
+        assert by_name["thm4-hub"].max_stretch <= 2.0
+
+    def test_size_hierarchy(self, rows):
+        by_name = {row.scheme: row for row in rows}
+        assert (
+            by_name["full-information"].total_bits
+            > by_name["full-table"].total_bits
+            > by_name["thm1-two-level"].total_bits
+            > by_name["thm4-hub"].total_bits
+            > by_name["thm5-probe"].total_bits
+        )
+
+    def test_refusals_reported_on_sparse_graph(self):
+        from repro.graphs import path_graph
+
+        rows = compare_schemes(path_graph(16), sample_pairs=50)
+        by_name = {row.scheme: row for row in rows}
+        assert not by_name["thm1-two-level"].built
+        assert "diameter" in by_name["thm4-hub"].refusal or not by_name[
+            "thm4-hub"
+        ].built
+        assert by_name["full-table"].built
+        assert by_name["interval"].built
+
+    def test_format_mentions_refusals(self):
+        from repro.graphs import path_graph
+
+        text = format_comparison(compare_schemes(path_graph(12), sample_pairs=40))
+        assert "refused" in text
+        assert "full-table" in text
+
+    def test_format_is_aligned_table(self, rows):
+        text = format_comparison(rows)
+        lines = text.splitlines()
+        assert len(lines) == 1 + len(rows)
+        assert "total bits" in lines[0]
+
+
+class TestCompareCli:
+    def test_compare_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["compare", "40", "--seed", "43", "--pairs", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "thm1-two-level" in out
+        assert "tree-cover" in out

@@ -1,0 +1,86 @@
+"""Tests for the exact Definition 5 average (exhaustive enumeration)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import all_graphs, exact_average_bits
+from repro.core import FullTableScheme, TwoLevelScheme
+from repro.errors import AnalysisError, SchemeBuildError
+from repro.graphs import edge_code_length
+from repro.models import Knowledge, Labeling, RoutingModel
+
+
+class TestEnumeration:
+    def test_counts_all_graphs(self):
+        for n in (1, 2, 3, 4):
+            assert sum(1 for _ in all_graphs(n)) == 2 ** edge_code_length(n)
+
+    def test_connected_filter(self):
+        connected = list(all_graphs(3, connected_only=True))
+        # On 3 nodes: 3 paths + 1 triangle are connected.
+        assert len(connected) == 4
+
+    def test_no_duplicates(self):
+        graphs = list(all_graphs(4))
+        assert len(set(graphs)) == len(graphs)
+
+    def test_rejects_large_n(self):
+        with pytest.raises(AnalysisError):
+            list(all_graphs(6))
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(AnalysisError):
+            list(all_graphs(0))
+
+
+class TestExactAverage:
+    def test_full_table_exact_average(self, model_ia_alpha):
+        result = exact_average_bits(FullTableScheme, model_ia_alpha, n=4)
+        assert result.graphs_total == 38  # connected labelled graphs on 4 nodes
+        assert result.graphs_built == 38
+        assert result.mean_total_bits > 0
+        assert result.max_total_bits >= result.mean_total_bits
+
+    def test_monte_carlo_agrees_with_exact(self, model_ia_alpha):
+        """The sampled average converges to the enumerated one."""
+        import random
+
+        from repro.graphs import decode_graph, encode_graph
+        from repro.bitio import BitArray
+
+        exact = exact_average_bits(FullTableScheme, model_ia_alpha, n=4)
+        rng = random.Random(0)
+        samples = []
+        length = edge_code_length(4)
+        while len(samples) < 400:
+            code = rng.getrandbits(length)
+            graph = decode_graph(BitArray.from_int(code, length), 4)
+            if graph.is_connected():
+                samples.append(
+                    FullTableScheme(graph, model_ia_alpha)
+                    .space_report()
+                    .total_bits
+                )
+        monte_carlo = sum(samples) / len(samples)
+        assert monte_carlo == pytest.approx(exact.mean_total_bits, rel=0.1)
+
+    def test_conditioned_average_for_partial_schemes(self, model_ii_alpha):
+        """Theorem 1 only covers diameter ≤ 2 graphs; conditioning works."""
+        result = exact_average_bits(
+            TwoLevelScheme, model_ii_alpha, n=4, skip_unbuildable=True
+        )
+        assert 0 < result.graphs_built <= result.graphs_total
+
+    def test_unbuildable_raises_without_skip(self, model_ii_alpha):
+        with pytest.raises(SchemeBuildError):
+            exact_average_bits(TwoLevelScheme, model_ii_alpha, n=4)
+
+    def test_empty_class_rejected(self, model_ii_alpha):
+        def impossible(graph, model):
+            raise SchemeBuildError("never")
+
+        with pytest.raises(AnalysisError):
+            exact_average_bits(
+                impossible, model_ii_alpha, n=3, skip_unbuildable=True
+            )

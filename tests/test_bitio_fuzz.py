@@ -1,0 +1,113 @@
+"""Fuzz/robustness tests: malformed bit streams must fail loudly.
+
+Every decoder in the library raises :class:`BitstreamError` /
+:class:`CodecError` on truncated or corrupted inputs rather than returning
+garbage — these tests hammer that contract.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitio import BitArray, BitReader, BitWriter
+from repro.errors import BitstreamError, CodecError, ReproError
+from repro.graphs import gnp_random_graph
+
+
+random_bits = st.lists(st.integers(min_value=0, max_value=1), max_size=64)
+
+
+class TestTruncation:
+    @given(st.integers(min_value=0, max_value=300))
+    def test_truncated_unary_raises(self, value):
+        writer = BitWriter()
+        writer.write_unary(value)
+        full = writer.getvalue()
+        truncated = full[: len(full) - 1]
+        reader = BitReader(truncated)
+        with pytest.raises(BitstreamError):
+            reader.read_unary()
+
+    @given(random_bits)
+    def test_truncated_hat_raises(self, bits):
+        payload = BitArray(bits)
+        writer = BitWriter()
+        writer.write_hat(payload)
+        full = writer.getvalue()
+        reader = BitReader(full[: len(full) - 1])
+        with pytest.raises(BitstreamError):
+            reader.read_hat()
+
+    @given(st.lists(st.integers(min_value=0, max_value=1),
+                    min_size=1, max_size=64))
+    def test_truncated_prime_raises(self, bits):
+        payload = BitArray(bits)
+        writer = BitWriter()
+        writer.write_prime(payload)
+        full = writer.getvalue()
+        reader = BitReader(full[: len(full) - 1])
+        with pytest.raises(BitstreamError):
+            reader.read_prime()
+
+    def test_non_canonical_prime_rejected(self):
+        # Length field "01" (leading zero) is non-canonical for length 1.
+        writer = BitWriter()
+        writer.write_unary(2)          # claims a 2-bit length field
+        writer.write_uint(0b01, 2)     # "01" = 1, but 1 needs one bit
+        writer.write_bit(1)            # the payload
+        reader = BitReader(writer.getvalue())
+        with pytest.raises(BitstreamError):
+            reader.read_prime()
+
+
+class TestForeignBytes:
+    @given(st.binary(max_size=40))
+    @settings(max_examples=60)
+    def test_scheme_blob_never_crashes_unguarded(self, data):
+        """Random bytes either parse (vanishingly unlikely) or raise the
+        library's own error — never an unhandled exception."""
+        from repro.core import unpack_blob
+
+        try:
+            unpack_blob(data)
+        except ReproError:
+            pass
+
+    @given(st.binary(min_size=1, max_size=40))
+    @settings(max_examples=60)
+    def test_two_level_decode_rejects_random_bits(self, data):
+        """Arbitrary bits fed to the Theorem 1 decoder raise or decode —
+        and anything that decodes must index real neighbours."""
+        from repro.core.two_level import decode_two_level_function
+
+        graph = gnp_random_graph(16, seed=0)
+        bits = BitArray(
+            (byte >> (7 - i)) & 1 for byte in data for i in range(8)
+        )
+        try:
+            function = decode_two_level_function(
+                1, 16, graph.neighbors(1), bits
+            )
+        except (ReproError, IndexError):
+            return
+        for w in graph.non_neighbors(1):
+            assert function.intermediate_for(w) in graph.neighbors(1)
+
+
+class TestGraphDecoderGuards:
+    @given(st.integers(min_value=2, max_value=16), st.integers(min_value=0, max_value=200))
+    def test_wrong_length_rejected(self, n, extra):
+        from repro.errors import GraphError
+        from repro.graphs import decode_graph, edge_code_length
+
+        wrong = edge_code_length(n) + 1 + extra
+        with pytest.raises(GraphError):
+            decode_graph(BitArray.zeros(wrong), n)
+
+    def test_codec_decode_of_foreign_stream(self):
+        from repro.incompressibility import Lemma1Codec
+
+        with pytest.raises(ReproError):
+            Lemma1Codec().decode(BitArray.zeros(10), 12)

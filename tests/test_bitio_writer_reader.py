@@ -1,0 +1,221 @@
+"""Unit and property tests for BitWriter/BitReader and the paper's codes."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bitio import BitArray, BitReader, BitWriter
+from repro.errors import BitstreamError
+
+bit_lists = st.lists(st.integers(min_value=0, max_value=1), max_size=80)
+
+
+class TestPrimitives:
+    def test_write_read_bits(self):
+        writer = BitWriter()
+        writer.write_bit(1)
+        writer.write_bit(0)
+        writer.write_bit(1)
+        reader = BitReader(writer.getvalue())
+        assert [reader.read_bit() for _ in range(3)] == [1, 0, 1]
+
+    def test_write_bit_rejects_non_bit(self):
+        with pytest.raises(BitstreamError):
+            BitWriter().write_bit(2)
+
+    def test_uint_round_trip(self):
+        writer = BitWriter()
+        writer.write_uint(42, 7)
+        assert BitReader(writer.getvalue()).read_uint(7) == 42
+
+    def test_uint_rejects_overflow(self):
+        with pytest.raises(BitstreamError):
+            BitWriter().write_uint(4, 2)
+
+    def test_uint_zero_width(self):
+        writer = BitWriter()
+        writer.write_uint(0, 0)
+        assert len(writer.getvalue()) == 0
+
+    def test_read_past_end(self):
+        reader = BitReader(BitArray.from01("1"))
+        reader.read_bit()
+        with pytest.raises(BitstreamError):
+            reader.read_bit()
+
+    def test_position_and_remaining(self):
+        reader = BitReader(BitArray.from01("1010"))
+        assert reader.remaining == 4
+        reader.read_bits(3)
+        assert reader.position == 3
+        assert reader.remaining == 1
+        assert not reader.at_end()
+        reader.read_bit()
+        assert reader.at_end()
+
+    def test_bit_length_tracks_writes(self):
+        writer = BitWriter()
+        writer.write_uint(3, 5)
+        assert writer.bit_length == 5
+        assert len(writer) == 5
+
+
+class TestUnary:
+    def test_unary_zero(self):
+        writer = BitWriter()
+        writer.write_unary(0)
+        assert writer.getvalue().to01() == "0"
+
+    def test_unary_value(self):
+        writer = BitWriter()
+        writer.write_unary(3)
+        assert writer.getvalue().to01() == "1110"
+
+    def test_unary_rejects_negative(self):
+        with pytest.raises(BitstreamError):
+            BitWriter().write_unary(-1)
+
+    @given(st.integers(min_value=0, max_value=500))
+    def test_unary_round_trip(self, value):
+        writer = BitWriter()
+        writer.write_unary(value)
+        assert BitReader(writer.getvalue()).read_unary() == value
+
+    @given(st.integers(min_value=0, max_value=200))
+    def test_unary_length_is_value_plus_one(self, value):
+        writer = BitWriter()
+        writer.write_unary(value)
+        assert len(writer.getvalue()) == value + 1
+
+
+class TestHatCode:
+    """The paper's ``ẑ = 1^|z| 0 z`` (Definition 4)."""
+
+    def test_example_from_paper(self):
+        # x̄y with x = 110, y = 11 gives 111011011.
+        writer = BitWriter()
+        writer.write_hat(BitArray.from01("110"))
+        writer.write_bits(BitArray.from01("11"))
+        assert writer.getvalue().to01() == "111011011"
+
+    def test_decode_example_from_paper(self):
+        reader = BitReader(BitArray.from01("111011011"))
+        assert reader.read_hat().to01() == "110"
+        assert reader.read_bits(2).to01() == "11"
+
+    @given(bit_lists)
+    def test_round_trip(self, bits):
+        payload = BitArray(bits)
+        writer = BitWriter()
+        writer.write_hat(payload)
+        assert BitReader(writer.getvalue()).read_hat() == payload
+
+    @given(bit_lists)
+    def test_length_is_2z_plus_1(self, bits):
+        payload = BitArray(bits)
+        writer = BitWriter()
+        writer.write_hat(payload)
+        assert len(writer.getvalue()) == 2 * len(payload) + 1
+
+
+class TestPrimeCode:
+    """The paper's shorter self-delimiting ``z'`` code."""
+
+    @given(bit_lists)
+    def test_round_trip(self, bits):
+        payload = BitArray(bits)
+        writer = BitWriter()
+        writer.write_prime(payload)
+        assert BitReader(writer.getvalue()).read_prime() == payload
+
+    @given(bit_lists, bit_lists)
+    def test_concatenation_parses_unambiguously(self, first, second):
+        a, b = BitArray(first), BitArray(second)
+        writer = BitWriter()
+        writer.write_prime(a)
+        writer.write_prime(b)
+        reader = BitReader(writer.getvalue())
+        assert reader.read_prime() == a
+        assert reader.read_prime() == b
+        assert reader.at_end()
+
+    @given(bit_lists)
+    def test_length_bound(self, bits):
+        """``|z'| = |z| + 2⌈log(|z|+1)⌉ + 1`` up to the ceiling convention."""
+        payload = BitArray(bits)
+        writer = BitWriter()
+        writer.write_prime(payload)
+        z = len(payload)
+        assert len(writer.getvalue()) == z + 2 * z.bit_length() + 1
+
+
+class TestElias:
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_gamma_round_trip(self, value):
+        writer = BitWriter()
+        writer.write_gamma(value)
+        assert BitReader(writer.getvalue()).read_gamma() == value
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_delta_round_trip(self, value):
+        writer = BitWriter()
+        writer.write_delta(value)
+        assert BitReader(writer.getvalue()).read_delta() == value
+
+    def test_gamma_zero_is_one_bit(self):
+        writer = BitWriter()
+        writer.write_gamma(0)
+        assert writer.getvalue().to01() == "0"
+
+    @given(st.integers(min_value=1, max_value=10**6))
+    def test_gamma_length(self, value):
+        writer = BitWriter()
+        writer.write_gamma(value)
+        assert len(writer.getvalue()) == 2 * (value + 1).bit_length() - 1
+
+    @given(st.lists(st.integers(min_value=0, max_value=1000), max_size=30))
+    def test_gamma_stream(self, values):
+        writer = BitWriter()
+        for value in values:
+            writer.write_gamma(value)
+        reader = BitReader(writer.getvalue())
+        assert [reader.read_gamma() for _ in values] == values
+        assert reader.at_end()
+
+    def test_gamma_rejects_negative(self):
+        with pytest.raises(BitstreamError):
+            BitWriter().write_gamma(-1)
+
+
+class TestMixedStreams:
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from(["bit", "uint", "unary", "gamma"]),
+                      st.integers(min_value=0, max_value=255)),
+            max_size=40,
+        )
+    )
+    def test_heterogeneous_round_trip(self, operations):
+        writer = BitWriter()
+        for kind, value in operations:
+            if kind == "bit":
+                writer.write_bit(value & 1)
+            elif kind == "uint":
+                writer.write_uint(value, 8)
+            elif kind == "unary":
+                writer.write_unary(value % 32)
+            else:
+                writer.write_gamma(value)
+        reader = BitReader(writer.getvalue())
+        for kind, value in operations:
+            if kind == "bit":
+                assert reader.read_bit() == value & 1
+            elif kind == "uint":
+                assert reader.read_uint(8) == value
+            elif kind == "unary":
+                assert reader.read_unary() == value % 32
+            else:
+                assert reader.read_gamma() == value
+        assert reader.at_end()

@@ -1,0 +1,124 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import argparse
+
+import pytest
+
+from repro.cli import main, parse_model
+from repro.models import Knowledge, Labeling
+
+
+class TestParseModel:
+    def test_parses_all_nine(self):
+        for knowledge in ("IA", "IB", "II"):
+            for labeling in ("alpha", "beta", "gamma"):
+                model = parse_model(f"{knowledge}.{labeling}")
+                assert model.knowledge == Knowledge[knowledge]
+                assert model.labeling == Labeling[labeling.upper()]
+
+    def test_case_insensitive(self):
+        model = parse_model("ii.GAMMA")
+        assert model.knowledge is Knowledge.II
+        assert model.labeling is Labeling.GAMMA
+
+    def test_rejects_garbage(self):
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_model("fancy-model")
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_model("IA.delta")
+
+
+class TestCommands:
+    def test_schemes_lists_registry(self, capsys):
+        assert main(["schemes"]) == 0
+        out = capsys.readouterr().out
+        assert "thm1-two-level" in out
+        assert "full-information" in out
+
+    def test_certify_random_graph(self, capsys):
+        assert main(["certify", "48", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "certified" in out
+        assert "True" in out
+
+    def test_certify_flags_structured_failure(self, capsys):
+        # Seed picked so the small sample has diameter 3 → not certified.
+        code = main(["certify", "10", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert ("False" in out) == (code == 1)
+
+    def test_build_prints_report(self, capsys):
+        assert main(["build", "thm1-two-level", "48", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "bits total" in out
+
+    def test_build_saves_blob(self, tmp_path, capsys):
+        target = tmp_path / "scheme.blob"
+        assert main(
+            ["build", "thm4-hub", "32", "--seed", "0", "--save", str(target)]
+        ) == 0
+        assert target.exists()
+        from repro.core import restore_scheme, verify_scheme
+        from repro.graphs import gnp_random_graph
+        from repro.models import RoutingModel
+
+        graph = gnp_random_graph(32, seed=0)
+        model = RoutingModel(Knowledge.II, Labeling.ALPHA)
+        scheme = restore_scheme(target.read_bytes(), graph, model)
+        assert verify_scheme(scheme, sample_pairs=100).ok()
+
+    def test_route_prints_path(self, capsys):
+        assert main(["route", "full-table", "24", "1", "20", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "hops" in out
+        assert out.strip().splitlines()[0].startswith("1 ")
+
+    def test_verify_reports_ok(self, capsys):
+        assert main(
+            ["verify", "thm3-centers", "48", "--pairs", "100", "--seed", "0"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "ok: True" in out
+
+    def test_simulate_uniform(self, capsys):
+        assert main(
+            ["simulate", "thm1-two-level", "32", "--messages", "40"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "delivered" in out
+
+    def test_simulate_with_failures(self, capsys):
+        assert main(
+            ["simulate", "full-information", "32", "--messages", "40",
+             "--failures", "30"]
+        ) == 0
+
+    def test_simulate_workloads(self, capsys):
+        for workload in ("hotspot", "all-to-one", "one-to-all", "permutation"):
+            assert main(
+                ["simulate", "thm4-hub", "24", "--workload", workload]
+            ) == 0
+
+    def test_codec_on_structured_graph(self, capsys):
+        assert main(["codec", "lemma2", "16", "--graph", "path"]) == 0
+        out = capsys.readouterr().out
+        assert "round trip   : True" in out
+
+    def test_codec_refusal_is_reported(self, capsys):
+        code = main(["codec", "lemma2", "48", "--seed", "0"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "inapplicable" in out
+
+    def test_model_override(self, capsys):
+        assert main(
+            ["build", "thm1-two-level", "32", "--model", "IB.alpha"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "IB" in out
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["build", "no-such-scheme", "16"])

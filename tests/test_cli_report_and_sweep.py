@@ -1,0 +1,99 @@
+"""Tests for the report CLI command and sweep summaries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import SweepSummary, run_size_sweep, summarize_sweep
+from repro.cli import main
+from repro.models import Knowledge, Labeling, RoutingModel
+
+
+class TestReportCommand:
+    def test_aggregates_result_files(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "alpha.txt").write_text("alpha numbers")
+        (results / "beta.txt").write_text("beta numbers")
+        assert main(["report", "--results-dir", str(results)]) == 0
+        out = capsys.readouterr().out
+        assert "## alpha" in out
+        assert "beta numbers" in out
+        assert out.index("## alpha") < out.index("## beta")
+
+    def test_writes_to_file(self, tmp_path):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "only.txt").write_text("content")
+        target = tmp_path / "report.md"
+        assert main(
+            ["report", "--results-dir", str(results), "--output", str(target)]
+        ) == 0
+        assert "content" in target.read_text()
+        assert target.read_text().startswith("# Reproduction report")
+
+    def test_missing_dir_fails(self, tmp_path, capsys):
+        assert main(
+            ["report", "--results-dir", str(tmp_path / "nope")]
+        ) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_empty_dir_fails(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        results.mkdir()
+        assert main(["report", "--results-dir", str(results)]) == 2
+
+
+class TestSweepSummary:
+    def test_mean_and_stderr(self, model_ii_alpha):
+        points = run_size_sweep(
+            "thm5-probe", model_ii_alpha, ns=[24, 32], seeds=(0, 1, 2),
+            verify_pairs=None,
+        )
+        summaries = summarize_sweep(points)
+        assert [s.n for s in summaries] == [24, 32]
+        for summary in summaries:
+            assert summary.samples == 3
+            # probe scheme size is deterministic (= n): zero spread.
+            assert summary.stderr == 0.0
+            assert summary.mean == summary.n
+
+    def test_single_sample_stderr_zero(self, model_ii_alpha):
+        points = run_size_sweep(
+            "thm5-probe", model_ii_alpha, ns=[24], seeds=(0,),
+            verify_pairs=None,
+        )
+        (summary,) = summarize_sweep(points)
+        assert summary.stderr == 0.0
+
+    def test_str_is_readable(self):
+        summary = SweepSummary(n=64, samples=3, mean=1234.5, stderr=12.3)
+        text = str(summary)
+        assert "n=64" in text and "±" in text
+
+    def test_nonzero_spread_measured(self, model_ii_alpha):
+        points = run_size_sweep(
+            "thm1-two-level", model_ii_alpha, ns=[48], seeds=(0, 1, 2),
+            verify_pairs=None,
+        )
+        (summary,) = summarize_sweep(points)
+        assert summary.stderr > 0.0
+        assert summary.mean > 0
+
+
+class TestBootstrapCommand:
+    def test_bootstrap_prints_costs(self, capsys):
+        from repro.cli import main
+
+        assert main(["bootstrap", "thm4-hub", "32", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "bit-hops" in out
+        assert "makespan" in out
+
+    def test_bootstrap_custom_root_and_rate(self, capsys):
+        from repro.cli import main
+
+        assert main(
+            ["bootstrap", "full-table", "24", "--root", "5",
+             "--rate", "1000"]
+        ) == 0

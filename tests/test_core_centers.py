@@ -1,0 +1,110 @@
+"""Tests for the Theorem 3 routing-centre scheme (stretch 1.5)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import CenterScheme, route_message, verify_scheme
+from repro.core.centers import RelayFunction
+from repro.errors import RoutingError, SchemeBuildError
+from repro.graphs import gnp_random_graph
+from repro.models import minimal_label_bits
+
+
+class TestStructure:
+    def test_centers_contain_anchor_and_cover(self, random_graph_32, model_ii_alpha):
+        scheme = CenterScheme(random_graph_32, model_ii_alpha, anchor=1)
+        assert 1 in scheme.centers
+        assert len(scheme.centers) <= 1 + 3 * 6 * math.log2(32)
+
+    def test_every_node_adjacent_to_a_center(self, random_graph_32, model_ii_alpha):
+        scheme = CenterScheme(random_graph_32, model_ii_alpha)
+        for v in random_graph_32.nodes:
+            if v in scheme.centers:
+                continue
+            assert scheme.centers & random_graph_32.neighbor_set(v)
+
+    def test_relay_function_validates_adjacency(self):
+        with pytest.raises(RoutingError):
+            RelayFunction(1, (2, 3), center=4)
+
+    def test_requires_neighbors_known(self, model_ib_alpha):
+        with pytest.raises(Exception):
+            CenterScheme(gnp_random_graph(24, seed=2), model_ib_alpha)
+
+
+class TestCorrectness:
+    def test_stretch_at_most_1_5(self, model_ii_alpha):
+        graph = gnp_random_graph(48, seed=33)
+        scheme = CenterScheme(graph, model_ii_alpha)
+        report = verify_scheme(scheme)
+        assert report.ok()
+        assert report.max_stretch <= 1.5
+
+    def test_neighbors_routed_directly(self, random_graph_32, model_ii_alpha):
+        scheme = CenterScheme(random_graph_32, model_ii_alpha)
+        for u in (2, 18):
+            for w in random_graph_32.neighbors(u):
+                assert route_message(scheme, u, w).hops == 1
+
+    def test_paths_at_most_three_hops(self, model_ii_alpha):
+        graph = gnp_random_graph(40, seed=12)
+        scheme = CenterScheme(graph, model_ii_alpha)
+        for u in (1, 20, 40):
+            for w in graph.nodes:
+                if w != u:
+                    assert route_message(scheme, u, w).hops <= 3
+
+    def test_stretch_1_5_actually_occurs(self, model_ii_alpha):
+        """On diameter-2 graphs 1.5 is the only stretch strictly in (1, 2)."""
+        found = False
+        for seed in range(6):
+            graph = gnp_random_graph(40, seed=seed * 11)
+            try:
+                scheme = CenterScheme(graph, model_ii_alpha)
+            except SchemeBuildError:
+                continue
+            if verify_scheme(scheme).max_stretch == 1.5:
+                found = True
+                break
+        assert found
+
+
+class TestEncoding:
+    def test_non_center_stores_log_n_bits(self, random_graph_32, model_ii_alpha):
+        scheme = CenterScheme(random_graph_32, model_ii_alpha)
+        for v in random_graph_32.nodes:
+            if v not in scheme.centers:
+                assert len(scheme.encode_function(v)) == minimal_label_bits(32)
+
+    def test_round_trip_both_roles(self, random_graph_32, model_ii_alpha):
+        scheme = CenterScheme(random_graph_32, model_ii_alpha)
+        center = min(scheme.centers)
+        non_center = next(
+            v for v in random_graph_32.nodes if v not in scheme.centers
+        )
+        for u in (center, non_center):
+            decoded = scheme.decode_function(u, scheme.encode_function(u))
+            for w in random_graph_32.nodes:
+                if w != u:
+                    assert (
+                        decoded.next_hop(w).next_node
+                        == scheme.function(u).next_hop(w).next_node
+                    )
+
+    def test_total_is_order_n_log_n(self, model_ii_alpha):
+        """Theorem 3: less than (6c + 20) n log n total bits with c = 3."""
+        for n in (64, 128):
+            graph = gnp_random_graph(n, seed=n + 5)
+            total = CenterScheme(graph, model_ii_alpha).space_report().total_bits
+            assert total <= 38 * n * math.log2(n)
+
+    def test_much_smaller_than_theorem1(self, model_ii_alpha):
+        from repro.core import TwoLevelScheme
+
+        graph = gnp_random_graph(96, seed=41)
+        centers_total = CenterScheme(graph, model_ii_alpha).space_report().total_bits
+        full_total = TwoLevelScheme(graph, model_ii_alpha).space_report().total_bits
+        assert centers_total < full_total / 3

@@ -1,0 +1,114 @@
+"""Tests for the full-information shortest path scheme."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import FullInformationScheme, verify_scheme
+from repro.errors import RoutingError, SchemeBuildError
+from repro.graphs import LabeledGraph, cycle_graph, gnp_random_graph
+from repro.models import Knowledge, Labeling, RoutingModel
+
+
+class TestOptions:
+    def test_all_options_are_shortest(self, random_graph_32, model_ii_alpha):
+        from repro.graphs import distance_matrix
+
+        scheme = FullInformationScheme(random_graph_32, model_ii_alpha)
+        dist = distance_matrix(random_graph_32)
+        for u in (1, 17):
+            function = scheme.function(u)
+            for w in random_graph_32.nodes:
+                if w == u:
+                    continue
+                for v in function.shortest_edges(w):
+                    assert dist[v - 1, w - 1] == dist[u - 1, w - 1] - 1
+
+    def test_options_are_complete(self, random_graph_32, model_ii_alpha):
+        """Every shortest-path neighbour appears — 'all edges incident to u'."""
+        from repro.graphs import distance_matrix
+
+        scheme = FullInformationScheme(random_graph_32, model_ii_alpha)
+        dist = distance_matrix(random_graph_32)
+        u = 5
+        function = scheme.function(u)
+        for w in random_graph_32.nodes:
+            if w == u:
+                continue
+            expected = {
+                v
+                for v in random_graph_32.neighbors(u)
+                if dist[v - 1, w - 1] == dist[u - 1, w - 1] - 1
+            }
+            assert set(function.shortest_edges(w)) == expected
+
+    def test_neighbor_entry_is_direct_edge(self, random_graph_32, model_ii_alpha):
+        scheme = FullInformationScheme(random_graph_32, model_ii_alpha)
+        function = scheme.function(4)
+        for w in random_graph_32.neighbors(4):
+            assert function.shortest_edges(w) == (w,)
+
+    def test_multiple_options_on_cycle(self, model_ii_alpha):
+        graph = cycle_graph(4)
+        scheme = FullInformationScheme(graph, model_ii_alpha)
+        # Opposite corners of C4 have two shortest paths.
+        assert len(scheme.function(1).shortest_edges(3)) == 2
+
+    def test_unknown_destination_raises(self, model_ii_alpha):
+        scheme = FullInformationScheme(cycle_graph(4), model_ii_alpha)
+        with pytest.raises(RoutingError):
+            scheme.function(1).shortest_edges(1)
+
+    def test_disconnected_rejected(self, model_ii_alpha):
+        with pytest.raises(SchemeBuildError):
+            FullInformationScheme(LabeledGraph(3, [(1, 2)]), model_ii_alpha)
+
+
+class TestRouting:
+    def test_default_routing_is_shortest(self, model_ii_alpha):
+        graph = gnp_random_graph(40, seed=44)
+        scheme = FullInformationScheme(graph, model_ii_alpha)
+        report = verify_scheme(scheme)
+        assert report.ok()
+        assert report.max_stretch == 1.0
+
+    def test_avoiding_blocked_stays_shortest(self, random_graph_32, model_ii_alpha):
+        scheme = FullInformationScheme(random_graph_32, model_ii_alpha)
+        u = 2
+        function = scheme.function(u)
+        for w in random_graph_32.non_neighbors(u):
+            options = function.shortest_edges(w)
+            if len(options) >= 2:
+                decision = function.next_hop_avoiding(w, blocked=[options[0]])
+                assert decision.next_node in options[1:]
+
+    def test_avoiding_all_raises(self, random_graph_32, model_ii_alpha):
+        scheme = FullInformationScheme(random_graph_32, model_ii_alpha)
+        function = scheme.function(2)
+        w = random_graph_32.non_neighbors(2)[0]
+        with pytest.raises(RoutingError):
+            function.next_hop_avoiding(w, blocked=function.shortest_edges(w))
+
+
+class TestEncoding:
+    def test_bitmap_size(self, random_graph_32, model_ii_alpha):
+        scheme = FullInformationScheme(random_graph_32, model_ii_alpha)
+        for u in (1, 9):
+            expected = (32 - 1) * random_graph_32.degree(u)
+            assert len(scheme.encode_function(u)) == expected
+
+    def test_round_trip(self, random_graph_32, model_ii_alpha):
+        scheme = FullInformationScheme(random_graph_32, model_ii_alpha)
+        for u in (1, 16, 32):
+            decoded = scheme.decode_function(u, scheme.encode_function(u))
+            original = scheme.function(u)
+            for w in random_graph_32.nodes:
+                if w != u:
+                    assert decoded.shortest_edges(w) == original.shortest_edges(w)
+
+    def test_total_is_cubic_order(self, model_ii_alpha):
+        """Upper bound O(n³); Theorem 10's lower bound is n³/4."""
+        n = 48
+        graph = gnp_random_graph(n, seed=3)
+        total = FullInformationScheme(graph, model_ii_alpha).space_report().total_bits
+        assert n**3 / 8 <= total <= n**3

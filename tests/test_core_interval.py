@@ -1,0 +1,117 @@
+"""Tests for the interval-routing extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import IntervalRoutingScheme, route_message, verify_scheme
+from repro.errors import SchemeBuildError
+from repro.graphs import (
+    LabeledGraph,
+    gnp_random_graph,
+    path_graph,
+    random_tree,
+    star_graph,
+)
+from repro.models import Knowledge, Labeling, RoutingModel, minimal_label_bits
+
+
+class TestModel:
+    def test_requires_relabeling(self, model_ii_alpha):
+        with pytest.raises(Exception):
+            IntervalRoutingScheme(random_tree(10, seed=1), model_ii_alpha)
+
+    def test_accepts_beta(self, model_ii_beta):
+        IntervalRoutingScheme(random_tree(10, seed=1), model_ii_beta)
+
+    def test_rejects_disconnected(self, model_ii_beta):
+        with pytest.raises(SchemeBuildError):
+            IntervalRoutingScheme(LabeledGraph(4, [(1, 2)]), model_ii_beta)
+
+
+class TestOnTrees:
+    @pytest.mark.parametrize("seed", [1, 7, 23])
+    def test_exact_routing_on_random_trees(self, seed, model_ii_beta):
+        tree = random_tree(24, seed=seed)
+        scheme = IntervalRoutingScheme(tree, model_ii_beta)
+        report = verify_scheme(scheme)
+        assert report.ok()
+        assert report.max_stretch == 1.0
+
+    def test_path_routing(self, model_ii_beta):
+        scheme = IntervalRoutingScheme(path_graph(8), model_ii_beta)
+        trace = route_message(scheme, 1, 8)
+        assert trace.hops == 7
+
+    def test_star_routing(self, model_ii_beta):
+        scheme = IntervalRoutingScheme(star_graph(9), model_ii_beta)
+        assert route_message(scheme, 2, 9).hops == 2
+        assert route_message(scheme, 1, 5).hops == 1
+
+    def test_stretch_bound_on_trees_is_one(self, model_ii_beta):
+        scheme = IntervalRoutingScheme(random_tree(16, seed=4), model_ii_beta)
+        assert scheme.stretch_bound() == 1.0
+
+
+class TestAddressing:
+    def test_addresses_are_dfs_numbers(self, model_ii_beta):
+        tree = random_tree(12, seed=2)
+        scheme = IntervalRoutingScheme(tree, model_ii_beta)
+        numbers = sorted(scheme.address_of(u) for u in tree.nodes)
+        assert numbers == list(range(1, 13))
+
+    def test_address_inversion(self, model_ii_beta):
+        tree = random_tree(12, seed=2)
+        scheme = IntervalRoutingScheme(tree, model_ii_beta)
+        for u in tree.nodes:
+            assert scheme.node_of_address(scheme.address_of(u)) == u
+
+    def test_root_address_is_one(self, model_ii_beta):
+        scheme = IntervalRoutingScheme(random_tree(12, seed=2), model_ii_beta, root=3)
+        assert scheme.address_of(3) == 1
+
+
+class TestOnGeneralGraphs:
+    def test_routes_along_spanning_tree(self, model_ii_beta):
+        graph = gnp_random_graph(32, seed=10)
+        scheme = IntervalRoutingScheme(graph, model_ii_beta)
+        report = verify_scheme(scheme)
+        assert report.all_delivered
+        assert report.max_stretch <= scheme.stretch_bound()
+
+    def test_tree_depth_bound(self, model_ii_beta):
+        graph = gnp_random_graph(32, seed=10)
+        scheme = IntervalRoutingScheme(graph, model_ii_beta)
+        worst = max(scheme.tree_depth(u) for u in graph.nodes)
+        assert scheme.stretch_bound() == max(2 * worst, 1)
+
+
+class TestEncoding:
+    def test_round_trip(self, model_ii_beta):
+        tree = random_tree(20, seed=9)
+        scheme = IntervalRoutingScheme(tree, model_ii_beta)
+        for u in tree.nodes:
+            decoded = scheme.decode_function(u, scheme.encode_function(u))
+            for w in tree.nodes:
+                if w != u:
+                    address = scheme.address_of(w)
+                    assert (
+                        decoded.next_hop(address).next_node
+                        == scheme.function(u).next_hop(address).next_node
+                    )
+
+    def test_size_is_degree_times_log(self, model_ii_beta):
+        tree = random_tree(30, seed=5)
+        scheme = IntervalRoutingScheme(tree, model_ii_beta)
+        width = minimal_label_bits(30)
+        for u in tree.nodes:
+            # Child intervals dominate: ≲ (2 width + γ-index) per child.
+            children = sum(
+                1 for v in tree.neighbors(u) if scheme.tree_parent(v) == u
+            )
+            assert len(scheme.encode_function(u)) <= children * (2 * width + 12) + 14
+
+    def test_total_on_tree_is_n_log_n(self, model_ii_beta):
+        tree = random_tree(64, seed=6)
+        total = IntervalRoutingScheme(tree, model_ii_beta).space_report().total_bits
+        assert total <= 64 * 3 * minimal_label_bits(64)

@@ -1,0 +1,118 @@
+"""Tests for the Theorem 2 neighbour-label scheme (model II ∧ γ)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import NeighborLabelScheme, NodeAddress, verify_scheme
+from repro.errors import RoutingError, SchemeBuildError
+from repro.graphs import gnp_random_graph, path_graph
+from repro.models import Knowledge, Labeling, RoutingModel, minimal_label_bits
+
+
+class TestModelRestrictions:
+    def test_requires_gamma(self, model_ii_alpha, model_ii_beta):
+        graph = gnp_random_graph(24, seed=2)
+        for model in (model_ii_alpha, model_ii_beta):
+            with pytest.raises(Exception):
+                NeighborLabelScheme(graph, model)
+
+    def test_requires_neighbors_known(self):
+        graph = gnp_random_graph(24, seed=2)
+        with pytest.raises(Exception):
+            NeighborLabelScheme(
+                graph, RoutingModel(Knowledge.IB, Labeling.GAMMA)
+            )
+
+    def test_accepts_ii_gamma(self, model_ii_gamma):
+        NeighborLabelScheme(gnp_random_graph(24, seed=2), model_ii_gamma)
+
+    def test_rejects_large_diameter(self, model_ii_gamma):
+        with pytest.raises(SchemeBuildError):
+            NeighborLabelScheme(path_graph(8), model_ii_gamma)
+
+
+class TestAddressing:
+    def test_address_embeds_cover(self, model_ii_gamma):
+        graph = gnp_random_graph(32, seed=9)
+        scheme = NeighborLabelScheme(graph, model_ii_gamma)
+        for v in (1, 16, 32):
+            address = scheme.address_of(v)
+            assert isinstance(address, NodeAddress)
+            assert address.original == v
+            assert all(graph.has_edge(v, w) for w in address.cover)
+
+    def test_node_of_address_inverts(self, model_ii_gamma):
+        graph = gnp_random_graph(32, seed=9)
+        scheme = NeighborLabelScheme(graph, model_ii_gamma)
+        for v in graph.nodes:
+            assert scheme.node_of_address(scheme.address_of(v)) == v
+
+    def test_cover_property(self, model_ii_gamma):
+        """Every non-neighbour of v is adjacent to someone in f(v)."""
+        graph = gnp_random_graph(32, seed=9)
+        scheme = NeighborLabelScheme(graph, model_ii_gamma)
+        for v in graph.nodes:
+            cover = scheme.address_of(v).cover
+            for u in graph.non_neighbors(v):
+                assert any(graph.has_edge(u, w) for w in cover)
+
+
+class TestCorrectness:
+    def test_shortest_paths(self, model_ii_gamma):
+        graph = gnp_random_graph(48, seed=14)
+        scheme = NeighborLabelScheme(graph, model_ii_gamma)
+        report = verify_scheme(scheme)
+        assert report.ok()
+        assert report.max_stretch == 1.0
+
+    def test_plain_int_address_rejected(self, model_ii_gamma):
+        graph = gnp_random_graph(24, seed=2)
+        scheme = NeighborLabelScheme(graph, model_ii_gamma)
+        with pytest.raises(RoutingError):
+            scheme.function(1).next_hop(5)
+
+
+class TestAccounting:
+    def test_function_bits_are_constant(self, model_ii_gamma):
+        graph = gnp_random_graph(40, seed=3)
+        scheme = NeighborLabelScheme(graph, model_ii_gamma)
+        sizes = {len(scheme.encode_function(u)) for u in graph.nodes}
+        assert sizes == {1}
+
+    def test_label_bits_charged(self, model_ii_gamma):
+        graph = gnp_random_graph(40, seed=3)
+        scheme = NeighborLabelScheme(graph, model_ii_gamma)
+        report = scheme.space_report()
+        assert report.label_bits > 0
+        for entry in report.per_node:
+            address = scheme.address_of(entry.node)
+            assert entry.label_bits == (1 + len(address.cover)) * minimal_label_bits(40)
+
+    def test_label_size_matches_theorem2(self, model_ii_gamma):
+        """Labels occupy at most (1 + (c+3) log n) log n bits, c = 3."""
+        for n in (64, 128):
+            graph = gnp_random_graph(n, seed=n)
+            scheme = NeighborLabelScheme(graph, model_ii_gamma)
+            limit = (1 + 6 * math.log2(n)) * minimal_label_bits(n)
+            for v in graph.nodes:
+                assert scheme.label_bits(v) <= limit
+
+    def test_total_is_n_polylog(self, model_ii_gamma):
+        """O(n log² n) total — far below the Θ(n²) of model α."""
+        n = 128
+        graph = gnp_random_graph(n, seed=77)
+        total = NeighborLabelScheme(graph, model_ii_gamma).space_report().total_bits
+        assert total <= 8 * n * math.log2(n) ** 2
+        assert total < n * n / 2
+
+    def test_decode_round_trip(self, model_ii_gamma):
+        graph = gnp_random_graph(24, seed=2)
+        scheme = NeighborLabelScheme(graph, model_ii_gamma)
+        decoded = scheme.decode_function(3, scheme.encode_function(3))
+        address = scheme.address_of(graph.non_neighbors(3)[0])
+        assert decoded.next_hop(address).next_node == scheme.function(3).next_hop(
+            address
+        ).next_node

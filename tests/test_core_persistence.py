@@ -1,0 +1,84 @@
+"""Tests for whole-scheme packing/unpacking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    build_scheme,
+    pack_scheme,
+    restore_scheme,
+    unpack_blob,
+    verify_scheme,
+)
+from repro.errors import CodecError
+from repro.graphs import gnp_random_graph
+from repro.models import Knowledge, Labeling, RoutingModel
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return gnp_random_graph(28, seed=43)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "name", ["full-table", "thm1-two-level", "thm3-centers", "thm4-hub"]
+    )
+    def test_pack_unpack_restore(self, name, graph, model_ii_alpha):
+        scheme = build_scheme(name, graph, model_ii_alpha)
+        blob = pack_scheme(scheme)
+        restored = restore_scheme(blob, graph, model_ii_alpha)
+        assert restored.scheme_name == name
+        report = verify_scheme(restored)
+        assert report.ok()
+        for u in graph.nodes:
+            for w in graph.nodes:
+                if w != u:
+                    assert (
+                        restored.function(u).next_hop(w).next_node
+                        == scheme.function(u).next_hop(w).next_node
+                    )
+
+    def test_blob_metadata(self, graph, model_ii_alpha):
+        scheme = build_scheme("thm1-two-level", graph, model_ii_alpha)
+        blob = unpack_blob(pack_scheme(scheme))
+        assert blob.scheme_name == "thm1-two-level"
+        assert blob.n == graph.n
+        assert set(blob.functions) == set(graph.nodes)
+
+    def test_packed_function_bits_match_report(self, graph, model_ii_alpha):
+        scheme = build_scheme("thm1-two-level", graph, model_ii_alpha)
+        blob = unpack_blob(pack_scheme(scheme))
+        assert blob.total_function_bits == scheme.space_report().routing_bits
+
+    def test_pack_is_deterministic(self, graph, model_ii_alpha):
+        scheme = build_scheme("thm4-hub", graph, model_ii_alpha)
+        assert pack_scheme(scheme) == pack_scheme(scheme)
+
+
+class TestErrors:
+    def test_truncated_blob_rejected(self, graph, model_ii_alpha):
+        blob = pack_scheme(build_scheme("thm4-hub", graph, model_ii_alpha))
+        with pytest.raises(CodecError):
+            unpack_blob(blob[: len(blob) // 2])
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(CodecError):
+            unpack_blob(b"\x00\x00\x00\x10\xff\xff")
+
+    def test_empty_rejected(self):
+        with pytest.raises(CodecError):
+            unpack_blob(b"\x00")
+
+    def test_wrong_graph_size_rejected(self, graph, model_ii_alpha):
+        blob = pack_scheme(build_scheme("thm4-hub", graph, model_ii_alpha))
+        other = gnp_random_graph(30, seed=1)
+        with pytest.raises(CodecError):
+            restore_scheme(blob, other, model_ii_alpha)
+
+    def test_corrupt_header_length(self, graph, model_ii_alpha):
+        blob = pack_scheme(build_scheme("thm4-hub", graph, model_ii_alpha))
+        corrupted = (2**31).to_bytes(4, "big") + blob[4:]
+        with pytest.raises(CodecError):
+            unpack_blob(corrupted)

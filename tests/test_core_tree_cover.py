@@ -1,0 +1,161 @@
+"""Tests for the tree-cover scheme (general-graph extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    TreeCoverAddress,
+    TreeCoverScheme,
+    build_scheme,
+    route_message,
+    verify_scheme,
+)
+from repro.errors import RoutingError, SchemeBuildError
+from repro.graphs import (
+    LabeledGraph,
+    cycle_graph,
+    gnp_random_graph,
+    path_graph,
+    random_tree,
+)
+from repro.models import Knowledge, Labeling, RoutingModel
+
+
+def sparse_graph(n: int, seed: int) -> LabeledGraph:
+    """A connected sparse graph (diameter well above 2)."""
+    import math
+
+    p = min(3.0 * math.log(n) / n, 0.5)
+    for attempt in range(20):
+        graph = gnp_random_graph(n, p=p, seed=seed + attempt * 1000)
+        if graph.is_connected():
+            return graph
+    raise AssertionError("no connected sparse sample found")
+
+
+class TestModel:
+    def test_requires_gamma(self, model_ii_alpha, model_ii_beta):
+        graph = cycle_graph(12)
+        for model in (model_ii_alpha, model_ii_beta):
+            with pytest.raises(Exception):
+                TreeCoverScheme(graph, model)
+
+    def test_accepts_gamma(self, model_ii_gamma):
+        TreeCoverScheme(cycle_graph(12), model_ii_gamma)
+
+    def test_rejects_disconnected(self, model_ii_gamma):
+        with pytest.raises(SchemeBuildError):
+            TreeCoverScheme(LabeledGraph(4, [(1, 2)]), model_ii_gamma)
+
+    def test_rejects_zero_trees(self, model_ii_gamma):
+        with pytest.raises(SchemeBuildError):
+            TreeCoverScheme(cycle_graph(12), model_ii_gamma, num_trees=0)
+
+
+class TestRouting:
+    @pytest.mark.parametrize("seed", [1, 5, 9])
+    def test_delivers_on_sparse_graphs(self, seed, model_ii_gamma):
+        graph = sparse_graph(48, seed)
+        scheme = TreeCoverScheme(graph, model_ii_gamma, num_trees=4)
+        report = verify_scheme(scheme, sample_pairs=400, seed=seed)
+        assert report.ok()
+
+    def test_delivers_on_cycle(self, model_ii_gamma):
+        scheme = TreeCoverScheme(cycle_graph(16), model_ii_gamma, num_trees=2)
+        assert verify_scheme(scheme).all_delivered
+
+    def test_exact_on_trees(self, model_ii_gamma):
+        """With the tree itself as cover, routing is exact."""
+        tree = random_tree(20, seed=3)
+        scheme = TreeCoverScheme(tree, model_ii_gamma, num_trees=1)
+        report = verify_scheme(scheme)
+        assert report.ok()
+
+    def test_neighbors_short_circuit(self, model_ii_gamma):
+        graph = sparse_graph(32, 2)
+        scheme = TreeCoverScheme(graph, model_ii_gamma)
+        u = 1
+        for w in graph.neighbors(u):
+            assert route_message(scheme, u, w).hops == 1
+
+    def test_hops_bounded_by_chosen_tree(self, model_ii_gamma):
+        graph = sparse_graph(40, 4)
+        scheme = TreeCoverScheme(graph, model_ii_gamma, num_trees=3)
+        for u, w in [(1, 40), (3, 37), (10, 20)]:
+            trace = route_message(scheme, u, w)
+            best = min(
+                mu + mw
+                for mu, mw in zip(
+                    scheme.address_of(u).depths, scheme.address_of(w).depths
+                )
+            )
+            assert trace.hops <= best
+
+    def test_more_trees_never_hurt_much(self, model_ii_gamma):
+        graph = sparse_graph(48, 7)
+        few = TreeCoverScheme(graph, model_ii_gamma, num_trees=1)
+        many = TreeCoverScheme(graph, model_ii_gamma, num_trees=4)
+        stretch_few = verify_scheme(few, sample_pairs=300, seed=1).max_stretch
+        stretch_many = verify_scheme(many, sample_pairs=300, seed=1).max_stretch
+        assert stretch_many <= stretch_few + 1e-9
+
+    def test_plain_address_rejected(self, model_ii_gamma):
+        scheme = TreeCoverScheme(cycle_graph(8), model_ii_gamma)
+        with pytest.raises(RoutingError):
+            scheme.function(1).next_hop(5)
+
+
+class TestAddressing:
+    def test_address_contents(self, model_ii_gamma):
+        graph = sparse_graph(24, 1)
+        scheme = TreeCoverScheme(graph, model_ii_gamma, num_trees=3)
+        address = scheme.address_of(7)
+        assert isinstance(address, TreeCoverAddress)
+        assert address.node == 7
+        assert len(address.dfs_numbers) == 3
+        assert len(address.depths) == 3
+
+    def test_roots_are_distinct_and_spread(self, model_ii_gamma):
+        graph = sparse_graph(30, 1)
+        scheme = TreeCoverScheme(graph, model_ii_gamma, num_trees=3)
+        assert len(set(scheme.roots)) == 3
+
+    def test_label_bits_charged(self, model_ii_gamma):
+        graph = sparse_graph(24, 1)
+        scheme = TreeCoverScheme(graph, model_ii_gamma, num_trees=3)
+        report = scheme.space_report()
+        assert report.label_bits == sum(
+            scheme.address_of(v).bit_length(24) for v in graph.nodes
+        )
+
+
+class TestEncoding:
+    def test_round_trip(self, model_ii_gamma):
+        graph = sparse_graph(24, 6)
+        scheme = TreeCoverScheme(graph, model_ii_gamma, num_trees=2)
+        for u in graph.nodes:
+            decoded = scheme.decode_function(u, scheme.encode_function(u))
+            for w in (1, 12, 24):
+                if w == u:
+                    continue
+                address = scheme.address_of(w)
+                assert (
+                    decoded.next_hop(address).next_node
+                    == scheme.function(u).next_hop(address).next_node
+                )
+
+    def test_registered(self, model_ii_gamma):
+        scheme = build_scheme(
+            "tree-cover", cycle_graph(10), model_ii_gamma, num_trees=2
+        )
+        assert scheme.scheme_name == "tree-cover"
+
+    def test_size_scales_with_trees(self, model_ii_gamma):
+        graph = sparse_graph(32, 8)
+        small = TreeCoverScheme(graph, model_ii_gamma, num_trees=1)
+        large = TreeCoverScheme(graph, model_ii_gamma, num_trees=4)
+        assert (
+            large.space_report().routing_bits
+            > small.space_report().routing_bits
+        )

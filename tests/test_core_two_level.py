@@ -1,0 +1,146 @@
+"""Tests for the Theorem 1 two-level scheme — the paper's core construction."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import TwoLevelScheme, verify_scheme
+from repro.core.two_level import decode_two_level_function, split_threshold
+from repro.errors import SchemeBuildError
+from repro.graphs import complete_graph, gnp_random_graph, path_graph
+from repro.models import Knowledge, Labeling, RoutingModel
+
+
+class TestModelRestrictions:
+    def test_rejected_under_ia(self, model_ia_alpha):
+        """Theorem 1 needs IB ∨ II."""
+        with pytest.raises(SchemeBuildError):
+            TwoLevelScheme(gnp_random_graph(16, seed=0), model_ia_alpha)
+
+    def test_accepted_under_ib_and_ii(self, model_ib_alpha, model_ii_alpha):
+        graph = gnp_random_graph(16, seed=0)
+        TwoLevelScheme(graph, model_ib_alpha)
+        TwoLevelScheme(graph, model_ii_alpha)
+
+    def test_unknown_strategy_rejected(self, model_ii_alpha):
+        with pytest.raises(SchemeBuildError):
+            TwoLevelScheme(gnp_random_graph(16, seed=0), model_ii_alpha,
+                           strategy="best")
+
+    def test_diameter_three_graph_rejected(self, model_ii_alpha):
+        with pytest.raises(SchemeBuildError):
+            TwoLevelScheme(path_graph(8), model_ii_alpha)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("strategy", ["least", "greedy"])
+    def test_shortest_path_routing(self, strategy, model_ii_alpha):
+        graph = gnp_random_graph(48, seed=21)
+        scheme = TwoLevelScheme(graph, model_ii_alpha, strategy=strategy)
+        report = verify_scheme(scheme)
+        assert report.ok()
+        assert report.max_stretch == 1.0
+
+    def test_complete_graph_trivial(self, model_ii_alpha):
+        scheme = TwoLevelScheme(complete_graph(8), model_ii_alpha)
+        assert verify_scheme(scheme).ok()
+
+    def test_intermediate_is_common_neighbor(self, random_graph_32, model_ii_alpha):
+        scheme = TwoLevelScheme(random_graph_32, model_ii_alpha)
+        for u in (1, 15, 32):
+            function = scheme.function(u)
+            for w in random_graph_32.non_neighbors(u):
+                v = function.intermediate_for(w)
+                assert random_graph_32.has_edge(u, v)
+                assert random_graph_32.has_edge(v, w)
+
+    def test_covering_sequence_exposed(self, random_graph_32, model_ii_alpha):
+        scheme = TwoLevelScheme(random_graph_32, model_ii_alpha)
+        sequence = scheme.covering_sequence_of(1)
+        assert sequence == random_graph_32.neighbors(1)[: len(sequence)]
+
+
+class TestEncoding:
+    @pytest.mark.parametrize("strategy", ["least", "greedy"])
+    def test_round_trip_via_scheme(self, strategy, model_ii_alpha):
+        graph = gnp_random_graph(40, seed=31)
+        scheme = TwoLevelScheme(graph, model_ii_alpha, strategy=strategy)
+        for u in graph.nodes:
+            decoded = scheme.decode_function(u, scheme.encode_function(u))
+            original = scheme.function(u)
+            for w in graph.nodes:
+                if w != u:
+                    assert (
+                        decoded.next_hop(w).next_node
+                        == original.next_hop(w).next_node
+                    )
+
+    def test_standalone_decoder(self, random_graph_32, model_ii_alpha):
+        scheme = TwoLevelScheme(random_graph_32, model_ii_alpha)
+        u = 7
+        function = decode_two_level_function(
+            u,
+            random_graph_32.n,
+            random_graph_32.neighbors(u),
+            scheme.encode_function(u),
+        )
+        for w in random_graph_32.non_neighbors(u):
+            assert function.intermediate_for(w) == scheme.function(
+                u
+            ).intermediate_for(w)
+
+
+class TestSizeBounds:
+    def test_theorem1_six_n_bits_per_node(self, model_ii_alpha):
+        """The headline claim: ≤ 6n bits per local function on random graphs."""
+        for n in (32, 64, 128):
+            graph = gnp_random_graph(n, seed=n + 1)
+            scheme = TwoLevelScheme(graph, model_ii_alpha)
+            worst = max(len(scheme.encode_function(u)) for u in graph.nodes)
+            assert worst <= 6 * n
+
+    def test_refined_three_n_bits_per_node(self, model_ii_alpha):
+        """The paper's refined remark: the n/log n split gives ≤ 3n bits."""
+        for n in (64, 128):
+            graph = gnp_random_graph(n, seed=n + 2)
+            scheme = TwoLevelScheme(graph, model_ii_alpha, split_rule="log")
+            worst = max(len(scheme.encode_function(u)) for u in graph.nodes)
+            assert worst <= 3 * n
+
+    def test_total_is_order_n_squared(self, model_ii_alpha):
+        graph = gnp_random_graph(96, seed=7)
+        total = TwoLevelScheme(graph, model_ii_alpha).space_report().total_bits
+        assert total <= 6 * 96 * 96
+
+    def test_ib_charges_interconnection_vector(self, model_ib_alpha, model_ii_alpha):
+        graph = gnp_random_graph(32, seed=3)
+        ib_report = TwoLevelScheme(graph, model_ib_alpha).space_report()
+        ii_report = TwoLevelScheme(graph, model_ii_alpha).space_report()
+        assert ib_report.aux_bits == 32 * 31
+        assert ii_report.aux_bits == 0
+        assert ib_report.total_bits == ii_report.total_bits + 32 * 31
+
+
+class TestSplitRules:
+    def test_split_threshold_values(self):
+        assert split_threshold(1024, "log") == pytest.approx(1024 / 10)
+        assert split_threshold(1024, "loglog") < split_threshold(1024, "log") * 4
+        with pytest.raises(SchemeBuildError):
+            split_threshold(64, "sqrt")
+
+    def test_both_rules_route_correctly(self, model_ii_alpha):
+        graph = gnp_random_graph(40, seed=17)
+        for rule in ("log", "loglog"):
+            scheme = TwoLevelScheme(graph, model_ii_alpha, split_rule=rule)
+            assert verify_scheme(scheme, sample_pairs=300).ok()
+
+    def test_greedy_not_larger_tables(self, model_ii_alpha):
+        """Greedy covering shortens the unary table (the DESIGN ablation)."""
+        graph = gnp_random_graph(64, seed=23)
+        least = TwoLevelScheme(graph, model_ii_alpha, strategy="least")
+        greedy = TwoLevelScheme(graph, model_ii_alpha, strategy="greedy")
+        assert len(greedy.covering_sequence_of(1)) <= len(
+            least.covering_sequence_of(1)
+        )

@@ -1,0 +1,106 @@
+"""Tests for the exception hierarchy and the networkx adapter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    AnalysisError,
+    BitstreamError,
+    CodecError,
+    GraphError,
+    ModelError,
+    PortAssignmentError,
+    ReproError,
+    RoutingError,
+    SchemeBuildError,
+)
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc_type in (
+            AnalysisError,
+            BitstreamError,
+            CodecError,
+            GraphError,
+            ModelError,
+            PortAssignmentError,
+            RoutingError,
+            SchemeBuildError,
+        ):
+            assert issubclass(exc_type, ReproError)
+
+    def test_port_error_is_graph_error(self):
+        assert issubclass(PortAssignmentError, GraphError)
+
+    def test_one_except_catches_all(self):
+        from repro.graphs import LabeledGraph
+
+        with pytest.raises(ReproError):
+            LabeledGraph(0)
+
+    def test_library_never_raises_bare_exceptions_for_bad_graphs(self):
+        from repro.graphs import LabeledGraph, diameter
+
+        try:
+            diameter(LabeledGraph(3, [(1, 2)]))
+        except ReproError:
+            pass  # the only acceptable failure mode
+        else:
+            pytest.fail("expected a ReproError")
+
+
+class TestNetworkxAdapter:
+    def test_round_trip(self):
+        pytest.importorskip("networkx")
+        from repro.graphs import gnp_random_graph
+        from repro.graphs.nxadapter import from_networkx, to_networkx
+
+        graph = gnp_random_graph(18, seed=4)
+        assert from_networkx(to_networkx(graph)) == graph
+
+    def test_node_and_edge_counts(self):
+        networkx = pytest.importorskip("networkx")
+        from repro.graphs import gnp_random_graph
+        from repro.graphs.nxadapter import to_networkx
+
+        graph = gnp_random_graph(18, seed=4)
+        nx_graph = to_networkx(graph)
+        assert nx_graph.number_of_nodes() == 18
+        assert nx_graph.number_of_edges() == graph.edge_count
+
+    def test_rejects_wrong_labels(self):
+        networkx = pytest.importorskip("networkx")
+        from repro.graphs.nxadapter import from_networkx
+
+        bad = networkx.Graph()
+        bad.add_edge("a", "b")
+        with pytest.raises(GraphError):
+            from_networkx(bad)
+
+    def test_rejects_zero_based_labels(self):
+        networkx = pytest.importorskip("networkx")
+        from repro.graphs.nxadapter import from_networkx
+
+        bad = networkx.path_graph(4)  # nodes 0..3
+        with pytest.raises(GraphError):
+            from_networkx(bad)
+
+    def test_isolated_nodes_preserved(self):
+        pytest.importorskip("networkx")
+        from repro.graphs import LabeledGraph
+        from repro.graphs.nxadapter import from_networkx, to_networkx
+
+        graph = LabeledGraph(5, [(1, 2)])
+        assert from_networkx(to_networkx(graph)) == graph
+
+    def test_diameter_cross_check(self):
+        networkx = pytest.importorskip("networkx")
+        from repro.graphs import diameter, gnp_random_graph
+        from repro.graphs.nxadapter import to_networkx
+
+        for seed in (1, 2):
+            graph = gnp_random_graph(20, seed=seed)
+            if graph.is_connected():
+                assert diameter(graph) == networkx.diameter(to_networkx(graph))

@@ -1,0 +1,66 @@
+"""Smoke tests: every example script must run to completion.
+
+Examples are documentation; a broken example is a broken promise.  Each is
+run in-process (cheaper than a subprocess) with small parameters.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def _load(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_examples_directory_contents(self):
+        names = {path.stem for path in EXAMPLES_DIR.glob("*.py")}
+        assert {
+            "quickstart",
+            "space_stretch_tradeoff",
+            "overlay_failover",
+            "adversarial_networks",
+            "incompressibility_tour",
+            "mesh_interconnect",
+        } <= names
+
+    def test_quickstart(self, capsys):
+        _load("quickstart").main(n=48, seed=3)
+        out = capsys.readouterr().out
+        assert "space saved" in out
+
+    def test_space_stretch_tradeoff(self, capsys):
+        _load("space_stretch_tradeoff").main(n=48, seed=3)
+        out = capsys.readouterr().out
+        assert "thm5-probe" in out
+
+    def test_overlay_failover(self, capsys):
+        _load("overlay_failover").main(n=40, seed=3)
+        out = capsys.readouterr().out
+        assert "Event-driven burst" in out
+
+    def test_adversarial_networks(self, capsys):
+        _load("adversarial_networks").main(k=8)
+        out = capsys.readouterr().out
+        assert "recovered" in out or "read back" in out
+
+    def test_incompressibility_tour(self, capsys):
+        _load("incompressibility_tour").main(n=40)
+        out = capsys.readouterr().out
+        assert "refuses" in out
+
+    def test_mesh_interconnect(self, capsys):
+        _load("mesh_interconnect").main(rows=4, cols=5)
+        out = capsys.readouterr().out
+        assert "torus" in out

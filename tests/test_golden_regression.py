@@ -1,0 +1,65 @@
+"""Golden-value regression tests.
+
+Every number here was measured once on the reference implementation with
+fixed seeds.  A change to graph sampling, encodings, or constructions that
+alters any measured bit count — intentionally or not — must update these
+values consciously.  (This is the bit-level analogue of the paper's tables:
+the numbers ARE the result.)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import build_scheme
+from repro.graphs import encode_graph, gnp_random_graph
+from repro.lowerbounds import ExplicitLowerBoundScheme
+from repro.models import Knowledge, Labeling, RoutingModel
+
+II_ALPHA = RoutingModel(Knowledge.II, Labeling.ALPHA)
+II_GAMMA = RoutingModel(Knowledge.II, Labeling.GAMMA)
+
+GRAPH = gnp_random_graph(32, seed=101)
+
+GOLDEN_TOTAL_BITS = {
+    "thm1-two-level": 1399,
+    "thm3-centers": 419,
+    "thm4-hub": 109,
+    "full-table": 4526,
+    "full-information": 16430,
+}
+
+
+class TestGoldenValues:
+    def test_sampled_graph_is_stable(self):
+        assert GRAPH.edge_count == 265
+        assert encode_graph(GRAPH).count(1) == 265
+
+    @pytest.mark.parametrize("name,expected", sorted(GOLDEN_TOTAL_BITS.items()))
+    def test_scheme_total_bits(self, name, expected):
+        scheme = build_scheme(name, GRAPH, II_ALPHA)
+        assert scheme.space_report().total_bits == expected
+
+    def test_thm2_total_bits(self):
+        scheme = build_scheme("thm2-neighbor-labels", GRAPH, II_GAMMA)
+        assert scheme.space_report().total_bits == 1082
+
+    def test_thm9_total_bits(self):
+        scheme = ExplicitLowerBoundScheme.from_parameters(8, II_ALPHA)
+        assert scheme.space_report().total_bits == 152
+
+    def test_thm1_function_prefix(self):
+        """The first bits of a serialised function are part of the format."""
+        scheme = build_scheme("thm1-two-level", GRAPH, II_ALPHA)
+        assert scheme.encode_function(1).to01().startswith(
+            "011010101011011010101010"
+        )
+
+    def test_totals_are_model_independent_where_expected(self):
+        """Under β the Theorem 1 scheme neither gains nor loses bits
+        (it never relabels), so its size equals the α number."""
+        beta = RoutingModel(Knowledge.II, Labeling.BETA)
+        scheme = build_scheme("thm1-two-level", GRAPH, beta)
+        assert scheme.space_report().total_bits == GOLDEN_TOTAL_BITS[
+            "thm1-two-level"
+        ]

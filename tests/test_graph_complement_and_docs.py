@@ -1,0 +1,84 @@
+"""Tests for the complement operation and executable documentation."""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import textwrap
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    LabeledGraph,
+    complete_graph,
+    degree_statistics,
+    edge_code_length,
+    encode_graph,
+    gnp_random_graph,
+    path_graph,
+)
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+
+
+class TestComplement:
+    def test_involution(self):
+        graph = gnp_random_graph(15, seed=2)
+        assert graph.complement().complement() == graph
+
+    def test_edge_counts_sum(self):
+        graph = gnp_random_graph(15, seed=2)
+        assert (
+            graph.edge_count + graph.complement().edge_count
+            == edge_code_length(15)
+        )
+
+    def test_empty_complement_is_complete(self):
+        assert LabeledGraph(6).complement() == complete_graph(6)
+
+    def test_eg_bits_flip(self):
+        graph = gnp_random_graph(12, seed=7)
+        code = encode_graph(graph)
+        flipped = encode_graph(graph.complement())
+        assert all(a != b for a, b in zip(code, flipped))
+
+    @given(st.integers(min_value=2, max_value=30), st.integers(min_value=0, max_value=100))
+    def test_degree_band_symmetric(self, n, seed):
+        """G(n, 1/2) and the Lemma 1 band are complement-symmetric."""
+        graph = gnp_random_graph(n, seed=seed)
+        stats = degree_statistics(graph)
+        co_stats = degree_statistics(graph.complement())
+        assert stats.max_deviation == co_stats.max_deviation
+
+    def test_path_complement_dense(self):
+        graph = path_graph(6)
+        assert graph.complement().edge_count == 15 - 5
+
+
+class TestReadmeSnippets:
+    def _python_blocks(self, path: pathlib.Path):
+        text = path.read_text()
+        return re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+
+    def test_readme_quickstart_runs(self):
+        blocks = self._python_blocks(REPO_ROOT / "README.md")
+        assert blocks, "README must contain a python quickstart"
+        namespace: dict = {}
+        exec(textwrap.dedent(blocks[0]), namespace)  # noqa: S102
+
+    def test_models_doc_example_runs(self):
+        blocks = self._python_blocks(REPO_ROOT / "docs" / "MODELS.md")
+        assert blocks
+        namespace: dict = {}
+        exec(textwrap.dedent(blocks[0]), namespace)  # noqa: S102
+
+    def test_package_docstring_example_runs(self):
+        import repro
+
+        match = re.search(r"Quickstart::\n\n(.*)\Z", repro.__doc__ or "",
+                          flags=re.DOTALL)
+        assert match, "package docstring must keep its quickstart"
+        code = textwrap.dedent(match.group(1))
+        exec(code, {})  # noqa: S102

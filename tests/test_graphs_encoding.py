@@ -1,0 +1,94 @@
+"""Tests for the canonical ``E(G)`` encoding (Definition 2)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graphs import (
+    LabeledGraph,
+    complete_graph,
+    decode_graph,
+    edge_code_length,
+    edge_index,
+    encode_graph,
+    gnp_random_graph,
+    index_to_edge,
+)
+from repro.bitio import BitArray
+
+
+class TestEdgeIndex:
+    def test_first_edge(self):
+        assert edge_index(1, 2, 5) == 0
+
+    def test_last_edge(self):
+        assert edge_index(4, 5, 5) == edge_code_length(5) - 1
+
+    def test_order_is_lexicographic(self):
+        n = 6
+        pairs = [(u, v) for u in range(1, n + 1) for v in range(u + 1, n + 1)]
+        assert [edge_index(u, v, n) for u, v in pairs] == list(range(len(pairs)))
+
+    def test_symmetric_in_arguments(self):
+        assert edge_index(3, 5, 8) == edge_index(5, 3, 8)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(GraphError):
+            edge_index(2, 2, 5)
+
+    @given(st.integers(min_value=2, max_value=30), st.data())
+    def test_index_round_trip(self, n, data):
+        index = data.draw(
+            st.integers(min_value=0, max_value=edge_code_length(n) - 1)
+        )
+        u, v = index_to_edge(index, n)
+        assert edge_index(u, v, n) == index
+
+    def test_index_to_edge_rejects_out_of_range(self):
+        with pytest.raises(GraphError):
+            index_to_edge(edge_code_length(4), 4)
+
+
+class TestGraphCodec:
+    def test_code_length(self):
+        assert len(encode_graph(LabeledGraph(5))) == edge_code_length(5)
+
+    def test_empty_graph_all_zeros(self):
+        assert encode_graph(LabeledGraph(5)).count(1) == 0
+
+    def test_complete_graph_all_ones(self):
+        assert encode_graph(complete_graph(5)).count(0) == 0
+
+    def test_one_bit_per_edge(self):
+        graph = LabeledGraph(4, [(1, 3), (2, 4)])
+        code = encode_graph(graph)
+        assert code.count(1) == 2
+        assert code[edge_index(1, 3, 4)] == 1
+        assert code[edge_index(2, 4, 4)] == 1
+
+    def test_decode_rejects_wrong_length(self):
+        with pytest.raises(GraphError):
+            decode_graph(BitArray.zeros(5), 5)
+
+    @given(st.integers(min_value=1, max_value=40), st.integers())
+    def test_round_trip_random_graphs(self, n, seed):
+        graph = gnp_random_graph(n, seed=abs(seed) % (2**31))
+        assert decode_graph(encode_graph(graph), n) == graph
+
+    @given(st.integers(min_value=2, max_value=16), st.data())
+    def test_every_bitstring_is_a_graph(self, n, data):
+        """Definition 2: the correspondence is a bijection."""
+        bits = BitArray(
+            data.draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=1),
+                    min_size=edge_code_length(n),
+                    max_size=edge_code_length(n),
+                )
+            )
+        )
+        graph = decode_graph(bits, n)
+        assert encode_graph(graph) == bits

@@ -1,0 +1,150 @@
+"""Tests for graph generators, especially the Figure 1 family."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graphs import (
+    complete_graph,
+    cycle_graph,
+    diameter,
+    gnp_random_graph,
+    lower_bound_graph,
+    lower_bound_inner_nodes,
+    lower_bound_middle_nodes,
+    lower_bound_outer_nodes,
+    path_graph,
+    random_graph_stream,
+    random_tree,
+    star_graph,
+)
+
+
+class TestGnp:
+    def test_seed_determinism(self):
+        assert gnp_random_graph(20, seed=4) == gnp_random_graph(20, seed=4)
+
+    def test_different_seeds_differ(self):
+        assert gnp_random_graph(20, seed=4) != gnp_random_graph(20, seed=5)
+
+    def test_p_zero_empty(self):
+        assert gnp_random_graph(10, p=0.0, seed=1).edge_count == 0
+
+    def test_p_one_complete(self):
+        graph = gnp_random_graph(10, p=1.0, seed=1)
+        assert graph == complete_graph(10)
+
+    def test_rejects_bad_p(self):
+        with pytest.raises(GraphError):
+            gnp_random_graph(10, p=1.5)
+
+    def test_edge_density_near_half(self):
+        graph = gnp_random_graph(60, seed=8)
+        expected = 60 * 59 / 4
+        assert abs(graph.edge_count - expected) < 0.15 * expected
+
+    def test_stream_is_reproducible(self):
+        a = list(random_graph_stream(12, 3, seed=9))
+        b = list(random_graph_stream(12, 3, seed=9))
+        assert a == b
+
+    def test_stream_distinct_samples(self):
+        a, b, c = random_graph_stream(12, 3, seed=9)
+        assert a != b and b != c
+
+
+class TestLowerBoundGraph:
+    def test_node_count(self):
+        assert lower_bound_graph(5).n == 15
+
+    def test_layer_helpers(self):
+        assert list(lower_bound_inner_nodes(4)) == [1, 2, 3, 4]
+        assert list(lower_bound_middle_nodes(4)) == [5, 6, 7, 8]
+        assert list(lower_bound_outer_nodes(4)) == [9, 10, 11, 12]
+
+    def test_inner_adjacent_to_all_middles(self):
+        k = 4
+        graph = lower_bound_graph(k)
+        for inner in lower_bound_inner_nodes(k):
+            assert set(graph.neighbors(inner)) == set(lower_bound_middle_nodes(k))
+
+    def test_outer_are_pendants(self):
+        k = 4
+        graph = lower_bound_graph(k)
+        for outer in lower_bound_outer_nodes(k):
+            assert graph.degree(outer) == 1
+
+    def test_default_assignment_is_identity(self):
+        k = 3
+        graph = lower_bound_graph(k)
+        for i in range(1, k + 1):
+            assert graph.has_edge(k + i, 2 * k + i)
+
+    def test_custom_assignment(self):
+        k = 3
+        graph = lower_bound_graph(k, outer_assignment=[9, 7, 8])
+        assert graph.has_edge(4, 9)
+        assert graph.has_edge(5, 7)
+        assert graph.has_edge(6, 8)
+
+    def test_rejects_bad_assignment(self):
+        with pytest.raises(GraphError):
+            lower_bound_graph(3, outer_assignment=[7, 7, 8])
+
+    def test_inner_outer_distance_is_two(self):
+        """The forced shortest path of Theorem 9."""
+        from repro.graphs import distance_matrix
+
+        k = 4
+        graph = lower_bound_graph(k)
+        dist = distance_matrix(graph)
+        for i in range(1, k + 1):
+            for j in range(2 * k + 1, 3 * k + 1):
+                assert dist[i - 1, j - 1] == 2
+
+    def test_edge_count(self):
+        k = 6
+        assert lower_bound_graph(k).edge_count == k * k + k
+
+
+class TestDeterministicFamilies:
+    def test_path(self):
+        graph = path_graph(5)
+        assert graph.edge_count == 4
+        assert diameter(graph) == 4
+
+    def test_cycle(self):
+        graph = cycle_graph(6)
+        assert graph.edge_count == 6
+        assert all(graph.degree(u) == 2 for u in graph.nodes)
+
+    def test_cycle_rejects_tiny(self):
+        with pytest.raises(GraphError):
+            cycle_graph(2)
+
+    def test_complete(self):
+        graph = complete_graph(5)
+        assert graph.edge_count == 10
+        assert diameter(graph) == 1
+
+    def test_star(self):
+        graph = star_graph(6)
+        assert graph.degree(1) == 5
+        assert all(graph.degree(u) == 1 for u in range(2, 7))
+
+
+class TestRandomTree:
+    @given(st.integers(min_value=1, max_value=40), st.integers(min_value=0, max_value=50))
+    def test_is_tree(self, n, seed):
+        tree = random_tree(n, seed=seed)
+        assert tree.edge_count == n - 1 or n == 1
+        assert tree.is_connected()
+
+    def test_deterministic(self):
+        assert random_tree(15, seed=3) == random_tree(15, seed=3)
+
+    def test_two_nodes(self):
+        assert random_tree(2).has_edge(1, 2)

@@ -1,0 +1,62 @@
+"""Tests for randomness certification and deficiency estimates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import (
+    certify_random_graph,
+    complete_graph,
+    gnp_random_graph,
+    path_graph,
+    randomness_deficiency,
+    star_graph,
+)
+from repro.graphs.encoding import edge_code_length
+
+
+class TestCertification:
+    def test_random_graphs_certify(self):
+        for seed in range(4):
+            cert = certify_random_graph(gnp_random_graph(64, seed=seed))
+            assert cert.certified, cert
+
+    def test_certificate_fields_consistent(self):
+        cert = certify_random_graph(gnp_random_graph(48, seed=11))
+        assert cert.n == 48
+        assert cert.max_cover_prefix <= cert.lemma3_scale * 1.0 + 1
+        assert cert.max_degree_deviation <= cert.lemma1_scale
+
+    def test_star_fails_certification(self):
+        cert = certify_random_graph(star_graph(128))
+        assert not cert.certified
+        assert not cert.degrees_in_band
+
+    def test_path_fails_diameter(self):
+        cert = certify_random_graph(path_graph(32))
+        assert not cert.diameter_two
+        assert not cert.certified
+
+    def test_complete_graph_fails(self):
+        cert = certify_random_graph(complete_graph(16))
+        assert not cert.certified
+
+
+class TestDeficiency:
+    def test_random_graph_incompressible(self):
+        """A G(n,1/2) edge string should resist real compressors."""
+        graph = gnp_random_graph(64, seed=5)
+        deficiency = randomness_deficiency(graph)
+        assert deficiency <= 0.05 * edge_code_length(64)
+
+    def test_structured_graph_compresses(self):
+        graph = star_graph(64)
+        deficiency = randomness_deficiency(graph)
+        assert deficiency > 0.5 * edge_code_length(64)
+
+    def test_complete_graph_compresses_fully(self):
+        deficiency = randomness_deficiency(complete_graph(64))
+        assert deficiency > 0.8 * edge_code_length(64)
+
+    def test_deficiency_nonnegative(self):
+        assert randomness_deficiency(gnp_random_graph(24, seed=1)) >= 0

@@ -1,0 +1,194 @@
+"""Tests for the Lemma 1–3 codecs (the proofs, executed)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CodecError
+from repro.graphs import (
+    LabeledGraph,
+    complete_graph,
+    edge_code_length,
+    encode_graph,
+    gnp_random_graph,
+    path_graph,
+    star_graph,
+)
+from repro.incompressibility import (
+    Lemma1Codec,
+    Lemma2Codec,
+    Lemma3Codec,
+    cover_prefix_size,
+    evaluate_codec,
+    find_distant_pair,
+    find_uncovered_witness,
+)
+
+
+def dense_dumbbell(cluster: int, bridge: int) -> LabeledGraph:
+    """Two cliques joined by a path — distant pairs with high degrees."""
+    n = 2 * cluster + bridge
+    edges = []
+    for u in range(1, cluster + 1):
+        for v in range(u + 1, cluster + 1):
+            edges.append((u, v))
+    offset = cluster + bridge
+    for u in range(offset + 1, n + 1):
+        for v in range(u + 1, n + 1):
+            edges.append((u, v))
+    chain = [cluster] + list(range(cluster + 1, offset + 1)) + [offset + 1]
+    edges += list(zip(chain, chain[1:]))
+    return LabeledGraph(n, edges)
+
+
+class TestLemma1:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_round_trip_random(self, seed):
+        graph = gnp_random_graph(30, seed=seed)
+        assert evaluate_codec(Lemma1Codec(), graph).round_trip_ok
+
+    def test_round_trip_every_pinned_node(self):
+        graph = gnp_random_graph(14, seed=3)
+        for u in graph.nodes:
+            assert evaluate_codec(Lemma1Codec(node=u), graph).round_trip_ok
+
+    def test_random_graph_saves_almost_nothing(self):
+        """Lemma 1: no compressible degree deviation on random graphs."""
+        graph = gnp_random_graph(64, seed=5)
+        report = evaluate_codec(Lemma1Codec(), graph)
+        assert report.savings <= 3 * 64  # δ(n)-scale slack, ≪ the n-1 row
+
+    def test_star_compresses_hard(self):
+        """A maximally skewed degree is maximally compressible."""
+        graph = star_graph(64)
+        report = evaluate_codec(Lemma1Codec(node=1), graph)
+        assert report.savings >= 40  # n - 1 literal bits vs ~2 log n header
+
+    def test_empty_node_compresses(self):
+        graph = LabeledGraph(20, [(u, v) for u in range(2, 21)
+                                  for v in range(u + 1, 21)])
+        report = evaluate_codec(Lemma1Codec(node=1), graph)
+        assert report.savings > 0
+
+    def test_picks_most_deviant_node(self):
+        codec = Lemma1Codec()
+        graph = star_graph(20)
+        assert codec._pick_node(graph) == 1
+
+    def test_rejects_single_node(self):
+        with pytest.raises(CodecError):
+            Lemma1Codec().encode(LabeledGraph(1))
+
+    def test_encoding_is_self_contained(self):
+        """Decode uses only the bits and n."""
+        graph = gnp_random_graph(22, seed=9)
+        codec = Lemma1Codec()
+        bits = codec.encode(graph)
+        assert Lemma1Codec().decode(bits, 22) == graph
+
+
+class TestLemma2:
+    def test_refuses_on_random_graphs(self):
+        """Lemma 2 made executable: random graphs give the codec no hook."""
+        for seed in range(4):
+            graph = gnp_random_graph(48, seed=seed)
+            assert find_distant_pair(graph) is None
+            with pytest.raises(CodecError):
+                Lemma2Codec().encode(graph)
+
+    def test_round_trip_on_path(self):
+        graph = path_graph(12)
+        assert evaluate_codec(Lemma2Codec(), graph).round_trip_ok
+
+    def test_round_trip_on_dumbbell(self):
+        graph = dense_dumbbell(cluster=10, bridge=3)
+        assert evaluate_codec(Lemma2Codec(), graph).round_trip_ok
+
+    def test_dumbbell_compresses_by_degree(self):
+        """The saving is the witness's degree minus the 2 log n header."""
+        graph = dense_dumbbell(cluster=12, bridge=3)
+        pair = find_distant_pair(graph)
+        assert pair is not None
+        report = evaluate_codec(Lemma2Codec(), graph)
+        u, v = pair
+        overhead = Lemma2Codec().overhead_bits(graph.n)
+        assert report.savings == graph.degree(u) - overhead
+
+    def test_explicit_pair_respected(self):
+        graph = path_graph(8)
+        codec = Lemma2Codec(pair=(1, 5))
+        assert evaluate_codec(codec, graph).round_trip_ok
+
+    def test_explicit_close_pair_rejected(self):
+        graph = path_graph(8)
+        with pytest.raises(CodecError):
+            Lemma2Codec(pair=(1, 2)).encode(graph)
+
+    def test_savings_positive_for_dense_witness(self):
+        graph = dense_dumbbell(cluster=14, bridge=3)
+        assert Lemma2Codec().savings(graph) > 0
+
+
+class TestLemma3:
+    def test_no_witness_on_random_graphs(self):
+        """Lemma 3 on instances: every node is covered via its least prefix."""
+        for seed in range(3):
+            graph = gnp_random_graph(64, seed=seed)
+            assert find_uncovered_witness(graph) is None
+
+    def test_witness_on_sparse_graph(self):
+        # A long cycle: node 1's least neighbours never cover the far side.
+        from repro.graphs import cycle_graph
+
+        graph = cycle_graph(64)
+        witness = find_uncovered_witness(graph)
+        assert witness is not None
+
+    def test_round_trip_with_witness(self):
+        from repro.graphs import cycle_graph
+
+        graph = cycle_graph(40)
+        assert evaluate_codec(Lemma3Codec(), graph).round_trip_ok
+
+    def test_refuses_without_witness(self):
+        graph = gnp_random_graph(48, seed=1)
+        with pytest.raises(CodecError):
+            Lemma3Codec().encode(graph)
+
+    def test_prefix_size_formula(self):
+        assert cover_prefix_size(64, c=3.0) == 36
+        assert cover_prefix_size(2, c=3.0) == 6
+
+    def test_rejects_covered_witness(self):
+        graph = gnp_random_graph(32, seed=2)
+        with pytest.raises(CodecError):
+            Lemma3Codec(witness=(1, graph.non_neighbors(1)[0])).encode(graph)
+
+    def test_rejects_self_witness(self):
+        from repro.graphs import cycle_graph
+
+        with pytest.raises(CodecError):
+            Lemma3Codec(witness=(1, 1)).encode(cycle_graph(12))
+
+    def test_savings_account_for_prefix(self):
+        from repro.graphs import cycle_graph
+
+        graph = cycle_graph(50)
+        codec = Lemma3Codec()
+        witness = find_uncovered_witness(graph)
+        u, _ = witness
+        report = evaluate_codec(codec, graph)
+        assert report.savings == codec.expected_savings(50, graph.degree(u))
+
+
+class TestReports:
+    def test_report_fields(self):
+        graph = gnp_random_graph(20, seed=4)
+        report = evaluate_codec(Lemma1Codec(), graph)
+        assert report.n == 20
+        assert report.baseline_bits == edge_code_length(20)
+        assert report.encoded_bits == report.baseline_bits - report.savings
+
+    def test_codec_names_distinct(self):
+        names = {Lemma1Codec.name, Lemma2Codec.name, Lemma3Codec.name}
+        assert len(names) == 3

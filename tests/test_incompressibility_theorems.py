@@ -1,0 +1,118 @@
+"""Tests for the Theorem 6 and Theorem 10 codecs."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import FullInformationScheme, TwoLevelScheme
+from repro.errors import CodecError
+from repro.graphs import gnp_random_graph
+from repro.incompressibility import Theorem6Codec, Theorem10Codec, evaluate_codec
+from repro.models import Knowledge, Labeling, RoutingModel
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return gnp_random_graph(48, seed=17)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return RoutingModel(Knowledge.II, Labeling.ALPHA)
+
+
+@pytest.fixture(scope="module")
+def two_level(graph, model):
+    return TwoLevelScheme(graph, model)
+
+
+@pytest.fixture(scope="module")
+def full_info(graph, model):
+    return FullInformationScheme(graph, model)
+
+
+class TestTheorem6:
+    @pytest.mark.parametrize("node", [1, 13, 29, 48])
+    def test_round_trip(self, graph, two_level, node):
+        assert evaluate_codec(Theorem6Codec(two_level, node), graph).round_trip_ok
+
+    def test_wrong_graph_rejected(self, two_level):
+        other = gnp_random_graph(48, seed=99)
+        with pytest.raises(CodecError):
+            Theorem6Codec(two_level, 1).encode(other)
+
+    def test_overhead_is_logarithmic(self, graph, two_level):
+        """The proof's O(log n) header."""
+        ledger = Theorem6Codec(two_level, 7).accounting(graph)
+        assert ledger["overhead_bits"] <= 6 * math.log2(48)
+
+    def test_deleted_bits_are_non_neighbors(self, graph, two_level):
+        """One edge deleted per non-neighbour — the n/2 - o(n) saving."""
+        for node in (3, 21):
+            ledger = Theorem6Codec(two_level, node).accounting(graph)
+            assert ledger["deleted_bits"] == len(graph.non_neighbors(node))
+
+    def test_function_respects_implied_bound(self, graph, two_level):
+        """Theorem 6's inequality on this instance: |F(u)| ≥ deleted - overhead - δ."""
+        for node in graph.nodes:
+            codec = Theorem6Codec(two_level, node)
+            ledger = codec.accounting(graph)
+            deficiency = 3 * int(math.log2(48))
+            assert ledger["function_bits"] >= codec.implied_function_bound(
+                graph, deficiency
+            ) - deficiency
+
+    def test_implied_bound_scales_as_half_n(self):
+        """deleted - overhead ≈ n/2 - O(log n) grows linearly."""
+        model = RoutingModel(Knowledge.II, Labeling.ALPHA)
+        bounds = []
+        for n in (48, 96):
+            g = gnp_random_graph(n, seed=n + 3)
+            scheme = TwoLevelScheme(g, model)
+            ledger = Theorem6Codec(scheme, 1).accounting(g)
+            bounds.append(ledger["implied_function_bound"])
+        assert bounds[1] > 1.5 * bounds[0]
+
+
+class TestTheorem10:
+    @pytest.mark.parametrize("node", [1, 24, 48])
+    def test_round_trip(self, graph, full_info, node):
+        assert evaluate_codec(Theorem10Codec(full_info, node), graph).round_trip_ok
+
+    def test_wrong_graph_rejected(self, full_info):
+        other = gnp_random_graph(48, seed=99)
+        with pytest.raises(CodecError):
+            Theorem10Codec(full_info, 1).encode(other)
+
+    def test_deleted_bits_quarter_n_squared(self, graph, full_info):
+        """d(u)(n-1-d(u)) ≈ n²/4 bits recoverable from F(u)."""
+        n = graph.n
+        for node in (5, 40):
+            ledger = Theorem10Codec(full_info, node).accounting(graph)
+            assert ledger["deleted_bits"] >= 0.7 * n * n / 4
+            d = graph.degree(node)
+            assert ledger["deleted_bits"] == d * (n - 1 - d)
+
+    def test_function_bound_near_quarter_cubed_per_node(self, graph, full_info):
+        """|F(u)| ≥ n²/4 - o(n²), instantiated."""
+        n = graph.n
+        for node in (2, 30):
+            codec = Theorem10Codec(full_info, node)
+            ledger = codec.accounting(graph)
+            assert ledger["function_bits"] >= ledger["implied_function_bound"]
+            assert ledger["implied_function_bound"] >= 0.7 * n * n / 4
+
+    def test_overhead_logarithmic(self, graph, full_info):
+        ledger = Theorem10Codec(full_info, 11).accounting(graph)
+        assert ledger["overhead_bits"] <= 6 * math.log2(48)
+
+    def test_reconstruction_identity(self, graph, full_info):
+        """vw ∈ E ⟺ v flagged in F(u)'s bitmap for w — the proof's pivot."""
+        u = 9
+        function = full_info.function(u)
+        for w in graph.non_neighbors(u):
+            flagged = set(function.shortest_edges(w))
+            for v in graph.neighbors(u):
+                assert graph.has_edge(v, w) == (v in flagged)

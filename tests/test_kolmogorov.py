@@ -1,0 +1,136 @@
+"""Tests for the Kolmogorov-complexity surrogates and counting bounds."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bitio import BitArray
+from repro.kolmogorov import (
+    COMPRESSORS,
+    best_estimate,
+    binomial_band_count,
+    chernoff_tail,
+    compressed_length_bits,
+    delta_random_fraction,
+    estimate_complexity,
+    incompressible_fraction,
+    lemma1_deviation_bound,
+)
+
+
+class TestEstimators:
+    def test_all_compressors_available(self):
+        assert set(COMPRESSORS) == {"zlib", "bz2", "lzma"}
+
+    def test_unknown_compressor_rejected(self):
+        with pytest.raises(KeyError):
+            compressed_length_bits(b"abc", "zip9000")
+
+    def test_repetitive_data_compresses(self):
+        bits = BitArray.zeros(80_000)
+        estimate = estimate_complexity(bits)
+        assert estimate.bits < 0.05 * len(bits)
+        assert estimate.deficiency > 0.9 * len(bits)
+
+    def test_random_data_does_not_compress(self):
+        import random
+
+        rng = random.Random(1)
+        bits = BitArray(rng.getrandbits(1) for _ in range(80_000))
+        estimate = best_estimate(bits)
+        assert estimate.bits > 0.95 * len(bits)
+        assert estimate.ratio > 0.95
+
+    def test_best_estimate_is_minimum(self):
+        bits = BitArray.zeros(4096)
+        best = best_estimate(bits)
+        assert all(
+            best.bits <= estimate_complexity(bits, name).bits
+            for name in COMPRESSORS
+        )
+
+    def test_empty_input(self):
+        estimate = estimate_complexity(BitArray())
+        assert estimate.original_bits == 0
+        assert estimate.ratio == 1.0
+
+    def test_deficiency_clamped(self):
+        import random
+
+        rng = random.Random(2)
+        bits = BitArray(rng.getrandbits(1) for _ in range(256))
+        assert estimate_complexity(bits).deficiency >= 0
+
+
+class TestCounting:
+    @given(st.integers(min_value=0, max_value=40))
+    def test_incompressible_fraction_monotone(self, c):
+        # c ≤ 40 keeps 2^-c well above double-precision rounding.
+        assert 0.0 <= incompressible_fraction(c) < 1.0
+        if c:
+            assert incompressible_fraction(c) > incompressible_fraction(c - 1)
+
+    def test_incompressible_fraction_examples(self):
+        """Section 3: 50% lose at most 1 bit, 75% at most 2 bits."""
+        assert incompressible_fraction(1) == pytest.approx(0.5)
+        assert incompressible_fraction(2) == pytest.approx(0.75)
+
+    def test_incompressible_rejects_negative(self):
+        with pytest.raises(ValueError):
+            incompressible_fraction(-1)
+
+    def test_delta_random_fraction(self):
+        """The paper's 'fraction 1 - 1/n^c of all graphs'."""
+        assert delta_random_fraction(10, c=3.0) == pytest.approx(1 - 1e-3)
+        assert delta_random_fraction(100, c=2.0) == pytest.approx(1 - 1e-4)
+
+    def test_chernoff_decreases_in_k(self):
+        values = [chernoff_tail(100, 0.5, k) for k in (0, 5, 10, 20, 40)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_chernoff_matches_formula(self):
+        n, p, k = 200, 0.5, 15.0
+        expected = 2 * math.exp(-(k * k) / (4 * n * p * (1 - p)))
+        assert chernoff_tail(n, p, k) == pytest.approx(expected)
+
+    def test_chernoff_capped_at_one(self):
+        assert chernoff_tail(100, 0.5, 0) == 1.0
+
+    def test_chernoff_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            chernoff_tail(100, 0.0, 1)
+        with pytest.raises(ValueError):
+            chernoff_tail(0, 0.5, 1)
+
+
+class TestBinomialBand:
+    def test_full_band_counts_everything(self):
+        assert binomial_band_count(10, 0) == 2**9
+
+    def test_band_shrinks(self):
+        counts = [binomial_band_count(20, k) for k in range(0, 10, 2)]
+        assert all(a >= b for a, b in zip(counts, counts[1:]))
+
+    def test_eq2_log_bound(self):
+        """Eq. (2): log m ≤ (n-1) - k²/(n-1) · log e."""
+        n, k = 101, 20
+        m = binomial_band_count(n, k)
+        assert math.log2(m) <= (n - 1) - (k * k / (n - 1)) * math.log2(math.e)
+
+    def test_rejects_tiny_n(self):
+        with pytest.raises(ValueError):
+            binomial_band_count(1, 0)
+
+
+class TestLemma1Bound:
+    def test_scales_with_sqrt_n(self):
+        small = lemma1_deviation_bound(100, 10.0)
+        large = lemma1_deviation_bound(400, 10.0)
+        assert large == pytest.approx(2 * small, rel=0.1)
+
+    def test_zero_for_tiny_n(self):
+        assert lemma1_deviation_bound(1, 5.0) == 0.0

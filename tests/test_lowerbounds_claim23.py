@@ -1,0 +1,105 @@
+"""Tests for Claims 2 and 3 (Theorem 7 machinery)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import FullTableScheme
+from repro.errors import ReproError
+from repro.graphs import PortAssignment, gnp_random_graph
+from repro.lowerbounds import (
+    claim2_holds,
+    claim2_lhs,
+    decode_neighbor_choices,
+    encode_neighbor_choices,
+    port_destination_lists,
+    theorem7_ledger,
+)
+
+
+class TestClaim2:
+    @given(st.lists(st.integers(min_value=1, max_value=300), min_size=1, max_size=40))
+    def test_inequality_holds_universally(self, xs):
+        """Claim 2: Σ ⌈log xᵢ⌉ ≤ Σ xᵢ - k for all positive integers."""
+        assert claim2_holds(xs)
+
+    def test_single_element(self):
+        assert claim2_lhs([8]) == 3
+        assert claim2_holds([8])
+
+    def test_tight_case_all_ones(self):
+        """x_i = 1 achieves equality: lhs = 0 = n - k."""
+        xs = [1] * 10
+        assert claim2_lhs(xs) == 0
+        assert sum(xs) - len(xs) == 0
+
+    def test_rejects_zero(self):
+        with pytest.raises(ReproError):
+            claim2_lhs([1, 0, 2])
+
+
+class TestClaim3:
+    @pytest.fixture()
+    def scheme(self, model_ia_alpha):
+        graph = gnp_random_graph(28, seed=6)
+        ports = PortAssignment.shuffled(graph, random.Random(2))
+        return FullTableScheme(graph, model_ia_alpha, ports=ports)
+
+    def test_destination_lists_partition(self, scheme):
+        graph = scheme.graph
+        for u in (1, 14):
+            lists = port_destination_lists(scheme, u)
+            everything = sorted(w for block in lists.values() for w in block)
+            assert everything == [w for w in graph.nodes if w != u]
+
+    def test_choices_reconstruct_pattern(self, scheme):
+        """Claim 3 end-to-end: F(u) + choice bits ⇒ interconnection pattern."""
+        graph = scheme.graph
+        for u in graph.nodes:
+            choices = encode_neighbor_choices(scheme, u)
+            lists = port_destination_lists(scheme, u)
+            assert decode_neighbor_choices(choices, lists) == graph.neighbors(u)
+
+    def test_choice_bits_within_claim2_budget(self, scheme):
+        graph = scheme.graph
+        for u in graph.nodes:
+            choices = encode_neighbor_choices(scheme, u)
+            assert len(choices) <= (graph.n - 1) - graph.degree(u)
+
+
+class TestTheorem7Ledger:
+    def test_ledger_consistency(self, model_ia_alpha):
+        graph = gnp_random_graph(32, seed=13)
+        ports = PortAssignment.shuffled(graph, random.Random(4))
+        scheme = FullTableScheme(graph, model_ia_alpha, ports=ports)
+        for u in (1, 20, 32):
+            ledger = theorem7_ledger(scheme, u)
+            assert ledger.pattern_bits == 31
+            assert ledger.choice_bits <= ledger.claim2_budget
+            assert (
+                ledger.implied_function_bound
+                == ledger.pattern_bits - ledger.choice_bits - 2 * 6
+            )
+
+    def test_implied_bound_is_order_half_n(self, model_ia_alpha):
+        """Theorem 7's per-node Ω(n): the bound tracks the degree ≈ n/2."""
+        for n in (32, 64):
+            graph = gnp_random_graph(n, seed=n + 7)
+            scheme = FullTableScheme(graph, model_ia_alpha)
+            bounds = [theorem7_ledger(scheme, u).implied_function_bound
+                      for u in graph.nodes]
+            mean_bound = sum(bounds) / n
+            assert mean_bound >= 0.25 * n  # comfortably Ω(n)
+
+    def test_total_bound_is_order_n_squared(self, model_ia_alpha):
+        n = 48
+        graph = gnp_random_graph(n, seed=3)
+        scheme = FullTableScheme(graph, model_ia_alpha)
+        total = sum(
+            theorem7_ledger(scheme, u).implied_function_bound for u in graph.nodes
+        )
+        assert total >= n * n / 8

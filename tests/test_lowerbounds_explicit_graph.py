@@ -1,0 +1,192 @@
+"""Tests for the Theorem 9 explicit lower-bound family (Figure 1)."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.bitio import permutation_code_width
+from repro.core import route_message, verify_scheme
+from repro.errors import SchemeBuildError
+from repro.graphs import gnp_random_graph, lower_bound_graph
+from repro.lowerbounds import (
+    ExplicitLowerBoundScheme,
+    detour_stretch,
+    recover_outer_assignment,
+    theorem9_theory_bits,
+)
+from repro.models import Knowledge, Labeling, RoutingModel
+
+
+def shuffled_assignment(k: int, seed: int) -> list[int]:
+    labels = list(range(2 * k + 1, 3 * k + 1))
+    random.Random(seed).shuffle(labels)
+    return labels
+
+
+class TestConstruction:
+    def test_from_parameters(self, model_ii_alpha):
+        scheme = ExplicitLowerBoundScheme.from_parameters(6, model_ii_alpha)
+        assert scheme.k == 6
+        assert scheme.graph.n == 18
+
+    def test_rejects_relabeling_models(self, model_ii_beta):
+        """Theorem 9 is a model-α statement."""
+        with pytest.raises(Exception):
+            ExplicitLowerBoundScheme.from_parameters(4, model_ii_beta)
+
+    def test_rejects_non_gb_graph(self, model_ii_alpha):
+        graph = gnp_random_graph(18, seed=2)
+        with pytest.raises(SchemeBuildError):
+            ExplicitLowerBoundScheme(graph, model_ii_alpha)
+
+    def test_rejects_wrong_n(self, model_ii_alpha):
+        graph = gnp_random_graph(17, seed=2)
+        with pytest.raises(SchemeBuildError):
+            ExplicitLowerBoundScheme(graph, model_ii_alpha)
+
+    def test_partner_map(self, model_ii_alpha):
+        k = 5
+        assignment = shuffled_assignment(k, 9)
+        scheme = ExplicitLowerBoundScheme.from_parameters(
+            k, model_ii_alpha, outer_assignment=assignment
+        )
+        for i, outer in enumerate(assignment):
+            assert scheme.partner_of(k + 1 + i) == outer
+
+
+class TestRouting:
+    @pytest.mark.parametrize("seed", [1, 5])
+    def test_shortest_path_everywhere(self, seed, model_ii_alpha):
+        k = 6
+        scheme = ExplicitLowerBoundScheme.from_parameters(
+            k, model_ii_alpha, outer_assignment=shuffled_assignment(k, seed)
+        )
+        report = verify_scheme(scheme)
+        assert report.ok()
+        assert report.max_stretch == 1.0
+
+    def test_inner_to_outer_uses_partner(self, model_ii_alpha):
+        """The forced route of Theorem 9: inner → correct middle → outer."""
+        k = 5
+        assignment = shuffled_assignment(k, 3)
+        scheme = ExplicitLowerBoundScheme.from_parameters(
+            k, model_ii_alpha, outer_assignment=assignment
+        )
+        for inner in scheme.inner_nodes:
+            for i, outer in enumerate(assignment):
+                trace = route_message(scheme, inner, outer)
+                assert trace.hops == 2
+                assert trace.path[1] == k + 1 + i
+
+    def test_outer_to_outer_diameter(self, model_ii_alpha):
+        scheme = ExplicitLowerBoundScheme.from_parameters(4, model_ii_alpha)
+        trace = route_message(scheme, 9, 12)
+        assert trace.hops == 4  # outer → middle → inner → middle → outer
+
+
+class TestPermutationRecovery:
+    @pytest.mark.parametrize("seed", [0, 2, 8])
+    def test_every_inner_node_reveals_the_permutation(self, seed, model_ii_alpha):
+        k = 7
+        assignment = shuffled_assignment(k, seed)
+        scheme = ExplicitLowerBoundScheme.from_parameters(
+            k, model_ii_alpha, outer_assignment=assignment
+        )
+        for inner in scheme.inner_nodes:
+            assert recover_outer_assignment(scheme, inner) == tuple(assignment)
+
+    def test_recovery_rejects_non_inner(self, model_ii_alpha):
+        scheme = ExplicitLowerBoundScheme.from_parameters(4, model_ii_alpha)
+        with pytest.raises(Exception):
+            recover_outer_assignment(scheme, 5)  # a middle node
+
+    def test_distinct_assignments_distinct_tables(self, model_ii_alpha):
+        k = 5
+        a = ExplicitLowerBoundScheme.from_parameters(
+            k, model_ii_alpha, outer_assignment=shuffled_assignment(k, 1)
+        )
+        b = ExplicitLowerBoundScheme.from_parameters(
+            k, model_ii_alpha, outer_assignment=shuffled_assignment(k, 2)
+        )
+        assert a.encode_function(1) != b.encode_function(1)
+
+
+class TestEncoding:
+    def test_round_trip_all_layers(self, model_ii_alpha):
+        k = 6
+        scheme = ExplicitLowerBoundScheme.from_parameters(
+            k, model_ii_alpha, outer_assignment=shuffled_assignment(k, 4)
+        )
+        for u in (1, k + 2, 2 * k + 3):
+            decoded = scheme.decode_function(u, scheme.encode_function(u))
+            for w in scheme.graph.nodes:
+                if w != u:
+                    assert (
+                        decoded.next_hop(w).next_node
+                        == scheme.function(u).next_hop(w).next_node
+                    )
+
+    def test_inner_bits_are_log_k_factorial(self, model_ii_alpha):
+        k = 8
+        scheme = ExplicitLowerBoundScheme.from_parameters(k, model_ii_alpha)
+        for inner in scheme.inner_nodes:
+            assert len(scheme.encode_function(inner)) == permutation_code_width(k)
+
+    def test_outer_bits_are_zero(self, model_ii_alpha):
+        k = 5
+        scheme = ExplicitLowerBoundScheme.from_parameters(k, model_ii_alpha)
+        for outer in range(2 * k + 1, 3 * k + 1):
+            assert len(scheme.encode_function(outer)) == 0
+
+    def test_total_matches_theory_scale(self, model_ii_alpha):
+        """Inner layer pays k · log k! ≈ (n²/9) log n bits."""
+        k = 16
+        scheme = ExplicitLowerBoundScheme.from_parameters(k, model_ii_alpha)
+        inner_bits = sum(
+            len(scheme.encode_function(u)) for u in scheme.inner_nodes
+        )
+        theory = theorem9_theory_bits(k)
+        assert theory <= inner_bits <= theory + k
+
+
+class TestDetour:
+    def test_wrong_middle_costs_stretch_two(self):
+        """Any deviation from the partner edge is already stretch ≥ 2."""
+        for k in (3, 6, 10):
+            assert detour_stretch(k) == 2.0
+
+    def test_all_wrong_middles(self):
+        k = 5
+        for offset in range(1, k):
+            assert detour_stretch(k, wrong_offset=offset) == 2.0
+
+
+class TestScaling:
+    def test_theory_bits_scale(self):
+        """k log k per inner node: the Ω(n² log n) of Theorem 9."""
+        assert theorem9_theory_bits(32) >= 32 * (32 * math.log2(32) - 1.443 * 32)
+
+    def test_random_relabelling_tables_incompressible(self, model_ii_alpha):
+        """The paper's counting step: almost all permutations π have
+        C(π) ≈ k log k, so the inner tables resist real compressors too."""
+        from repro.kolmogorov import best_estimate
+
+        k = 256
+        scheme = ExplicitLowerBoundScheme.from_parameters(
+            k, model_ii_alpha, outer_assignment=shuffled_assignment(k, 5)
+        )
+        estimate = best_estimate(scheme.encode_function(1))
+        assert estimate.bits >= 0.9 * estimate.original_bits
+
+    def test_identity_relabelling_is_compressible(self, model_ii_alpha):
+        """The 1/2^k exceptional fraction exists: the identity assignment's
+        table collapses (Lehmer rank 0)."""
+        from repro.kolmogorov import best_estimate
+
+        k = 256
+        scheme = ExplicitLowerBoundScheme.from_parameters(k, model_ii_alpha)
+        estimate = best_estimate(scheme.encode_function(1))
+        assert estimate.deficiency > 0.8 * estimate.original_bits

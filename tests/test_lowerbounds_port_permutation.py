@@ -1,0 +1,90 @@
+"""Tests for the Theorem 8 port-assignment adversary."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.bitio import log2_factorial
+from repro.core import FullTableScheme
+from repro.graphs import PortAssignment, gnp_random_graph
+from repro.lowerbounds import (
+    decode_port_permutation,
+    encode_port_permutation,
+    recover_port_permutation,
+    run_theorem8_experiment,
+)
+from repro.models import Knowledge, Labeling, RoutingModel
+
+
+class TestPermutationCodec:
+    def test_round_trip(self, random_graph_32):
+        ports = PortAssignment.shuffled(random_graph_32, random.Random(3))
+        for u in (1, 16, 32):
+            bits = encode_port_permutation(ports, u)
+            decoded = decode_port_permutation(bits, random_graph_32.degree(u))
+            assert decoded == ports.permutation_at(u)
+
+    def test_identity_encodes_to_rank_zero(self, random_graph_32):
+        ports = PortAssignment.identity(random_graph_32)
+        bits = encode_port_permutation(ports, 1)
+        assert bits.to_int() == 0
+
+    def test_size_is_log_factorial(self, random_graph_32):
+        ports = PortAssignment.shuffled(random_graph_32, random.Random(3))
+        for u in (2, 20):
+            d = random_graph_32.degree(u)
+            assert len(encode_port_permutation(ports, u)) == math.ceil(
+                log2_factorial(d)
+            ) or len(encode_port_permutation(ports, u)) <= log2_factorial(d) + 1
+
+
+class TestRecovery:
+    def test_tables_contain_the_permutation(self, model_ia_alpha):
+        """The executable heart of Theorem 8."""
+        graph = gnp_random_graph(24, seed=7)
+        ports = PortAssignment.shuffled(graph, random.Random(11))
+        scheme = FullTableScheme(graph, model_ia_alpha, ports=ports)
+        for u in graph.nodes:
+            assert recover_port_permutation(scheme, u) == ports.permutation_at(u)
+
+
+class TestExperiment:
+    def test_experiment_totals(self, model_ia_alpha):
+        graph = gnp_random_graph(32, seed=9)
+        result = run_theorem8_experiment(graph, model_ia_alpha, seed=2)
+        assert result.recovered_all
+        assert result.n == 32
+        assert result.total_permutation_bits >= result.theory_bits
+        assert result.total_permutation_bits <= result.theory_bits + 32
+
+    def test_scale_is_n_squared_log_n(self, model_ia_alpha):
+        """Ω(n² log n): the bits grow like Σ log d(u)! ≈ (n²/2) log(n/2)."""
+        totals = {}
+        for n in (32, 64):
+            graph = gnp_random_graph(n, seed=n)
+            totals[n] = run_theorem8_experiment(
+                graph, model_ia_alpha
+            ).total_permutation_bits
+        # Doubling n should scale by ≈ 4 · log(n)/log(n/2) > 4.
+        assert totals[64] > 4.0 * totals[32]
+
+    def test_deterministic_in_seed(self, model_ia_alpha):
+        graph = gnp_random_graph(24, seed=5)
+        a = run_theorem8_experiment(graph, model_ia_alpha, seed=3)
+        b = run_theorem8_experiment(graph, model_ia_alpha, seed=3)
+        assert a == b
+
+    def test_ib_escapes_the_bound(self, model_ib_alpha):
+        """Under IB the scheme re-assigns ports: the permutation cost vanishes."""
+        graph = gnp_random_graph(24, seed=5)
+        ports = PortAssignment.shuffled(graph, random.Random(1))
+        scheme = FullTableScheme(graph, model_ib_alpha, ports=ports)
+        identity = scheme.port_assignment
+        assert identity.is_identity()
+        assert all(
+            encode_port_permutation(identity, u).to_int() == 0
+            for u in graph.nodes
+        )

@@ -1,0 +1,106 @@
+"""Tests for the footnote-1 port steganography channel."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitio import BitArray
+from repro.core import FullTableScheme
+from repro.errors import ReproError
+from repro.graphs import PortAssignment, gnp_random_graph, path_graph, star_graph
+from repro.lowerbounds import (
+    embed_bits_in_ports,
+    extract_bits_from_ports,
+    node_port_capacity,
+    total_port_capacity,
+)
+from repro.models import Knowledge, Labeling, RoutingModel
+
+
+class TestCapacity:
+    def test_tiny_degrees(self):
+        assert node_port_capacity(0) == 0
+        assert node_port_capacity(1) == 0
+        assert node_port_capacity(2) == 1  # 2! = 2 permutations = 1 bit
+        assert node_port_capacity(3) == 2  # 3! = 6 → 2 bits
+
+    def test_matches_floor_log_factorial(self):
+        for d in range(2, 40):
+            assert node_port_capacity(d) == int(
+                math.floor(math.log2(math.factorial(d)))
+            )
+
+    def test_rejects_negative(self):
+        with pytest.raises(ReproError):
+            node_port_capacity(-1)
+
+    def test_total_capacity_scale(self):
+        """Footnote 1's point: the channel holds Θ(n² log n) bits."""
+        n = 64
+        graph = gnp_random_graph(n, seed=2)
+        capacity = total_port_capacity(graph)
+        assert capacity >= 0.5 * (n / 2) * math.log2(n / 2) * n * 0.5
+
+    def test_channel_is_constant_fraction_of_table(self, model_ia_alpha):
+        """Free ports would hand out a constant fraction of the full table
+        (both are Θ(n² log n)) — uncharged, hence the model exclusion."""
+        graph = gnp_random_graph(64, seed=2)
+        table_bits = FullTableScheme(graph, model_ia_alpha).space_report().total_bits
+        assert total_port_capacity(graph) >= 0.25 * table_bits
+
+
+class TestEmbedding:
+    @given(st.integers(min_value=0, max_value=500), st.integers(min_value=0, max_value=9))
+    @settings(max_examples=30, deadline=None)
+    def test_round_trip(self, payload_bits, seed):
+        graph = gnp_random_graph(20, seed=seed)
+        rng = random.Random(payload_bits)
+        payload = BitArray(rng.getrandbits(1) for _ in range(payload_bits))
+        if len(payload) > total_port_capacity(graph):
+            return
+        ports, embedded = embed_bits_in_ports(graph, payload)
+        assert embedded == len(payload)
+        assert extract_bits_from_ports(ports, len(payload)) == payload
+
+    def test_empty_payload_gives_identityish_ports(self):
+        graph = gnp_random_graph(12, seed=1)
+        ports, _ = embed_bits_in_ports(graph, BitArray())
+        # Rank 0 = identity permutation at every node.
+        assert ports.is_identity()
+
+    def test_assignment_is_valid(self):
+        graph = gnp_random_graph(16, seed=3)
+        payload = BitArray([1, 0] * 40)
+        ports, _ = embed_bits_in_ports(graph, payload)
+        assert isinstance(ports, PortAssignment)
+        for u in graph.nodes:
+            for nb in graph.neighbors(u):
+                assert ports.neighbor(u, ports.port(u, nb)) == nb
+
+    def test_oversized_payload_rejected(self):
+        graph = path_graph(4)  # capacity: only degree-2 middles, 1 bit each
+        with pytest.raises(ReproError):
+            embed_bits_in_ports(graph, BitArray([1] * 100))
+
+    def test_star_leaves_carry_nothing(self):
+        graph = star_graph(8)
+        assert total_port_capacity(graph) == node_port_capacity(7)
+
+    def test_extraction_length_checked(self):
+        graph = gnp_random_graph(12, seed=1)
+        ports, _ = embed_bits_in_ports(graph, BitArray([1, 0, 1]))
+        with pytest.raises(ReproError):
+            extract_bits_from_ports(ports, 10**6)
+
+    def test_random_assignment_detected_as_non_payload(self):
+        """A shuffled assignment almost surely violates the rank bound."""
+        graph = gnp_random_graph(24, seed=7)
+        ports = PortAssignment.shuffled(graph, random.Random(5))
+        length = total_port_capacity(graph)
+        with pytest.raises(ReproError):
+            extract_bits_from_ports(ports, length)

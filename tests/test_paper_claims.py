@@ -1,0 +1,302 @@
+"""One test per explicit quantitative claim in the paper.
+
+These are the reproduction's contract: each test cites the paper statement
+it checks.  Sizes are measured from real serialised functions, stretches
+from real routed messages, and the incompressibility inequalities from real
+codecs.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.bitio import log2_factorial
+from repro.core import (
+    FullInformationScheme,
+    HubScheme,
+    NeighborLabelScheme,
+    ProbeScheme,
+    CenterScheme,
+    TwoLevelScheme,
+    verify_scheme,
+)
+from repro.graphs import (
+    certify_random_graph,
+    claim1_remainders,
+    cover_prefix_length,
+    degree_statistics,
+    diameter,
+    gnp_random_graph,
+)
+from repro.incompressibility import Theorem6Codec, Theorem10Codec
+from repro.lowerbounds import (
+    ExplicitLowerBoundScheme,
+    run_theorem8_experiment,
+    theorem7_ledger,
+)
+from repro.models import Knowledge, Labeling, RoutingModel
+
+II_ALPHA = RoutingModel(Knowledge.II, Labeling.ALPHA)
+II_GAMMA = RoutingModel(Knowledge.II, Labeling.GAMMA)
+IA_ALPHA = RoutingModel(Knowledge.IA, Labeling.ALPHA)
+
+N = 128
+GRAPH = gnp_random_graph(N, seed=2026)
+
+
+class TestLemmas:
+    def test_lemma1_degree_band(self):
+        """Lemma 1: |d - (n-1)/2| = O(√((δ(n)+log n) n))."""
+        stats = degree_statistics(GRAPH)
+        assert stats.within_band
+
+    def test_lemma2_diameter_two(self):
+        """Lemma 2: all o(n)-random graphs have diameter 2."""
+        assert diameter(GRAPH) == 2
+
+    def test_lemma3_cover_prefix(self):
+        """Lemma 3: coverage through the least (c+3) log n neighbours."""
+        limit = 6 * math.log2(N)  # c = 3
+        for u in GRAPH.nodes:
+            assert cover_prefix_length(GRAPH, u) <= limit
+
+    def test_claim1_one_third_decay(self):
+        """Claim 1: |A_t| ≥ m_{t-1}/3 while m_{t-1} > n / log log n."""
+        threshold = N / math.log2(math.log2(N))
+        for u in (1, N // 2, N):
+            remainders = claim1_remainders(GRAPH, u)
+            for before, after in zip(remainders, remainders[1:]):
+                if before > threshold:
+                    assert (before - after) >= before / 3.0 - 1e-9
+
+    def test_certified(self):
+        assert certify_random_graph(GRAPH).certified
+
+
+class TestTheorem1:
+    """Shortest path routing in 6n bits per node (IB ∨ II)."""
+
+    def test_six_n_per_node(self):
+        scheme = TwoLevelScheme(GRAPH, II_ALPHA, split_rule="loglog")
+        assert max(len(scheme.encode_function(u)) for u in GRAPH.nodes) <= 6 * N
+
+    def test_complete_scheme_6n_squared(self):
+        scheme = TwoLevelScheme(GRAPH, II_ALPHA)
+        assert scheme.space_report().total_bits <= 6 * N * N
+
+    def test_three_n_refinement(self):
+        """'Slightly more precise counting ... shows |F(u)| ≤ 3n'."""
+        scheme = TwoLevelScheme(GRAPH, II_ALPHA, split_rule="log")
+        assert max(len(scheme.encode_function(u)) for u in GRAPH.nodes) <= 3 * N
+
+    def test_shortest_path(self):
+        scheme = TwoLevelScheme(GRAPH, II_ALPHA)
+        report = verify_scheme(scheme, sample_pairs=600, seed=1)
+        assert report.ok() and report.max_stretch == 1.0
+
+    def test_ib_costs_one_extra_vector(self):
+        """'Adding another n-1 in case the port assignment may be chosen'."""
+        ib = TwoLevelScheme(GRAPH, RoutingModel(Knowledge.IB, Labeling.ALPHA))
+        for entry in ib.space_report().per_node:
+            assert entry.aux_bits == N - 1
+
+
+class TestTheorem2:
+    """Labels of (1 + (c+3) log n) log n bits, O(1) routing functions."""
+
+    def test_label_size(self):
+        scheme = NeighborLabelScheme(GRAPH, II_GAMMA)
+        label_limit = (1 + 6 * math.log2(N)) * math.ceil(math.log2(N + 1))
+        for u in GRAPH.nodes:
+            assert scheme.label_bits(u) <= label_limit
+
+    def test_constant_routing_bits(self):
+        scheme = NeighborLabelScheme(GRAPH, II_GAMMA)
+        assert all(len(scheme.encode_function(u)) == 1 for u in GRAPH.nodes)
+
+    def test_total_matches_formula(self):
+        """(c+3) n log² n + n log n + O(n) with c = 3."""
+        scheme = NeighborLabelScheme(GRAPH, II_GAMMA)
+        total = scheme.space_report().total_bits
+        formula = 6 * N * math.log2(N) ** 2 + N * math.log2(N) + 8 * N
+        assert total <= 1.3 * formula
+
+    def test_shortest_path(self):
+        report = verify_scheme(
+            NeighborLabelScheme(GRAPH, II_GAMMA), sample_pairs=600, seed=2
+        )
+        assert report.ok() and report.max_stretch == 1.0
+
+
+class TestTheorem3:
+    """Stretch 1.5 with < (6c + 20) n log n bits (c = 3)."""
+
+    def test_total_bits(self):
+        total = CenterScheme(GRAPH, II_ALPHA).space_report().total_bits
+        assert total <= 38 * N * math.log2(N)
+
+    def test_stretch_bound(self):
+        report = verify_scheme(CenterScheme(GRAPH, II_ALPHA),
+                               sample_pairs=600, seed=3)
+        assert report.ok()
+        assert report.max_stretch <= 1.5
+
+    def test_non_center_nodes_store_one_label(self):
+        scheme = CenterScheme(GRAPH, II_ALPHA)
+        non_centers = [u for u in GRAPH.nodes if u not in scheme.centers]
+        assert len(non_centers) >= N - 1 - 6 * math.log2(N)
+        for u in non_centers:
+            assert len(scheme.encode_function(u)) <= math.ceil(math.log2(N + 1))
+
+
+class TestTheorem4:
+    """Stretch 2 with n log log n + 6n total bits."""
+
+    def test_total_bits(self):
+        total = HubScheme(GRAPH, II_ALPHA).space_report().total_bits
+        # gamma-coded indices cost ≈ 2 loglog n per node.
+        assert total <= N * (2 * math.log2(math.log2(N)) + 3) + 6 * N
+
+    def test_stretch_two(self):
+        report = verify_scheme(HubScheme(GRAPH, II_ALPHA),
+                               sample_pairs=600, seed=4)
+        assert report.ok()
+        assert report.max_stretch <= 2.0
+
+
+class TestTheorem5:
+    """Stretch (c+3) log n with O(n) total bits."""
+
+    def test_linear_total(self):
+        assert ProbeScheme(GRAPH, II_ALPHA).space_report().total_bits == N
+
+    def test_hop_bound(self):
+        """Each distance-2 message traverses ≤ 2(c+3) log n edges."""
+        report = verify_scheme(ProbeScheme(GRAPH, II_ALPHA),
+                               sample_pairs=600, seed=5)
+        assert report.all_delivered
+        assert report.max_stretch * 2 <= 2 * 6 * math.log2(N)
+
+
+class TestTheorem6:
+    """|F(u)| ≥ n/2 - o(n) per node under II ∧ α."""
+
+    def test_codec_inequality(self):
+        scheme = TwoLevelScheme(GRAPH, II_ALPHA)
+        for u in (1, N // 3, N):
+            codec = Theorem6Codec(scheme, u)
+            ledger = codec.accounting(GRAPH)
+            # deleted ≈ #non-neighbours ≈ n/2; overhead = O(log n).
+            assert ledger["deleted_bits"] >= N / 2 - math.sqrt(N * math.log2(N)) * 2
+            assert ledger["overhead_bits"] <= 8 * math.log2(N)
+            assert ledger["function_bits"] >= ledger["implied_function_bound"]
+
+
+class TestTheorem7:
+    """Ω(n²) total when neighbours are unknown (IA ∨ IB)."""
+
+    def test_ledger_scale(self):
+        from repro.core import FullTableScheme
+
+        scheme = FullTableScheme(GRAPH, IA_ALPHA)
+        bounds = [
+            theorem7_ledger(scheme, u).implied_function_bound
+            for u in GRAPH.nodes
+        ]
+        assert sum(bounds) >= N * N / 8
+
+
+class TestTheorem8:
+    """(n/2) log(n/2) bits per node under IA ∧ α."""
+
+    def test_permutation_bits(self):
+        result = run_theorem8_experiment(GRAPH, IA_ALPHA, seed=8)
+        assert result.recovered_all
+        per_node = result.total_permutation_bits / N
+        target = (N / 2) * math.log2(N / 2)
+        assert per_node >= 0.5 * target
+        assert result.total_permutation_bits >= result.theory_bits
+
+
+class TestTheorem9:
+    """(n/3) log n bits per inner node for stretch < 2 under α."""
+
+    def test_inner_node_bits(self):
+        k = 32
+        scheme = ExplicitLowerBoundScheme.from_parameters(k, II_ALPHA)
+        inner_bits = len(scheme.encode_function(1))
+        assert inner_bits >= log2_factorial(k)
+        assert inner_bits >= k * math.log2(k) - 1.5 * k
+
+    def test_scheme_is_stretch_one(self):
+        scheme = ExplicitLowerBoundScheme.from_parameters(16, II_ALPHA)
+        assert verify_scheme(scheme, sample_pairs=500, seed=9).ok()
+
+
+class TestTheorem10:
+    """n³/4 - o(n³) bits for full-information routing under α."""
+
+    def test_per_node_quarter_square(self):
+        scheme = FullInformationScheme(GRAPH, II_ALPHA)
+        for u in (1, N // 2):
+            ledger = Theorem10Codec(scheme, u).accounting(GRAPH)
+            assert ledger["implied_function_bound"] >= 0.8 * N * N / 4
+            assert ledger["function_bits"] >= ledger["implied_function_bound"]
+
+    def test_upper_bound_cubic(self):
+        total = FullInformationScheme(GRAPH, II_ALPHA).space_report().total_bits
+        assert total <= N**3
+
+
+class TestCorollary1Ordering:
+    """The average-case menu, instantiated on one certified graph."""
+
+    def test_full_hierarchy(self):
+        two_level = TwoLevelScheme(GRAPH, II_ALPHA).space_report().total_bits
+        labels = NeighborLabelScheme(GRAPH, II_GAMMA).space_report().total_bits
+        centers = CenterScheme(GRAPH, II_ALPHA).space_report().total_bits
+        hub = HubScheme(GRAPH, II_ALPHA).space_report().total_bits
+        probe = ProbeScheme(GRAPH, II_ALPHA).space_report().total_bits
+        full_info = FullInformationScheme(GRAPH, II_ALPHA).space_report().total_bits
+        assert full_info > two_level > labels > centers > hub > probe
+
+
+class TestClaimsAtSecondScale:
+    """The headline budgets re-checked at a different size (guards against
+    single-n flukes in the main battery above)."""
+
+    N2 = 192
+    GRAPH2 = gnp_random_graph(192, seed=4096)
+
+    def test_certified(self):
+        assert certify_random_graph(self.GRAPH2).certified
+
+    def test_thm1_budget_and_stretch(self):
+        scheme = TwoLevelScheme(self.GRAPH2, II_ALPHA)
+        assert max(
+            len(scheme.encode_function(u)) for u in self.GRAPH2.nodes
+        ) <= 3 * self.N2
+        report = verify_scheme(scheme, sample_pairs=300, seed=1)
+        assert report.ok() and report.max_stretch == 1.0
+
+    def test_thm3_thm4_stretch(self):
+        for cls, bound in ((CenterScheme, 1.5), (HubScheme, 2.0)):
+            scheme = cls(self.GRAPH2, II_ALPHA)
+            report = verify_scheme(scheme, sample_pairs=300, seed=2)
+            assert report.ok()
+            assert report.max_stretch <= bound
+
+    def test_thm5_linear(self):
+        assert ProbeScheme(self.GRAPH2, II_ALPHA).space_report().total_bits == self.N2
+
+    def test_hierarchy(self):
+        totals = [
+            TwoLevelScheme(self.GRAPH2, II_ALPHA).space_report().total_bits,
+            NeighborLabelScheme(self.GRAPH2, II_GAMMA).space_report().total_bits,
+            CenterScheme(self.GRAPH2, II_ALPHA).space_report().total_bits,
+            HubScheme(self.GRAPH2, II_ALPHA).space_report().total_bits,
+            ProbeScheme(self.GRAPH2, II_ALPHA).space_report().total_bits,
+        ]
+        assert totals == sorted(totals, reverse=True)

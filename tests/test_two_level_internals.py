@@ -1,0 +1,123 @@
+"""Deep unit tests for the Theorem 1 construction internals."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import TwoLevelScheme, route_message, verify_scheme
+from repro.core.two_level import split_threshold
+from repro.bitio import BitReader
+from repro.graphs import (
+    common_neighbors,
+    complete_graph,
+    gnp_random_graph,
+    min_common_neighbors,
+)
+from repro.models import Knowledge, Labeling, RoutingModel
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return gnp_random_graph(64, seed=77)
+
+
+@pytest.fixture(scope="module")
+def scheme(graph, model_ii_alpha=None):
+    model = RoutingModel(Knowledge.II, Labeling.ALPHA)
+    return TwoLevelScheme(graph, model)
+
+
+class TestTableStructure:
+    def test_header_parses(self, graph, scheme):
+        for u in (1, 30, 64):
+            reader = BitReader(scheme.encode_function(u))
+            assert reader.read_bit() == 0  # least strategy
+            m = reader.read_gamma()
+            assert m == len(scheme.covering_sequence_of(u))
+
+    def test_unary_entries_bounded_by_sequence(self, graph, scheme):
+        """Every unary index refers into the covering sequence."""
+        for u in (5, 40):
+            reader = BitReader(scheme.encode_function(u))
+            reader.read_bit()
+            m = reader.read_gamma()
+            zero_entries = 0
+            for _ in graph.non_neighbors(u):
+                t = reader.read_unary()
+                if t == 0:
+                    zero_entries += 1
+                else:
+                    assert 1 <= t <= m
+            width = max(m - 1, 0).bit_length()
+            for _ in range(zero_entries):
+                assert reader.read_uint(width) <= m - 1
+            assert reader.at_end()
+
+    def test_table1_size_within_claim1_budget(self, graph, scheme):
+        """Claim 1's geometric decay keeps the unary table ≤ 4n whp."""
+        n = graph.n
+        for u in graph.nodes:
+            reader = BitReader(scheme.encode_function(u))
+            reader.read_bit()
+            m = reader.read_gamma()
+            table1_bits = 0
+            zero_entries = 0
+            for _ in graph.non_neighbors(u):
+                t = reader.read_unary()
+                table1_bits += t + 1
+                if t == 0:
+                    zero_entries += 1
+            assert table1_bits <= 4 * n
+            # Table 2 holds at most n / log n entries (the split rule).
+            assert zero_entries <= split_threshold(n, "log") + 1
+
+    def test_intermediates_are_least_covering(self, graph, scheme):
+        """The stored index is the *first* covering neighbour in the
+        sequence — the paper's 'least intermediate node'."""
+        u = 9
+        sequence = scheme.covering_sequence_of(u)
+        function = scheme.function(u)
+        for w in graph.non_neighbors(u):
+            chosen = function.intermediate_for(w)
+            position = sequence.index(chosen)
+            for earlier in sequence[:position]:
+                assert not graph.has_edge(earlier, w)
+
+
+class TestDegenerateGraphs:
+    def test_two_node_graph(self):
+        from repro.graphs import LabeledGraph
+
+        model = RoutingModel(Knowledge.II, Labeling.ALPHA)
+        scheme = TwoLevelScheme(LabeledGraph(2, [(1, 2)]), model)
+        assert verify_scheme(scheme).ok()
+        assert len(scheme.encode_function(1)) <= 4
+
+    def test_complete_graph_empty_tables(self):
+        model = RoutingModel(Knowledge.II, Labeling.ALPHA)
+        scheme = TwoLevelScheme(complete_graph(6), model)
+        for u in range(1, 7):
+            assert scheme.covering_sequence_of(u) == ()
+            trace = route_message(scheme, u, (u % 6) + 1)
+            assert trace.hops == 1
+
+
+class TestRedundancyContext:
+    def test_common_neighbors_support_theorem1(self, graph):
+        """Every non-adjacent pair has at least one intermediary — the
+        structural fact the whole construction stands on."""
+        assert min_common_neighbors(graph) >= 1
+
+    def test_common_neighbors_are_intermediary_candidates(self, graph, scheme):
+        u = 3
+        function = scheme.function(u)
+        for w in graph.non_neighbors(u)[:10]:
+            assert function.intermediate_for(w) in common_neighbors(graph, u, w)
+
+    def test_redundancy_scales_like_quarter_n(self):
+        """|N(u) ∩ N(v)| concentrates near n/4 (binomial(n−2, 1/4))."""
+        graph = gnp_random_graph(128, seed=3)
+        worst = min_common_neighbors(graph)
+        assert worst >= 128 / 4 - 4 * math.sqrt(128 * 3 / 16)

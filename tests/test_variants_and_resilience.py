@@ -1,0 +1,99 @@
+"""Tests for the G_B size variants and the full-information verifier."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    FullInformationScheme,
+    verify_full_information_resilience,
+    verify_scheme,
+)
+from repro.errors import GraphError, RoutingError
+from repro.graphs import gnp_random_graph, lower_bound_graph_variant
+from repro.lowerbounds import ExplicitLowerBoundScheme, recover_outer_assignment
+from repro.models import Knowledge, Labeling, RoutingModel
+
+
+class TestVariantFamily:
+    @pytest.mark.parametrize("n", [12, 13, 14, 22, 23, 24])
+    def test_any_n_builds_and_routes(self, n, model_ii_alpha):
+        """'For n = 3k−1 or 3k−2 we can use G_B dropping v_k and v_{k−1}'."""
+        scheme = ExplicitLowerBoundScheme.for_any_n(n, model_ii_alpha)
+        assert scheme.graph.n == n
+        report = verify_scheme(scheme)
+        assert report.ok()
+        assert report.max_stretch == 1.0
+
+    @pytest.mark.parametrize("n", [13, 14])
+    def test_dropped_inner_layer_sizes(self, n, model_ii_alpha):
+        scheme = ExplicitLowerBoundScheme.for_any_n(n, model_ii_alpha)
+        k = (n + 2) // 3
+        assert scheme.k == k
+        assert len(scheme.inner_nodes) == n - 2 * k
+
+    def test_variant_generator_structure(self):
+        graph, k, inner_count = lower_bound_graph_variant(17)
+        assert graph.n == 17
+        assert k == 6 and inner_count == 5
+        # inner nodes see every middle node
+        for inner in range(1, inner_count + 1):
+            assert graph.degree(inner) == k
+        # outer nodes are pendants
+        for outer in range(inner_count + k + 1, 18):
+            assert graph.degree(outer) == 1
+
+    def test_variant_rejects_tiny(self):
+        with pytest.raises(GraphError):
+            lower_bound_graph_variant(3)
+
+    @pytest.mark.parametrize("n", [13, 14, 15])
+    def test_permutation_still_recoverable(self, n, model_ii_alpha):
+        scheme = ExplicitLowerBoundScheme.for_any_n(n, model_ii_alpha)
+        recovered = recover_outer_assignment(scheme, 1)
+        assert len(recovered) == scheme.k
+        assert sorted(recovered) == list(
+            range(n - scheme.k + 1, n + 1)
+        )
+
+    @pytest.mark.parametrize("n", [13, 14])
+    def test_variant_round_trips(self, n, model_ii_alpha):
+        scheme = ExplicitLowerBoundScheme.for_any_n(n, model_ii_alpha)
+        for u in scheme.graph.nodes:
+            decoded = scheme.decode_function(u, scheme.encode_function(u))
+            for w in scheme.graph.nodes:
+                if w != u:
+                    assert (
+                        decoded.next_hop(w).next_node
+                        == scheme.function(u).next_hop(w).next_node
+                    )
+
+
+class TestFullInformationResilienceVerifier:
+    def test_random_graph_rich_in_alternatives(self, model_ii_alpha):
+        graph = gnp_random_graph(32, seed=4)
+        scheme = FullInformationScheme(graph, model_ii_alpha)
+        pairs, reroutes = verify_full_information_resilience(
+            scheme, sample_nodes=8, seed=1
+        )
+        assert pairs == 8 * 31
+        # On G(n, 1/2) most pairs have many shortest options.
+        assert reroutes > pairs
+
+    def test_rejects_non_full_information(self, model_ii_alpha):
+        from repro.core import build_scheme
+
+        graph = gnp_random_graph(24, seed=3)
+        scheme = build_scheme("thm1-two-level", graph, model_ii_alpha)
+        with pytest.raises(RoutingError):
+            verify_full_information_resilience(scheme, sample_nodes=2)
+
+    def test_tree_has_no_alternatives(self, model_ii_alpha):
+        """On a tree every shortest path is unique: zero reroutes, yet the
+        verifier passes (single options are acceptable)."""
+        from repro.graphs import path_graph
+
+        scheme = FullInformationScheme(path_graph(8), model_ii_alpha)
+        pairs, reroutes = verify_full_information_resilience(scheme)
+        assert reroutes == 0
+        assert pairs == 8 * 7

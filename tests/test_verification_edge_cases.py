@@ -1,0 +1,135 @@
+"""Edge-case tests for the verifier and scheme base plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import build_scheme, route_message, verify_scheme
+from repro.core.scheme import HopDecision, LocalRoutingFunction, RoutingScheme
+from repro.bitio import BitArray
+from repro.errors import RoutingError
+from repro.graphs import LabeledGraph, gnp_random_graph, path_graph
+from repro.models import Knowledge, Labeling, RoutingModel
+
+
+class _LoopingFunction(LocalRoutingFunction):
+    """Deliberately broken: ping-pongs between two nodes."""
+
+    def __init__(self, node, partner):
+        super().__init__(node)
+        self._partner = partner
+
+    def next_hop(self, destination, state=None):
+        return HopDecision(self._partner)
+
+
+class _LoopingScheme(RoutingScheme):
+    """A pathological scheme for exercising the loop detector."""
+
+    scheme_name = "looping"
+
+    def _build_function(self, u):
+        partner = 2 if u == 1 else 1
+        return _LoopingFunction(u, partner)
+
+    def encode_function(self, u):
+        return BitArray()
+
+    def decode_function(self, u, bits):
+        return self._build_function(u)
+
+    def stretch_bound(self):
+        return 1.0
+
+
+class _TeleportScheme(_LoopingScheme):
+    """Forwards to a non-adjacent node: must be caught immediately."""
+
+    scheme_name = "teleporting"
+
+    def _build_function(self, u):
+        return _LoopingFunction(u, 4)
+
+
+class TestWalkerDefenses:
+    def test_loop_detected(self, model_ii_alpha):
+        graph = path_graph(3)
+        scheme = _LoopingScheme(graph, model_ii_alpha)
+        with pytest.raises(RoutingError, match="hop limit"):
+            route_message(scheme, 1, 3)
+
+    def test_non_adjacent_forward_detected(self, model_ii_alpha):
+        graph = path_graph(5)
+        scheme = _TeleportScheme(graph, model_ii_alpha)
+        with pytest.raises(RoutingError, match="non-adjacent"):
+            route_message(scheme, 1, 5)
+
+    def test_verify_collects_failures_instead_of_raising(self, model_ii_alpha):
+        graph = path_graph(3)
+        scheme = _LoopingScheme(graph, model_ii_alpha)
+        report = verify_scheme(scheme)
+        assert report.failures
+        assert not report.ok()
+        assert report.delivered < report.pairs_checked
+
+    def test_worst_pair_recorded(self, model_ii_alpha):
+        graph = gnp_random_graph(24, seed=3)
+        scheme = build_scheme("thm4-hub", graph, model_ii_alpha)
+        report = verify_scheme(scheme)
+        if report.max_stretch > 1.0:
+            assert report.worst_pair is not None
+            u, w = report.worst_pair
+            trace = route_message(scheme, u, w)
+            from repro.graphs import distance_matrix
+
+            dist = distance_matrix(graph)
+            assert trace.hops / dist[u - 1, w - 1] == pytest.approx(
+                report.max_stretch
+            )
+
+    def test_zero_sample_pairs(self, model_ii_alpha):
+        graph = gnp_random_graph(16, seed=0)
+        scheme = build_scheme("full-table", graph, model_ii_alpha)
+        report = verify_scheme(scheme, sample_pairs=0)
+        assert report.pairs_checked == 0
+        assert report.mean_stretch == 0.0
+        assert report.ok()
+
+    def test_trace_fields(self, model_ia_alpha):
+        scheme = build_scheme("full-table", path_graph(4), model_ia_alpha)
+        trace = route_message(scheme, 2, 4)
+        assert trace.source == 2
+        assert trace.destination == 4
+        assert trace.delivered
+        assert trace.hops == len(trace.path) - 1
+
+
+class TestSchemeBasePlumbing:
+    def test_function_cache(self, model_ii_alpha):
+        graph = gnp_random_graph(16, seed=0)
+        scheme = build_scheme("full-table", graph, model_ii_alpha)
+        assert scheme.function(3) is scheme.function(3)
+
+    def test_default_addressing_is_identity(self, model_ii_alpha):
+        graph = gnp_random_graph(16, seed=0)
+        scheme = build_scheme("full-table", graph, model_ii_alpha)
+        assert scheme.address_of(5) == 5
+        assert scheme.node_of_address(5) == 5
+
+    def test_node_of_address_rejects_garbage(self, model_ii_alpha):
+        graph = gnp_random_graph(16, seed=0)
+        scheme = build_scheme("full-table", graph, model_ii_alpha)
+        with pytest.raises(RoutingError):
+            scheme.node_of_address(object())
+
+    def test_default_hop_limit_scales_with_n(self, model_ii_alpha):
+        graph = gnp_random_graph(16, seed=0)
+        scheme = build_scheme("full-table", graph, model_ii_alpha)
+        assert scheme.hop_limit() >= 4 * 16
+
+    def test_space_report_charges_every_node_once(self, model_ii_alpha):
+        graph = gnp_random_graph(16, seed=0)
+        report = build_scheme("full-table", graph, model_ii_alpha).space_report()
+        assert sorted(entry.node for entry in report.per_node) == list(
+            graph.nodes
+        )
