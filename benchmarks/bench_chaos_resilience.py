@@ -1,0 +1,186 @@
+"""Experiment CHAOS — resilience under dynamic churn, with recovery.
+
+The paper's full-information schemes exist so that "alternative, shortest,
+paths [can] be taken whenever an outgoing link is down".  The static
+resilience bench (``bench_simulator.py``) freezes a failure set before the
+run; this bench exercises the claim under *churn*: a flapping-link fault
+schedule evolves while messages are in flight, and the three scheme
+families are compared at increasing churn intensity:
+
+* full-information (all shortest-path edges stored — reroutes in place),
+* interval routing (single path along a spanning tree — fragile),
+* the Theorem 4 hub scheme (single path through a hub — fragile),
+* interval wrapped in the bounce-once ``DetourWrapper`` (recovers using
+  only locally held information), and
+* full-information with source-side retry/backoff (end-to-end recovery).
+
+Asserted shape: full-information delivery dominates every single-path
+scheme at every churn level; the detour wrapper strictly improves the
+single-path scheme it wraps under churn, at a bounded stretch cost; retry
+further lifts delivery.
+
+Run ``python benchmarks/bench_chaos_resilience.py --smoke`` for a quick
+(~30 s) self-checking sweep without pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+
+from repro.core import DetourWrapper, build_scheme
+from repro.graphs import gnp_random_graph
+from repro.models import Knowledge, Labeling, RoutingModel
+from repro.simulator import (
+    EventDrivenSimulator,
+    RetryPolicy,
+    flapping_links,
+    summarize,
+    uniform_pairs,
+)
+
+II_ALPHA = RoutingModel(Knowledge.II, Labeling.ALPHA)
+II_BETA = RoutingModel(Knowledge.II, Labeling.BETA)
+
+N = 48
+MESSAGES = 300
+HORIZON = 60.0
+CHURN_LEVELS = (0, 100, 250, 400)
+SMOKE_N = 32
+SMOKE_MESSAGES = 150
+SMOKE_CHURN_LEVELS = (0, 120, 240)
+
+
+def _run_under_schedule(scheme, graph, schedule, pairs, times, retry=None):
+    sim = EventDrivenSimulator(
+        scheme, fault_schedule=schedule, retry_policy=retry, retry_seed=11
+    )
+    for (source, destination), at_time in zip(pairs, times):
+        sim.inject(source, destination, at_time)
+    return summarize(sim.run(), graph)
+
+
+def measure(n=N, messages=MESSAGES, churn_levels=CHURN_LEVELS):
+    """Sweep churn levels; returns (graph, schemes, rows).
+
+    Each row is ``(churn, {name: RoutingMetrics})`` for one shared fault
+    schedule, so every scheme sees the identical failure trajectory.
+    """
+    graph = gnp_random_graph(n, seed=83)
+    full = build_scheme("full-information", graph, II_ALPHA)
+    interval = build_scheme("interval", graph, II_BETA)
+    hub = build_scheme("thm4-hub", graph, II_ALPHA)
+    detour = DetourWrapper(interval)
+    pairs = uniform_pairs(graph, messages, seed=1)
+    clock = random.Random(5)
+    times = [clock.uniform(0.0, HORIZON * 0.8) for _ in pairs]
+    retry = RetryPolicy(max_attempts=4, base_delay=1.0)
+    rows = []
+    for churn in churn_levels:
+        schedule = flapping_links(
+            graph, churn, period=10.0, duty=0.5, horizon=HORIZON,
+            seed=churn + 1,
+        )
+        row = {
+            "full-information": _run_under_schedule(
+                full, graph, schedule, pairs, times
+            ),
+            "interval": _run_under_schedule(
+                interval, graph, schedule, pairs, times
+            ),
+            "thm4-hub": _run_under_schedule(
+                hub, graph, schedule, pairs, times
+            ),
+            "detour(interval)": _run_under_schedule(
+                detour, graph, schedule, pairs, times
+            ),
+            "full-info+retry": _run_under_schedule(
+                full, graph, schedule, pairs, times, retry=retry
+            ),
+        }
+        rows.append((churn, row))
+    return graph, detour, rows
+
+
+def check(detour, rows) -> None:
+    """The paper-shaped assertions over one sweep."""
+    for churn, row in rows:
+        full = row["full-information"]
+        # Full information dominates every single-path scheme.
+        assert full.delivered_fraction >= row["interval"].delivered_fraction
+        assert full.delivered_fraction >= row["thm4-hub"].delivered_fraction
+        # Full-information routes it takes remain shortest paths.
+        if full.delivered:
+            assert full.max_stretch == 1.0
+        # Source-side retry can only help end-to-end delivery.
+        assert (
+            row["full-info+retry"].delivered_fraction
+            >= full.delivered_fraction
+        )
+        bounced = row["detour(interval)"]
+        if churn == 0:
+            assert bounced.delivered_fraction == 1.0
+        else:
+            # The bounce-once detour strictly improves its inner scheme...
+            assert (
+                bounced.delivered_fraction
+                > row["interval"].delivered_fraction
+            )
+        # ...at a bounded extra stretch.
+        if bounced.delivered:
+            assert bounced.max_stretch <= detour.stretch_bound()
+
+
+def _format(graph, rows, n, messages) -> str:
+    names = list(rows[0][1])
+    lines = [
+        f"Delivery under flapping-link churn on G({n}, 1/2) "
+        f"({graph.edge_count} links), {messages} messages over "
+        f"{HORIZON:g} time units, 10-unit flap period at 50% duty",
+        "",
+        "  flapping links   " + "   ".join(f"{name:>16s}" for name in names),
+    ]
+    for churn, row in rows:
+        cells = "   ".join(
+            f"{row[name].delivered_fraction:16.3f}" for name in names
+        )
+        lines.append(f"  {churn:14d}   {cells}")
+    lines += [
+        "",
+        "  retries per message (full-info+retry): "
+        + ", ".join(
+            f"{churn}: {row['full-info+retry'].mean_retries:.2f}"
+            for churn, row in rows
+        ),
+        "",
+        "  full-information dominates the single-path schemes at every",
+        "  churn level (§1); the bounce-once DetourWrapper lifts interval",
+        "  routing using only locally held liveness, and source-side",
+        "  retry/backoff recovers most of the remaining loss.",
+    ]
+    return "\n".join(lines)
+
+
+def test_chaos_resilience(benchmark, write_result):
+    graph, detour, rows = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    write_result("chaos_resilience", _format(graph, rows, N, MESSAGES))
+    check(detour, rows)
+
+
+def main(argv=None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    smoke = "--smoke" in args
+    n = SMOKE_N if smoke else N
+    messages = SMOKE_MESSAGES if smoke else MESSAGES
+    levels = SMOKE_CHURN_LEVELS if smoke else CHURN_LEVELS
+    graph, detour, rows = measure(n, messages, levels)
+    print(_format(graph, rows, n, messages))
+    check(detour, rows)
+    print("\nassertions ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,6 +17,11 @@ Commands
 ``simulate SCHEME N``
     Push a workload through the network simulator, optionally with
     failed links.
+``simulate-chaos SCHEME N``
+    Run the event engine under a dynamic fault schedule (flapping links,
+    MTBF/MTTR renewal churn, or correlated regional outages), optionally
+    with retry/backoff recovery and the bounce-once detour wrapper, and
+    report delivery ratio, retry counts, and the drop-reason breakdown.
 ``codec NAME N``
     Run an incompressibility codec against a sampled or structured graph.
 
@@ -47,7 +52,14 @@ from repro.incompressibility import (
 )
 from repro.models import Knowledge, Labeling, RoutingModel
 from repro.simulator import (
+    DetourWrapper,
+    EventDrivenSimulator,
     Network,
+    RetryPolicy,
+    flapping_links,
+    regional_failures,
+    renewal_faults,
+    retry_histogram,
     sample_link_failures,
     sample_node_failures,
     summarize,
@@ -148,6 +160,53 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=("uniform", "hotspot", "all-to-one", "one-to-all", "permutation"),
         default="uniform",
     )
+
+    chaos = sub.add_parser(
+        "simulate-chaos",
+        help="run the event engine under a dynamic fault schedule",
+    )
+    chaos.add_argument("scheme", choices=available_schemes())
+    chaos.add_argument("n", type=int)
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--model", type=parse_model, default=None)
+    chaos.add_argument("--messages", type=int, default=300)
+    chaos.add_argument(
+        "--workload",
+        choices=("uniform", "hotspot", "permutation"),
+        default="uniform",
+    )
+    chaos.add_argument(
+        "--schedule",
+        choices=("flapping", "renewal", "regional"),
+        default="flapping",
+        help="fault-schedule generator (default: flapping links)",
+    )
+    chaos.add_argument("--horizon", type=float, default=100.0,
+                       help="schedule horizon in simulated time units")
+    chaos.add_argument("--chaos-links", type=int, default=None,
+                       help="links under churn (default: half the edges)")
+    chaos.add_argument("--chaos-nodes", type=int, default=0,
+                       help="nodes under churn (renewal schedule only)")
+    chaos.add_argument("--period", type=float, default=10.0,
+                       help="flapping: down/up cycle length")
+    chaos.add_argument("--duty", type=float, default=0.5,
+                       help="flapping: fraction of each cycle spent down")
+    chaos.add_argument("--mtbf", type=float, default=20.0,
+                       help="renewal: mean time between failures")
+    chaos.add_argument("--mttr", type=float, default=5.0,
+                       help="renewal: mean time to repair")
+    chaos.add_argument("--regions", type=int, default=2,
+                       help="regional: number of correlated outages")
+    chaos.add_argument("--radius", type=int, default=1,
+                       help="regional: hop radius of each outage")
+    chaos.add_argument("--outage", type=float, default=20.0,
+                       help="regional: outage duration")
+    chaos.add_argument("--retries", type=int, default=0,
+                       help="max re-transmissions per message (0 = none)")
+    chaos.add_argument("--backoff-base", type=float, default=1.0,
+                       help="base retry backoff delay")
+    chaos.add_argument("--detour", action="store_true",
+                       help="wrap the scheme in the bounce-once DetourWrapper")
 
     codec = sub.add_parser("codec", help="run an incompressibility codec")
     codec.add_argument("name", choices=sorted(_CODECS))
@@ -287,6 +346,80 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_simulate_chaos(args: argparse.Namespace) -> int:
+    import random as _random
+
+    model = args.model or _default_model(args.scheme)
+    graph = gnp_random_graph(args.n, seed=args.seed)
+    scheme = build_scheme(args.scheme, graph, model)
+    if args.detour:
+        scheme = DetourWrapper(scheme)
+    chaos_links = (
+        args.chaos_links
+        if args.chaos_links is not None
+        else graph.edge_count // 2
+    )
+    if args.schedule == "flapping":
+        schedule = flapping_links(
+            graph, chaos_links, period=args.period, duty=args.duty,
+            horizon=args.horizon, seed=args.seed,
+        )
+    elif args.schedule == "renewal":
+        schedule = renewal_faults(
+            graph, horizon=args.horizon, seed=args.seed,
+            link_count=chaos_links, link_mtbf=args.mtbf, link_mttr=args.mttr,
+            node_count=args.chaos_nodes,
+        )
+    else:
+        schedule = regional_failures(
+            graph, regions=args.regions, radius=args.radius,
+            duration=args.outage, horizon=args.horizon, seed=args.seed,
+        )
+    if args.workload == "uniform":
+        pairs = uniform_pairs(graph, args.messages, seed=args.seed)
+    elif args.workload == "hotspot":
+        pairs = hotspot_pairs(graph, args.messages, seed=args.seed)
+    else:
+        pairs = permutation_traffic(graph, seed=args.seed)
+    retry = (
+        RetryPolicy(max_attempts=args.retries + 1, base_delay=args.backoff_base)
+        if args.retries > 0
+        else None
+    )
+    sim = EventDrivenSimulator(
+        scheme,
+        fault_schedule=schedule,
+        retry_policy=retry,
+        retry_seed=args.seed,
+    )
+    clock = _random.Random(args.seed)
+    for source, destination in pairs:
+        sim.inject(source, destination, clock.uniform(0.0, args.horizon * 0.8))
+    records = sim.run()
+    metrics = summarize(records, graph)
+    print(f"{scheme.scheme_name} on G({args.n}, 1/2) under "
+          f"{args.schedule} churn ({len(schedule)} fault events, "
+          f"horizon {args.horizon:g})")
+    print(f"messages: {metrics.messages}  delivered: {metrics.delivered} "
+          f"({metrics.delivered_fraction:.1%})")
+    if metrics.delivered:
+        print(f"mean hops: {metrics.mean_hops:.2f}  "
+              f"mean stretch: {metrics.mean_stretch:.2f}  "
+              f"max stretch: {metrics.max_stretch:.2f}  "
+              f"mean time-to-delivery: {metrics.mean_time_to_delivery:.2f}")
+    print(f"retries: {metrics.total_retries} total, "
+          f"{metrics.mean_retries:.2f} per message")
+    histogram = retry_histogram(records)
+    if len(histogram) > 1:
+        spread = "  ".join(
+            f"{count}x{retries}r" for retries, count in sorted(histogram.items())
+        )
+        print(f"  retry histogram: {spread}")
+    for reason, count in sorted(metrics.drop_reasons.items()):
+        print(f"  dropped ({count}): {reason.value}")
+    return 0
+
+
 def _cmd_codec(args: argparse.Namespace) -> int:
     graph = _make_graph(args.graph, args.n, args.seed)
     codec = _CODECS[args.name]()
@@ -369,6 +502,7 @@ _COMMANDS = {
     "route": _cmd_route,
     "verify": _cmd_verify,
     "simulate": _cmd_simulate,
+    "simulate-chaos": _cmd_simulate_chaos,
     "codec": _cmd_codec,
     "bootstrap": _cmd_bootstrap,
     "compare": _cmd_compare,

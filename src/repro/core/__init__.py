@@ -23,6 +23,7 @@ check correctness and stretch.
 from repro.core.builder import SCHEME_BUILDERS, available_schemes, build_scheme
 from repro.core.centers import CenterScheme, RelayFunction
 from repro.core.chain import ChainComparisonScheme, ComparisonFunction, chain_order
+from repro.core.detour import DetourFunction, DetourState, DetourWrapper
 from repro.core.full_information import (
     FullInformationFunction,
     FullInformationScheme,
@@ -71,6 +72,9 @@ __all__ = [
     "CenterScheme",
     "ChainComparisonScheme",
     "ComparisonFunction",
+    "DetourFunction",
+    "DetourState",
+    "DetourWrapper",
     "FullInformationFunction",
     "FullInformationScheme",
     "FullTableScheme",

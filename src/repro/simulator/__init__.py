@@ -3,18 +3,36 @@
 Executes any :class:`~repro.core.scheme.RoutingScheme` on its graph:
 immediate walking (:class:`~repro.simulator.network.Network`), discrete
 events (:class:`~repro.simulator.network.EventDrivenSimulator`),
-reproducible link-failure injection, and delivery/stretch metrics.
+reproducible static failure injection (:mod:`~repro.simulator.failures`),
+dynamic chaos schedules (:mod:`~repro.simulator.chaos`), retry/backoff
+recovery (:mod:`~repro.simulator.recovery`), and delivery/stretch/
+resilience metrics.
 """
 
 from repro.simulator.bootstrap import BootstrapResult, simulate_dissemination
+from repro.simulator.chaos import (
+    FaultEvent,
+    FaultKind,
+    FaultSchedule,
+    flapping_links,
+    regional_failures,
+    renewal_faults,
+)
 from repro.simulator.failures import (
     sample_incident_failures,
     sample_link_failures,
     sample_node_failures,
 )
-from repro.simulator.message import DeliveryRecord, Message
-from repro.simulator.metrics import RoutingMetrics, summarize
+from repro.simulator.message import DeliveryRecord, DropReason, Message
+from repro.simulator.metrics import (
+    RoutingMetrics,
+    cached_distance_matrix,
+    drop_breakdown,
+    retry_histogram,
+    summarize,
+)
 from repro.simulator.network import EventDrivenSimulator, Network
+from repro.simulator.recovery import DetourWrapper, RetryPolicy
 from repro.simulator.workloads import (
     all_to_one,
     hotspot_pairs,
@@ -26,14 +44,26 @@ from repro.simulator.workloads import (
 __all__ = [
     "BootstrapResult",
     "DeliveryRecord",
+    "DetourWrapper",
+    "DropReason",
     "EventDrivenSimulator",
+    "FaultEvent",
+    "FaultKind",
+    "FaultSchedule",
     "Message",
     "Network",
+    "RetryPolicy",
     "RoutingMetrics",
     "all_to_one",
+    "cached_distance_matrix",
+    "drop_breakdown",
+    "flapping_links",
     "hotspot_pairs",
     "one_to_all",
     "permutation_traffic",
+    "regional_failures",
+    "renewal_faults",
+    "retry_histogram",
     "sample_incident_failures",
     "sample_link_failures",
     "sample_node_failures",

@@ -1,0 +1,376 @@
+"""Dynamic fault injection: time-stamped failure/recovery schedules.
+
+The static failure sets in :mod:`repro.simulator.failures` freeze the
+network before a run.  A :class:`FaultSchedule` instead evolves the failure
+set *during* an :class:`~repro.simulator.network.EventDrivenSimulator` run:
+links flap, nodes crash and recover, whole regions go dark and come back.
+That is the regime the paper's full-information schemes are designed for
+("allow alternative, shortest, paths to be taken whenever an outgoing link
+is down") and the one where retry/backoff recovery actually pays off —
+a link that is down now may be up again one backoff later.
+
+All generators are seeded and fully deterministic.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import (
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.errors import GraphError
+from repro.graphs import LabeledGraph
+
+__all__ = [
+    "FaultKind",
+    "FaultEvent",
+    "FaultSchedule",
+    "flapping_links",
+    "renewal_faults",
+    "regional_failures",
+]
+
+
+class FaultKind(str, enum.Enum):
+    """What a single scheduled fault event does to the network."""
+
+    LINK_DOWN = "link down"
+    LINK_UP = "link up"
+    NODE_DOWN = "node down"
+    NODE_UP = "node up"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+_LINK_KINDS = frozenset({FaultKind.LINK_DOWN, FaultKind.LINK_UP})
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One time-stamped change to the failure set."""
+
+    time: float
+    kind: FaultKind
+    subject: Tuple[int, ...]
+    """``(u, v)`` for link events, ``(node,)`` for node events."""
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise GraphError(f"fault event time must be >= 0, got {self.time}")
+        expected = 2 if self.kind in _LINK_KINDS else 1
+        if len(self.subject) != expected:
+            raise GraphError(
+                f"{self.kind.value} event needs {expected} subject node(s), "
+                f"got {self.subject!r}"
+            )
+
+    # -- convenience constructors ------------------------------------------
+
+    @classmethod
+    def link_down(cls, time: float, u: int, v: int) -> "FaultEvent":
+        """The link ``u–v`` fails at ``time``."""
+        return cls(time, FaultKind.LINK_DOWN, (u, v))
+
+    @classmethod
+    def link_up(cls, time: float, u: int, v: int) -> "FaultEvent":
+        """The link ``u–v`` recovers at ``time``."""
+        return cls(time, FaultKind.LINK_UP, (u, v))
+
+    @classmethod
+    def node_down(cls, time: float, node: int) -> "FaultEvent":
+        """Node ``node`` crashes at ``time``."""
+        return cls(time, FaultKind.NODE_DOWN, (node,))
+
+    @classmethod
+    def node_up(cls, time: float, node: int) -> "FaultEvent":
+        """Node ``node`` recovers at ``time``."""
+        return cls(time, FaultKind.NODE_UP, (node,))
+
+    @property
+    def link(self) -> Optional[FrozenSet[int]]:
+        """The affected link as a frozenset, or None for node events."""
+        if self.kind in _LINK_KINDS:
+            return frozenset(self.subject)
+        return None
+
+    @property
+    def node(self) -> Optional[int]:
+        """The affected node, or None for link events."""
+        if self.kind in _LINK_KINDS:
+            return None
+        return self.subject[0]
+
+
+def _sort_key(event: FaultEvent) -> Tuple[float, str, Tuple[int, ...]]:
+    return (event.time, event.kind.value, event.subject)
+
+
+class FaultSchedule:
+    """An immutable, time-ordered sequence of :class:`FaultEvent`s."""
+
+    def __init__(self, events: Iterable[FaultEvent] = ()) -> None:
+        self._events: Tuple[FaultEvent, ...] = tuple(
+            sorted(events, key=_sort_key)
+        )
+
+    # -- container protocol ------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self._events)
+
+    def __bool__(self) -> bool:
+        return bool(self._events)
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultSchedule({len(self._events)} events, "
+            f"horizon={self.horizon:.2f})"
+        )
+
+    @property
+    def events(self) -> Tuple[FaultEvent, ...]:
+        """The events in time order."""
+        return self._events
+
+    @property
+    def horizon(self) -> float:
+        """Time of the last scheduled event (0.0 when empty)."""
+        return self._events[-1].time if self._events else 0.0
+
+    # -- composition -------------------------------------------------------
+
+    def merged(self, other: "FaultSchedule") -> "FaultSchedule":
+        """Interleave two schedules into one time-ordered schedule."""
+        return FaultSchedule(self._events + other.events)
+
+    def __add__(self, other: "FaultSchedule") -> "FaultSchedule":
+        return self.merged(other)
+
+    def shifted(self, delta: float) -> "FaultSchedule":
+        """The same schedule displaced ``delta`` time units later."""
+        return FaultSchedule(
+            FaultEvent(e.time + delta, e.kind, e.subject) for e in self._events
+        )
+
+    # -- validation and replay ---------------------------------------------
+
+    def validate(self, graph: LabeledGraph) -> None:
+        """Check every event references a real link/node of ``graph``."""
+        for event in self._events:
+            if event.kind in _LINK_KINDS:
+                u, v = event.subject
+                if not graph.has_edge(u, v):
+                    raise GraphError(
+                        f"fault schedule references non-edge {u}-{v}"
+                    )
+            else:
+                node = event.subject[0]
+                if not 1 <= node <= graph.n:
+                    raise GraphError(
+                        f"fault schedule references node {node} "
+                        f"outside 1..{graph.n}"
+                    )
+
+    def state_at(
+        self, time: float
+    ) -> Tuple[Set[FrozenSet[int]], Set[int]]:
+        """Replay the schedule: (failed links, failed nodes) at ``time``.
+
+        Events stamped exactly ``time`` are considered applied, matching the
+        event engine's fault-before-message tie-break.
+        """
+        links: Set[FrozenSet[int]] = set()
+        nodes: Set[int] = set()
+        for event in self._events:
+            if event.time > time:
+                break
+            if event.kind is FaultKind.LINK_DOWN:
+                links.add(frozenset(event.subject))
+            elif event.kind is FaultKind.LINK_UP:
+                links.discard(frozenset(event.subject))
+            elif event.kind is FaultKind.NODE_DOWN:
+                nodes.add(event.subject[0])
+            else:
+                nodes.discard(event.subject[0])
+        return links, nodes
+
+
+# ---------------------------------------------------------------------------
+# Schedule generators
+# ---------------------------------------------------------------------------
+
+
+def _sample_links(
+    graph: LabeledGraph, count: int, rng: random.Random
+) -> List[Tuple[int, int]]:
+    edges = list(graph.edges())
+    if count > len(edges):
+        raise GraphError(
+            f"cannot schedule faults on {count} of {len(edges)} links"
+        )
+    return rng.sample(edges, count)
+
+
+def flapping_links(
+    graph: LabeledGraph,
+    count: int,
+    period: float = 10.0,
+    duty: float = 0.5,
+    horizon: float = 100.0,
+    seed: int = 0,
+    stagger: bool = True,
+) -> FaultSchedule:
+    """``count`` random links flap periodically until ``horizon``.
+
+    Each sampled link repeats a down/up cycle of length ``period``, spending
+    ``duty`` of every cycle down.  With ``stagger`` each link gets a random
+    phase offset so the failure set churns continuously instead of
+    blinking in lockstep.
+    """
+    if period <= 0:
+        raise GraphError(f"flap period must be positive, got {period}")
+    if not 0 < duty < 1:
+        raise GraphError(f"duty cycle must be in (0, 1), got {duty}")
+    if horizon <= 0:
+        raise GraphError(f"horizon must be positive, got {horizon}")
+    rng = random.Random(seed)
+    events: List[FaultEvent] = []
+    for u, v in _sample_links(graph, count, rng):
+        phase = rng.uniform(0.0, period) if stagger else 0.0
+        down_for = period * duty
+        start = phase
+        while start < horizon:
+            events.append(FaultEvent.link_down(start, u, v))
+            recover = min(start + down_for, horizon)
+            events.append(FaultEvent.link_up(recover, u, v))
+            start += period
+    return FaultSchedule(events)
+
+
+def renewal_faults(
+    graph: LabeledGraph,
+    horizon: float = 100.0,
+    seed: int = 0,
+    link_count: int = 0,
+    link_mtbf: float = 20.0,
+    link_mttr: float = 5.0,
+    node_count: int = 0,
+    node_mtbf: float = 50.0,
+    node_mttr: float = 10.0,
+) -> FaultSchedule:
+    """An MTBF/MTTR renewal process per sampled link and node.
+
+    Each chosen component alternates exponentially distributed up-times
+    (mean ``mtbf``) and down-times (mean ``mttr``), the classic reliability
+    model.  Components start up; the first failure of each arrives after
+    one exponential up-time.
+    """
+    for name, value in (
+        ("horizon", horizon),
+        ("link_mtbf", link_mtbf),
+        ("link_mttr", link_mttr),
+        ("node_mtbf", node_mtbf),
+        ("node_mttr", node_mttr),
+    ):
+        if value <= 0:
+            raise GraphError(f"{name} must be positive, got {value}")
+    rng = random.Random(seed)
+    events: List[FaultEvent] = []
+
+    def _alternate(down, up, mtbf: float, mttr: float) -> None:
+        clock = rng.expovariate(1.0 / mtbf)
+        while clock < horizon:
+            events.append(down(clock))
+            clock += rng.expovariate(1.0 / mttr)
+            recover = min(clock, horizon)
+            events.append(up(recover))
+            if clock >= horizon:
+                break
+            clock += rng.expovariate(1.0 / mtbf)
+
+    for u, v in _sample_links(graph, link_count, rng):
+        _alternate(
+            lambda t, u=u, v=v: FaultEvent.link_down(t, u, v),
+            lambda t, u=u, v=v: FaultEvent.link_up(t, u, v),
+            link_mtbf,
+            link_mttr,
+        )
+    nodes = list(graph.nodes)
+    if node_count > len(nodes):
+        raise GraphError(
+            f"cannot schedule faults on {node_count} of {len(nodes)} nodes"
+        )
+    for node in rng.sample(nodes, node_count):
+        _alternate(
+            lambda t, node=node: FaultEvent.node_down(t, node),
+            lambda t, node=node: FaultEvent.node_up(t, node),
+            node_mtbf,
+            node_mttr,
+        )
+    return FaultSchedule(events)
+
+
+def _ball(graph: LabeledGraph, center: int, radius: int) -> Set[int]:
+    """Nodes within hop distance ``radius`` of ``center`` (BFS)."""
+    seen = {center}
+    frontier = [center]
+    for _ in range(radius):
+        nxt: List[int] = []
+        for u in frontier:
+            for v in graph.neighbor_set(u):
+                if v not in seen:
+                    seen.add(v)
+                    nxt.append(v)
+        frontier = nxt
+    return seen
+
+
+def regional_failures(
+    graph: LabeledGraph,
+    regions: int = 1,
+    radius: int = 1,
+    duration: float = 20.0,
+    horizon: float = 100.0,
+    seed: int = 0,
+    protect: Optional[Sequence[int]] = None,
+) -> FaultSchedule:
+    """Correlated regional outages: whole hop-balls crash together.
+
+    Each region picks a random epicentre and a random outage start in
+    ``[0, horizon - duration]``; every unprotected node within ``radius``
+    hops of the epicentre crashes at the start and recovers ``duration``
+    later.  Models the correlated failures (power loss, cable cut) that
+    independent per-link models miss.
+    """
+    if radius < 0:
+        raise GraphError(f"radius must be >= 0, got {radius}")
+    if duration <= 0 or horizon <= 0 or duration > horizon:
+        raise GraphError(
+            f"need 0 < duration <= horizon, got {duration}, {horizon}"
+        )
+    protected = set(protect or ())
+    rng = random.Random(seed)
+    events: List[FaultEvent] = []
+    for _ in range(regions):
+        epicenter = rng.randrange(1, graph.n + 1)
+        start = rng.uniform(0.0, horizon - duration)
+        for node in sorted(_ball(graph, epicenter, radius)):
+            if node in protected:
+                continue
+            events.append(FaultEvent.node_down(start, node))
+            events.append(FaultEvent.node_up(start + duration, node))
+    return FaultSchedule(events)

@@ -2,10 +2,41 @@
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass, field
 from typing import Any, Hashable, List, Optional
 
-__all__ = ["Message", "DeliveryRecord"]
+__all__ = ["DropReason", "Message", "DeliveryRecord"]
+
+
+class DropReason(str, enum.Enum):
+    """Structured taxonomy of why a message failed to deliver.
+
+    The ``str`` mixin keeps records greppable (``"down" in reason`` works on
+    the member itself) while giving experiments a closed vocabulary to
+    aggregate over instead of parsing free text.  Human-oriented context
+    (which link, which node) travels separately in
+    :attr:`DeliveryRecord.drop_detail`.
+    """
+
+    ENDPOINT_DOWN = "endpoint down"
+    """Source or destination node was crashed at injection time."""
+    LINK_DOWN = "link down"
+    """The chosen outgoing link was failed when the message tried it."""
+    NODE_DOWN = "node down"
+    """The chosen next hop (or the holding node itself) was crashed."""
+    HOP_LIMIT = "hop limit exceeded"
+    """The walk exceeded the scheme's loop-detection hop budget."""
+    NO_ROUTE = "no route"
+    """The local routing function had no usable entry (e.g. every
+    shortest-path edge toward the destination has failed)."""
+    INVALID_FORWARD = "invalid forward"
+    """A function named a non-adjacent next hop — a scheme bug surfaced."""
+    QUEUE_OVERFLOW = "queue overflow"
+    """A node's forwarding backlog exceeded its queue capacity."""
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
 
 
 @dataclass
@@ -20,6 +51,8 @@ class Message:
     state: Any = None
     """Header state (used by the Theorem 5 probe scheme)."""
     path: List[int] = field(default_factory=list)
+    attempt: int = 0
+    """Zero-based retry attempt this incarnation represents."""
 
     @property
     def hops(self) -> int:
@@ -38,5 +71,10 @@ class DeliveryRecord:
     hops: int
     path: tuple[int, ...]
     latency: float = 0.0
-    """Simulated time from injection to delivery (event-driven runs)."""
-    drop_reason: Optional[str] = None
+    """Simulated time from first injection to the final outcome
+    (event-driven runs), inclusive of retry backoff delays."""
+    drop_reason: Optional[DropReason] = None
+    drop_detail: Optional[str] = None
+    """Free-text context for the drop (which link, which node, ...)."""
+    retries: int = 0
+    """Source-side re-transmissions performed before this outcome."""

@@ -1,22 +1,57 @@
-"""Aggregate metrics over simulated deliveries."""
+"""Aggregate metrics over simulated deliveries.
+
+Besides the classic delivery/stretch statistics this module reports the
+resilience quantities the chaos experiments sweep over: retry counts,
+time-to-delivery including backoff, and the per-:class:`DropReason`
+breakdown of everything that did not arrive.
+"""
 
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Sequence
+from typing import Dict, Sequence, Tuple
 
 import numpy as np
 
 from repro.graphs import LabeledGraph, distance_matrix
-from repro.simulator.message import DeliveryRecord
+from repro.simulator.message import DeliveryRecord, DropReason
 
-__all__ = ["RoutingMetrics", "summarize"]
+__all__ = [
+    "RoutingMetrics",
+    "cached_distance_matrix",
+    "drop_breakdown",
+    "retry_histogram",
+    "summarize",
+]
+
+# Resilience sweeps call summarize() once per (scheme, churn level) on the
+# *same* graph; recomputing the O(n·m) all-pairs matrix each time dominated
+# their runtime.  A small strong-ref LRU keyed on object identity memoises
+# it (LabeledGraph is immutable and uses __slots__ without __weakref__, so
+# identity + a strong ref — which pins the id — is the safe key).
+_DIST_CACHE: "OrderedDict[int, Tuple[LabeledGraph, np.ndarray]]" = OrderedDict()
+_DIST_CACHE_SIZE = 8
+
+
+def cached_distance_matrix(graph: LabeledGraph) -> np.ndarray:
+    """All-pairs distances of ``graph``, memoised on graph identity."""
+    key = id(graph)
+    hit = _DIST_CACHE.get(key)
+    if hit is not None and hit[0] is graph:
+        _DIST_CACHE.move_to_end(key)
+        return hit[1]
+    dist = distance_matrix(graph)
+    _DIST_CACHE[key] = (graph, dist)
+    while len(_DIST_CACHE) > _DIST_CACHE_SIZE:
+        _DIST_CACHE.popitem(last=False)
+    return dist
 
 
 @dataclass(frozen=True)
 class RoutingMetrics:
-    """Delivery and stretch statistics of one batch of messages."""
+    """Delivery, stretch and resilience statistics of one message batch."""
 
     messages: int
     delivered: int
@@ -25,7 +60,14 @@ class RoutingMetrics:
     max_stretch: float
     p95_stretch: float
     mean_latency: float
-    drop_reasons: Dict[str, int]
+    drop_reasons: Dict[DropReason, int]
+    total_retries: int = 0
+    """Re-transmissions summed over all messages (delivered or not)."""
+    mean_retries: float = 0.0
+    """Mean re-transmissions per message."""
+    mean_time_to_delivery: float = math.nan
+    """Mean latency of *delivered* messages from first injection to
+    arrival, inclusive of retry backoff (equals ``mean_latency``)."""
 
     @property
     def delivered_fraction(self) -> float:
@@ -35,26 +77,49 @@ class RoutingMetrics:
         return self.delivered / self.messages
 
 
+def drop_breakdown(
+    records: Sequence[DeliveryRecord],
+) -> Dict[DropReason, int]:
+    """Count undelivered records per structured :class:`DropReason`."""
+    drops: Dict[DropReason, int] = {}
+    for record in records:
+        if record.delivered:
+            continue
+        reason = record.drop_reason or DropReason.NO_ROUTE
+        drops[reason] = drops.get(reason, 0) + 1
+    return drops
+
+
+def retry_histogram(
+    records: Sequence[DeliveryRecord],
+) -> Dict[int, int]:
+    """How many messages needed 0, 1, 2, ... re-transmissions."""
+    hist: Dict[int, int] = {}
+    for record in records:
+        hist[record.retries] = hist.get(record.retries, 0) + 1
+    return hist
+
+
 def summarize(
     records: Sequence[DeliveryRecord], graph: LabeledGraph
 ) -> RoutingMetrics:
     """Compute metrics; stretch is hops over graph distance per pair."""
-    dist = distance_matrix(graph)
+    dist = cached_distance_matrix(graph)
     stretches = []
     hops = []
     latencies = []
-    drops: Dict[str, int] = {}
     delivered = 0
+    total_retries = 0
     for record in records:
+        total_retries += record.retries
         if not record.delivered:
-            reason = record.drop_reason or "unknown"
-            drops[reason] = drops.get(reason, 0) + 1
             continue
         delivered += 1
         hops.append(record.hops)
         latencies.append(record.latency)
         shortest = int(dist[record.source - 1, record.destination - 1])
         stretches.append(record.hops / shortest if shortest > 0 else 1.0)
+    mean_latency = float(np.mean(latencies)) if latencies else math.nan
     return RoutingMetrics(
         messages=len(records),
         delivered=delivered,
@@ -64,6 +129,9 @@ def summarize(
         p95_stretch=(
             float(np.percentile(stretches, 95)) if stretches else math.nan
         ),
-        mean_latency=float(np.mean(latencies)) if latencies else math.nan,
-        drop_reasons=drops,
+        mean_latency=mean_latency,
+        drop_reasons=drop_breakdown(records),
+        total_retries=total_retries,
+        mean_retries=total_retries / len(records) if records else 0.0,
+        mean_time_to_delivery=mean_latency,
     )

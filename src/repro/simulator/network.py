@@ -5,23 +5,35 @@ Two execution modes over the same routing schemes:
 * :class:`Network` — an immediate hop-by-hop walker with link-failure
   awareness, used for delivery/stretch measurements.  Full-information
   functions route *around* failed incident links (the exact capability the
-  paper defines them for); single-path functions drop when their chosen
-  link is down.
+  paper defines them for); detour-wrapped functions bounce once to a live
+  neighbour; plain single-path functions drop when their chosen link is
+  down.
 * :class:`EventDrivenSimulator` — a discrete-event engine (FIFO links of
-  configurable latency, global event queue) for time-domain experiments
-  such as congestion-free latency distributions.
+  configurable latency, global event queue) for time-domain experiments:
+  congestion-free latency distributions, and — given a
+  :class:`~repro.simulator.chaos.FaultSchedule` — resilience under churn,
+  with optional source-side :class:`~repro.simulator.recovery.RetryPolicy`
+  recovery.
+
+Every drop is classified by the structured
+:class:`~repro.simulator.message.DropReason` taxonomy; the human-readable
+context (which link, which node) rides in ``DeliveryRecord.drop_detail``.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import FrozenSet, Iterable, List, Optional, Set, Tuple
+import random
+from typing import FrozenSet, Iterable, List, Optional, Set, Tuple, Union
 
 from repro.core import RoutingScheme
+from repro.core.detour import DetourFunction
 from repro.core.full_information import FullInformationFunction
 from repro.errors import RoutingError
-from repro.simulator.message import DeliveryRecord, Message
+from repro.simulator.chaos import FaultEvent, FaultKind, FaultSchedule
+from repro.simulator.message import DeliveryRecord, DropReason, Message
+from repro.simulator.recovery import RetryPolicy
 
 __all__ = ["Network", "EventDrivenSimulator"]
 
@@ -30,6 +42,40 @@ Link = FrozenSet[int]
 
 def _as_links(edges: Iterable[Tuple[int, int]]) -> Set[Link]:
     return {frozenset(edge) for edge in edges}
+
+
+def _drop_record(
+    message: Message,
+    reason: DropReason,
+    detail: Optional[str] = None,
+    latency: float = 0.0,
+) -> DeliveryRecord:
+    """The single builder for drop records (walker and event engine)."""
+    return DeliveryRecord(
+        msg_id=message.msg_id,
+        source=message.source,
+        destination=message.destination,
+        delivered=False,
+        hops=message.hops,
+        path=tuple(message.path),
+        latency=latency,
+        drop_reason=reason,
+        drop_detail=detail,
+        retries=message.attempt,
+    )
+
+
+def _delivered_record(message: Message, latency: float = 0.0) -> DeliveryRecord:
+    return DeliveryRecord(
+        msg_id=message.msg_id,
+        source=message.source,
+        destination=message.destination,
+        delivered=True,
+        hops=message.hops,
+        path=tuple(message.path),
+        latency=latency,
+        retries=message.attempt,
+    )
 
 
 class Network:
@@ -77,6 +123,17 @@ class Network:
         """Bring a crashed node back."""
         self._failed_nodes.discard(node)
 
+    def apply_fault(self, event: FaultEvent) -> None:
+        """Apply one scheduled fault event to the live failure state."""
+        if event.kind is FaultKind.LINK_DOWN:
+            self.fail_link(*event.subject)
+        elif event.kind is FaultKind.LINK_UP:
+            self.restore_link(*event.subject)
+        elif event.kind is FaultKind.NODE_DOWN:
+            self.fail_node(event.subject[0])
+        else:
+            self.restore_node(event.subject[0])
+
     def _blocked_neighbors(self, node: int) -> List[int]:
         return [
             nb
@@ -86,14 +143,24 @@ class Network:
         ]
 
     def _choose_hop(self, node: int, message: Message):
-        """One forwarding decision, honouring failures where possible."""
+        """One forwarding decision, honouring failures where possible.
+
+        Fault-aware functions — full-information (all shortest-path edges
+        stored) and detour wrappers (bounce once to a live neighbour) — are
+        told which incident links are unusable; plain single-path functions
+        answer from their table alone and may well pick a dead link.
+        """
         function = self._scheme.function(node)
-        if isinstance(function, FullInformationFunction) and (
-            self._failed or self._failed_nodes
-        ):
-            return function.next_hop_avoiding(
-                int(message.address), self._blocked_neighbors(node)
-            )
+        if self._failed or self._failed_nodes:
+            blocked = self._blocked_neighbors(node)
+            if isinstance(function, FullInformationFunction):
+                return function.next_hop_avoiding(
+                    int(message.address), blocked
+                )
+            if isinstance(function, DetourFunction):
+                return function.next_hop_avoiding(
+                    message.address, blocked, message.state
+                )
         return function.next_hop(message.address, message.state)
 
     def route(self, source: int, destination: int) -> DeliveryRecord:
@@ -106,51 +173,79 @@ class Network:
             path=[source],
         )
         if source in self._failed_nodes or destination in self._failed_nodes:
-            return self._drop(message, "endpoint node is down")
+            down = source if source in self._failed_nodes else destination
+            return _drop_record(
+                message,
+                DropReason.ENDPOINT_DOWN,
+                f"endpoint node {down} is down",
+            )
         limit = self._scheme.hop_limit()
         current = source
         while current != destination:
             if message.hops >= limit:
-                return self._drop(message, f"hop limit {limit} exceeded")
+                return _drop_record(
+                    message,
+                    DropReason.HOP_LIMIT,
+                    f"hop limit {limit} exceeded",
+                )
             try:
                 decision = self._choose_hop(current, message)
             except RoutingError as exc:
-                return self._drop(message, str(exc))
+                return _drop_record(message, DropReason.NO_ROUTE, str(exc))
             next_node = decision.next_node
             if frozenset((current, next_node)) in self._failed:
-                return self._drop(
-                    message, f"link {current}-{next_node} is down"
+                return _drop_record(
+                    message,
+                    DropReason.LINK_DOWN,
+                    f"link {current}-{next_node} is down",
                 )
             if next_node in self._failed_nodes:
-                return self._drop(message, f"node {next_node} is down")
+                return _drop_record(
+                    message,
+                    DropReason.NODE_DOWN,
+                    f"node {next_node} is down",
+                )
             if next_node != current and not self._scheme.graph.has_edge(
                 current, next_node
             ):
-                return self._drop(
-                    message, f"{current} forwarded to non-adjacent {next_node}"
+                return _drop_record(
+                    message,
+                    DropReason.INVALID_FORWARD,
+                    f"{current} forwarded to non-adjacent {next_node}",
                 )
             message.state = decision.state
             message.path.append(next_node)
             current = next_node
-        return DeliveryRecord(
-            msg_id=message.msg_id,
-            source=source,
-            destination=destination,
-            delivered=True,
-            hops=message.hops,
-            path=tuple(message.path),
-        )
+        return _delivered_record(message)
 
-    def _drop(self, message: Message, reason: str) -> DeliveryRecord:
-        return DeliveryRecord(
-            msg_id=message.msg_id,
-            source=message.source,
-            destination=message.destination,
-            delivered=False,
-            hops=message.hops,
-            path=tuple(message.path),
-            drop_reason=reason,
-        )
+    def _drop(
+        self,
+        message: Message,
+        reason: DropReason,
+        detail: Optional[str] = None,
+    ) -> DeliveryRecord:
+        return _drop_record(message, reason, detail)
+
+
+# Heap entries: (time, priority, sequence, payload, first_injected_at).
+# Fault events carry priority 0 so a link that dies at time t is dead for
+# every message hop scheduled at the same t.
+_FAULT_PRIORITY = 0
+_MESSAGE_PRIORITY = 1
+_Entry = Tuple[float, int, int, Union[Message, FaultEvent], float]
+
+# Drops worth retrying: the condition that caused them can heal as the
+# fault schedule advances.  A scheme bug (INVALID_FORWARD) cannot.
+_RETRYABLE = frozenset(
+    {
+        DropReason.ENDPOINT_DOWN,
+        DropReason.LINK_DOWN,
+        DropReason.NODE_DOWN,
+        DropReason.HOP_LIMIT,
+        DropReason.NO_ROUTE,
+        DropReason.QUEUE_OVERFLOW,
+    }
+)
 
 
 class EventDrivenSimulator:
@@ -162,6 +257,13 @@ class EventDrivenSimulator:
     node — the Theorem 4 hub, a hotspot destination — queues up and the
     latency distribution shows it.  ``queue_capacity`` (in messages of
     backlog) turns overload into explicit drops.
+
+    ``fault_schedule`` interleaves timed link/node failures and recoveries
+    with the message events, so the failure set evolves *during* the run;
+    ``retry_policy`` re-injects dropped messages at their source after an
+    exponential backoff, modelling end-to-end recovery.  Delivered records
+    then report the total time including backoff, and ``retries`` counts
+    re-transmissions.
     """
 
     def __init__(
@@ -172,6 +274,9 @@ class EventDrivenSimulator:
         node_service_time: float = 0.0,
         queue_capacity: Optional[int] = None,
         failed_nodes: Iterable[int] = (),
+        fault_schedule: Optional[FaultSchedule] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        retry_seed: int = 0,
     ) -> None:
         if link_latency <= 0:
             raise RoutingError(f"link latency must be positive, got {link_latency}")
@@ -188,11 +293,20 @@ class EventDrivenSimulator:
         self._latency = link_latency
         self._service = node_service_time
         self._capacity = queue_capacity
-        self._queue: List[Tuple[float, int, Message, float]] = []
+        self._schedule = fault_schedule
+        self._retry = retry_policy
+        self._retry_rng = random.Random(retry_seed)
+        self._queue: List[_Entry] = []
         self._sequence = itertools.count()
         self._records: List[DeliveryRecord] = []
         self._busy_until: dict[int, float] = {}
         self._forward_counts: dict[int, int] = {}
+        self._live_messages = 0
+
+    @property
+    def network(self) -> Network:
+        """The underlying failure-state holder (live during a run)."""
+        return self._network
 
     @property
     def forward_counts(self) -> dict[int, int]:
@@ -208,8 +322,55 @@ class EventDrivenSimulator:
             address=self._scheme.address_of(destination),
             path=[source],
         )
+        self._push_message(message, at_time, at_time)
+
+    def _push_message(
+        self, message: Message, at_time: float, injected_at: float
+    ) -> None:
         heapq.heappush(
-            self._queue, (at_time, next(self._sequence), message, at_time)
+            self._queue,
+            (
+                at_time,
+                _MESSAGE_PRIORITY,
+                next(self._sequence),
+                message,
+                injected_at,
+            ),
+        )
+        self._live_messages += 1
+
+    def _finish(
+        self,
+        message: Message,
+        now: float,
+        injected_at: float,
+        reason: Optional[DropReason],
+        detail: Optional[str] = None,
+    ) -> None:
+        """Record a final outcome, or schedule a retry for a drop."""
+        if reason is None:
+            self._records.append(
+                _delivered_record(message, latency=now - injected_at)
+            )
+            return
+        if (
+            self._retry is not None
+            and reason in _RETRYABLE
+            and message.attempt < self._retry.max_retries
+        ):
+            backoff = self._retry.delay(message.attempt, self._retry_rng)
+            fresh = Message(
+                msg_id=message.msg_id,
+                source=message.source,
+                destination=message.destination,
+                address=message.address,
+                path=[message.source],
+                attempt=message.attempt + 1,
+            )
+            self._push_message(fresh, now + backoff, injected_at)
+            return
+        self._records.append(
+            _drop_record(message, reason, detail, latency=now - injected_at)
         )
 
     def run(self) -> List[DeliveryRecord]:
@@ -217,74 +378,89 @@ class EventDrivenSimulator:
         limit_base = self._scheme.hop_limit()
         self._busy_until = {}
         self._forward_counts = {}
-        while self._queue:
-            now, _, message, injected_at = heapq.heappop(self._queue)
+        if self._schedule is not None:
+            for event in self._schedule:
+                heapq.heappush(
+                    self._queue,
+                    (
+                        event.time,
+                        _FAULT_PRIORITY,
+                        next(self._sequence),
+                        event,
+                        event.time,
+                    ),
+                )
+        while self._queue and self._live_messages:
+            now, priority, _, payload, injected_at = heapq.heappop(self._queue)
+            if priority == _FAULT_PRIORITY:
+                assert isinstance(payload, FaultEvent)
+                self._network.apply_fault(payload)
+                continue
+            message = payload
+            assert isinstance(message, Message)
+            self._live_messages -= 1
             current = message.path[-1]
             if current == message.destination:
-                self._records.append(
-                    DeliveryRecord(
-                        msg_id=message.msg_id,
-                        source=message.source,
-                        destination=message.destination,
-                        delivered=True,
-                        hops=message.hops,
-                        path=tuple(message.path),
-                        latency=now - injected_at,
+                if current in self._network.failed_nodes:
+                    self._finish(
+                        message,
+                        now,
+                        injected_at,
+                        DropReason.ENDPOINT_DOWN,
+                        f"destination {current} crashed before arrival",
                     )
+                else:
+                    self._finish(message, now, injected_at, None)
+                continue
+            if current in self._network.failed_nodes:
+                reason = (
+                    DropReason.ENDPOINT_DOWN
+                    if message.hops == 0
+                    else DropReason.NODE_DOWN
+                )
+                self._finish(
+                    message,
+                    now,
+                    injected_at,
+                    reason,
+                    f"node {current} holding the message is down",
                 )
                 continue
             if message.hops >= limit_base:
-                self._records.append(
-                    DeliveryRecord(
-                        msg_id=message.msg_id,
-                        source=message.source,
-                        destination=message.destination,
-                        delivered=False,
-                        hops=message.hops,
-                        path=tuple(message.path),
-                        latency=now - injected_at,
-                        drop_reason="hop limit exceeded",
-                    )
+                self._finish(
+                    message,
+                    now,
+                    injected_at,
+                    DropReason.HOP_LIMIT,
+                    f"hop limit {limit_base} exceeded",
                 )
                 continue
             try:
                 decision = self._network._choose_hop(current, message)
             except RoutingError as exc:
-                self._records.append(
-                    DeliveryRecord(
-                        msg_id=message.msg_id,
-                        source=message.source,
-                        destination=message.destination,
-                        delivered=False,
-                        hops=message.hops,
-                        path=tuple(message.path),
-                        latency=now - injected_at,
-                        drop_reason=str(exc),
-                    )
+                self._finish(
+                    message, now, injected_at, DropReason.NO_ROUTE, str(exc)
                 )
                 continue
             # A single-path scheme may have chosen a dead link or node:
-            # drop, as the hop-by-hop walker does.
+            # drop (or retry), as the hop-by-hop walker does.
             chosen_link = frozenset((current, decision.next_node))
-            if (
-                chosen_link in self._network.failed_links
-                or decision.next_node in self._network.failed_nodes
-            ):
-                if decision.next_node in self._network.failed_nodes:
-                    reason = f"node {decision.next_node} is down"
-                else:
-                    reason = f"link {current}-{decision.next_node} is down"
-                self._records.append(
-                    DeliveryRecord(
-                        msg_id=message.msg_id,
-                        source=message.source,
-                        destination=message.destination,
-                        delivered=False,
-                        hops=message.hops,
-                        path=tuple(message.path),
-                        latency=now - injected_at,
-                        drop_reason=reason,
-                    )
+            if chosen_link in self._network.failed_links:
+                self._finish(
+                    message,
+                    now,
+                    injected_at,
+                    DropReason.LINK_DOWN,
+                    f"link {current}-{decision.next_node} is down",
+                )
+                continue
+            if decision.next_node in self._network.failed_nodes:
+                self._finish(
+                    message,
+                    now,
+                    injected_at,
+                    DropReason.NODE_DOWN,
+                    f"node {decision.next_node} is down",
                 )
                 continue
             # Serialise forwarding through the node's processor.
@@ -295,17 +471,12 @@ class EventDrivenSimulator:
                     self._capacity is not None
                     and backlog / self._service >= self._capacity
                 ):
-                    self._records.append(
-                        DeliveryRecord(
-                            msg_id=message.msg_id,
-                            source=message.source,
-                            destination=message.destination,
-                            delivered=False,
-                            hops=message.hops,
-                            path=tuple(message.path),
-                            latency=now - injected_at,
-                            drop_reason=f"queue overflow at node {current}",
-                        )
+                    self._finish(
+                        message,
+                        now,
+                        injected_at,
+                        DropReason.QUEUE_OVERFLOW,
+                        f"queue overflow at node {current}",
                     )
                     continue
                 start = max(now, self._busy_until.get(current, 0.0))
@@ -316,14 +487,10 @@ class EventDrivenSimulator:
             )
             message.state = decision.state
             message.path.append(decision.next_node)
-            heapq.heappush(
-                self._queue,
-                (
-                    departure + self._latency,
-                    next(self._sequence),
-                    message,
-                    injected_at,
-                ),
+            self._push_message(
+                message, departure + self._latency, injected_at
             )
+        # Remaining entries can only be fault events (no live messages).
+        self._queue.clear()
         records, self._records = self._records, []
         return records

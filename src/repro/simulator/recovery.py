@@ -1,0 +1,76 @@
+"""Source-side recovery: retry with exponential backoff and jitter.
+
+Under a *dynamic* fault schedule a drop is not final — the link that
+killed the message may be up again a moment later.  :class:`RetryPolicy`
+gives the event-driven simulator a production-style recovery loop: a
+capped number of re-transmissions, exponentially growing delays, and
+multiplicative jitter so synchronised sources do not re-collide.
+
+The second half of the recovery story, the :class:`DetourWrapper` scheme
+decorator (bounce to a live neighbour instead of dropping), lives in
+:mod:`repro.core.detour` and is re-exported here for discoverability.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.detour import DetourFunction, DetourState, DetourWrapper
+from repro.errors import ReproError
+
+__all__ = ["RetryPolicy", "DetourFunction", "DetourState", "DetourWrapper"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with jitter and a max-attempt budget.
+
+    ``max_attempts`` counts total transmissions including the first, so
+    ``max_attempts=1`` disables retries and ``max_attempts=4`` allows three
+    re-transmissions.  The ``k``-th retry (``k = 0, 1, ...``) waits
+    ``base_delay * multiplier**k`` time units, capped at ``max_delay`` and
+    scaled by a uniform factor in ``[1 - jitter, 1 + jitter]``.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 1.0
+    multiplier: float = 2.0
+    max_delay: float = 60.0
+    jitter: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ReproError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay <= 0:
+            raise ReproError(
+                f"base_delay must be positive, got {self.base_delay}"
+            )
+        if self.multiplier < 1:
+            raise ReproError(
+                f"multiplier must be >= 1, got {self.multiplier}"
+            )
+        if self.max_delay < self.base_delay:
+            raise ReproError(
+                f"max_delay {self.max_delay} below base_delay {self.base_delay}"
+            )
+        if not 0 <= self.jitter < 1:
+            raise ReproError(f"jitter must be in [0, 1), got {self.jitter}")
+
+    @property
+    def max_retries(self) -> int:
+        """Re-transmissions allowed after the first attempt."""
+        return self.max_attempts - 1
+
+    def delay(self, retry: int, rng: random.Random) -> float:
+        """Backoff before the ``retry``-th re-transmission (0-based)."""
+        if retry < 0:
+            raise ReproError(f"retry index must be >= 0, got {retry}")
+        nominal = min(
+            self.base_delay * self.multiplier**retry, self.max_delay
+        )
+        if self.jitter == 0:
+            return nominal
+        return nominal * (1 - self.jitter + 2 * self.jitter * rng.random())

@@ -1,0 +1,108 @@
+"""Edge-case tests for static failure sampling (`failures.py`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import gnp_random_graph, path_graph, star_graph
+from repro.simulator import (
+    sample_incident_failures,
+    sample_link_failures,
+    sample_node_failures,
+)
+
+
+class TestSampleIncidentFailures:
+    def test_spare_link_survives(self):
+        graph = star_graph(6)  # centre 1, leaves 2..6
+        failed = sample_incident_failures(graph, 1, 4, seed=3, spare=(1, 4))
+        assert len(failed) == 4
+        assert frozenset((1, 4)) not in failed
+        assert all(1 in link for link in failed)
+
+    def test_spare_reversed_orientation_still_protected(self):
+        graph = star_graph(6)
+        failed = sample_incident_failures(graph, 1, 4, seed=3, spare=(4, 1))
+        assert frozenset((1, 4)) not in failed
+
+    def test_deterministic_per_seed(self):
+        graph = gnp_random_graph(20, seed=5)
+        a = sample_incident_failures(graph, 3, 5, seed=11)
+        assert a == sample_incident_failures(graph, 3, 5, seed=11)
+        differing = [
+            seed
+            for seed in range(10)
+            if sample_incident_failures(graph, 3, 5, seed=seed) != a
+        ]
+        assert differing  # different seeds explore different sets
+
+    def test_spare_shrinks_the_budget(self):
+        graph = star_graph(5)  # centre has 4 incident links
+        with pytest.raises(GraphError):
+            sample_incident_failures(graph, 1, 4, seed=0, spare=(1, 2))
+        # Without the spare all four can fail.
+        assert len(sample_incident_failures(graph, 1, 4, seed=0)) == 4
+
+    def test_too_many_rejected(self):
+        with pytest.raises(GraphError):
+            sample_incident_failures(path_graph(3), 2, 3)
+
+
+class TestSampleNodeFailuresInteractions:
+    def test_protect_everything_leaves_nothing_to_fail(self):
+        graph = path_graph(4)
+        with pytest.raises(GraphError):
+            sample_node_failures(graph, 1, protect=set(graph.nodes))
+
+    def test_protect_with_keep_connected_can_be_unsatisfiable(self):
+        """On a path, protecting the endpoints forces failures among the
+        interior, each of which would disconnect the protected pair."""
+        graph = path_graph(5)
+        with pytest.raises(GraphError):
+            sample_node_failures(
+                graph, 1, seed=0, protect={1, 5}, keep_connected=True
+            )
+
+    def test_protect_without_keep_connected_is_satisfiable(self):
+        graph = path_graph(5)
+        failed = sample_node_failures(
+            graph, 1, seed=0, protect={1, 5}, keep_connected=False
+        )
+        assert len(failed) == 1
+        assert failed.isdisjoint({1, 5})
+
+    def test_keep_connected_skips_cut_vertices(self):
+        graph = star_graph(6)
+        for seed in range(5):
+            failed = sample_node_failures(graph, 2, seed=seed)
+            assert 1 not in failed  # the centre is the only cut vertex
+
+    def test_protected_hub_with_connectivity(self):
+        graph = gnp_random_graph(24, seed=5)
+        failed = sample_node_failures(
+            graph, 6, seed=2, protect={1, 2, 3}, keep_connected=True
+        )
+        assert len(failed) == 6
+        assert failed.isdisjoint({1, 2, 3})
+        survivors = [u for u in graph.nodes if u not in failed]
+        seen = {survivors[0]}
+        stack = [survivors[0]]
+        while stack:
+            u = stack.pop()
+            for v in graph.neighbor_set(u):
+                if v not in failed and v not in seen:
+                    seen.add(v)
+                    stack.append(v)
+        assert len(seen) == len(survivors)
+
+
+class TestSampleLinkFailures:
+    def test_keep_connected_false_allows_bridges(self):
+        graph = path_graph(4)  # every edge is a bridge
+        failed = sample_link_failures(graph, 2, seed=1, keep_connected=False)
+        assert len(failed) == 2
+
+    def test_keep_connected_true_rejects_bridges(self):
+        with pytest.raises(GraphError):
+            sample_link_failures(path_graph(4), 1, seed=1)
