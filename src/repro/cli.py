@@ -24,6 +24,15 @@ Commands
     report delivery ratio, retry counts, and the drop-reason breakdown.
 ``codec NAME N``
     Run an incompressibility codec against a sampled or structured graph.
+``trace-report TRACE``
+    Summarize a ``--trace-out`` JSONL file: hot nodes, hop latency
+    percentiles, and fault-window attribution of every drop.
+
+Observability flags: ``simulate``, ``simulate-chaos`` and ``build`` accept
+``--trace-out FILE`` (hop-level JSONL spans), ``--metrics-out FILE``
+(metrics-registry dump — JSON, or Prometheus text when the file ends in
+``.prom``), and the simulators accept ``--json`` for machine-readable
+:class:`RoutingMetrics` on stdout.
 
 All sampling is seeded (``--seed``) and therefore reproducible.
 """
@@ -31,6 +40,7 @@ All sampling is seeded (``--seed``) and therefore reproducible.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
@@ -51,6 +61,13 @@ from repro.incompressibility import (
     evaluate_codec,
 )
 from repro.models import Knowledge, Labeling, RoutingModel
+from repro.observability import (
+    JsonlTracer,
+    format_trace_report,
+    get_registry,
+    read_trace,
+    summarize_trace,
+)
 from repro.simulator import (
     DetourWrapper,
     EventDrivenSimulator,
@@ -108,6 +125,57 @@ def _make_graph(kind: str, n: int, seed: int):
     return _STRUCTURED[kind](n)
 
 
+def _add_observability_flags(
+    parser: argparse.ArgumentParser, json_flag: bool = True
+) -> None:
+    parser.add_argument(
+        "--trace-out", type=str, default=None, metavar="FILE",
+        help="write hop-level trace spans to this JSONL file",
+    )
+    parser.add_argument(
+        "--metrics-out", type=str, default=None, metavar="FILE",
+        help="dump the metrics registry here (JSON, or Prometheus text "
+             "for a .prom file)",
+    )
+    if json_flag:
+        parser.add_argument(
+            "--json", action="store_true",
+            help="print machine-readable RoutingMetrics JSON instead of text",
+        )
+
+
+def _open_tracer(args: argparse.Namespace) -> Optional[JsonlTracer]:
+    if getattr(args, "trace_out", None):
+        return JsonlTracer(args.trace_out)
+    return None
+
+
+def _write_metrics_out(args: argparse.Namespace) -> None:
+    path = getattr(args, "metrics_out", None)
+    if not path:
+        return
+    registry = get_registry()
+    text = (
+        registry.to_prometheus()
+        if path.endswith(".prom")
+        else registry.to_json()
+    )
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+
+
+def _metrics_json(args: argparse.Namespace, metrics, records) -> str:
+    payload = metrics.to_dict()
+    payload["scheme"] = args.scheme
+    payload["n"] = args.n
+    payload["seed"] = args.seed
+    payload["retry_histogram"] = {
+        str(retries): count
+        for retries, count in sorted(retry_histogram(records).items())
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -129,6 +197,7 @@ def _build_parser() -> argparse.ArgumentParser:
     build.add_argument("--model", type=parse_model, default=None)
     build.add_argument("--save", type=str, default=None,
                        help="write the packed scheme blob to this file")
+    _add_observability_flags(build, json_flag=False)
 
     route = sub.add_parser("route", help="route one message")
     route.add_argument("scheme", choices=available_schemes())
@@ -160,6 +229,7 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=("uniform", "hotspot", "all-to-one", "one-to-all", "permutation"),
         default="uniform",
     )
+    _add_observability_flags(simulate)
 
     chaos = sub.add_parser(
         "simulate-chaos",
@@ -207,6 +277,7 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="base retry backoff delay")
     chaos.add_argument("--detour", action="store_true",
                        help="wrap the scheme in the bounce-once DetourWrapper")
+    _add_observability_flags(chaos)
 
     codec = sub.add_parser("codec", help="run an incompressibility codec")
     codec.add_argument("name", choices=sorted(_CODECS))
@@ -241,6 +312,17 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument("--output", type=str, default=None,
                         help="write the report here instead of stdout")
+
+    trace_report = sub.add_parser(
+        "trace-report",
+        help="summarize a --trace-out JSONL file (hot nodes, hop latency "
+             "percentiles, fault-window drop attribution)",
+    )
+    trace_report.add_argument("trace", type=str, help="JSONL trace file")
+    trace_report.add_argument("--top", type=int, default=10,
+                              help="how many hot nodes / fault subjects to list")
+    trace_report.add_argument("--json", action="store_true",
+                              help="print the summary as JSON")
     return parser
 
 
@@ -284,6 +366,13 @@ def _cmd_build(args: argparse.Namespace) -> int:
         with open(args.save, "wb") as handle:
             handle.write(blob)
         print(f"packed scheme written to {args.save} ({len(blob)} bytes)")
+    if args.trace_out:
+        # Builds emit no hop spans; an empty-but-valid trace file beats a
+        # surprising missing one when scripts pass the flag uniformly.
+        JsonlTracer(args.trace_out).close()
+    _write_metrics_out(args)
+    if args.metrics_out:
+        print(f"metrics written to {args.metrics_out}")
     return 0
 
 
@@ -332,9 +421,18 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         pairs = one_to_all(graph)
     else:
         pairs = permutation_traffic(graph, seed=args.seed)
-    network = Network(scheme, failures, failed_nodes=node_failures)
+    tracer = _open_tracer(args)
+    network = Network(
+        scheme, failures, failed_nodes=node_failures, tracer=tracer
+    )
     records = [network.route(s, t) for s, t in pairs]
+    if tracer is not None:
+        tracer.close()
     metrics = summarize(records, graph)
+    _write_metrics_out(args)
+    if args.json:
+        print(_metrics_json(args, metrics, records))
+        return 0
     print(f"messages: {metrics.messages}  delivered: {metrics.delivered} "
           f"({metrics.delivered_fraction:.1%})")
     if metrics.delivered:
@@ -386,17 +484,25 @@ def _cmd_simulate_chaos(args: argparse.Namespace) -> int:
         if args.retries > 0
         else None
     )
+    tracer = _open_tracer(args)
     sim = EventDrivenSimulator(
         scheme,
         fault_schedule=schedule,
         retry_policy=retry,
         retry_seed=args.seed,
+        tracer=tracer,
     )
     clock = _random.Random(args.seed)
     for source, destination in pairs:
         sim.inject(source, destination, clock.uniform(0.0, args.horizon * 0.8))
     records = sim.run()
+    if tracer is not None:
+        tracer.close()
     metrics = summarize(records, graph)
+    _write_metrics_out(args)
+    if args.json:
+        print(_metrics_json(args, metrics, records))
+        return 0
     print(f"{scheme.scheme_name} on G({args.n}, 1/2) under "
           f"{args.schedule} churn ({len(schedule)} fault events, "
           f"horizon {args.horizon:g})")
@@ -495,6 +601,23 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace_report(args: argparse.Namespace) -> int:
+    try:
+        events = read_trace(args.trace)
+    except FileNotFoundError:
+        print(f"error: trace file {args.trace} not found", file=sys.stderr)
+        return 2
+    except (ValueError, TypeError) as exc:
+        print(f"error: malformed trace {args.trace}: {exc}", file=sys.stderr)
+        return 2
+    summary = summarize_trace(events, top=args.top)
+    if args.json:
+        print(json.dumps(summary.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(format_trace_report(summary))
+    return 0
+
+
 _COMMANDS = {
     "schemes": _cmd_schemes,
     "certify": _cmd_certify,
@@ -507,6 +630,7 @@ _COMMANDS = {
     "bootstrap": _cmd_bootstrap,
     "compare": _cmd_compare,
     "report": _cmd_report,
+    "trace-report": _cmd_trace_report,
 }
 
 

@@ -12,6 +12,7 @@ from typing import Callable, Dict
 from repro.errors import SchemeBuildError
 from repro.graphs import LabeledGraph
 from repro.models import RoutingModel
+from repro.observability import profile_section
 from repro.core.centers import CenterScheme
 from repro.core.chain import ChainComparisonScheme
 from repro.core.full_information import FullInformationScheme
@@ -63,4 +64,5 @@ def build_scheme(
         raise SchemeBuildError(
             f"unknown scheme {name!r}; available: {', '.join(available_schemes())}"
         ) from exc
-    return builder(graph, model, **params)
+    with profile_section(f"build.{name}"):
+        return builder(graph, model, **params)

@@ -19,6 +19,7 @@ from repro.bitio import BitArray, BitReader, BitWriter
 from repro.errors import RoutingError, SchemeBuildError
 from repro.graphs import LabeledGraph
 from repro.models import RoutingModel, minimal_label_bits
+from repro.observability import profile_section
 from repro.core.scheme import HopDecision, LocalRoutingFunction, RoutingScheme
 from repro.core.two_level import TwoLevelScheme
 
@@ -67,16 +68,17 @@ class CenterScheme(RoutingScheme):
         cover = self._inner.covering_sequence_of(anchor)
         self._centers = frozenset({anchor} | set(cover))
         self._relay_center: Dict[int, int] = {}
-        for v in graph.nodes:
-            if v in self._centers:
-                continue
-            adjacent_centers = self._centers & graph.neighbor_set(v)
-            if not adjacent_centers:
-                raise SchemeBuildError(
-                    f"node {v} is not adjacent to any routing centre; "
-                    f"graph violates the Lemma 3 cover at anchor {anchor}"
-                )
-            self._relay_center[v] = min(adjacent_centers)
+        with profile_section("build.thm3-centers.relay"):
+            for v in graph.nodes:
+                if v in self._centers:
+                    continue
+                adjacent_centers = self._centers & graph.neighbor_set(v)
+                if not adjacent_centers:
+                    raise SchemeBuildError(
+                        f"node {v} is not adjacent to any routing centre; "
+                        f"graph violates the Lemma 3 cover at anchor {anchor}"
+                    )
+                self._relay_center[v] = min(adjacent_centers)
 
     @property
     def centers(self) -> frozenset[int]:

@@ -18,6 +18,7 @@ from repro.bitio import BitArray, BitReader, BitWriter
 from repro.errors import RoutingError, SchemeBuildError
 from repro.graphs import LabeledGraph, PortAssignment, distance_matrix
 from repro.models import RoutingModel
+from repro.observability import profile_section
 from repro.core.scheme import HopDecision, LocalRoutingFunction, RoutingScheme
 
 __all__ = ["FullTableScheme", "PortTableFunction"]
@@ -65,12 +66,14 @@ class FullTableScheme(RoutingScheme):
             # A model-IB strategy would always normalise its ports first.
             ports = PortAssignment.identity(graph)
         self._ports = ports
-        self._dist = distance_matrix(graph)
+        with profile_section("build.full-table.distances"):
+            self._dist = distance_matrix(graph)
         if (self._dist < 0).any():
             raise SchemeBuildError("full-table scheme requires a connected graph")
-        self._tables: Dict[int, Dict[int, int]] = {
-            u: self._build_table(u) for u in graph.nodes
-        }
+        with profile_section("build.full-table.tables"):
+            self._tables: Dict[int, Dict[int, int]] = {
+                u: self._build_table(u) for u in graph.nodes
+            }
 
     @property
     def port_assignment(self) -> PortAssignment:

@@ -19,6 +19,7 @@ from repro.bitio import BitArray, BitReader, BitWriter
 from repro.errors import RoutingError, SchemeBuildError
 from repro.graphs import LabeledGraph
 from repro.models import RoutingModel
+from repro.observability import profile_section
 from repro.core.scheme import HopDecision, LocalRoutingFunction, RoutingScheme
 from repro.core.two_level import TwoLevelScheme
 
@@ -68,23 +69,24 @@ class HubScheme(RoutingScheme):
         self._inner = TwoLevelScheme(graph, model)
         hub_adjacent = graph.neighbor_set(hub)
         self._hub_index: Dict[int, int] = {}
-        for v in graph.nodes:
-            if v == hub or v in hub_adjacent:
-                continue
-            neighbors = graph.neighbors(v)
-            index = next(
-                (
-                    i
-                    for i, nb in enumerate(neighbors)
-                    if nb in hub_adjacent
-                ),
-                None,
-            )
-            if index is None:
-                raise SchemeBuildError(
-                    f"node {v} is farther than 2 hops from hub {hub}"
+        with profile_section("build.thm4-hub.hub-index"):
+            for v in graph.nodes:
+                if v == hub or v in hub_adjacent:
+                    continue
+                neighbors = graph.neighbors(v)
+                index = next(
+                    (
+                        i
+                        for i, nb in enumerate(neighbors)
+                        if nb in hub_adjacent
+                    ),
+                    None,
                 )
-            self._hub_index[v] = index
+                if index is None:
+                    raise SchemeBuildError(
+                        f"node {v} is farther than 2 hops from hub {hub}"
+                    )
+                self._hub_index[v] = index
 
     @property
     def hub(self) -> int:

@@ -20,6 +20,7 @@ from repro.bitio import BitArray, BitReader, BitWriter
 from repro.errors import RoutingError, SchemeBuildError
 from repro.graphs import LabeledGraph
 from repro.models import RoutingModel, minimal_label_bits
+from repro.observability import profile_section
 from repro.core.scheme import HopDecision, LocalRoutingFunction, RoutingScheme
 
 __all__ = ["IntervalRoutingScheme", "IntervalFunction"]
@@ -72,7 +73,8 @@ class IntervalRoutingScheme(RoutingScheme):
         self._children: Dict[int, List[int]] = {u: [] for u in graph.nodes}
         self._dfs_number: Dict[int, int] = {}
         self._subtree_end: Dict[int, int] = {}
-        self._run_dfs(root)
+        with profile_section("build.interval.dfs"):
+            self._run_dfs(root)
         self._node_of_number = {
             number: node for node, number in self._dfs_number.items()
         }

@@ -98,8 +98,11 @@ class ProbeScheme(RoutingScheme):
         model.require(neighbors_known=True)
         from repro.errors import SchemeBuildError
         from repro.graphs import distance_matrix
+        from repro.observability import profile_section
 
-        if (distance_matrix(graph, max_distance=2) < 0).any():
+        with profile_section("build.thm5-probe.distance-check"):
+            diameter_ok = not (distance_matrix(graph, max_distance=2) < 0).any()
+        if not diameter_ok:
             raise SchemeBuildError(
                 "Theorem 5 probing delivers only when every pair is within "
                 "distance 2 (the Lemma 2 graph class)"

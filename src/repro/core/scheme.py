@@ -131,19 +131,36 @@ class RoutingScheme(abc.ABC):
         return 0
 
     def space_report(self) -> SpaceReport:
-        """Measure the scheme: every node's serialised function length."""
+        """Measure the scheme: every node's serialised function length.
+
+        As a side effect the measured totals are published to the
+        process-wide metrics registry (``repro_scheme_table_bits``), so a
+        build run ends with per-scheme table sizes scrapable next to the
+        phase timings.
+        """
+        from repro.observability import get_registry, profile_section
+
         report = SpaceReport(
             model=self._model, scheme_name=self.scheme_name, n=self._graph.n
         )
-        for u in self._graph.nodes:
-            report.add(
-                NodeSpace(
-                    node=u,
-                    routing_bits=len(self.encode_function(u)),
-                    label_bits=self.label_bits(u),
-                    aux_bits=self.aux_bits(u),
+        with profile_section(f"encode.{self.scheme_name}"):
+            for u in self._graph.nodes:
+                report.add(
+                    NodeSpace(
+                        node=u,
+                        routing_bits=len(self.encode_function(u)),
+                        label_bits=self.label_bits(u),
+                        aux_bits=self.aux_bits(u),
+                    )
                 )
-            )
+        registry = get_registry()
+        labels = {"scheme": self.scheme_name, "n": self._graph.n}
+        registry.gauge("repro_scheme_table_bits", **labels).set(
+            report.total_bits
+        )
+        registry.gauge("repro_scheme_max_node_bits", **labels).set(
+            report.max_node_bits
+        )
         return report
 
     # -- guarantees -------------------------------------------------------------------

@@ -29,6 +29,7 @@ from repro.bitio import BitArray, BitReader, BitWriter
 from repro.errors import GraphError, RoutingError, SchemeBuildError
 from repro.graphs import LabeledGraph, covering_sequence
 from repro.models import RoutingModel
+from repro.observability import profile_section
 from repro.core.scheme import HopDecision, LocalRoutingFunction, RoutingScheme
 
 __all__ = [
@@ -105,8 +106,9 @@ class TwoLevelScheme(RoutingScheme):
         self._split_rule = split_rule
         self._threshold = split_threshold(graph.n, split_rule)
         self._plans: Dict[int, _NodePlan] = {}
-        for u in graph.nodes:
-            self._plans[u] = self._plan_node(u)
+        with profile_section("build.thm1-two-level.plan"):
+            for u in graph.nodes:
+                self._plans[u] = self._plan_node(u)
 
     # -- construction ---------------------------------------------------------
 

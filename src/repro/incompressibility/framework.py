@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from repro.bitio import BitArray
 from repro.errors import CodecError
 from repro.graphs import LabeledGraph, edge_code_length
+from repro.observability import profile_section
 
 __all__ = ["GraphCodec", "CodecReport", "evaluate_codec"]
 
@@ -76,8 +77,10 @@ class CodecReport:
 
 def evaluate_codec(codec: GraphCodec, graph: LabeledGraph) -> CodecReport:
     """Encode, decode, compare; raise :class:`CodecError` on mismatch."""
-    bits = codec.encode(graph)
-    rebuilt = codec.decode(bits, graph.n)
+    with profile_section(f"codec.{codec.name}.encode"):
+        bits = codec.encode(graph)
+    with profile_section(f"codec.{codec.name}.decode"):
+        rebuilt = codec.decode(bits, graph.n)
     ok = rebuilt == graph
     if not ok:
         raise CodecError(

@@ -1,0 +1,67 @@
+"""Observability for the routing stack: tracing, metrics, profiling.
+
+Three cooperating pieces, all usable independently:
+
+* :mod:`repro.observability.tracer` — per-message, per-hop span events
+  emitted by the simulators (``tracer=None`` keeps the hot path free);
+* :mod:`repro.observability.registry` — process-wide counters, gauges and
+  histograms with JSON and Prometheus text exposition;
+* :mod:`repro.observability.profiling` — ``profile_section`` /
+  ``@timed`` hooks that feed phase-time breakdowns (scheme builds, codec
+  encode/decode) into the registry;
+* :mod:`repro.observability.report` — the ``repro trace-report``
+  summariser (hot nodes, hop latency percentiles, fault-window drop
+  attribution) over a ``--trace-out`` JSONL file.
+"""
+
+from repro.observability.profiling import phase_breakdown, profile_section, timed
+from repro.observability.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+from repro.observability.report import (
+    TraceSummary,
+    format_trace_report,
+    summarize_trace,
+)
+from repro.observability.tracer import (
+    NULL_TRACER,
+    JsonlTracer,
+    NullTracer,
+    RecordingTracer,
+    TraceEvent,
+    Tracer,
+    link_subject,
+    load_events,
+    node_subject,
+    read_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonlTracer",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "RecordingTracer",
+    "TraceEvent",
+    "TraceSummary",
+    "Tracer",
+    "format_trace_report",
+    "get_registry",
+    "link_subject",
+    "load_events",
+    "node_subject",
+    "phase_breakdown",
+    "profile_section",
+    "read_trace",
+    "set_registry",
+    "summarize_trace",
+    "timed",
+]

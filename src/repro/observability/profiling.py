@@ -1,0 +1,87 @@
+"""Profiling hooks: ``profile_section`` and the ``@timed`` decorator.
+
+Both feed wall-clock phase timings into a :class:`MetricsRegistry` as the
+``repro_phase_seconds`` histogram (labelled by phase) plus a
+``repro_phase_calls_total`` counter, so a build or codec run ends with a
+queryable phase-time breakdown instead of ad-hoc prints.
+
+Phase names are hierarchical by convention (``build.thm1-two-level.plan``);
+:func:`phase_breakdown` rolls the registry back up into a plain
+``{phase: {calls, total_s, mean_s}}`` dict for reports and JSON output.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, Optional, TypeVar
+
+from repro.observability.registry import MetricsRegistry, get_registry
+
+__all__ = ["profile_section", "timed", "phase_breakdown"]
+
+PHASE_HISTOGRAM = "repro_phase_seconds"
+PHASE_COUNTER = "repro_phase_calls_total"
+
+F = TypeVar("F", bound=Callable)
+
+
+@contextmanager
+def profile_section(
+    phase: str, registry: Optional[MetricsRegistry] = None
+) -> Iterator[None]:
+    """Time the enclosed block and record it under ``phase``.
+
+    The timing is recorded even when the block raises, so failed builds
+    still show up in the breakdown.
+    """
+    reg = registry if registry is not None else get_registry()
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        elapsed = time.perf_counter() - start
+        reg.histogram(PHASE_HISTOGRAM, phase=phase).observe(elapsed)
+        reg.counter(PHASE_COUNTER, phase=phase).inc()
+
+
+def timed(
+    phase: Optional[str] = None, registry: Optional[MetricsRegistry] = None
+) -> Callable[[F], F]:
+    """Decorator form of :func:`profile_section`.
+
+    ``@timed()`` derives the phase name from the function's qualified name;
+    ``@timed("build.interval.dfs")`` pins it explicitly.
+    """
+
+    def decorate(func: F) -> F:
+        name = phase or f"{func.__module__}.{func.__qualname__}"
+
+        @functools.wraps(func)
+        def wrapper(*args, **kwargs):
+            with profile_section(name, registry):
+                return func(*args, **kwargs)
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate
+
+
+def phase_breakdown(
+    registry: Optional[MetricsRegistry] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Roll the phase histograms up into ``{phase: calls/total_s/mean_s}``."""
+    reg = registry if registry is not None else get_registry()
+    out: Dict[str, Dict[str, float]] = {}
+    for metric in reg.metrics():
+        if metric.name != PHASE_HISTOGRAM or metric.kind != "histogram":
+            continue
+        labels = dict(metric.labels)
+        phase = labels.get("phase", "?")
+        out[phase] = {
+            "calls": metric.count,
+            "total_s": metric.sum,
+            "mean_s": metric.mean if metric.count else 0.0,
+        }
+    return out

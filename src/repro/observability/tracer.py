@@ -1,0 +1,318 @@
+"""Hop-level tracing of simulated message routing.
+
+A tracer receives one flat :class:`TraceEvent` per interesting moment of a
+message's life inside :class:`~repro.simulator.network.Network` or
+:class:`~repro.simulator.network.EventDrivenSimulator`:
+
+``inject``
+    The message enters the network (records source, destination, time).
+``hop``
+    A node made a forwarding decision: which node, which neighbour it
+    chose, the hop ordinal, and — in the event engine — how long the hop
+    took end to end (queue wait + service + wire).
+``retry``
+    The source re-injected a dropped message after backoff.
+``fault``
+    A scheduled fault event fired (link/node went down or came back).
+``drop`` / ``deliver``
+    Final outcome; drops carry the structured ``DropReason`` name, the
+    free-text detail, and — when the simulator knows it — the failed
+    subject (``["link", u, v]`` or ``["node", u]``) so a trace report can
+    attribute the drop to the fault window that caused it.
+
+The simulators take ``tracer=None`` by default and normalise any tracer
+whose ``enabled`` flag is false (e.g. :data:`NULL_TRACER`) to ``None``, so
+the disabled path costs a single ``is None`` test per event site — that is
+the zero-overhead guarantee the benchmarks pin down.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+from dataclasses import asdict, dataclass
+from typing import IO, Iterator, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "TraceEvent",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "RecordingTracer",
+    "JsonlTracer",
+    "read_trace",
+    "load_events",
+]
+
+Subject = Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One moment in a traced run (a span point, JSONL-serialisable)."""
+
+    event: str
+    """``inject`` | ``hop`` | ``retry`` | ``fault`` | ``drop`` | ``deliver``."""
+    seq: int = 0
+    """Tracer-assigned monotone sequence number (total order of emission)."""
+    time: float = 0.0
+    """Simulated time of the event (0.0 in the untimed walker)."""
+    msg_id: Optional[int] = None
+    source: Optional[int] = None
+    destination: Optional[int] = None
+    node: Optional[int] = None
+    """Node where the event happened (hop decisions, drops)."""
+    next_node: Optional[int] = None
+    """Chosen forwarding neighbour (hop events; the ``port`` of the span)."""
+    hop: Optional[int] = None
+    """Zero-based hop ordinal within the current attempt."""
+    attempt: Optional[int] = None
+    """Zero-based retry attempt the message is on."""
+    duration: Optional[float] = None
+    """Event-engine hop cost: queue wait + service + link latency."""
+    reason: Optional[str] = None
+    """``DropReason.name`` for drops/retries; ``FaultKind.value`` for faults."""
+    detail: Optional[str] = None
+    subject: Optional[Subject] = None
+    """Failed entity as ``("link", u, v)`` / ``("node", u)`` strings."""
+
+    def to_dict(self) -> dict:
+        """Compact dict with ``None`` fields elided (JSONL row)."""
+        return {
+            key: value
+            for key, value in asdict(self).items()
+            if value is not None
+        }
+
+    @classmethod
+    def from_dict(cls, row: dict) -> "TraceEvent":
+        """Rebuild an event from a JSONL row (unknown keys are rejected)."""
+        if "subject" in row and row["subject"] is not None:
+            row = dict(row)
+            row["subject"] = tuple(str(part) for part in row["subject"])
+        return cls(**row)
+
+
+def link_subject(u: int, v: int) -> Subject:
+    """Canonical subject tuple for a link (endpoint order normalised)."""
+    lo, hi = sorted((u, v))
+    return ("link", str(lo), str(hi))
+
+
+def node_subject(u: int) -> Subject:
+    """Canonical subject tuple for a node."""
+    return ("node", str(u))
+
+
+class Tracer:
+    """Base tracer: builds events, assigns sequence numbers, dispatches.
+
+    Subclasses override :meth:`emit`.  All convenience emitters funnel
+    through :meth:`_record` so the sequence numbering (and therefore span
+    ordering) is uniform across sinks.
+    """
+
+    enabled: bool = True
+
+    def __init__(self) -> None:
+        self._seq = itertools.count()
+
+    def emit(self, event: TraceEvent) -> None:
+        """Deliver one event to the sink."""
+        raise NotImplementedError
+
+    def _record(self, event: str, **fields) -> None:
+        self.emit(TraceEvent(event=event, seq=next(self._seq), **fields))
+
+    # -- convenience emitters -------------------------------------------------
+
+    def inject(
+        self,
+        msg_id: int,
+        source: int,
+        destination: int,
+        time: float = 0.0,
+        attempt: int = 0,
+    ) -> None:
+        """The message enters the network."""
+        self._record(
+            "inject",
+            msg_id=msg_id,
+            source=source,
+            destination=destination,
+            time=time,
+            attempt=attempt,
+        )
+
+    def hop(
+        self,
+        msg_id: int,
+        node: int,
+        next_node: int,
+        hop: int,
+        time: float = 0.0,
+        duration: Optional[float] = None,
+        attempt: int = 0,
+    ) -> None:
+        """A node chose an outgoing edge for the message."""
+        self._record(
+            "hop",
+            msg_id=msg_id,
+            node=node,
+            next_node=next_node,
+            hop=hop,
+            time=time,
+            duration=duration,
+            attempt=attempt,
+        )
+
+    def retry(
+        self,
+        msg_id: int,
+        source: int,
+        attempt: int,
+        time: float,
+        reason: str,
+        duration: Optional[float] = None,
+    ) -> None:
+        """The source scheduled a re-transmission after a retryable drop."""
+        self._record(
+            "retry",
+            msg_id=msg_id,
+            source=source,
+            attempt=attempt,
+            time=time,
+            reason=reason,
+            duration=duration,
+        )
+
+    def fault(
+        self, kind: str, subject: Subject, time: float, detail: Optional[str] = None
+    ) -> None:
+        """A scheduled fault event fired."""
+        self._record(
+            "fault", reason=kind, subject=subject, time=time, detail=detail
+        )
+
+    def drop(
+        self,
+        msg_id: int,
+        node: int,
+        reason: str,
+        time: float = 0.0,
+        detail: Optional[str] = None,
+        subject: Optional[Subject] = None,
+        attempt: int = 0,
+        hop: Optional[int] = None,
+    ) -> None:
+        """Final outcome: the message was dropped at ``node``."""
+        self._record(
+            "drop",
+            msg_id=msg_id,
+            node=node,
+            reason=reason,
+            time=time,
+            detail=detail,
+            subject=subject,
+            attempt=attempt,
+            hop=hop,
+        )
+
+    def deliver(
+        self,
+        msg_id: int,
+        node: int,
+        time: float = 0.0,
+        hop: Optional[int] = None,
+        attempt: int = 0,
+    ) -> None:
+        """Final outcome: the message arrived at its destination."""
+        self._record(
+            "deliver", msg_id=msg_id, node=node, time=time, hop=hop,
+            attempt=attempt,
+        )
+
+
+class NullTracer(Tracer):
+    """Disabled tracer; simulators normalise it away entirely."""
+
+    enabled = False
+
+    def emit(self, event: TraceEvent) -> None:  # pragma: no cover - never hot
+        pass
+
+
+NULL_TRACER = NullTracer()
+"""Shared no-op tracer instance."""
+
+
+class RecordingTracer(Tracer):
+    """Keeps every event in memory (tests and in-process reports)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.events: List[TraceEvent] = []
+
+    def emit(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def events_for(self, msg_id: int) -> List[TraceEvent]:
+        """All events of one message, in emission order."""
+        return [e for e in self.events if e.msg_id == msg_id]
+
+
+class JsonlTracer(Tracer):
+    """Streams events as JSON Lines to a file (the ``--trace-out`` sink)."""
+
+    def __init__(self, target: Union[str, os.PathLike, IO[str]]) -> None:
+        super().__init__()
+        if hasattr(target, "write"):
+            self._handle: IO[str] = target  # type: ignore[assignment]
+            self._owns_handle = False
+        else:
+            self._handle = open(target, "w", encoding="utf-8")
+            self._owns_handle = True
+        self.written = 0
+
+    def emit(self, event: TraceEvent) -> None:
+        self._handle.write(json.dumps(event.to_dict(), sort_keys=True))
+        self._handle.write("\n")
+        self.written += 1
+
+    def close(self) -> None:
+        """Flush and (if this tracer opened the file) close the sink."""
+        self._handle.flush()
+        if self._owns_handle:
+            self._handle.close()
+
+    def __enter__(self) -> "JsonlTracer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def load_events(lines: Sequence[str]) -> List[TraceEvent]:
+    """Parse JSONL rows (blank lines skipped) into events."""
+    events = []
+    for line in lines:
+        line = line.strip()
+        if line:
+            events.append(TraceEvent.from_dict(json.loads(line)))
+    return events
+
+
+def read_trace(path: Union[str, os.PathLike]) -> List[TraceEvent]:
+    """Read a ``--trace-out`` JSONL file back into :class:`TraceEvent` s."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return load_events(handle.readlines())
+
+
+def iter_trace(path: Union[str, os.PathLike]) -> Iterator[TraceEvent]:
+    """Stream a JSONL trace without holding the whole file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield TraceEvent.from_dict(json.loads(line))

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass, field
 from typing import Any, Hashable, List, Optional
 
@@ -78,3 +79,16 @@ class DeliveryRecord:
     """Free-text context for the drop (which link, which node, ...)."""
     retries: int = 0
     """Source-side re-transmissions performed before this outcome."""
+    injected_at: float = math.nan
+    """Simulated time of the first injection (NaN in the untimed walker)."""
+    completed_at: float = math.nan
+    """Simulated time of the final outcome (NaN in the untimed walker)."""
+
+    @property
+    def time_to_delivery(self) -> float:
+        """Injection-to-outcome time from the record's own timestamps.
+
+        Includes every retry backoff window; NaN when the run was untimed
+        (the hop-by-hop walker) or the timestamps were not recorded.
+        """
+        return self.completed_at - self.injected_at

@@ -16,6 +16,7 @@ from typing import Dict, Sequence, Tuple
 import numpy as np
 
 from repro.graphs import LabeledGraph, distance_matrix
+from repro.observability.registry import get_registry
 from repro.simulator.message import DeliveryRecord, DropReason
 
 __all__ = [
@@ -41,11 +42,16 @@ def cached_distance_matrix(graph: LabeledGraph) -> np.ndarray:
     hit = _DIST_CACHE.get(key)
     if hit is not None and hit[0] is graph:
         _DIST_CACHE.move_to_end(key)
+        get_registry().counter("repro_distance_cache_total", op="hit").inc()
         return hit[1]
+    get_registry().counter("repro_distance_cache_total", op="miss").inc()
     dist = distance_matrix(graph)
     _DIST_CACHE[key] = (graph, dist)
     while len(_DIST_CACHE) > _DIST_CACHE_SIZE:
         _DIST_CACHE.popitem(last=False)
+        get_registry().counter(
+            "repro_distance_cache_total", op="eviction"
+        ).inc()
     return dist
 
 
@@ -66,8 +72,11 @@ class RoutingMetrics:
     mean_retries: float = 0.0
     """Mean re-transmissions per message."""
     mean_time_to_delivery: float = math.nan
-    """Mean latency of *delivered* messages from first injection to
-    arrival, inclusive of retry backoff (equals ``mean_latency``)."""
+    """Mean time of *delivered* messages from first injection to arrival,
+    inclusive of retry backoff — computed from the records' own
+    ``injected_at``/``completed_at`` timestamps.  For untimed walker runs
+    (no timestamps) it falls back to ``mean_latency``, to which it is
+    identical whenever no retries occurred."""
 
     @property
     def delivered_fraction(self) -> float:
@@ -75,6 +84,30 @@ class RoutingMetrics:
         if self.messages == 0:
             return 0.0
         return self.delivered / self.messages
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready view (NaN mapped to ``None``, reasons by name)."""
+
+        def _num(value: float):
+            return None if isinstance(value, float) and math.isnan(value) else value
+
+        return {
+            "messages": self.messages,
+            "delivered": self.delivered,
+            "delivered_fraction": self.delivered_fraction,
+            "mean_hops": _num(self.mean_hops),
+            "mean_stretch": _num(self.mean_stretch),
+            "max_stretch": _num(self.max_stretch),
+            "p95_stretch": _num(self.p95_stretch),
+            "mean_latency": _num(self.mean_latency),
+            "mean_time_to_delivery": _num(self.mean_time_to_delivery),
+            "total_retries": self.total_retries,
+            "mean_retries": self.mean_retries,
+            "drop_breakdown": {
+                reason.name: count
+                for reason, count in sorted(self.drop_reasons.items())
+            },
+        }
 
 
 def drop_breakdown(
@@ -108,6 +141,7 @@ def summarize(
     stretches = []
     hops = []
     latencies = []
+    times_to_delivery = []
     delivered = 0
     total_retries = 0
     for record in records:
@@ -117,9 +151,25 @@ def summarize(
         delivered += 1
         hops.append(record.hops)
         latencies.append(record.latency)
+        if not (
+            math.isnan(record.injected_at) or math.isnan(record.completed_at)
+        ):
+            times_to_delivery.append(record.completed_at - record.injected_at)
         shortest = int(dist[record.source - 1, record.destination - 1])
         stretches.append(record.hops / shortest if shortest > 0 else 1.0)
     mean_latency = float(np.mean(latencies)) if latencies else math.nan
+    # Timestamped (event-driven) records measure injection-to-arrival
+    # directly; untimed walker records fall back to the latency alias.
+    mean_ttd = (
+        float(np.mean(times_to_delivery)) if times_to_delivery else mean_latency
+    )
+    registry = get_registry()
+    registry.counter("repro_messages_routed_total").inc(len(records))
+    registry.counter("repro_messages_delivered_total").inc(delivered)
+    registry.counter("repro_retries_total").inc(total_retries)
+    breakdown = drop_breakdown(records)
+    for reason, count in breakdown.items():
+        registry.counter("repro_drops_total", reason=reason.name).inc(count)
     return RoutingMetrics(
         messages=len(records),
         delivered=delivered,
@@ -130,8 +180,8 @@ def summarize(
             float(np.percentile(stretches, 95)) if stretches else math.nan
         ),
         mean_latency=mean_latency,
-        drop_reasons=drop_breakdown(records),
+        drop_reasons=breakdown,
         total_retries=total_retries,
         mean_retries=total_retries / len(records) if records else 0.0,
-        mean_time_to_delivery=mean_latency,
+        mean_time_to_delivery=mean_ttd,
     )

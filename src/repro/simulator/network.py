@@ -31,6 +31,7 @@ from repro.core import RoutingScheme
 from repro.core.detour import DetourFunction
 from repro.core.full_information import FullInformationFunction
 from repro.errors import RoutingError
+from repro.observability.tracer import Tracer, link_subject, node_subject
 from repro.simulator.chaos import FaultEvent, FaultKind, FaultSchedule
 from repro.simulator.message import DeliveryRecord, DropReason, Message
 from repro.simulator.recovery import RetryPolicy
@@ -38,6 +39,15 @@ from repro.simulator.recovery import RetryPolicy
 __all__ = ["Network", "EventDrivenSimulator"]
 
 Link = FrozenSet[int]
+
+_NAN = float("nan")
+
+
+def _live_tracer(tracer: Optional[Tracer]) -> Optional[Tracer]:
+    """Normalise disabled tracers to ``None`` so the hot path pays one test."""
+    if tracer is not None and tracer.enabled:
+        return tracer
+    return None
 
 
 def _as_links(edges: Iterable[Tuple[int, int]]) -> Set[Link]:
@@ -49,6 +59,8 @@ def _drop_record(
     reason: DropReason,
     detail: Optional[str] = None,
     latency: float = 0.0,
+    injected_at: float = _NAN,
+    completed_at: float = _NAN,
 ) -> DeliveryRecord:
     """The single builder for drop records (walker and event engine)."""
     return DeliveryRecord(
@@ -62,10 +74,17 @@ def _drop_record(
         drop_reason=reason,
         drop_detail=detail,
         retries=message.attempt,
+        injected_at=injected_at,
+        completed_at=completed_at,
     )
 
 
-def _delivered_record(message: Message, latency: float = 0.0) -> DeliveryRecord:
+def _delivered_record(
+    message: Message,
+    latency: float = 0.0,
+    injected_at: float = _NAN,
+    completed_at: float = _NAN,
+) -> DeliveryRecord:
     return DeliveryRecord(
         msg_id=message.msg_id,
         source=message.source,
@@ -75,6 +94,8 @@ def _delivered_record(message: Message, latency: float = 0.0) -> DeliveryRecord:
         path=tuple(message.path),
         latency=latency,
         retries=message.attempt,
+        injected_at=injected_at,
+        completed_at=completed_at,
     )
 
 
@@ -86,11 +107,13 @@ class Network:
         scheme: RoutingScheme,
         failed_links: Iterable[Tuple[int, int]] = (),
         failed_nodes: Iterable[int] = (),
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self._scheme = scheme
         self._failed: Set[Link] = _as_links(failed_links)
         self._failed_nodes: Set[int] = set(failed_nodes)
         self._counter = itertools.count()
+        self._tracer = _live_tracer(tracer)
 
     @property
     def scheme(self) -> RoutingScheme:
@@ -163,6 +186,26 @@ class Network:
                 )
         return function.next_hop(message.address, message.state)
 
+    def _walk_drop(
+        self,
+        message: Message,
+        current: int,
+        reason: DropReason,
+        detail: str,
+        subject: Optional[Tuple[str, ...]] = None,
+    ) -> DeliveryRecord:
+        if self._tracer is not None:
+            self._tracer.drop(
+                message.msg_id,
+                node=current,
+                reason=reason.name,
+                detail=detail,
+                subject=subject,
+                attempt=message.attempt,
+                hop=message.hops,
+            )
+        return _drop_record(message, reason, detail)
+
     def route(self, source: int, destination: int) -> DeliveryRecord:
         """Walk one message from source to destination."""
         message = Message(
@@ -172,59 +215,79 @@ class Network:
             address=self._scheme.address_of(destination),
             path=[source],
         )
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.inject(message.msg_id, source, destination)
         if source in self._failed_nodes or destination in self._failed_nodes:
             down = source if source in self._failed_nodes else destination
-            return _drop_record(
+            return self._walk_drop(
                 message,
+                source,
                 DropReason.ENDPOINT_DOWN,
                 f"endpoint node {down} is down",
+                subject=node_subject(down),
             )
         limit = self._scheme.hop_limit()
         current = source
         while current != destination:
             if message.hops >= limit:
-                return _drop_record(
+                return self._walk_drop(
                     message,
+                    current,
                     DropReason.HOP_LIMIT,
                     f"hop limit {limit} exceeded",
                 )
             try:
                 decision = self._choose_hop(current, message)
             except RoutingError as exc:
-                return _drop_record(message, DropReason.NO_ROUTE, str(exc))
+                return self._walk_drop(
+                    message, current, DropReason.NO_ROUTE, str(exc)
+                )
             next_node = decision.next_node
             if frozenset((current, next_node)) in self._failed:
-                return _drop_record(
+                return self._walk_drop(
                     message,
+                    current,
                     DropReason.LINK_DOWN,
                     f"link {current}-{next_node} is down",
+                    subject=link_subject(current, next_node),
                 )
             if next_node in self._failed_nodes:
-                return _drop_record(
+                return self._walk_drop(
                     message,
+                    current,
                     DropReason.NODE_DOWN,
                     f"node {next_node} is down",
+                    subject=node_subject(next_node),
                 )
             if next_node != current and not self._scheme.graph.has_edge(
                 current, next_node
             ):
-                return _drop_record(
+                return self._walk_drop(
                     message,
+                    current,
                     DropReason.INVALID_FORWARD,
                     f"{current} forwarded to non-adjacent {next_node}",
+                )
+            if tracer is not None:
+                tracer.hop(
+                    message.msg_id,
+                    node=current,
+                    next_node=next_node,
+                    hop=message.hops,
+                    attempt=message.attempt,
                 )
             message.state = decision.state
             message.path.append(next_node)
             current = next_node
+        if tracer is not None:
+            tracer.deliver(
+                message.msg_id,
+                node=destination,
+                hop=message.hops,
+                attempt=message.attempt,
+            )
         return _delivered_record(message)
-
-    def _drop(
-        self,
-        message: Message,
-        reason: DropReason,
-        detail: Optional[str] = None,
-    ) -> DeliveryRecord:
-        return _drop_record(message, reason, detail)
 
 
 # Heap entries: (time, priority, sequence, payload, first_injected_at).
@@ -264,6 +327,10 @@ class EventDrivenSimulator:
     exponential backoff, modelling end-to-end recovery.  Delivered records
     then report the total time including backoff, and ``retries`` counts
     re-transmissions.
+
+    An enabled :class:`~repro.observability.tracer.Tracer` receives
+    inject/hop/retry/fault/drop/deliver span events; ``tracer=None`` (the
+    default) keeps the event loop identical to the untraced engine.
     """
 
     def __init__(
@@ -277,6 +344,7 @@ class EventDrivenSimulator:
         fault_schedule: Optional[FaultSchedule] = None,
         retry_policy: Optional[RetryPolicy] = None,
         retry_seed: int = 0,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if link_latency <= 0:
             raise RoutingError(f"link latency must be positive, got {link_latency}")
@@ -302,6 +370,7 @@ class EventDrivenSimulator:
         self._busy_until: dict[int, float] = {}
         self._forward_counts: dict[int, int] = {}
         self._live_messages = 0
+        self._tracer = _live_tracer(tracer)
 
     @property
     def network(self) -> Network:
@@ -322,6 +391,8 @@ class EventDrivenSimulator:
             address=self._scheme.address_of(destination),
             path=[source],
         )
+        if self._tracer is not None:
+            self._tracer.inject(message.msg_id, source, destination, time=at_time)
         self._push_message(message, at_time, at_time)
 
     def _push_message(
@@ -346,11 +417,31 @@ class EventDrivenSimulator:
         injected_at: float,
         reason: Optional[DropReason],
         detail: Optional[str] = None,
+        subject: Optional[Tuple[str, ...]] = None,
     ) -> None:
-        """Record a final outcome, or schedule a retry for a drop."""
+        """Record a final outcome, or schedule a retry for a drop.
+
+        ``subject`` names the failed entity behind a fault-caused drop
+        (``("link", u, v)`` / ``("node", u)``) so traces can attribute the
+        drop to the fault window that produced it.
+        """
+        tracer = self._tracer
         if reason is None:
+            if tracer is not None:
+                tracer.deliver(
+                    message.msg_id,
+                    node=message.destination,
+                    time=now,
+                    hop=message.hops,
+                    attempt=message.attempt,
+                )
             self._records.append(
-                _delivered_record(message, latency=now - injected_at)
+                _delivered_record(
+                    message,
+                    latency=now - injected_at,
+                    injected_at=injected_at,
+                    completed_at=now,
+                )
             )
             return
         if (
@@ -367,10 +458,37 @@ class EventDrivenSimulator:
                 path=[message.source],
                 attempt=message.attempt + 1,
             )
+            if tracer is not None:
+                tracer.retry(
+                    message.msg_id,
+                    source=message.source,
+                    attempt=fresh.attempt,
+                    time=now,
+                    reason=reason.name,
+                    duration=backoff,
+                )
             self._push_message(fresh, now + backoff, injected_at)
             return
+        if tracer is not None:
+            tracer.drop(
+                message.msg_id,
+                node=message.path[-1],
+                reason=reason.name,
+                time=now,
+                detail=detail,
+                subject=subject,
+                attempt=message.attempt,
+                hop=message.hops,
+            )
         self._records.append(
-            _drop_record(message, reason, detail, latency=now - injected_at)
+            _drop_record(
+                message,
+                reason,
+                detail,
+                latency=now - injected_at,
+                injected_at=injected_at,
+                completed_at=now,
+            )
         )
 
     def run(self) -> List[DeliveryRecord]:
@@ -394,6 +512,15 @@ class EventDrivenSimulator:
             now, priority, _, payload, injected_at = heapq.heappop(self._queue)
             if priority == _FAULT_PRIORITY:
                 assert isinstance(payload, FaultEvent)
+                if self._tracer is not None:
+                    subject = (
+                        link_subject(*payload.subject)
+                        if len(payload.subject) == 2
+                        else node_subject(payload.subject[0])
+                    )
+                    self._tracer.fault(
+                        kind=payload.kind.value, subject=subject, time=now
+                    )
                 self._network.apply_fault(payload)
                 continue
             message = payload
@@ -408,6 +535,7 @@ class EventDrivenSimulator:
                         injected_at,
                         DropReason.ENDPOINT_DOWN,
                         f"destination {current} crashed before arrival",
+                        subject=node_subject(current),
                     )
                 else:
                     self._finish(message, now, injected_at, None)
@@ -424,6 +552,7 @@ class EventDrivenSimulator:
                     injected_at,
                     reason,
                     f"node {current} holding the message is down",
+                    subject=node_subject(current),
                 )
                 continue
             if message.hops >= limit_base:
@@ -452,6 +581,7 @@ class EventDrivenSimulator:
                     injected_at,
                     DropReason.LINK_DOWN,
                     f"link {current}-{decision.next_node} is down",
+                    subject=link_subject(current, decision.next_node),
                 )
                 continue
             if decision.next_node in self._network.failed_nodes:
@@ -461,6 +591,7 @@ class EventDrivenSimulator:
                     injected_at,
                     DropReason.NODE_DOWN,
                     f"node {decision.next_node} is down",
+                    subject=node_subject(decision.next_node),
                 )
                 continue
             # Serialise forwarding through the node's processor.
@@ -477,6 +608,7 @@ class EventDrivenSimulator:
                         injected_at,
                         DropReason.QUEUE_OVERFLOW,
                         f"queue overflow at node {current}",
+                        subject=node_subject(current),
                     )
                     continue
                 start = max(now, self._busy_until.get(current, 0.0))
@@ -485,11 +617,20 @@ class EventDrivenSimulator:
             self._forward_counts[current] = (
                 self._forward_counts.get(current, 0) + 1
             )
+            arrival = departure + self._latency
+            if self._tracer is not None:
+                self._tracer.hop(
+                    message.msg_id,
+                    node=current,
+                    next_node=decision.next_node,
+                    hop=message.hops,
+                    time=now,
+                    duration=arrival - now,
+                    attempt=message.attempt,
+                )
             message.state = decision.state
             message.path.append(decision.next_node)
-            self._push_message(
-                message, departure + self._latency, injected_at
-            )
+            self._push_message(message, arrival, injected_at)
         # Remaining entries can only be fault events (no live messages).
         self._queue.clear()
         records, self._records = self._records, []

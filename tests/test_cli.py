@@ -122,3 +122,87 @@ class TestCommands:
     def test_unknown_scheme_rejected(self):
         with pytest.raises(SystemExit):
             main(["build", "no-such-scheme", "16"])
+
+
+class TestObservabilityFlags:
+    def test_simulate_json_output(self, capsys):
+        assert main(
+            ["simulate", "thm1-two-level", "32", "--messages", "40", "--json"]
+        ) == 0
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["messages"] == 40
+        assert payload["scheme"] == "thm1-two-level"
+        assert "drop_breakdown" in payload
+        assert "retry_histogram" in payload
+        assert payload["retry_histogram"] == {"0": 40}
+
+    def test_simulate_chaos_json_output(self, capsys):
+        assert main(
+            ["simulate-chaos", "interval", "24", "--messages", "60",
+             "--retries", "2", "--json"]
+        ) == 0
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["messages"] == 60
+        assert set(payload["drop_breakdown"]) <= {
+            "ENDPOINT_DOWN", "LINK_DOWN", "NODE_DOWN", "HOP_LIMIT",
+            "NO_ROUTE", "INVALID_FORWARD", "QUEUE_OVERFLOW",
+        }
+        assert sum(payload["retry_histogram"].values()) == 60
+
+    def test_trace_out_and_trace_report_round_trip(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        metrics = tmp_path / "metrics.json"
+        assert main(
+            ["simulate-chaos", "interval", "24", "--messages", "60",
+             "--retries", "1", "--trace-out", str(trace),
+             "--metrics-out", str(metrics), "--json"]
+        ) == 0
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        rows = [json.loads(line) for line in trace.read_text().splitlines()]
+        assert rows, "trace file must not be empty"
+        drops = [row for row in rows if row["event"] == "drop"]
+        # acceptance: every drop in drop_breakdown has an annotated span
+        assert len(drops) == sum(payload["drop_breakdown"].values())
+        assert all("reason" in row for row in drops)
+        registry_dump = json.loads(metrics.read_text())
+        assert "repro_messages_routed_total" in registry_dump
+
+        assert main(["trace-report", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "trace:" in out
+        assert "hot nodes" in out
+
+        assert main(["trace-report", str(trace), "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["dropped"] == len(drops)
+        assert summary["span_violations"] == 0
+
+    def test_trace_report_missing_file(self, capsys):
+        assert main(["trace-report", "/nonexistent/trace.jsonl"]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_build_metrics_out_json(self, tmp_path, capsys):
+        target = tmp_path / "metrics.json"
+        assert main(
+            ["build", "interval", "24", "--metrics-out", str(target)]
+        ) == 0
+        import json
+
+        payload = json.loads(target.read_text())
+        assert "repro_scheme_table_bits" in payload
+        assert "repro_phase_seconds" in payload
+
+    def test_build_metrics_out_prometheus(self, tmp_path, capsys):
+        target = tmp_path / "metrics.prom"
+        assert main(
+            ["build", "thm4-hub", "32", "--metrics-out", str(target)]
+        ) == 0
+        text = target.read_text()
+        assert "# TYPE repro_scheme_table_bits gauge" in text
+        assert 'scheme="thm4-hub"' in text

@@ -1,0 +1,188 @@
+"""Tests for metrics-layer observability: cache counters, timestamps.
+
+Covers the distance-cache hit/miss/eviction instrumentation (including the
+id-keyed LRU eviction regression path), the registry counters fed by
+``summarize``, and the repaired ``mean_time_to_delivery`` computed from
+record timestamps instead of the ``mean_latency`` alias.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.graphs import gnp_random_graph, path_graph
+from repro.models import Knowledge, Labeling, RoutingModel
+from repro.core import build_scheme
+from repro.observability import MetricsRegistry, set_registry
+from repro.simulator import (
+    DeliveryRecord,
+    EventDrivenSimulator,
+    RetryPolicy,
+    cached_distance_matrix,
+    flapping_links,
+    summarize,
+)
+import repro.simulator.metrics as metrics_mod
+
+
+@pytest.fixture
+def registry():
+    fresh = MetricsRegistry()
+    previous = set_registry(fresh)
+    yield fresh
+    set_registry(previous)
+
+
+@pytest.fixture
+def clear_cache():
+    metrics_mod._DIST_CACHE.clear()
+    yield
+    metrics_mod._DIST_CACHE.clear()
+
+
+def _cache_count(registry, op):
+    return registry.counter("repro_distance_cache_total", op=op).value
+
+
+class TestDistanceCacheCounters:
+    def test_miss_then_hit(self, registry, clear_cache):
+        graph = path_graph(8)
+        first = cached_distance_matrix(graph)
+        assert _cache_count(registry, "miss") == 1
+        assert _cache_count(registry, "hit") == 0
+        second = cached_distance_matrix(graph)
+        assert second is first
+        assert _cache_count(registry, "hit") == 1
+        assert _cache_count(registry, "miss") == 1
+
+    def test_lru_eviction_of_oldest_entry(self, registry, clear_cache):
+        """Regression: the id-keyed LRU evicts oldest-first and a re-query
+        of the evicted graph is a miss that recomputes, never a stale hit."""
+        size = metrics_mod._DIST_CACHE_SIZE
+        # Hold strong references so no id is ever reused across graphs.
+        graphs = [gnp_random_graph(10, seed=s) for s in range(size + 2)]
+        matrices = [cached_distance_matrix(g) for g in graphs]
+        assert _cache_count(registry, "eviction") == 2
+        assert len(metrics_mod._DIST_CACHE) == size
+        # The two oldest graphs were evicted; the newest still hits.
+        assert id(graphs[0]) not in metrics_mod._DIST_CACHE
+        assert id(graphs[1]) not in metrics_mod._DIST_CACHE
+        hits_before = _cache_count(registry, "hit")
+        assert cached_distance_matrix(graphs[-1]) is matrices[-1]
+        assert _cache_count(registry, "hit") == hits_before + 1
+        # Re-querying an evicted graph recomputes the same values afresh.
+        recomputed = cached_distance_matrix(graphs[0])
+        assert recomputed is not matrices[0]
+        np.testing.assert_array_equal(recomputed, matrices[0])
+        assert _cache_count(registry, "miss") == size + 3
+
+    def test_lru_move_to_end_protects_recent_entries(
+        self, registry, clear_cache
+    ):
+        size = metrics_mod._DIST_CACHE_SIZE
+        graphs = [gnp_random_graph(10, seed=s) for s in range(size)]
+        for graph in graphs:
+            cached_distance_matrix(graph)
+        # Touch the oldest entry, then insert one more: the second-oldest
+        # (not the touched one) must be the eviction victim.
+        cached_distance_matrix(graphs[0])
+        newcomer = gnp_random_graph(10, seed=99)
+        cached_distance_matrix(newcomer)
+        assert id(graphs[0]) in metrics_mod._DIST_CACHE
+        assert id(graphs[1]) not in metrics_mod._DIST_CACHE
+
+
+class TestSummarizeCounters:
+    def test_registry_totals(self, registry, clear_cache):
+        graph = path_graph(6)
+        scheme = build_scheme(
+            "full-table", graph, RoutingModel(Knowledge.II, Labeling.ALPHA)
+        )
+        from repro.simulator import Network
+
+        network = Network(scheme, failed_links=[(3, 4)])
+        records = [network.route(1, 6), network.route(1, 2)]
+        summarize(records, graph)
+        assert registry.counter("repro_messages_routed_total").value == 2
+        assert registry.counter("repro_messages_delivered_total").value == 1
+        assert (
+            registry.counter("repro_drops_total", reason="LINK_DOWN").value
+            == 1
+        )
+
+
+def _record(delivered, latency, injected_at=math.nan, completed_at=math.nan,
+            retries=0):
+    return DeliveryRecord(
+        msg_id=0,
+        source=1,
+        destination=3,
+        delivered=delivered,
+        hops=2,
+        path=(1, 2, 3),
+        latency=latency,
+        retries=retries,
+        injected_at=injected_at,
+        completed_at=completed_at,
+    )
+
+
+class TestMeanTimeToDelivery:
+    def test_computed_from_timestamps(self, registry, clear_cache):
+        graph = path_graph(4)
+        records = [
+            _record(True, latency=5.0, injected_at=10.0, completed_at=15.0,
+                    retries=1),
+            _record(True, latency=3.0, injected_at=0.0, completed_at=3.0),
+        ]
+        metrics = summarize(records, graph)
+        assert metrics.mean_time_to_delivery == pytest.approx(4.0)
+        assert metrics.mean_time_to_delivery == pytest.approx(
+            metrics.mean_latency
+        )
+
+    def test_walker_records_fall_back_to_latency_alias(
+        self, registry, clear_cache
+    ):
+        graph = path_graph(4)
+        records = [_record(True, latency=0.0)]  # untimed walker record
+        metrics = summarize(records, graph)
+        assert metrics.mean_time_to_delivery == metrics.mean_latency == 0.0
+
+    def test_includes_retry_backoff_in_event_runs(self, registry, clear_cache):
+        """End to end: with retries the delivered time spans the backoff."""
+        graph = gnp_random_graph(24, seed=2)
+        scheme = build_scheme(
+            "interval", graph, RoutingModel(Knowledge.II, Labeling.BETA)
+        )
+        schedule = flapping_links(
+            graph, 30, period=8.0, duty=0.5, horizon=60.0, seed=5
+        )
+        sim = EventDrivenSimulator(
+            scheme,
+            fault_schedule=schedule,
+            retry_policy=RetryPolicy(max_attempts=4, base_delay=2.0),
+        )
+        import random
+
+        clock = random.Random(11)
+        for _ in range(60):
+            s, t = clock.sample(sorted(graph.nodes), 2)
+            sim.inject(s, t, clock.uniform(0.0, 40.0))
+        records = sim.run()
+        retried = [r for r in records if r.delivered and r.retries > 0]
+        assert retried, "expected at least one retried delivery"
+        for record in retried:
+            assert record.time_to_delivery == pytest.approx(record.latency)
+            # a retried delivery must have waited through >= 1 backoff
+            assert record.time_to_delivery > float(record.hops)
+        metrics = summarize(records, graph)
+        assert not math.isnan(metrics.mean_time_to_delivery)
+
+    def test_record_time_to_delivery_property(self):
+        record = _record(True, latency=7.0, injected_at=1.0, completed_at=8.0)
+        assert record.time_to_delivery == pytest.approx(7.0)
+        assert math.isnan(_record(True, latency=0.0).time_to_delivery)

@@ -1,0 +1,109 @@
+"""Tests for profile_section / @timed and their registry plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import gnp_random_graph
+from repro.models import Knowledge, Labeling, RoutingModel
+from repro.core import build_scheme
+from repro.incompressibility import Lemma1Codec, evaluate_codec
+from repro.observability import (
+    MetricsRegistry,
+    phase_breakdown,
+    profile_section,
+    set_registry,
+    timed,
+)
+from repro.observability.profiling import PHASE_COUNTER, PHASE_HISTOGRAM
+
+
+@pytest.fixture
+def registry():
+    fresh = MetricsRegistry()
+    previous = set_registry(fresh)
+    yield fresh
+    set_registry(previous)
+
+
+class TestProfileSection:
+    def test_records_timing_and_call_count(self, registry):
+        with profile_section("unit.block"):
+            pass
+        with profile_section("unit.block"):
+            pass
+        hist = registry.histogram(PHASE_HISTOGRAM, phase="unit.block")
+        assert hist.count == 2
+        assert hist.sum >= 0.0
+        assert registry.counter(PHASE_COUNTER, phase="unit.block").value == 2
+
+    def test_explicit_registry_overrides_global(self):
+        local = MetricsRegistry()
+        with profile_section("unit.local", registry=local):
+            pass
+        assert local.histogram(PHASE_HISTOGRAM, phase="unit.local").count == 1
+
+    def test_records_even_on_exception(self, registry):
+        with pytest.raises(RuntimeError):
+            with profile_section("unit.fails"):
+                raise RuntimeError("boom")
+        assert registry.histogram(PHASE_HISTOGRAM, phase="unit.fails").count == 1
+
+
+class TestTimedDecorator:
+    def test_explicit_phase_name(self, registry):
+        @timed("unit.decorated")
+        def work(x):
+            return x + 1
+
+        assert work(1) == 2
+        assert (
+            registry.histogram(PHASE_HISTOGRAM, phase="unit.decorated").count
+            == 1
+        )
+
+    def test_derived_phase_name(self, registry):
+        @timed()
+        def helper():
+            return 42
+
+        helper()
+        breakdown = phase_breakdown(registry)
+        assert any("helper" in phase for phase in breakdown)
+
+
+class TestWiredPhases:
+    def test_build_scheme_records_phases(self, registry):
+        graph = gnp_random_graph(24, seed=0)
+        build_scheme(
+            "thm1-two-level", graph, RoutingModel(Knowledge.II, Labeling.ALPHA)
+        )
+        breakdown = phase_breakdown(registry)
+        assert breakdown["build.thm1-two-level"]["calls"] == 1
+        assert breakdown["build.thm1-two-level.plan"]["calls"] == 1
+        assert breakdown["build.thm1-two-level"]["total_s"] >= 0.0
+
+    def test_space_report_publishes_table_bits(self, registry):
+        graph = gnp_random_graph(24, seed=0)
+        scheme = build_scheme(
+            "interval", graph, RoutingModel(Knowledge.II, Labeling.BETA)
+        )
+        report = scheme.space_report()
+        gauge = registry.gauge(
+            "repro_scheme_table_bits", scheme="interval", n=24
+        )
+        assert gauge.value == report.total_bits > 0
+
+    def test_codec_encode_decode_phases(self, registry):
+        graph = gnp_random_graph(32, seed=0)
+        evaluate_codec(Lemma1Codec(), graph)
+        breakdown = phase_breakdown(registry)
+        encode_phases = [p for p in breakdown if p.endswith(".encode")]
+        decode_phases = [p for p in breakdown if p.endswith(".decode")]
+        assert encode_phases and decode_phases
+
+    def test_phase_breakdown_shape(self, registry):
+        with profile_section("unit.shape"):
+            pass
+        entry = phase_breakdown(registry)["unit.shape"]
+        assert set(entry) == {"calls", "total_s", "mean_s"}

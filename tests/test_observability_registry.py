@@ -1,0 +1,158 @@
+"""Tests for the metrics registry and its exposition formats."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.observability.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    sanitize_metric_name,
+    set_registry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = MetricsRegistry().counter("c")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_rejects_negative_increment(self):
+        counter = MetricsRegistry().counter("c")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+
+class TestGauge:
+    def test_set_and_adjust(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(10)
+        gauge.inc(-3)
+        assert gauge.value == 7
+
+
+class TestHistogram:
+    def test_count_sum_min_max_mean(self):
+        hist = MetricsRegistry().histogram("h")
+        for value in (0.5, 1.5, 2.0):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.sum == pytest.approx(4.0)
+        assert hist.mean == pytest.approx(4.0 / 3)
+        snap = hist.snapshot()
+        assert snap["min"] == 0.5
+        assert snap["max"] == 2.0
+
+    def test_empty_histogram_mean_is_nan(self):
+        hist = MetricsRegistry().histogram("h")
+        assert math.isnan(hist.mean)
+        assert math.isnan(hist.quantile(0.5))
+
+    def test_cumulative_buckets_end_at_inf(self):
+        hist = MetricsRegistry().histogram("h", buckets=[1.0, 10.0])
+        hist.observe(0.5)
+        hist.observe(5.0)
+        hist.observe(50.0)
+        buckets = hist.cumulative_buckets()
+        assert buckets[0] == (1.0, 1)
+        assert buckets[1] == (10.0, 2)
+        assert buckets[-1][0] == math.inf
+        assert buckets[-1][1] == 3
+
+    def test_quantile_is_bucket_resolution(self):
+        hist = MetricsRegistry().histogram("h", buckets=[1.0, 10.0, 100.0])
+        for _ in range(99):
+            hist.observe(0.5)
+        hist.observe(50.0)
+        assert hist.quantile(0.5) == 1.0
+        # p100 is clamped to the observed max, not the bucket bound
+        assert hist.quantile(1.0) == 50.0
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x", a=1) is registry.counter("x", a=1)
+        assert registry.counter("x", a=1) is not registry.counter("x", a=2)
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+
+    def test_snapshot_and_json(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_messages_routed_total").inc(7)
+        registry.gauge("bits", scheme="interval").set(1234)
+        payload = json.loads(registry.to_json())
+        assert payload["repro_messages_routed_total"][0]["value"] == 7
+        entry = payload["bits"][0]
+        assert entry["labels"] == {"scheme": "interval"}
+        assert entry["kind"] == "gauge"
+
+    def test_reset_clears_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc()
+        registry.reset()
+        assert registry.metrics() == []
+        assert registry.counter("x").value == 0
+
+
+class TestPrometheusExposition:
+    def test_counter_and_gauge_lines(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_drops_total", reason="LINK_DOWN").inc(3)
+        registry.gauge("repro_scheme_table_bits", scheme="interval").set(99)
+        text = registry.to_prometheus()
+        assert "# TYPE repro_drops_total counter" in text
+        assert 'repro_drops_total{reason="LINK_DOWN"} 3' in text
+        assert "# TYPE repro_scheme_table_bits gauge" in text
+        assert 'repro_scheme_table_bits{scheme="interval"} 99' in text
+        assert text.endswith("\n")
+
+    def test_histogram_exposition_has_buckets_sum_count(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", buckets=[1.0, 2.0], phase="x")
+        hist.observe(0.5)
+        hist.observe(1.5)
+        text = registry.to_prometheus()
+        assert "# TYPE lat histogram" in text
+        assert 'lat_bucket{phase="x",le="1"} 1' in text
+        assert 'lat_bucket{phase="x",le="2"} 2' in text
+        assert 'lat_bucket{phase="x",le="+Inf"} 2' in text
+        assert 'lat_sum{phase="x"} 2' in text
+        assert 'lat_count{phase="x"} 2' in text
+
+    def test_type_line_emitted_once_per_name(self):
+        registry = MetricsRegistry()
+        registry.counter("c", a=1).inc()
+        registry.counter("c", a=2).inc()
+        text = registry.to_prometheus()
+        assert text.count("# TYPE c counter") == 1
+
+    def test_sanitize_metric_name(self):
+        assert sanitize_metric_name("build.thm1-two-level") == (
+            "build_thm1_two_level"
+        )
+        assert sanitize_metric_name("9lives").startswith("_")
+
+
+class TestGlobalRegistry:
+    def test_swap_and_restore(self):
+        fresh = MetricsRegistry()
+        previous = set_registry(fresh)
+        try:
+            assert get_registry() is fresh
+        finally:
+            set_registry(previous)
+        assert get_registry() is previous
