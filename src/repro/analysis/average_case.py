@@ -38,8 +38,10 @@ class Corollary1Estimate:
     samples: int
     fallback_count: int
     """Samples where the construction refused and the full table was charged."""
-    mean_total_bits: float
-    mean_compact_bits: float
+    # Sample means, deliberately real-valued (the accounted totals they
+    # average stay int).
+    mean_total_bits: float  # repro-lint: disable=R001
+    mean_compact_bits: float  # repro-lint: disable=R001
     """Average over the samples the compact construction covered."""
     fallback_contribution: float
     """Share of the blended mean contributed by fallback samples."""

@@ -1,0 +1,54 @@
+"""`repro.analysis.lint` — repo-specific static analysis.
+
+An AST-based linter (stdlib :mod:`ast` only) enforcing the invariants the
+paper's bookkeeping depends on: integral bit accounting (R001), an
+exhaustive drop taxonomy (R002), the nullable-tracer idiom in hot paths
+(R003), seeded explicit RNGs (R004), the full :class:`RoutingScheme`
+contract (R005), no swallowed failures (R006), a typed public API (R007),
+and no mutable defaults (R008).
+
+Run it as ``repro lint src`` (or ``python -m repro.cli lint src``); see
+``docs/STATIC_ANALYSIS.md`` for the rule catalogue and suppression
+syntax (``# repro-lint: disable=R001``).
+"""
+
+from repro.analysis.lint.findings import Finding, Severity
+from repro.analysis.lint.registry import (
+    LintRule,
+    ModuleContext,
+    all_rules,
+    register_rule,
+    rule_by_id,
+)
+from repro.analysis.lint.reporters import (
+    describe_rules,
+    render_json,
+    render_text,
+    report_dict,
+)
+from repro.analysis.lint.runner import (
+    LintResult,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+)
+from repro.analysis.lint.suppressions import SuppressionIndex
+
+__all__ = [
+    "Finding",
+    "Severity",
+    "LintRule",
+    "ModuleContext",
+    "all_rules",
+    "register_rule",
+    "rule_by_id",
+    "describe_rules",
+    "render_json",
+    "render_text",
+    "report_dict",
+    "LintResult",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "SuppressionIndex",
+]

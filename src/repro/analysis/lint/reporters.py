@@ -1,0 +1,68 @@
+"""Finding reporters: canonical text and machine-readable JSON.
+
+Both renderings are deterministic (findings pre-sorted by the runner,
+dict keys sorted) so the JSON output can be golden-tested and diffed
+across CI runs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.analysis.lint.registry import all_rules
+from repro.analysis.lint.runner import LintResult
+
+__all__ = ["render_text", "render_json", "report_dict", "describe_rules"]
+
+REPORT_VERSION = 1
+"""Schema version of the JSON report (bump on breaking shape changes)."""
+
+
+def render_text(result: LintResult) -> str:
+    """`file:line:col: RULE [severity] message` lines plus a summary."""
+    lines = [finding.format() for finding in result.findings]
+    if result.findings:
+        by_rule = ", ".join(
+            f"{rule_id}×{count}" for rule_id, count in result.counts_by_rule.items()
+        )
+        lines.append(
+            f"{len(result.findings)} finding(s) in {result.files_checked} "
+            f"file(s) [{by_rule}]"
+            + (f"; {result.suppressed} suppressed" if result.suppressed else "")
+        )
+    else:
+        lines.append(
+            f"clean: 0 findings in {result.files_checked} file(s)"
+            + (f"; {result.suppressed} suppressed" if result.suppressed else "")
+        )
+    return "\n".join(lines)
+
+
+def report_dict(result: LintResult) -> Dict[str, Any]:
+    """The JSON report as a plain dict (for embedding)."""
+    return {
+        "version": REPORT_VERSION,
+        "files_checked": result.files_checked,
+        "suppressed": result.suppressed,
+        "counts_by_rule": result.counts_by_rule,
+        "counts_by_severity": result.counts_by_severity,
+        "findings": [finding.to_dict() for finding in result.findings],
+    }
+
+
+def render_json(result: LintResult) -> str:
+    """Stable JSON rendering of the full report."""
+    return json.dumps(report_dict(result), indent=2, sort_keys=True)
+
+
+def describe_rules() -> str:
+    """Human-readable rule catalogue (the ``--list-rules`` output)."""
+    blocks = []
+    for rule in all_rules():
+        blocks.append(
+            f"{rule.rule_id} {rule.name} [{rule.severity.value}]\n"
+            f"    {rule.description}\n"
+            f"    rationale: {rule.rationale}"
+        )
+    return "\n".join(blocks)

@@ -1,0 +1,170 @@
+"""Lint driver: discover files, parse, run rules, apply suppressions.
+
+The runner is deliberately import-free with respect to the linted code —
+everything is a source-text pass, so a module with a runtime-only import
+problem still gets linted (and a syntax error becomes an ``R000`` finding
+rather than a crash).
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.analysis.lint.findings import Finding, Severity
+from repro.analysis.lint.registry import LintRule, ModuleContext, all_rules
+from repro.analysis.lint.suppressions import SuppressionIndex
+
+# Importing the rules module populates the registry.
+from repro.analysis.lint import rules as _rules  # noqa: F401
+
+__all__ = ["LintResult", "lint_paths", "lint_source", "iter_python_files"]
+
+_PARSE_ERROR_RULE = "R000"
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed: int = 0
+    """Findings muted by ``# repro-lint: disable`` comments."""
+
+    @property
+    def counts_by_rule(self) -> Dict[str, int]:
+        """Finding counts per rule id (sorted keys)."""
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
+        return dict(sorted(counts.items()))
+
+    @property
+    def counts_by_severity(self) -> Dict[str, int]:
+        """Finding counts per severity."""
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            key = finding.severity.value
+            counts[key] = counts.get(key, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def worst_severity(self) -> Optional[Severity]:
+        """The most severe finding present, or None for a clean run."""
+        if any(f.severity is Severity.ERROR for f in self.findings):
+            return Severity.ERROR
+        if self.findings:
+            return Severity.WARNING
+        return None
+
+    def extend(self, other: "LintResult") -> None:
+        """Merge another result into this one."""
+        self.findings.extend(other.findings)
+        self.files_checked += other.files_checked
+        self.suppressed += other.suppressed
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
+    """Expand files/directories into a sorted stream of ``.py`` paths."""
+    seen = set()
+    collected: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    d for d in dirnames if d not in ("__pycache__", ".git")
+                )
+                for filename in sorted(filenames):
+                    if filename.endswith(".py"):
+                        collected.append(os.path.join(dirpath, filename))
+        elif path.endswith(".py"):
+            collected.append(path)
+    for path in sorted(collected):
+        if path not in seen:
+            seen.add(path)
+            yield path
+
+
+def _module_name(path: str) -> str:
+    """Dotted module name derived from the path (rooted at ``repro``)."""
+    normalized = os.path.normpath(path).replace(os.sep, "/")
+    without_ext = normalized[:-3] if normalized.endswith(".py") else normalized
+    parts = without_ext.split("/")
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    if "repro" in parts:
+        parts = parts[parts.index("repro"):]
+    return ".".join(parts)
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    active_rules: Optional[Iterable[LintRule]] = None,
+    module: Optional[str] = None,
+) -> LintResult:
+    """Lint one in-memory source blob (the testing entry point)."""
+    result = LintResult(files_checked=1)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        result.findings.append(
+            Finding(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                rule_id=_PARSE_ERROR_RULE,
+                severity=Severity.ERROR,
+                message=f"syntax error: {exc.msg}",
+            )
+        )
+        return result
+    context = ModuleContext(
+        path=path,
+        source=source,
+        tree=tree,
+        module=module if module is not None else _module_name(path),
+        lines=source.splitlines(),
+    )
+    suppressions = SuppressionIndex.from_source(source)
+    for rule in active_rules if active_rules is not None else all_rules():
+        for finding in rule.check(context):
+            if suppressions.is_suppressed(finding.rule_id, finding.line):
+                result.suppressed += 1
+            else:
+                result.findings.append(finding)
+    result.findings.sort(key=lambda finding: finding.sort_key)
+    return result
+
+
+def lint_paths(
+    paths: Sequence[str],
+    active_rules: Optional[Iterable[LintRule]] = None,
+) -> LintResult:
+    """Lint every Python file under ``paths``."""
+    rules_list: Tuple[LintRule, ...] = (
+        tuple(active_rules) if active_rules is not None else all_rules()
+    )
+    total = LintResult()
+    for path in iter_python_files(paths):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as exc:
+            total.findings.append(
+                Finding(
+                    path=path,
+                    line=1,
+                    col=0,
+                    rule_id=_PARSE_ERROR_RULE,
+                    severity=Severity.ERROR,
+                    message=f"cannot read file: {exc}",
+                )
+            )
+            total.files_checked += 1
+            continue
+        total.extend(lint_source(source, path=path, active_rules=rules_list))
+    total.findings.sort(key=lambda finding: finding.sort_key)
+    return total

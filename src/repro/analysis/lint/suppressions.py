@@ -1,0 +1,72 @@
+"""Inline suppression comments.
+
+Two scopes:
+
+``# repro-lint: disable=R001`` (or ``disable=R001,R003``)
+    Suppresses the named rules on that physical line only.  Put it on the
+    line the finding points at.
+
+``# repro-lint: disable-file=R001``
+    Anywhere in the file: suppresses the named rules for the whole file.
+
+``disable=all`` / ``disable-file=all`` suppress every rule.  Suppressions
+are counted, so reporters can show how many findings were muted — a
+suppression is a documented exception, not a deletion.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Set
+
+__all__ = ["SuppressionIndex"]
+
+_LINE_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+)")
+_FILE_RE = re.compile(r"#\s*repro-lint:\s*disable-file=([A-Za-z0-9_,\s]+)")
+
+_ALL = "all"
+
+
+def _parse_ids(blob: str) -> FrozenSet[str]:
+    return frozenset(
+        part.strip().upper() if part.strip().lower() != _ALL else _ALL
+        for part in blob.split(",")
+        if part.strip()
+    )
+
+
+@dataclass
+class SuppressionIndex:
+    """Per-file map of suppressed rules, built from raw source text."""
+
+    per_line: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+    """1-based line number -> rule ids disabled on that line."""
+    whole_file: FrozenSet[str] = frozenset()
+    """Rule ids disabled for the entire file."""
+
+    @classmethod
+    def from_source(cls, source: str) -> "SuppressionIndex":
+        """Scan source text for suppression comments."""
+        per_line: Dict[int, FrozenSet[str]] = {}
+        file_ids: Set[str] = set()
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            if "repro-lint" not in line:
+                continue
+            file_match = _FILE_RE.search(line)
+            if file_match:
+                file_ids.update(_parse_ids(file_match.group(1)))
+                continue
+            line_match = _LINE_RE.search(line)
+            if line_match:
+                per_line[lineno] = _parse_ids(line_match.group(1))
+        return cls(per_line=per_line, whole_file=frozenset(file_ids))
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        """Whether ``rule_id`` is muted at ``line``."""
+        if _ALL in self.whole_file or rule_id in self.whole_file:
+            return True
+        ids = self.per_line.get(line)
+        if ids is None:
+            return False
+        return _ALL in ids or rule_id in ids

@@ -9,7 +9,7 @@ API: indexing, slicing, concatenation and conversion to/from ``'01'`` text.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Union
 
 from repro.errors import BitstreamError
 
@@ -84,7 +84,7 @@ class BitArray:
         for i in range(self._length):
             yield self[i]
 
-    def __getitem__(self, index):
+    def __getitem__(self, index: Union[int, slice]) -> Union[int, "BitArray"]:
         if isinstance(index, slice):
             start, stop, step = index.indices(self._length)
             return BitArray(self[i] for i in range(start, stop, step))

@@ -12,6 +12,8 @@ routing-table constructions (Theorem 1) and codecs use for small integers.
 
 from __future__ import annotations
 
+from typing import Iterable
+
 from repro.bitio.bitarray import BitArray
 from repro.errors import BitstreamError
 
@@ -45,7 +47,7 @@ class BitWriter:
             self._buf[-1] |= 1 << (7 - (self._length % 8))
         self._length += 1
 
-    def write_bits(self, bits) -> None:
+    def write_bits(self, bits: Iterable[int]) -> None:
         """Append every bit of an iterable (e.g. a :class:`BitArray`)."""
         for bit in bits:
             self.write_bit(bit)

@@ -27,6 +27,12 @@ Commands
 ``trace-report TRACE``
     Summarize a ``--trace-out`` JSONL file: hot nodes, hop latency
     percentiles, and fault-window attribution of every drop.
+``lint [PATH ...]``
+    Run the repo-specific AST linter (rules R001–R008: bit-accounting
+    integrality, DropReason exhaustiveness, tracer guards, seeded RNGs,
+    scheme contract, exception hygiene, public annotations, mutable
+    defaults) and exit non-zero on findings.  ``--list-rules`` prints the
+    catalogue; ``--format json``/``--output`` emit the structured report.
 
 Observability flags: ``simulate``, ``simulate-chaos`` and ``build`` accept
 ``--trace-out FILE`` (hop-level JSONL spans), ``--metrics-out FILE``
@@ -312,6 +318,37 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument("--output", type=str, default=None,
                         help="write the report here instead of stdout")
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the repo-specific AST linter (rules R001-R008) over "
+             "source paths",
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src"], metavar="PATH",
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="findings rendering (default: text)",
+    )
+    lint.add_argument(
+        "--output", type=str, default=None, metavar="FILE",
+        help="also write the JSON report to this file",
+    )
+    lint.add_argument(
+        "--select", type=str, default=None, metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    lint.add_argument(
+        "--fail-on", choices=("error", "warning", "never"), default="warning",
+        help="lowest severity that fails the build (default: warning, "
+             "i.e. any finding)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
 
     trace_report = sub.add_parser(
         "trace-report",
@@ -601,6 +638,55 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    # Imported lazily: the linter is a dev-facing subsystem and the other
+    # subcommands should not pay for loading the rule registry.
+    from repro.analysis.lint import (
+        Severity,
+        all_rules,
+        describe_rules,
+        lint_paths,
+        render_json,
+        render_text,
+        rule_by_id,
+    )
+
+    if args.list_rules:
+        print(describe_rules())
+        return 0
+    if args.select:
+        try:
+            active = tuple(
+                rule_by_id(rule_id.strip())
+                for rule_id in args.select.split(",")
+                if rule_id.strip()
+            )
+        except KeyError as exc:
+            known = ", ".join(rule.rule_id for rule in all_rules())
+            print(
+                f"error: unknown rule id {exc.args[0]!r}; known: {known}",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        active = None
+    result = lint_paths(args.paths, active_rules=active)
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(render_json(result))
+            handle.write("\n")
+    worst = result.worst_severity()
+    if worst is None or args.fail_on == "never":
+        return 0
+    if args.fail_on == "error" and worst is not Severity.ERROR:
+        return 0
+    return 1
+
+
 def _cmd_trace_report(args: argparse.Namespace) -> int:
     try:
         events = read_trace(args.trace)
@@ -630,6 +716,7 @@ _COMMANDS = {
     "bootstrap": _cmd_bootstrap,
     "compare": _cmd_compare,
     "report": _cmd_report,
+    "lint": _cmd_lint,
     "trace-report": _cmd_trace_report,
 }
 

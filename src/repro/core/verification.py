@@ -99,7 +99,11 @@ def route_message(
     return RouteTrace(source, destination, tuple(path), delivered=True)
 
 
-def verify_full_information_resilience(scheme, sample_nodes=None, seed=0):
+def verify_full_information_resilience(
+    scheme: RoutingScheme,
+    sample_nodes: Optional[int] = None,
+    seed: int = 0,
+) -> Tuple[int, int]:
     """Verify the defining property of full-information schemes.
 
     "The routing function in u must, for each destination v, return *all*

@@ -17,7 +17,7 @@ from __future__ import annotations
 import heapq
 import random
 import zlib
-from typing import Sequence
+from typing import Iterator, Sequence
 
 import numpy as np
 
@@ -62,7 +62,9 @@ def gnp_random_graph(n: int, p: float = 0.5, seed: int | None = None) -> Labeled
     return LabeledGraph(n, edges)
 
 
-def random_graph_stream(n: int, count: int, p: float = 0.5, seed: int = 0):
+def random_graph_stream(
+    n: int, count: int, p: float = 0.5, seed: int = 0
+) -> Iterator[LabeledGraph]:
     """Yield ``count`` independent seeded ``G(n, p)`` samples.
 
     Seeds are derived deterministically (CRC32, not salted ``hash``) from

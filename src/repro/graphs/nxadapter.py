@@ -8,13 +8,15 @@ functions are actually called.
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.errors import GraphError
 from repro.graphs.graph import LabeledGraph
 
 __all__ = ["to_networkx", "from_networkx"]
 
 
-def to_networkx(graph: LabeledGraph):
+def to_networkx(graph: LabeledGraph) -> Any:
     """Convert to a :class:`networkx.Graph` with the same integer labels."""
     import networkx as nx
 
@@ -24,7 +26,7 @@ def to_networkx(graph: LabeledGraph):
     return result
 
 
-def from_networkx(nx_graph) -> LabeledGraph:
+def from_networkx(nx_graph: Any) -> LabeledGraph:
     """Convert from networkx; nodes must be exactly ``1..n``."""
     nodes = sorted(nx_graph.nodes())
     n = len(nodes)

@@ -17,7 +17,7 @@ import bz2
 import lzma
 import zlib
 from dataclasses import dataclass
-from typing import Callable, Dict
+from typing import Callable, Dict, Sequence
 
 from repro.bitio import BitArray
 
@@ -57,7 +57,8 @@ class ComplexityEstimate:
         """Compression ratio ``C̃(x) / |x|`` (1.0 or more ⇒ incompressible)."""
         if self.original_bits == 0:
             return 1.0
-        return self.bits / self.original_bits
+        # Compression *ratio* — deliberately real-valued.
+        return self.bits / self.original_bits  # repro-lint: disable=R001
 
 
 def compressed_length_bits(data: bytes, compressor: str = "zlib") -> int:
@@ -84,7 +85,7 @@ def best_estimate(bits: BitArray) -> ComplexityEstimate:
     return min(estimates, key=lambda e: e.bits)
 
 
-def estimate_permutation_complexity(perm) -> ComplexityEstimate:
+def estimate_permutation_complexity(perm: Sequence[int]) -> ComplexityEstimate:
     """Estimate ``C(π)`` of a permutation against its ``log₂ k!`` content.
 
     Theorem 9 relies on "a fraction at least ``1 − 1/2^k`` of such

@@ -93,17 +93,20 @@ class SpaceReport:
         """Average per-node charge."""
         if not self.per_node:
             return 0.0
-        return self.total_bits / len(self.per_node)
+        # Deliberate ratio diagnostic, not an accounted bit count.
+        return self.total_bits / len(self.per_node)  # repro-lint: disable=R001
 
     def bits_per_n_squared(self) -> float:
         """``T(G) / n²`` — the constant in an O(n²) claim."""
-        return self.total_bits / float(self.n * self.n)
+        # Deliberate ratio diagnostic, not an accounted bit count.
+        return self.total_bits / float(self.n * self.n)  # repro-lint: disable=R001
 
     def bits_per(self, growth: float) -> float:
         """``T(G)`` divided by an arbitrary growth value (for law fitting)."""
         if growth <= 0:
             raise ModelError(f"growth must be positive, got {growth}")
-        return self.total_bits / growth
+        # Deliberate ratio diagnostic, not an accounted bit count.
+        return self.total_bits / growth  # repro-lint: disable=R001
 
     def summary(self) -> str:
         """One-line human-readable description."""

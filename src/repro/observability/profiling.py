@@ -15,7 +15,7 @@ from __future__ import annotations
 import functools
 import time
 from contextlib import contextmanager
-from typing import Callable, Dict, Iterator, Optional, TypeVar
+from typing import Any, Callable, Dict, Iterator, Optional, TypeVar
 
 from repro.observability.registry import MetricsRegistry, get_registry
 
@@ -59,7 +59,7 @@ def timed(
         name = phase or f"{func.__module__}.{func.__qualname__}"
 
         @functools.wraps(func)
-        def wrapper(*args, **kwargs):
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
             with profile_section(name, registry):
                 return func(*args, **kwargs)
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 import json
 import math
 import threading
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Type, Union
 
 __all__ = [
     "Counter",
@@ -226,7 +226,9 @@ class MetricsRegistry:
         self._metrics: Dict[_MetricKey, Metric] = {}
         self._lock = threading.Lock()
 
-    def _get_or_create(self, cls, name: str, labels: Labels, **kwargs) -> Metric:
+    def _get_or_create(
+        self, cls: Type[Metric], name: str, labels: Labels, **kwargs: Any
+    ) -> Metric:
         key = (name, labels)
         with self._lock:
             metric = self._metrics.get(key)

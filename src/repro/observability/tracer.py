@@ -32,7 +32,7 @@ import itertools
 import json
 import os
 from dataclasses import asdict, dataclass
-from typing import IO, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import IO, Any, Iterator, List, Optional, Sequence, Tuple, Union
 
 __all__ = [
     "TraceEvent",
@@ -122,7 +122,7 @@ class Tracer:
         """Deliver one event to the sink."""
         raise NotImplementedError
 
-    def _record(self, event: str, **fields) -> None:
+    def _record(self, event: str, **fields: Any) -> None:
         self.emit(TraceEvent(event=event, seq=next(self._seq), **fields))
 
     # -- convenience emitters -------------------------------------------------
@@ -289,7 +289,7 @@ class JsonlTracer(Tracer):
     def __enter__(self) -> "JsonlTracer":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
 

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from repro.errors import GraphError, RoutingError
+from repro.graphs import LabeledGraph
 from repro.core.scheme import RoutingScheme
 
 __all__ = ["BootstrapResult", "simulate_dissemination"]
@@ -49,7 +50,7 @@ class BootstrapResult:
         return sum(self.install_times.values()) / len(self.install_times)
 
 
-def _bfs_tree(graph, root: int) -> Dict[int, int]:
+def _bfs_tree(graph: LabeledGraph, root: int) -> Dict[int, int]:
     """Parent pointers of a BFS tree (parent[root] = root)."""
     parent = {root: root}
     frontier = [root]
@@ -106,7 +107,9 @@ def simulate_dissemination(
         total_bit_hops += (payload - _HEADER_BITS) * len(hops)
         for link in hops:
             start = max(clock, link_free.get(link, 0.0))
-            finish = start + link_latency + payload / link_rate_bits
+            # bits / (bits per time unit) = transmission time, not accounting.
+            transmit = payload / link_rate_bits  # repro-lint: disable=R001
+            finish = start + link_latency + transmit
             link_free[link] = finish
             clock = finish
         install_times[v] = clock

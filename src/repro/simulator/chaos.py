@@ -18,6 +18,7 @@ import enum
 import random
 from dataclasses import dataclass
 from typing import (
+    Callable,
     FrozenSet,
     Iterable,
     Iterator,
@@ -291,7 +292,12 @@ def renewal_faults(
     rng = random.Random(seed)
     events: List[FaultEvent] = []
 
-    def _alternate(down, up, mtbf: float, mttr: float) -> None:
+    def _alternate(
+        down: Callable[[float], FaultEvent],
+        up: Callable[[float], FaultEvent],
+        mtbf: float,
+        mttr: float,
+    ) -> None:
         clock = rng.expovariate(1.0 / mtbf)
         while clock < horizon:
             events.append(down(clock))

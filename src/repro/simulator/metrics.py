@@ -11,7 +11,7 @@ from __future__ import annotations
 import math
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -88,7 +88,7 @@ class RoutingMetrics:
     def to_dict(self) -> Dict[str, object]:
         """JSON-ready view (NaN mapped to ``None``, reasons by name)."""
 
-        def _num(value: float):
+        def _num(value: float) -> Optional[float]:
             return None if isinstance(value, float) and math.isnan(value) else value
 
         return {

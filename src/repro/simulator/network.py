@@ -27,7 +27,7 @@ import itertools
 import random
 from typing import FrozenSet, Iterable, List, Optional, Set, Tuple, Union
 
-from repro.core import RoutingScheme
+from repro.core import HopDecision, RoutingScheme
 from repro.core.detour import DetourFunction
 from repro.core.full_information import FullInformationFunction
 from repro.errors import RoutingError
@@ -165,7 +165,7 @@ class Network:
             or nb in self._failed_nodes
         ]
 
-    def _choose_hop(self, node: int, message: Message):
+    def _choose_hop(self, node: int, message: Message) -> HopDecision:
         """One forwarding decision, honouring failures where possible.
 
         Fault-aware functions — full-information (all shortest-path edges

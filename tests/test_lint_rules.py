@@ -1,0 +1,455 @@
+"""One positive and one negative fixture per lint rule (R001–R008)."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis.lint import lint_source, rule_by_id
+
+
+def findings_for(rule_id, source, module="repro.fixture"):
+    result = lint_source(
+        textwrap.dedent(source),
+        path="fixture.py",
+        active_rules=[rule_by_id(rule_id)],
+        module=module,
+    )
+    return result.findings
+
+
+# -- R001: bit accounting stays integral -------------------------------------
+
+
+def test_r001_flags_true_division_on_bit_identifier():
+    findings = findings_for(
+        "R001",
+        """
+        total_bits = 10
+        half = total_bits / 2
+        """,
+    )
+    assert len(findings) == 1
+    assert findings[0].rule_id == "R001"
+    assert findings[0].line == 3
+    assert "total_bits" in findings[0].message
+
+
+def test_r001_flags_attribute_operands_float_literals_and_annotations():
+    findings = findings_for(
+        "R001",
+        """
+        report.routing_bits /= 4
+        label_bits = 3.5
+        aux_bits: float = 0
+        mean = report.total_bits / report.n
+        """,
+    )
+    assert [f.line for f in findings] == [2, 3, 4, 5]
+
+
+def test_r001_allows_integer_arithmetic_and_unrelated_division():
+    findings = findings_for(
+        "R001",
+        """
+        total_bits = 10
+        half = total_bits // 2
+        ratio = latency / 2.0
+        label_bits = header.bit_length()
+        """,
+    )
+    assert findings == []
+
+
+# -- R002: DropReason dispatches are exhaustive ------------------------------
+
+
+def test_r002_flags_incomplete_if_elif_chain_without_default():
+    findings = findings_for(
+        "R002",
+        """
+        def bucket(reason):
+            if reason == DropReason.LINK_DOWN:
+                return "link"
+            elif reason == DropReason.NODE_DOWN:
+                return "node"
+        """,
+    )
+    assert len(findings) == 1
+    assert "HOP_LIMIT" in findings[0].message
+    assert "QUEUE_OVERFLOW" in findings[0].message
+
+
+def test_r002_accepts_chain_with_default_or_full_coverage():
+    defaulted = findings_for(
+        "R002",
+        """
+        def bucket(reason):
+            if reason == DropReason.LINK_DOWN:
+                return "link"
+            elif reason == DropReason.NODE_DOWN:
+                return "node"
+            else:
+                return "other"
+        """,
+    )
+    assert defaulted == []
+    complete = findings_for(
+        "R002",
+        """
+        def bucket(reason):
+            if reason in (DropReason.LINK_DOWN, DropReason.NODE_DOWN,
+                          DropReason.ENDPOINT_DOWN):
+                return "fault"
+            elif reason in (DropReason.HOP_LIMIT, DropReason.NO_ROUTE,
+                            DropReason.INVALID_FORWARD,
+                            DropReason.QUEUE_OVERFLOW):
+                return "routing"
+        """,
+    )
+    assert complete == []
+
+
+def test_r002_single_membership_test_is_not_a_dispatch():
+    findings = findings_for(
+        "R002",
+        """
+        def is_link(reason):
+            if reason == DropReason.LINK_DOWN:
+                return True
+            return False
+        """,
+    )
+    assert findings == []
+
+
+def test_r002_match_statement_needs_wildcard_or_full_coverage():
+    findings = findings_for(
+        "R002",
+        """
+        def bucket(reason):
+            match reason:
+                case DropReason.LINK_DOWN:
+                    return "link"
+                case DropReason.NODE_DOWN:
+                    return "node"
+        """,
+    )
+    assert len(findings) == 1
+    assert "case _" in findings[0].message
+    covered = findings_for(
+        "R002",
+        """
+        def bucket(reason):
+            match reason:
+                case DropReason.LINK_DOWN:
+                    return "link"
+                case _:
+                    return "other"
+        """,
+    )
+    assert covered == []
+
+
+# -- R003: nullable-tracer idiom in hot paths --------------------------------
+
+
+def test_r003_flags_unguarded_span_call_in_simulator():
+    findings = findings_for(
+        "R003",
+        """
+        def route(tracer, msg):
+            tracer.hop(msg, 1, 2, 0)
+        """,
+        module="repro.simulator.fake",
+    )
+    assert len(findings) == 1
+    assert "tracer.hop" in findings[0].message
+
+
+def test_r003_accepts_guard_early_return_and_and_guard():
+    findings = findings_for(
+        "R003",
+        """
+        def route(tracer, msg):
+            if tracer is not None:
+                tracer.hop(msg, 1, 2, 0)
+
+        def finish(self, msg):
+            tracer = self._tracer
+            if tracer is None:
+                return None
+            tracer.deliver(msg, 3)
+
+        def fault(self, event):
+            if self._tracer is not None and self._tracer.enabled:
+                self._tracer.fault("link", ("link", "1", "2"), 0.0)
+        """,
+        module="repro.simulator.fake",
+    )
+    assert findings == []
+
+
+def test_r003_guard_does_not_cross_function_boundaries():
+    findings = findings_for(
+        "R003",
+        """
+        def outer(tracer, msg):
+            if tracer is not None:
+                def inner():
+                    tracer.drop(msg, 1, "NO_ROUTE")
+                inner()
+        """,
+        module="repro.core.fake",
+    )
+    assert len(findings) == 1
+
+
+def test_r003_out_of_scope_packages_are_ignored():
+    findings = findings_for(
+        "R003",
+        """
+        def report(tracer, msg):
+            tracer.emit(msg)
+        """,
+        module="repro.observability.fake",
+    )
+    assert findings == []
+
+
+# -- R004: explicit seeded RNGs ----------------------------------------------
+
+
+def test_r004_flags_module_level_random_and_from_imports():
+    findings = findings_for(
+        "R004",
+        """
+        import random
+        from random import shuffle
+
+        def sample():
+            return random.randint(1, 6)
+        """,
+    )
+    assert len(findings) == 2
+    assert any("from random import shuffle" in f.message for f in findings)
+    assert any("random.randint" in f.message for f in findings)
+
+
+def test_r004_flags_global_numpy_draws_but_allows_generators():
+    findings = findings_for(
+        "R004",
+        """
+        import numpy as np
+
+        def bad(n):
+            return np.random.rand(n)
+
+        def good(n, seed):
+            rng = np.random.default_rng(seed)
+            return rng.random(n)
+        """,
+    )
+    assert len(findings) == 1
+    assert "np.random.rand" in findings[0].message
+
+
+def test_r004_accepts_threaded_seeded_generator():
+    findings = findings_for(
+        "R004",
+        """
+        import random
+
+        def sample(seed):
+            rng = random.Random(seed)
+            return rng.randint(1, 6)
+        """,
+    )
+    assert findings == []
+
+
+# -- R005: the RoutingScheme contract ----------------------------------------
+
+
+def test_r005_flags_missing_contract_methods_and_bad_arity():
+    findings = findings_for(
+        "R005",
+        """
+        class BrokenScheme(RoutingScheme):
+            def _build_function(self, u):
+                return None
+
+            def encode_function(self, u, extra):
+                return None
+        """,
+    )
+    messages = "\n".join(f.message for f in findings)
+    assert "decode_function" in messages
+    assert "stretch_bound" in messages
+    assert "encode_function takes 3 positional args" in messages
+
+
+def test_r005_accepts_full_contract_and_skips_abstract_intermediates():
+    findings = findings_for(
+        "R005",
+        """
+        import abc
+
+        class GoodScheme(RoutingScheme):
+            def _build_function(self, u):
+                return None
+
+            def encode_function(self, u):
+                return None
+
+            def decode_function(self, u, bits):
+                return None
+
+            def stretch_bound(self):
+                return 1.0
+
+        class Intermediate(RoutingScheme):
+            @abc.abstractmethod
+            def flavour(self):
+                ...
+        """,
+    )
+    assert findings == []
+
+
+def test_r005_flags_reshaped_overridable_hooks():
+    findings = findings_for(
+        "R005",
+        """
+        class ReshapedScheme(RoutingScheme):
+            def _build_function(self, u):
+                return None
+
+            def encode_function(self, u):
+                return None
+
+            def decode_function(self, u, bits):
+                return None
+
+            def stretch_bound(self):
+                return 1.0
+
+            def label_bits(self):
+                return 0
+        """,
+    )
+    assert len(findings) == 1
+    assert "label_bits" in findings[0].message
+
+
+# -- R006: no silent exception swallowing ------------------------------------
+
+
+def test_r006_flags_bare_except_and_silent_broad_handler():
+    findings = findings_for(
+        "R006",
+        """
+        def f():
+            try:
+                risky()
+            except:
+                pass
+
+        def g():
+            try:
+                risky()
+            except Exception:
+                pass
+        """,
+    )
+    assert len(findings) == 2
+
+
+def test_r006_accepts_narrow_or_handled_exceptions():
+    findings = findings_for(
+        "R006",
+        """
+        def f():
+            try:
+                risky()
+            except ValueError:
+                pass
+
+        def g():
+            try:
+                risky()
+            except Exception as exc:
+                record_drop(exc)
+                raise
+        """,
+    )
+    assert findings == []
+
+
+# -- R007: typed public API ---------------------------------------------------
+
+
+def test_r007_flags_unannotated_public_functions():
+    findings = findings_for(
+        "R007",
+        """
+        def public(x):
+            return x
+
+        class Thing:
+            def method(self, value) -> None:
+                self.value = value
+        """,
+    )
+    messages = "\n".join(f.message for f in findings)
+    assert "public has unannotated parameter(s): x" in messages
+    assert "public has no return annotation" in messages
+    assert "method has unannotated parameter(s): value" in messages
+
+
+def test_r007_skips_private_nested_and_fully_annotated():
+    findings = findings_for(
+        "R007",
+        """
+        def _private(x):
+            return x
+
+        def public(x: int, *args, **kwargs) -> int:
+            def nested(y):
+                return y
+            return nested(x)
+
+        class Thing:
+            @staticmethod
+            def build(n: int) -> "Thing":
+                return Thing()
+        """,
+    )
+    assert findings == []
+
+
+# -- R008: no mutable defaults ------------------------------------------------
+
+
+def test_r008_flags_mutable_default_values():
+    findings = findings_for(
+        "R008",
+        """
+        def f(items=[]):
+            return items
+
+        def g(*, table={}, tags=set()):
+            return table, tags
+        """,
+    )
+    assert len(findings) == 3
+
+
+def test_r008_accepts_none_and_immutable_defaults():
+    findings = findings_for(
+        "R008",
+        """
+        def f(items=None, pair=(), name="x", count=0):
+            return items or []
+        """,
+    )
+    assert findings == []

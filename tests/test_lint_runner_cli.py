@@ -1,0 +1,236 @@
+"""Linter plumbing: suppressions, reporters (JSON golden), runner, CLI."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis.lint import (
+    Severity,
+    SuppressionIndex,
+    all_rules,
+    lint_paths,
+    lint_source,
+    render_json,
+    render_text,
+    rule_by_id,
+)
+from repro.cli import main
+
+
+def dedent(source):
+    return textwrap.dedent(source)
+
+
+# -- suppression comments -----------------------------------------------------
+
+
+def test_line_suppression_mutes_only_that_line():
+    source = dedent(
+        """
+        total_bits = 10
+        a = total_bits / 2  # repro-lint: disable=R001
+        b = total_bits / 4
+        """
+    )
+    result = lint_source(source, active_rules=[rule_by_id("R001")])
+    assert len(result.findings) == 1
+    assert result.findings[0].line == 4
+    assert result.suppressed == 1
+
+
+def test_line_suppression_lists_multiple_rules():
+    source = "def f(x=[]):  # repro-lint: disable=R007,R008\n    return x\n"
+    result = lint_source(
+        source, active_rules=[rule_by_id("R007"), rule_by_id("R008")]
+    )
+    assert result.findings == []
+    assert result.suppressed == 3  # two R007 findings + one R008
+
+
+def test_file_suppression_and_all_keyword():
+    source = dedent(
+        """
+        # repro-lint: disable-file=R001
+        total_bits = 10
+        a = total_bits / 2
+        b = total_bits / 4
+        """
+    )
+    result = lint_source(source, active_rules=[rule_by_id("R001")])
+    assert result.findings == []
+    assert result.suppressed == 2
+    all_muted = lint_source(
+        "def f(x=[]):  # repro-lint: disable=all\n    return x\n"
+    )
+    assert all_muted.findings == []
+
+
+def test_suppression_index_parsing():
+    index = SuppressionIndex.from_source(
+        "x = 1  # repro-lint: disable=R001, r003\n"
+        "# repro-lint: disable-file=R008\n"
+    )
+    assert index.is_suppressed("R001", 1)
+    assert index.is_suppressed("R003", 1)
+    assert not index.is_suppressed("R001", 2)
+    assert index.is_suppressed("R008", 99)
+
+
+# -- reporters ----------------------------------------------------------------
+
+GOLDEN_SOURCE = "routing_bits = 8\nshare = routing_bits / 2\n"
+
+GOLDEN_REPORT = {
+    "version": 1,
+    "files_checked": 1,
+    "suppressed": 0,
+    "counts_by_rule": {"R001": 1},
+    "counts_by_severity": {"error": 1},
+    "findings": [
+        {
+            "path": "golden.py",
+            "line": 2,
+            "col": 8,
+            "rule": "R001",
+            "severity": "error",
+            "message": (
+                "true division on bit quantity 'routing_bits'; bit counts "
+                "are integers — use `//` or an integer helper (suppress if "
+                "this is a deliberate ratio diagnostic)"
+            ),
+        }
+    ],
+}
+
+
+def test_json_reporter_golden_output():
+    result = lint_source(
+        GOLDEN_SOURCE, path="golden.py", active_rules=[rule_by_id("R001")]
+    )
+    assert json.loads(render_json(result)) == GOLDEN_REPORT
+
+
+def test_text_reporter_format_and_summary():
+    result = lint_source(
+        GOLDEN_SOURCE, path="golden.py", active_rules=[rule_by_id("R001")]
+    )
+    text = render_text(result)
+    assert text.splitlines()[0].startswith("golden.py:2:8: R001 [error]")
+    assert "1 finding(s) in 1 file(s) [R001×1]" in text
+    clean = lint_source("x = 1\n")
+    assert "clean: 0 findings" in render_text(clean)
+
+
+# -- runner -------------------------------------------------------------------
+
+
+def test_syntax_error_becomes_r000_finding(tmp_path):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def f(:\n")
+    result = lint_paths([str(bad)])
+    assert result.files_checked == 1
+    assert [f.rule_id for f in result.findings] == ["R000"]
+    assert result.worst_severity() is Severity.ERROR
+
+
+def test_runner_walks_directories_deterministically(tmp_path):
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "b.py").write_text("half = 1 / 2\n")
+    (tmp_path / "pkg" / "a.py").write_text("x = 1\n")
+    (tmp_path / "pkg" / "__pycache__").mkdir()
+    (tmp_path / "pkg" / "__pycache__" / "junk.py").write_text("def f(:\n")
+    result = lint_paths([str(tmp_path)])
+    assert result.files_checked == 2  # __pycache__ skipped
+    assert result.findings == []  # no bit-named target or operand
+
+
+def test_registry_has_exactly_the_documented_rules():
+    ids = [rule.rule_id for rule in all_rules()]
+    assert ids == [f"R{n:03d}" for n in range(1, 9)]
+    for rule in all_rules():
+        assert rule.description
+        assert rule.rationale
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def test_cli_lint_clean_tree_exits_zero(tmp_path, capsys):
+    clean = tmp_path / "ok.py"
+    clean.write_text("def f(x: int) -> int:\n    return x\n")
+    assert main(["lint", str(clean)]) == 0
+    assert "clean: 0 findings" in capsys.readouterr().out
+
+
+def test_cli_lint_findings_exit_nonzero_with_structured_output(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text(GOLDEN_SOURCE)
+    assert main(["lint", str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert f"{bad}:2:8: R001 [error]" in out
+    assert main(["lint", str(bad), "--fail-on", "never"]) == 0
+
+
+def test_cli_lint_json_format_and_output_file(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text(GOLDEN_SOURCE)
+    report_path = tmp_path / "findings.json"
+    assert main(
+        ["lint", str(bad), "--format", "json", "--output", str(report_path)]
+    ) == 1
+    stdout_report = json.loads(capsys.readouterr().out)
+    file_report = json.loads(report_path.read_text())
+    assert stdout_report == file_report
+    assert file_report["counts_by_rule"] == {"R001": 1}
+    assert file_report["findings"][0]["rule"] == "R001"
+
+
+def test_cli_lint_select_subset_of_rules(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("def f(items=[]):\n    return items\n")
+    assert main(["lint", str(bad), "--select", "R001"]) == 0
+    capsys.readouterr()
+    assert main(["lint", str(bad), "--select", "R008"]) == 1
+    assert "R008" in capsys.readouterr().out
+    assert main(["lint", str(bad), "--select", "R999"]) == 2
+
+
+def test_cli_list_rules_catalogue(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in [f"R{n:03d}" for n in range(1, 9)]:
+        assert rule_id in out
+    assert "rationale:" in out
+
+
+def test_cli_lint_src_is_clean():
+    """The merged tree must lint clean — the PR's acceptance criterion."""
+    assert main(["lint", "src"]) == 0
+
+
+@pytest.mark.parametrize(
+    "source, rule",
+    [
+        ("total_bits = 3 / 1\n", "R001"),
+        (
+            "def f(r):\n"
+            "    if r == DropReason.LINK_DOWN:\n"
+            "        return 1\n"
+            "    elif r == DropReason.NODE_DOWN:\n"
+            "        return 2\n",
+            "R002",
+        ),
+        ("import random\nx = random.choice([1, 2])\n", "R004"),
+        ("try:\n    pass\nexcept:\n    pass\n", "R006"),
+        ("def f(x):\n    return x\n", "R007"),
+        ("def f(x=[]):\n    return x\n", "R008"),
+    ],
+)
+def test_cli_lint_seeded_violations_fail(tmp_path, source, rule, capsys):
+    bad = tmp_path / "seeded.py"
+    bad.write_text(source)
+    assert main(["lint", str(bad), "--select", rule]) == 1
+    assert rule in capsys.readouterr().out

@@ -1,0 +1,81 @@
+"""SpaceReport totals are integers and additive for every built-in scheme.
+
+The runtime companion of lint rule R001: Table 1 of the paper is an exact
+bits-count grid, so every charged quantity must be an `int` (never a bool,
+never a float) and the report totals must be exactly the sums of their
+per-node parts — no double charging, no silent float drift.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import available_schemes, build_scheme
+from repro.graphs import gnp_random_graph, path_graph
+from repro.models import Knowledge, Labeling, RoutingModel
+
+# One certified dense graph for the diameter-2 constructions, a chain for
+# the chain-comparison scheme (mirrors tests/test_model_scheme_matrix.py).
+GRAPH = gnp_random_graph(32, seed=101)
+CHAIN = path_graph(12)
+
+# scheme -> a model it must build under (one per scheme is enough here;
+# the full matrix is pinned by test_model_scheme_matrix.py).
+MODELS = {
+    "full-table": RoutingModel(Knowledge.IA, Labeling.ALPHA),
+    "full-information": RoutingModel(Knowledge.IA, Labeling.ALPHA),
+    "multi-interval": RoutingModel(Knowledge.IA, Labeling.ALPHA),
+    "thm1-two-level": RoutingModel(Knowledge.IB, Labeling.ALPHA),
+    "thm2-neighbor-labels": RoutingModel(Knowledge.II, Labeling.GAMMA),
+    "thm3-centers": RoutingModel(Knowledge.II, Labeling.ALPHA),
+    "thm4-hub": RoutingModel(Knowledge.II, Labeling.ALPHA),
+    "thm5-probe": RoutingModel(Knowledge.II, Labeling.ALPHA),
+    "interval": RoutingModel(Knowledge.II, Labeling.BETA),
+    "tree-cover": RoutingModel(Knowledge.II, Labeling.GAMMA),
+    "chain-comparison": RoutingModel(Knowledge.II, Labeling.BETA),
+}
+
+
+def exact_int(value):
+    """True for real ints only (bool is an int subclass — reject it)."""
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def test_every_registered_scheme_is_covered():
+    assert set(MODELS) == set(available_schemes())
+
+
+@pytest.mark.parametrize("scheme_name", sorted(MODELS))
+def test_space_report_is_integral_and_additive(scheme_name):
+    graph = CHAIN if scheme_name == "chain-comparison" else GRAPH
+    scheme = build_scheme(scheme_name, graph, MODELS[scheme_name])
+    report = scheme.space_report()
+
+    # Every per-node charge is a genuine int.
+    assert len(report.per_node) == graph.n
+    for entry in report.per_node:
+        assert exact_int(entry.routing_bits), (scheme_name, entry)
+        assert exact_int(entry.label_bits), (scheme_name, entry)
+        assert exact_int(entry.aux_bits), (scheme_name, entry)
+        assert exact_int(entry.total), (scheme_name, entry)
+        assert entry.routing_bits >= 0
+        assert entry.label_bits >= 0
+        assert entry.aux_bits >= 0
+        assert entry.total == (
+            entry.routing_bits + entry.label_bits + entry.aux_bits
+        )
+
+    # Report totals are ints and exactly additive across nodes.
+    assert exact_int(report.total_bits)
+    assert exact_int(report.routing_bits)
+    assert exact_int(report.label_bits)
+    assert exact_int(report.aux_bits)
+    assert exact_int(report.max_node_bits)
+    assert report.total_bits == sum(e.total for e in report.per_node)
+    assert report.routing_bits == sum(e.routing_bits for e in report.per_node)
+    assert report.label_bits == sum(e.label_bits for e in report.per_node)
+    assert report.aux_bits == sum(e.aux_bits for e in report.per_node)
+    assert report.total_bits == (
+        report.routing_bits + report.label_bits + report.aux_bits
+    )
+    assert report.max_node_bits == max(e.total for e in report.per_node)
