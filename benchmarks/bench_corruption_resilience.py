@@ -1,0 +1,292 @@
+"""Experiment CORRUPTION — integrity framing vs table corruption.
+
+A routing table is just bits in a node's memory, and bits rot.  This
+bench quantifies what the charged CRC/parity framing layer
+(:mod:`repro.integrity`) buys when packed routing functions are mutated:
+
+* **Detection rate** — for every framing policy, flip each single bit of
+  every node's framed encoding and attempt a decode; count how many
+  mutations are caught (``IntegrityError`` or a structural decode
+  failure).  CRC-8/CRC-16 detect *all* single-bit flips by construction
+  (their generator polynomials have more than one term), parity likewise
+  detects every odd-weight error; the acceptance criterion pins the
+  framed detection rate at >= 99%.  The unframed baseline is reported to
+  show the gap integrity framing closes.
+* **End-to-end resilience** — the event engine runs the same workload
+  while a seeded :func:`~repro.simulator.chaos.table_corruption`
+  schedule damages tables mid-run, sweeping corruption intensity per
+  policy.  With framing, damage is detected at decode time, the node is
+  quarantined, retries bounce around it, and the self-healer rebuilds
+  the table after the repair delay; without framing, surviving mutations
+  silently misroute.
+* **Charged overhead** — the framed space reports carry the framing cost
+  as an explicit additive ``integrity_bits`` line, asserted to equal
+  exactly ``n * policy.overhead_bits``.
+
+The run writes ``BENCH_corruption.json`` with the detection rates, the
+sweep, and the overhead accounting, for CI to validate and archive.
+
+Run ``python benchmarks/bench_corruption_resilience.py --smoke`` for a
+quick self-checking pass; ``--output PATH`` overrides the JSON location.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import random
+import sys
+
+from repro.core import build_scheme
+from repro.errors import IntegrityError, ReproError
+from repro.graphs import gnp_random_graph
+from repro.integrity import FramingPolicy, IntegrityWrapper
+from repro.models import Knowledge, Labeling, RoutingModel
+from repro.simulator import (
+    EventDrivenSimulator,
+    MutationKind,
+    RetryPolicy,
+    TableMutation,
+    summarize,
+    table_corruption,
+    uniform_pairs,
+)
+
+II_ALPHA = RoutingModel(Knowledge.II, Labeling.ALPHA)
+
+N = 40
+MESSAGES = 250
+HORIZON = 60.0
+CORRUPTION_LEVELS = (0, 4, 10, 16)
+REPAIR_DELAY = 8.0
+SMOKE_N = 24
+SMOKE_MESSAGES = 120
+SMOKE_CORRUPTION_LEVELS = (0, 4, 8)
+
+POLICIES = (
+    FramingPolicy.NONE,
+    FramingPolicy.PARITY,
+    FramingPolicy.CRC8,
+    FramingPolicy.CRC16,
+)
+# The acceptance criterion: framed single-bit-flip detection rate.
+DETECTION_FLOOR = 0.99
+
+DEFAULT_OUTPUT = pathlib.Path(__file__).resolve().parent.parent / (
+    "BENCH_corruption.json"
+)
+
+
+def _wrap(scheme, policy):
+    if policy is FramingPolicy.NONE:
+        return scheme
+    return IntegrityWrapper(scheme, policy)
+
+
+def _detection_rate(scheme, policy, graph):
+    """Exhaustively flip every single bit of every node's framed table."""
+    wrapped = _wrap(scheme, policy)
+    attempts = 0
+    detected = 0
+    for u in graph.nodes:
+        framed = wrapped.encode_function(u)
+        for position in range(len(framed)):
+            mutated = TableMutation(
+                MutationKind.BIT_FLIP, offsets=(position,)
+            ).apply(framed)
+            attempts += 1
+            try:
+                wrapped.decode_function(u, mutated)
+            except (IntegrityError, ReproError, KeyError, IndexError,
+                    TypeError, ValueError):
+                detected += 1
+    return attempts, detected
+
+
+def _run_sweep_cell(scheme, graph, schedule, pairs, times):
+    sim = EventDrivenSimulator(
+        scheme,
+        fault_schedule=schedule,
+        retry_policy=RetryPolicy(max_attempts=4, base_delay=1.0),
+        retry_seed=11,
+        repair_delay=REPAIR_DELAY,
+    )
+    for (source, destination), at_time in zip(pairs, times):
+        sim.inject(source, destination, at_time)
+    metrics = summarize(sim.run(), graph)
+    return metrics, sim.network.corruption_summary()
+
+
+def measure(n=N, messages=MESSAGES, levels=CORRUPTION_LEVELS):
+    """Detection rates, the corruption sweep, and the overhead accounting."""
+    graph = gnp_random_graph(n, seed=83)
+    base = build_scheme("full-table", graph, II_ALPHA)
+    pairs = uniform_pairs(graph, messages, seed=1)
+    clock = random.Random(5)
+    times = [clock.uniform(0.0, HORIZON * 0.8) for _ in pairs]
+
+    detection = {}
+    overhead = {}
+    for policy in POLICIES:
+        attempts, detected = _detection_rate(base, policy, graph)
+        detection[policy.value] = {
+            "attempts": attempts,
+            "detected": detected,
+            "rate": detected / attempts if attempts else 0.0,
+        }
+        report = _wrap(base, policy).space_report()
+        overhead[policy.value] = {
+            "integrity_bits": report.integrity_bits,
+            "expected": graph.n * policy.overhead_bits,
+            "total_bits": report.total_bits,
+        }
+
+    sweep = []
+    for level in levels:
+        schedule = (
+            table_corruption(
+                graph, level, horizon=HORIZON, seed=level + 1,
+                kinds=(MutationKind.BIT_FLIP, MutationKind.BURST,
+                       MutationKind.TRUNCATE),
+            )
+            if level
+            else table_corruption(graph, 0, horizon=HORIZON)
+        )
+        row = {}
+        for policy in POLICIES:
+            metrics, lifecycle = _run_sweep_cell(
+                _wrap(base, policy), graph, schedule, pairs, times
+            )
+            row[policy.value] = {
+                "delivered_fraction": metrics.delivered_fraction,
+                "mean_retries": metrics.mean_retries,
+                **lifecycle,
+            }
+        sweep.append({"corrupted_tables": level, "by_policy": row})
+    return {
+        "workload": {
+            "n": n,
+            "messages": messages,
+            "horizon": HORIZON,
+            "repair_delay": REPAIR_DELAY,
+            "scheme": "full-table",
+            "corruption_levels": list(levels),
+        },
+        "detection": detection,
+        "overhead": overhead,
+        "sweep": sweep,
+    }
+
+
+def check(result) -> None:
+    """The acceptance assertions over one measurement."""
+    for policy in POLICIES:
+        if policy is FramingPolicy.NONE:
+            continue
+        rate = result["detection"][policy.value]["rate"]
+        assert rate >= DETECTION_FLOOR, (
+            f"{policy.value} detected only {rate:.2%} of single-bit flips"
+        )
+        cell = result["overhead"][policy.value]
+        assert cell["integrity_bits"] == cell["expected"], (
+            f"{policy.value} charged {cell['integrity_bits']} integrity "
+            f"bits, expected {cell['expected']}"
+        )
+    assert result["overhead"][FramingPolicy.NONE.value]["integrity_bits"] == 0
+    for row in result["sweep"]:
+        unframed = row["by_policy"][FramingPolicy.NONE.value]
+        for policy in POLICIES:
+            cell = row["by_policy"][policy.value]
+            # Every scheduled corruption is accounted for: detected,
+            # undetected, or never exercised before the run drained.
+            assert cell["detected"] + cell["undetected"] <= cell["injected"]
+            if policy in (FramingPolicy.CRC8, FramingPolicy.CRC16):
+                # A CRC never lets a garbage function install silently:
+                # its polynomial catches all flips/bursts <= its width.
+                assert cell["undetected"] == 0
+            elif policy is FramingPolicy.PARITY:
+                # One parity bit misses even-weight damage (e.g. an
+                # 8-bit burst) but can never do worse than no framing.
+                assert cell["undetected"] <= unframed["undetected"]
+
+
+def _format(result) -> str:
+    workload = result["workload"]
+    lines = [
+        f"Table corruption on G({workload['n']}, 1/2), "
+        f"{workload['messages']} messages over {workload['horizon']:g} "
+        f"time units, self-heal after {workload['repair_delay']:g}",
+        "",
+        "  single-bit-flip detection (exhaustive over every table bit):",
+    ]
+    for policy in POLICIES:
+        cell = result["detection"][policy.value]
+        bits = result["overhead"][policy.value]["integrity_bits"]
+        lines.append(
+            f"    {policy.value:>6s}: {cell['rate']:7.2%} "
+            f"({cell['detected']}/{cell['attempts']}), "
+            f"{bits} integrity bits charged"
+        )
+    lines += ["", "  delivery under corruption churn (with retry + self-heal):"]
+    names = [policy.value for policy in POLICIES]
+    lines.append(
+        "    corrupted tables   " + "   ".join(f"{nm:>8s}" for nm in names)
+    )
+    for row in result["sweep"]:
+        cells = "   ".join(
+            f"{row['by_policy'][nm]['delivered_fraction']:8.3f}"
+            for nm in names
+        )
+        lines.append(f"    {row['corrupted_tables']:16d}   {cells}")
+    undetected = sum(
+        row["by_policy"][FramingPolicy.NONE.value]["undetected"]
+        for row in result["sweep"]
+    )
+    leaked = sum(
+        row["by_policy"][FramingPolicy.PARITY.value]["undetected"]
+        for row in result["sweep"]
+    )
+    lines += [
+        "",
+        f"  unframed runs installed {undetected} silently corrupted",
+        f"  functions across the sweep (parity still missed {leaked}:",
+        "  even-weight bursts are invisible to one parity bit); the CRC",
+        "  policies detected every exercised corruption, quarantined the",
+        "  node, and the self-healer rebuilt its table.",
+    ]
+    return "\n".join(lines)
+
+
+def _write_output(result, path) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(result, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def test_corruption_resilience(benchmark, write_result):
+    result = benchmark.pedantic(measure, rounds=1, iterations=1)
+    write_result("corruption_resilience", _format(result))
+    _write_output(result, DEFAULT_OUTPUT)
+    check(result)
+
+
+def main(argv=None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    smoke = "--smoke" in args
+    output = DEFAULT_OUTPUT
+    if "--output" in args:
+        output = pathlib.Path(args[args.index("--output") + 1])
+    n = SMOKE_N if smoke else N
+    messages = SMOKE_MESSAGES if smoke else MESSAGES
+    levels = SMOKE_CORRUPTION_LEVELS if smoke else CORRUPTION_LEVELS
+    result = measure(n, messages, levels)
+    print(_format(result))
+    _write_output(result, output)
+    print(f"\nresults written to {output}")
+    check(result)
+    print("assertions ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

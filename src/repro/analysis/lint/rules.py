@@ -189,6 +189,7 @@ _DROP_REASON_FALLBACK: FrozenSet[str] = frozenset(
         "NO_ROUTE",
         "INVALID_FORWARD",
         "QUEUE_OVERFLOW",
+        "TABLE_CORRUPT",
     }
 )
 
@@ -334,7 +335,18 @@ class DropReasonExhaustiveRule(LintRule):
 # -- R003 ---------------------------------------------------------------------
 
 _SPAN_METHODS = frozenset(
-    {"emit", "inject", "hop", "retry", "fault", "drop", "deliver"}
+    {
+        "emit",
+        "inject",
+        "hop",
+        "retry",
+        "fault",
+        "drop",
+        "deliver",
+        "corrupt",
+        "quarantine",
+        "heal",
+    }
 )
 
 
@@ -559,6 +571,7 @@ _SCHEME_OVERRIDABLE = {
     "space_report": 1,
     "label_bits": 2,
     "aux_bits": 2,
+    "integrity_bits": 2,
     "address_of": 2,
     "node_of_address": 2,
     "hop_limit": 1,

@@ -22,6 +22,15 @@ Commands
     MTBF/MTTR renewal churn, or correlated regional outages), optionally
     with retry/backoff recovery and the bounce-once detour wrapper, and
     report delivery ratio, retry counts, and the drop-reason breakdown.
+    ``--seed`` (default 0) seeds the schedule generator, the workload
+    sampler, the retry jitter, and the injection clock alike.
+``simulate-corruption SCHEME N``
+    Run the event engine while seeded ``TABLE_CORRUPT`` faults mutate
+    packed routing tables mid-run.  ``--framing`` wraps the scheme in a
+    charged CRC/parity integrity layer (detection at decode time);
+    ``--repair-delay`` enables the detection-triggered self-healer.
+    Reports the corruption lifecycle (injected / detected / undetected /
+    healed) alongside the delivery metrics and the integrity-bit overhead.
 ``codec NAME N``
     Run an incompressibility codec against a sampled or structured graph.
 ``trace-report TRACE``
@@ -34,7 +43,8 @@ Commands
     defaults) and exit non-zero on findings.  ``--list-rules`` prints the
     catalogue; ``--format json``/``--output`` emit the structured report.
 
-Observability flags: ``simulate``, ``simulate-chaos`` and ``build`` accept
+Observability flags: ``simulate``, ``simulate-chaos``,
+``simulate-corruption`` and ``build`` accept
 ``--trace-out FILE`` (hop-level JSONL spans), ``--metrics-out FILE``
 (metrics-registry dump — JSON, or Prometheus text when the file ends in
 ``.prom``), and the simulators accept ``--json`` for machine-readable
@@ -66,6 +76,7 @@ from repro.incompressibility import (
     Lemma3Codec,
     evaluate_codec,
 )
+from repro.integrity import FramingPolicy, IntegrityWrapper
 from repro.models import Knowledge, Labeling, RoutingModel
 from repro.observability import (
     JsonlTracer,
@@ -77,6 +88,7 @@ from repro.observability import (
 from repro.simulator import (
     DetourWrapper,
     EventDrivenSimulator,
+    MutationKind,
     Network,
     RetryPolicy,
     flapping_links,
@@ -86,6 +98,7 @@ from repro.simulator import (
     sample_link_failures,
     sample_node_failures,
     summarize,
+    table_corruption,
 )
 from repro.simulator.workloads import (
     all_to_one,
@@ -223,7 +236,10 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate = sub.add_parser("simulate", help="run a workload through the simulator")
     simulate.add_argument("scheme", choices=available_schemes())
     simulate.add_argument("n", type=int)
-    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument(
+        "--seed", type=int, default=0,
+        help="seeds the graph, failure sample and workload (default: 0)",
+    )
     simulate.add_argument("--model", type=parse_model, default=None)
     simulate.add_argument("--messages", type=int, default=200)
     simulate.add_argument("--failures", type=int, default=0,
@@ -243,7 +259,11 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument("scheme", choices=available_schemes())
     chaos.add_argument("n", type=int)
-    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument(
+        "--seed", type=int, default=0,
+        help="seeds the schedule generator, workload, retry jitter and "
+             "injection clock (default: 0)",
+    )
     chaos.add_argument("--model", type=parse_model, default=None)
     chaos.add_argument("--messages", type=int, default=300)
     chaos.add_argument(
@@ -284,6 +304,67 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--detour", action="store_true",
                        help="wrap the scheme in the bounce-once DetourWrapper")
     _add_observability_flags(chaos)
+
+    corruption = sub.add_parser(
+        "simulate-corruption",
+        help="run the event engine while seeded faults corrupt routing "
+             "tables mid-run (integrity framing + self-healing)",
+    )
+    corruption.add_argument("scheme", choices=available_schemes())
+    corruption.add_argument("n", type=int)
+    corruption.add_argument(
+        "--seed", type=int, default=0,
+        help="seeds the corruption schedule, workload, retry jitter and "
+             "injection clock (default: 0)",
+    )
+    corruption.add_argument("--model", type=parse_model, default=None)
+    corruption.add_argument("--messages", type=int, default=300)
+    corruption.add_argument(
+        "--workload",
+        choices=("uniform", "hotspot", "permutation"),
+        default="uniform",
+    )
+    corruption.add_argument("--horizon", type=float, default=100.0,
+                            help="schedule horizon in simulated time units")
+    corruption.add_argument(
+        "--corrupt-nodes", type=int, default=None,
+        help="how many distinct nodes suffer a table corruption "
+             "(default: a quarter of the nodes)",
+    )
+    corruption.add_argument(
+        "--mutation",
+        choices=("bit-flip", "burst", "truncate", "mixed"),
+        default="bit-flip",
+        help="damage model applied to the packed function bits",
+    )
+    corruption.add_argument("--flips", type=int, default=1,
+                            help="bit-flip: independent flips per corruption")
+    corruption.add_argument("--burst-span", type=int, default=8,
+                            help="burst: contiguous bits flipped")
+    corruption.add_argument("--truncate-bits", type=int, default=4,
+                            help="truncate: trailing bits dropped")
+    corruption.add_argument(
+        "--framing",
+        choices=tuple(policy.value for policy in FramingPolicy),
+        default=FramingPolicy.CRC8.value,
+        help="integrity framing charged on every table (default: crc8; "
+             "'none' reproduces the unprotected pre-framing behaviour)",
+    )
+    corruption.add_argument(
+        "--repair-delay", type=float, default=10.0,
+        help="self-heal rebuilds a table this long after detection "
+             "(negative disables healing)",
+    )
+    corruption.add_argument("--retries", type=int, default=0,
+                            help="max re-transmissions per message (0 = none)")
+    corruption.add_argument("--backoff-base", type=float, default=1.0,
+                            help="base retry backoff delay")
+    corruption.add_argument(
+        "--detour", action="store_true",
+        help="wrap the scheme in the bounce-once DetourWrapper "
+             "(composes outside the integrity framing)",
+    )
+    _add_observability_flags(corruption)
 
     codec = sub.add_parser("codec", help="run an incompressibility codec")
     codec.add_argument("name", choices=sorted(_CODECS))
@@ -563,6 +644,108 @@ def _cmd_simulate_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+_MUTATION_CHOICES = {
+    "bit-flip": (MutationKind.BIT_FLIP,),
+    "burst": (MutationKind.BURST,),
+    "truncate": (MutationKind.TRUNCATE,),
+    "mixed": (
+        MutationKind.BIT_FLIP,
+        MutationKind.BURST,
+        MutationKind.TRUNCATE,
+    ),
+}
+
+
+def _cmd_simulate_corruption(args: argparse.Namespace) -> int:
+    import random as _random
+
+    model = args.model or _default_model(args.scheme)
+    graph = gnp_random_graph(args.n, seed=args.seed)
+    scheme = build_scheme(args.scheme, graph, model)
+    policy = FramingPolicy(args.framing)
+    if policy is not FramingPolicy.NONE:
+        scheme = IntegrityWrapper(scheme, policy)
+    if args.detour:
+        scheme = DetourWrapper(scheme)
+    corrupt_nodes = (
+        args.corrupt_nodes
+        if args.corrupt_nodes is not None
+        else max(args.n // 4, 1)
+    )
+    schedule = table_corruption(
+        graph,
+        corrupt_nodes,
+        horizon=args.horizon,
+        seed=args.seed,
+        kinds=_MUTATION_CHOICES[args.mutation],
+        flips=args.flips,
+        burst_span=args.burst_span,
+        truncate_bits=args.truncate_bits,
+    )
+    if args.workload == "uniform":
+        pairs = uniform_pairs(graph, args.messages, seed=args.seed)
+    elif args.workload == "hotspot":
+        pairs = hotspot_pairs(graph, args.messages, seed=args.seed)
+    else:
+        pairs = permutation_traffic(graph, seed=args.seed)
+    retry = (
+        RetryPolicy(max_attempts=args.retries + 1, base_delay=args.backoff_base)
+        if args.retries > 0
+        else None
+    )
+    repair_delay = args.repair_delay if args.repair_delay > 0 else None
+    tracer = _open_tracer(args)
+    sim = EventDrivenSimulator(
+        scheme,
+        fault_schedule=schedule,
+        retry_policy=retry,
+        retry_seed=args.seed,
+        tracer=tracer,
+        repair_delay=repair_delay,
+    )
+    clock = _random.Random(args.seed)
+    for source, destination in pairs:
+        sim.inject(source, destination, clock.uniform(0.0, args.horizon * 0.8))
+    records = sim.run()
+    if tracer is not None:
+        tracer.close()
+    metrics = summarize(records, graph)
+    lifecycle = sim.network.corruption_summary()
+    integrity_overhead = scheme.space_report().integrity_bits
+    _write_metrics_out(args)
+    if args.json:
+        payload = json.loads(_metrics_json(args, metrics, records))
+        payload["corruption"] = {
+            "framing": policy.value,
+            "scheduled": len(schedule),
+            "repair_delay": repair_delay,
+            "integrity_bits": integrity_overhead,
+            **lifecycle,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(f"{scheme.scheme_name} on G({args.n}, 1/2) under table "
+          f"corruption ({len(schedule)} scheduled corruptions, "
+          f"horizon {args.horizon:g})")
+    print(f"integrity framing: {policy.value} "
+          f"({integrity_overhead} bits total overhead)")
+    print(f"corruption lifecycle: {lifecycle['injected']} injected, "
+          f"{lifecycle['detected']} detected, "
+          f"{lifecycle['undetected']} undetected, "
+          f"{lifecycle['healed']} healed")
+    print(f"messages: {metrics.messages}  delivered: {metrics.delivered} "
+          f"({metrics.delivered_fraction:.1%})")
+    if metrics.delivered:
+        print(f"mean hops: {metrics.mean_hops:.2f}  "
+              f"mean stretch: {metrics.mean_stretch:.2f}  "
+              f"max stretch: {metrics.max_stretch:.2f}")
+    print(f"retries: {metrics.total_retries} total, "
+          f"{metrics.mean_retries:.2f} per message")
+    for reason, count in sorted(metrics.drop_reasons.items()):
+        print(f"  dropped ({count}): {reason.value}")
+    return 0
+
+
 def _cmd_codec(args: argparse.Namespace) -> int:
     graph = _make_graph(args.graph, args.n, args.seed)
     codec = _CODECS[args.name]()
@@ -712,6 +895,7 @@ _COMMANDS = {
     "verify": _cmd_verify,
     "simulate": _cmd_simulate,
     "simulate-chaos": _cmd_simulate_chaos,
+    "simulate-corruption": _cmd_simulate_corruption,
     "codec": _cmd_codec,
     "bootstrap": _cmd_bootstrap,
     "compare": _cmd_compare,

@@ -180,6 +180,9 @@ class DetourWrapper(RoutingScheme):
     def aux_bits(self, u: int) -> int:
         return self._inner.aux_bits(u)
 
+    def integrity_bits(self, u: int) -> int:
+        return self._inner.integrity_bits(u)
+
     # -- guarantees ----------------------------------------------------------
 
     def stretch_bound(self) -> float:

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from typing import Dict
 
 from repro.bitio import BitArray, BitReader, BitWriter
-from repro.errors import CodecError
+from repro.errors import BitstreamError, CodecError
 from repro.graphs import LabeledGraph
 from repro.models import RoutingModel
 from repro.core.builder import build_scheme
@@ -66,30 +66,50 @@ def pack_scheme(scheme: RoutingScheme) -> bytes:
 
 
 def unpack_blob(data: bytes) -> SchemeBlob:
-    """Parse a packed scheme back into per-node bit strings."""
+    """Parse a packed scheme back into per-node bit strings.
+
+    Hardened against hostile or damaged input: *every* malformed blob —
+    truncated mid-field, garbage prime codes, a name that is not valid
+    UTF-8 — raises :class:`CodecError` with context, never a leaked
+    :class:`BitstreamError`, ``UnicodeDecodeError`` or ``IndexError``.
+    """
     if len(data) < 4:
         raise CodecError("blob too short for its length header")
     bit_length = int.from_bytes(data[:4], "big")
     payload = data[4:]
     if bit_length > 8 * len(payload):
         raise CodecError("blob length header exceeds payload")
-    bits = BitArray._from_packed(payload, bit_length)
-    reader = BitReader(bits)
-    if reader.read_uint(8) != _MAGIC:
-        raise CodecError("bad magic: not a packed routing scheme")
-    version = reader.read_uint(8)
-    if version != _VERSION:
-        raise CodecError(f"unsupported scheme blob version {version}")
-    name_bits = reader.read_prime()
-    if len(name_bits) % 8:
-        raise CodecError("scheme name is not byte-aligned")
-    name = bytes(
-        name_bits[8 * i : 8 * i + 8].to_int() for i in range(len(name_bits) // 8)
-    ).decode("utf-8")
-    n = reader.read_gamma()
-    functions = {u: reader.read_prime() for u in range(1, n + 1)}
-    if not reader.at_end():
-        raise CodecError(f"{reader.remaining} trailing bits in scheme blob")
+    try:
+        bits = BitArray._from_packed(payload, bit_length)
+        reader = BitReader(bits)
+        if reader.read_uint(8) != _MAGIC:
+            raise CodecError("bad magic: not a packed routing scheme")
+        version = reader.read_uint(8)
+        if version != _VERSION:
+            raise CodecError(f"unsupported scheme blob version {version}")
+        name_bits = reader.read_prime()
+        if len(name_bits) % 8:
+            raise CodecError("scheme name is not byte-aligned")
+        name_bytes = bytes(
+            name_bits[8 * i : 8 * i + 8].to_int()
+            for i in range(len(name_bits) // 8)
+        )
+        try:
+            name = name_bytes.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise CodecError(f"scheme name is not valid UTF-8: {exc}") from exc
+        n = reader.read_gamma()
+        functions = {u: reader.read_prime() for u in range(1, n + 1)}
+        if not reader.at_end():
+            raise CodecError(
+                f"{reader.remaining} trailing bits in scheme blob"
+            )
+    except CodecError:
+        raise
+    except (BitstreamError, ValueError, OverflowError, MemoryError) as exc:
+        raise CodecError(
+            f"malformed scheme blob ({type(exc).__name__}: {exc})"
+        ) from exc
     return SchemeBlob(scheme_name=name, n=n, functions=functions)
 
 

@@ -130,6 +130,15 @@ class RoutingScheme(abc.ABC):
         """Charged auxiliary knowledge for ``u`` (e.g. neighbour vectors)."""
         return 0
 
+    def integrity_bits(self, u: int) -> int:
+        """Checksum framing bits protecting F(u)'s encoding (0 unframed).
+
+        Integrity wrappers override this with their per-node checksum
+        width; :meth:`space_report` then charges those bits on an explicit
+        line instead of smuggling them into ``routing_bits``.
+        """
+        return 0
+
     def space_report(self) -> SpaceReport:
         """Measure the scheme: every node's serialised function length.
 
@@ -145,12 +154,15 @@ class RoutingScheme(abc.ABC):
         )
         with profile_section(f"encode.{self.scheme_name}"):
             for u in self._graph.nodes:
+                encoded_bits = len(self.encode_function(u))
+                checksum_bits = self.integrity_bits(u)
                 report.add(
                     NodeSpace(
                         node=u,
-                        routing_bits=len(self.encode_function(u)),
+                        routing_bits=encoded_bits - checksum_bits,
                         label_bits=self.label_bits(u),
                         aux_bits=self.aux_bits(u),
+                        integrity_bits=checksum_bits,
                     )
                 )
         registry = get_registry()

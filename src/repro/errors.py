@@ -45,5 +45,15 @@ class CodecError(ReproError):
     """Raised when an incompressibility codec cannot encode or decode."""
 
 
+class IntegrityError(ReproError):
+    """Raised when a framed routing table fails its integrity check.
+
+    Deliberately *not* a :class:`RoutingError`: a corrupted table is a
+    storage fault, not a routing dead end, and the simulators map it to
+    ``DropReason.TABLE_CORRUPT`` (quarantine + heal) rather than
+    ``NO_ROUTE``.
+    """
+
+
 class AnalysisError(ReproError):
     """Raised for invalid analysis inputs (e.g. empty scaling samples)."""

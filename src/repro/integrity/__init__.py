@@ -1,0 +1,24 @@
+"""Charged integrity framing for serialised routing functions.
+
+A per-node CRC/parity frame over each encoded local function
+(:mod:`repro.integrity.framing`), a transparent scheme decorator applying
+it (:class:`~repro.integrity.wrapper.IntegrityWrapper`), and the explicit
+``integrity_bits`` accounting line both feed — the paper's discipline that
+every bit a node stores is charged, checksums included.
+"""
+
+from repro.integrity.framing import (
+    FramingPolicy,
+    frame_bits,
+    unframe_bits,
+    verify_frame,
+)
+from repro.integrity.wrapper import IntegrityWrapper
+
+__all__ = [
+    "FramingPolicy",
+    "IntegrityWrapper",
+    "frame_bits",
+    "unframe_bits",
+    "verify_frame",
+]

@@ -40,11 +40,21 @@ class NodeSpace:
     """Charged label bits (non-zero only under model γ)."""
     aux_bits: int = 0
     """Auxiliary knowledge the scheme must store (e.g. neighbour vectors)."""
+    integrity_bits: int = 0
+    """Checksum framing bits protecting the routing function (CRC/parity).
+
+    Charged explicitly — integrity overhead is never smuggled into
+    ``routing_bits`` — and zero for unframed schemes."""
 
     @property
     def total(self) -> int:
         """All bits charged to this node."""
-        return self.routing_bits + self.label_bits + self.aux_bits
+        return (
+            self.routing_bits
+            + self.label_bits
+            + self.aux_bits
+            + self.integrity_bits
+        )
 
 
 @dataclass
@@ -84,6 +94,11 @@ class SpaceReport:
         return sum(entry.aux_bits for entry in self.per_node)
 
     @property
+    def integrity_bits(self) -> int:
+        """Total integrity-framing bits (0 for unframed schemes)."""
+        return sum(entry.integrity_bits for entry in self.per_node)
+
+    @property
     def max_node_bits(self) -> int:
         """Largest per-node charge."""
         return max((entry.total for entry in self.per_node), default=0)
@@ -114,7 +129,8 @@ class SpaceReport:
             f"{self.scheme_name} on n={self.n} under {self.model}: "
             f"{self.total_bits} bits total "
             f"(routing {self.routing_bits}, labels {self.label_bits}, "
-            f"aux {self.aux_bits}; max/node {self.max_node_bits}, "
+            f"aux {self.aux_bits}, integrity {self.integrity_bits}; "
+            f"max/node {self.max_node_bits}, "
             f"mean/node {self.mean_node_bits:.1f}, "
             f"T/n² = {self.bits_per_n_squared():.3f})"
         )

@@ -55,6 +55,12 @@ class TraceSummary:
     """``(node, forwards)`` sorted by forwards, descending."""
     hop_latency_percentiles: Dict[str, float] = field(default_factory=dict)
     """p50/p90/p99/max of hop durations (empty for untimed walker traces)."""
+    corruptions: int = 0
+    """Table-corruption events (``corrupt`` spans)."""
+    quarantines: int = 0
+    """Detections: nodes quarantined after an integrity failure."""
+    heals: int = 0
+    """Tables rebuilt pristine (self-heal or scheduled re-push)."""
     drops_by_reason: Dict[str, int] = field(default_factory=dict)
     drops_attributed: int = 0
     """Drops whose failed subject was inside an active fault window."""
@@ -79,6 +85,9 @@ class TraceSummary:
             "retries": self.retries,
             "faults": self.faults,
             "hops": self.hops,
+            "corruptions": self.corruptions,
+            "quarantines": self.quarantines,
+            "heals": self.heals,
             "hot_nodes": [list(pair) for pair in self.hot_nodes],
             "hop_latency_percentiles": percentiles,
             "drops_by_reason": dict(self.drops_by_reason),
@@ -161,6 +170,18 @@ def summarize_trace(events: Sequence[TraceEvent], top: int = 10) -> TraceSummary
                     down[tuple(event.subject)] = event.time
                 elif kind in _UP_KINDS:
                     down.pop(tuple(event.subject), None)
+        elif event.event == "corrupt":
+            # A corrupt table opens a fault-attribution window on the node
+            # exactly like a node-down event; heal closes it.
+            summary.corruptions += 1
+            if event.subject is not None:
+                down[tuple(event.subject)] = event.time
+        elif event.event == "quarantine":
+            summary.quarantines += 1
+        elif event.event == "heal":
+            summary.heals += 1
+            if event.subject is not None:
+                down.pop(tuple(event.subject), None)
         elif event.event == "deliver":
             summary.delivered += 1
         elif event.event == "drop":
@@ -206,6 +227,11 @@ def format_trace_report(summary: TraceSummary) -> str:
         f"dropped, {summary.retries} retries, {summary.faults} fault events",
         f"hops: {summary.hops}",
     ]
+    if summary.corruptions or summary.quarantines or summary.heals:
+        lines.append(
+            f"table corruption: {summary.corruptions} corrupted, "
+            f"{summary.quarantines} quarantined, {summary.heals} healed"
+        )
     if summary.hop_latency_percentiles:
         p = summary.hop_latency_percentiles
         lines.append(

@@ -19,6 +19,12 @@ message's life inside :class:`~repro.simulator.network.Network` or
     free-text detail, and — when the simulator knows it — the failed
     subject (``["link", u, v]`` or ``["node", u]``) so a trace report can
     attribute the drop to the fault window that caused it.
+``corrupt`` / ``quarantine`` / ``heal``
+    The table-corruption lifecycle of one node: its packed routing
+    function was damaged, the damage was detected (the node stops
+    forwarding), and the function was rebuilt pristine from graph+model
+    knowledge.  All three carry the node subject, so corrupt→heal opens a
+    fault-attribution window exactly like link/node down→up.
 
 The simulators take ``tracer=None`` by default and normalise any tracer
 whose ``enabled`` flag is false (e.g. :data:`NULL_TRACER`) to ``None``, so
@@ -53,7 +59,8 @@ class TraceEvent:
     """One moment in a traced run (a span point, JSONL-serialisable)."""
 
     event: str
-    """``inject`` | ``hop`` | ``retry`` | ``fault`` | ``drop`` | ``deliver``."""
+    """``inject`` | ``hop`` | ``retry`` | ``fault`` | ``drop`` | ``deliver``
+    | ``corrupt`` | ``quarantine`` | ``heal``."""
     seq: int = 0
     """Tracer-assigned monotone sequence number (total order of emission)."""
     time: float = 0.0
@@ -231,6 +238,36 @@ class Tracer:
         self._record(
             "deliver", msg_id=msg_id, node=node, time=time, hop=hop,
             attempt=attempt,
+        )
+
+    def corrupt(
+        self, node: int, time: float = 0.0, detail: Optional[str] = None
+    ) -> None:
+        """A node's packed routing function was corrupted."""
+        self._record(
+            "corrupt",
+            node=node,
+            time=time,
+            detail=detail,
+            subject=node_subject(node),
+        )
+
+    def quarantine(
+        self, node: int, time: float = 0.0, detail: Optional[str] = None
+    ) -> None:
+        """Table corruption was detected; the node stops forwarding."""
+        self._record(
+            "quarantine",
+            node=node,
+            time=time,
+            detail=detail,
+            subject=node_subject(node),
+        )
+
+    def heal(self, node: int, time: float = 0.0) -> None:
+        """The node's function was rebuilt pristine (self-heal or re-push)."""
+        self._record(
+            "heal", node=node, time=time, subject=node_subject(node)
         )
 
 

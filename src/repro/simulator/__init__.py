@@ -14,9 +14,12 @@ from repro.simulator.chaos import (
     FaultEvent,
     FaultKind,
     FaultSchedule,
+    MutationKind,
+    TableMutation,
     flapping_links,
     regional_failures,
     renewal_faults,
+    table_corruption,
 )
 from repro.simulator.failures import (
     sample_incident_failures,
@@ -51,9 +54,11 @@ __all__ = [
     "FaultKind",
     "FaultSchedule",
     "Message",
+    "MutationKind",
     "Network",
     "RetryPolicy",
     "RoutingMetrics",
+    "TableMutation",
     "all_to_one",
     "cached_distance_matrix",
     "drop_breakdown",
@@ -69,5 +74,6 @@ __all__ = [
     "sample_node_failures",
     "simulate_dissemination",
     "summarize",
+    "table_corruption",
     "uniform_pairs",
 ]

@@ -29,6 +29,7 @@ from typing import (
     Tuple,
 )
 
+from repro.bitio import BitArray
 from repro.errors import GraphError
 from repro.graphs import LabeledGraph
 
@@ -36,9 +37,12 @@ __all__ = [
     "FaultKind",
     "FaultEvent",
     "FaultSchedule",
+    "MutationKind",
+    "TableMutation",
     "flapping_links",
     "renewal_faults",
     "regional_failures",
+    "table_corruption",
 ]
 
 
@@ -49,12 +53,83 @@ class FaultKind(str, enum.Enum):
     LINK_UP = "link up"
     NODE_DOWN = "node down"
     NODE_UP = "node up"
+    TABLE_CORRUPT = "table corrupt"
+    """The node's packed routing-function bits are overwritten by a
+    :class:`TableMutation` (the node itself stays up)."""
+    TABLE_REPAIR = "table repair"
+    """The node's function is rebuilt pristine from graph+model knowledge."""
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
 
 
 _LINK_KINDS = frozenset({FaultKind.LINK_DOWN, FaultKind.LINK_UP})
+_TABLE_KINDS = frozenset({FaultKind.TABLE_CORRUPT, FaultKind.TABLE_REPAIR})
+
+
+class MutationKind(str, enum.Enum):
+    """How a :class:`TableMutation` damages the packed function bits."""
+
+    BIT_FLIP = "bit flip"
+    BURST = "burst flip"
+    TRUNCATE = "truncate"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class TableMutation:
+    """A deterministic corruption of one packed routing function.
+
+    Offsets are stored unreduced and applied modulo the live table length,
+    so one mutation object is meaningful for any node regardless of how
+    long its encoding happens to be.
+    """
+
+    kind: MutationKind
+    offsets: Tuple[int, ...] = (0,)
+    """Bit positions to flip (BIT_FLIP) or the burst start (BURST);
+    ignored by TRUNCATE."""
+    span: int = 1
+    """Burst length (BURST) or trailing bits dropped (TRUNCATE)."""
+
+    def __post_init__(self) -> None:
+        if not self.offsets:
+            raise GraphError("table mutation needs at least one offset")
+        if any(offset < 0 for offset in self.offsets):
+            raise GraphError(
+                f"mutation offsets must be >= 0, got {self.offsets!r}"
+            )
+        if self.span < 1:
+            raise GraphError(f"mutation span must be >= 1, got {self.span}")
+
+    def apply(self, bits: BitArray) -> BitArray:
+        """The mutated copy of ``bits`` (empty tables pass through)."""
+        n = len(bits)
+        if n == 0:
+            return bits
+        if self.kind is MutationKind.TRUNCATE:
+            return bits[: max(n - self.span, 0)]
+        if self.kind is MutationKind.BIT_FLIP:
+            positions = {offset % n for offset in self.offsets}
+        else:  # BURST
+            start = self.offsets[0] % n
+            positions = set(range(start, min(start + self.span, n)))
+        flipped = list(bits)
+        for position in positions:
+            flipped[position] ^= 1
+        return BitArray(flipped)
+
+    def describe(self) -> str:
+        """Human-readable form for trace details."""
+        if self.kind is MutationKind.TRUNCATE:
+            return f"truncate {self.span} trailing bits"
+        if self.kind is MutationKind.BIT_FLIP:
+            plural = "s" if len(self.offsets) != 1 else ""
+            at = ",".join(str(offset) for offset in self.offsets)
+            return f"flip {len(self.offsets)} bit{plural} at offset{plural} {at}"
+        return f"burst-flip {self.span} bits from offset {self.offsets[0]}"
 
 
 @dataclass(frozen=True)
@@ -64,7 +139,9 @@ class FaultEvent:
     time: float
     kind: FaultKind
     subject: Tuple[int, ...]
-    """``(u, v)`` for link events, ``(node,)`` for node events."""
+    """``(u, v)`` for link events, ``(node,)`` for node/table events."""
+    mutation: Optional[TableMutation] = None
+    """The table damage (TABLE_CORRUPT events only)."""
 
     def __post_init__(self) -> None:
         if self.time < 0:
@@ -74,6 +151,15 @@ class FaultEvent:
             raise GraphError(
                 f"{self.kind.value} event needs {expected} subject node(s), "
                 f"got {self.subject!r}"
+            )
+        if self.kind is FaultKind.TABLE_CORRUPT:
+            if self.mutation is None:
+                raise GraphError(
+                    "table corrupt event needs a TableMutation"
+                )
+        elif self.mutation is not None:
+            raise GraphError(
+                f"{self.kind.value} event cannot carry a mutation"
             )
 
     # -- convenience constructors ------------------------------------------
@@ -97,6 +183,18 @@ class FaultEvent:
     def node_up(cls, time: float, node: int) -> "FaultEvent":
         """Node ``node`` recovers at ``time``."""
         return cls(time, FaultKind.NODE_UP, (node,))
+
+    @classmethod
+    def table_corrupt(
+        cls, time: float, node: int, mutation: TableMutation
+    ) -> "FaultEvent":
+        """Node ``node``'s packed function suffers ``mutation`` at ``time``."""
+        return cls(time, FaultKind.TABLE_CORRUPT, (node,), mutation)
+
+    @classmethod
+    def table_repair(cls, time: float, node: int) -> "FaultEvent":
+        """Node ``node``'s function is rebuilt pristine at ``time``."""
+        return cls(time, FaultKind.TABLE_REPAIR, (node,))
 
     @property
     def link(self) -> Optional[FrozenSet[int]]:
@@ -164,7 +262,8 @@ class FaultSchedule:
     def shifted(self, delta: float) -> "FaultSchedule":
         """The same schedule displaced ``delta`` time units later."""
         return FaultSchedule(
-            FaultEvent(e.time + delta, e.kind, e.subject) for e in self._events
+            FaultEvent(e.time + delta, e.kind, e.subject, e.mutation)
+            for e in self._events
         )
 
     # -- validation and replay ---------------------------------------------
@@ -192,7 +291,8 @@ class FaultSchedule:
         """Replay the schedule: (failed links, failed nodes) at ``time``.
 
         Events stamped exactly ``time`` are considered applied, matching the
-        event engine's fault-before-message tie-break.
+        event engine's fault-before-message tie-break.  Table events do not
+        crash nodes; replay them with :meth:`corrupted_at`.
         """
         links: Set[FrozenSet[int]] = set()
         nodes: Set[int] = set()
@@ -205,9 +305,22 @@ class FaultSchedule:
                 links.discard(frozenset(event.subject))
             elif event.kind is FaultKind.NODE_DOWN:
                 nodes.add(event.subject[0])
-            else:
+            elif event.kind is FaultKind.NODE_UP:
                 nodes.discard(event.subject[0])
+            # TABLE_CORRUPT / TABLE_REPAIR: tracked by corrupted_at.
         return links, nodes
+
+    def corrupted_at(self, time: float) -> Set[int]:
+        """Replay only the table events: corrupt-table nodes at ``time``."""
+        corrupt: Set[int] = set()
+        for event in self._events:
+            if event.time > time:
+                break
+            if event.kind is FaultKind.TABLE_CORRUPT:
+                corrupt.add(event.subject[0])
+            elif event.kind is FaultKind.TABLE_REPAIR:
+                corrupt.discard(event.subject[0])
+        return corrupt
 
 
 # ---------------------------------------------------------------------------
@@ -379,4 +492,79 @@ def regional_failures(
                 continue
             events.append(FaultEvent.node_down(start, node))
             events.append(FaultEvent.node_up(start + duration, node))
+    return FaultSchedule(events)
+
+
+# The offset space mutations draw from; applied modulo the table length,
+# so any value >= the longest encoding is uniform over positions.
+_OFFSET_SPACE = 1 << 24
+
+
+def table_corruption(
+    graph: LabeledGraph,
+    count: int,
+    horizon: float = 100.0,
+    seed: int = 0,
+    kinds: Sequence[MutationKind] = (MutationKind.BIT_FLIP,),
+    flips: int = 1,
+    burst_span: int = 8,
+    truncate_bits: int = 4,
+    repair_delay: Optional[float] = None,
+) -> FaultSchedule:
+    """``count`` distinct nodes suffer one table corruption each.
+
+    Corruption times are uniform in ``[0, horizon)``; each event's
+    :class:`TableMutation` kind is drawn from ``kinds`` with the given
+    parameters (``flips`` independent bit flips, ``burst_span``-bit
+    bursts, ``truncate_bits`` dropped trailing bits).  With
+    ``repair_delay`` set, a blind :attr:`FaultKind.TABLE_REPAIR` (a
+    periodic table re-push, independent of detection) follows each
+    corruption after that delay; leave it ``None`` to let the simulator's
+    detection-triggered self-healer do the repairs instead.
+
+    Seeded and fully deterministic, like every other generator here.
+    """
+    if horizon <= 0:
+        raise GraphError(f"horizon must be positive, got {horizon}")
+    if not kinds:
+        raise GraphError("table corruption needs at least one mutation kind")
+    if flips < 1 or burst_span < 1 or truncate_bits < 1:
+        raise GraphError(
+            f"mutation sizes must be >= 1, got flips={flips}, "
+            f"burst_span={burst_span}, truncate_bits={truncate_bits}"
+        )
+    if repair_delay is not None and repair_delay <= 0:
+        raise GraphError(
+            f"repair delay must be positive, got {repair_delay}"
+        )
+    nodes = list(graph.nodes)
+    if count > len(nodes):
+        raise GraphError(
+            f"cannot corrupt {count} of {len(nodes)} tables"
+        )
+    rng = random.Random(seed)
+    events: List[FaultEvent] = []
+    for node in rng.sample(nodes, count):
+        time = rng.uniform(0.0, horizon)
+        kind = kinds[rng.randrange(len(kinds))]
+        if kind is MutationKind.BIT_FLIP:
+            mutation = TableMutation(
+                kind,
+                offsets=tuple(
+                    rng.randrange(_OFFSET_SPACE) for _ in range(flips)
+                ),
+            )
+        elif kind is MutationKind.BURST:
+            mutation = TableMutation(
+                kind,
+                offsets=(rng.randrange(_OFFSET_SPACE),),
+                span=burst_span,
+            )
+        else:
+            mutation = TableMutation(kind, span=truncate_bits)
+        events.append(FaultEvent.table_corrupt(time, node, mutation))
+        if repair_delay is not None:
+            events.append(
+                FaultEvent.table_repair(time + repair_delay, node)
+            )
     return FaultSchedule(events)

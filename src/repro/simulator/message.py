@@ -35,6 +35,10 @@ class DropReason(str, enum.Enum):
     """A function named a non-adjacent next hop — a scheme bug surfaced."""
     QUEUE_OVERFLOW = "queue overflow"
     """A node's forwarding backlog exceeded its queue capacity."""
+    TABLE_CORRUPT = "table corrupt"
+    """A node's packed routing function failed its integrity check (or a
+    quarantined node was asked to forward); retryable — the self-healer
+    rebuilds the table from graph+model knowledge after the repair delay."""
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value

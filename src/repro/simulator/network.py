@@ -25,14 +25,22 @@ from __future__ import annotations
 import heapq
 import itertools
 import random
-from typing import FrozenSet, Iterable, List, Optional, Set, Tuple, Union
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple, Union
 
+from repro.bitio import BitArray
 from repro.core import HopDecision, RoutingScheme
 from repro.core.detour import DetourFunction
 from repro.core.full_information import FullInformationFunction
-from repro.errors import RoutingError
+from repro.core.scheme import LocalRoutingFunction
+from repro.errors import IntegrityError, ReproError, RoutingError
+from repro.observability.registry import get_registry
 from repro.observability.tracer import Tracer, link_subject, node_subject
-from repro.simulator.chaos import FaultEvent, FaultKind, FaultSchedule
+from repro.simulator.chaos import (
+    FaultEvent,
+    FaultKind,
+    FaultSchedule,
+    TableMutation,
+)
 from repro.simulator.message import DeliveryRecord, DropReason, Message
 from repro.simulator.recovery import RetryPolicy
 
@@ -114,6 +122,17 @@ class Network:
         self._failed_nodes: Set[int] = set(failed_nodes)
         self._counter = itertools.count()
         self._tracer = _live_tracer(tracer)
+        # Table-corruption overlay: the scheme's own cache stays pristine
+        # (it is the graph+model knowledge the self-healer rebuilds from).
+        self._corrupt_tables: Dict[int, BitArray] = {}
+        self._corrupt_functions: Dict[int, LocalRoutingFunction] = {}
+        self._quarantined: Set[int] = set()
+        self._corruption_stats: Dict[str, int] = {
+            "injected": 0,
+            "detected": 0,
+            "undetected": 0,
+            "healed": 0,
+        }
 
     @property
     def scheme(self) -> RoutingScheme:
@@ -154,15 +173,139 @@ class Network:
             self.restore_link(*event.subject)
         elif event.kind is FaultKind.NODE_DOWN:
             self.fail_node(event.subject[0])
-        else:
+        elif event.kind is FaultKind.NODE_UP:
             self.restore_node(event.subject[0])
+        elif event.kind is FaultKind.TABLE_CORRUPT:
+            assert event.mutation is not None  # validated by FaultEvent
+            self.corrupt_table(event.subject[0], event.mutation)
+        else:  # TABLE_REPAIR
+            self.heal_table(event.subject[0])
 
-    def _blocked_neighbors(self, node: int) -> List[int]:
+    # -- table corruption ----------------------------------------------------
+
+    @property
+    def corrupted_nodes(self) -> Set[int]:
+        """Nodes whose packed function bits are currently mutated."""
+        return set(self._corrupt_tables)
+
+    @property
+    def quarantined_nodes(self) -> Set[int]:
+        """Nodes whose corruption was detected: they no longer forward."""
+        return set(self._quarantined)
+
+    def corruption_summary(self) -> Dict[str, int]:
+        """Lifecycle counts: injected / detected / undetected / healed."""
+        return dict(self._corruption_stats)
+
+    def corrupt_table(self, node: int, mutation: TableMutation) -> None:
+        """Overwrite ``node``'s packed function bits with a mutated copy.
+
+        The damage lives in an overlay; the scheme object itself stays
+        pristine, modelling the node's *storage* going bad while the
+        network's graph+model knowledge (the healer's source) survives.
+        """
+        pristine = self._scheme.encode_function(node)
+        self._corrupt_tables[node] = mutation.apply(pristine)
+        self._corrupt_functions.pop(node, None)
+        # Fresh damage supersedes any earlier detection verdict.
+        self._quarantined.discard(node)
+        self._corruption_stats["injected"] += 1
+        get_registry().counter(
+            "repro_table_corruptions_total", kind=mutation.kind.name
+        ).inc()
+        if self._tracer is not None:
+            self._tracer.corrupt(node=node, detail=mutation.describe())
+
+    def heal_table(self, node: int) -> bool:
+        """Rebuild ``node``'s function pristine from graph+model knowledge.
+
+        Returns whether there was anything to heal (corruption or
+        quarantine state cleared).
+        """
+        was_broken = (
+            node in self._corrupt_tables or node in self._quarantined
+        )
+        if not was_broken:
+            return False
+        self._corrupt_tables.pop(node, None)
+        self._corrupt_functions.pop(node, None)
+        self._quarantined.discard(node)
+        self._corruption_stats["healed"] += 1
+        get_registry().counter("repro_table_heals_total").inc()
+        if self._tracer is not None:
+            self._tracer.heal(node=node)
+        return True
+
+    def _detected(self, node: int, why: str) -> IntegrityError:
+        """Quarantine ``node`` after a detection; returns the error to raise."""
+        if node not in self._quarantined:
+            self._quarantined.add(node)
+            self._corruption_stats["detected"] += 1
+            get_registry().counter(
+                "repro_table_corruption_detected_total"
+            ).inc()
+            if self._tracer is not None:
+                self._tracer.quarantine(node=node, detail=why)
+        return IntegrityError(f"node {node}: {why}")
+
+    def _function_for(self, node: int) -> LocalRoutingFunction:
+        """The live function at ``node`` — the corrupted overlay wins.
+
+        Decoding the mutated bits is the detection point: framed schemes
+        raise :class:`IntegrityError` on the checksum, and even unframed
+        schemes detect *structurally* invalid encodings (prefix-code
+        truncation, out-of-range ports).  A mutation that still decodes is
+        an **undetected** corruption — the garbage function is installed
+        and silently misroutes, exactly the failure mode integrity framing
+        exists to close.
+        """
+        if node in self._corrupt_tables:
+            overlay = self._corrupt_functions.get(node)
+            if overlay is None:
+                try:
+                    overlay = self._scheme.decode_function(
+                        node, self._corrupt_tables[node]
+                    )
+                except IntegrityError as exc:
+                    raise self._detected(node, str(exc)) from exc
+                except (ReproError, KeyError, IndexError, TypeError,
+                        ValueError) as exc:
+                    raise self._detected(
+                        node,
+                        f"corrupted table failed to decode "
+                        f"({type(exc).__name__}: {exc})",
+                    ) from exc
+                self._corrupt_functions[node] = overlay
+                self._corruption_stats["undetected"] += 1
+                get_registry().counter(
+                    "repro_table_corruption_undetected_total"
+                ).inc()
+            return overlay
+        return self._scheme.function(node)
+
+    def _valid_forward(self, node: int, next_node: object) -> bool:
+        """Whether a forwarding decision names the node itself or a
+        neighbour — the runtime port check a real router performs."""
+        if not isinstance(next_node, int) or isinstance(next_node, bool):
+            return False
+        if next_node == node:
+            return True
+        return (
+            1 <= next_node <= self._scheme.graph.n
+            and self._scheme.graph.has_edge(node, next_node)
+        )
+
+    def _blocked_neighbors(
+        self, node: int, destination: Optional[int] = None
+    ) -> List[int]:
+        # Quarantined nodes refuse to forward but can still *receive*:
+        # the destination itself is never routed around.
         return [
             nb
             for nb in self._scheme.graph.neighbor_set(node)
             if frozenset((node, nb)) in self._failed
             or nb in self._failed_nodes
+            or (nb in self._quarantined and nb != destination)
         ]
 
     def _choose_hop(self, node: int, message: Message) -> HopDecision:
@@ -172,19 +315,53 @@ class Network:
         stored) and detour wrappers (bounce once to a live neighbour) — are
         told which incident links are unusable; plain single-path functions
         answer from their table alone and may well pick a dead link.
+
+        On a node with a corrupted table, *any* failure of the decoded
+        function — an exception or an invalid port — is runtime detection
+        and raises :class:`IntegrityError` (quarantining the node) instead
+        of surfacing a garbage answer.
         """
-        function = self._scheme.function(node)
-        if self._failed or self._failed_nodes:
-            blocked = self._blocked_neighbors(node)
-            if isinstance(function, FullInformationFunction):
-                return function.next_hop_avoiding(
-                    int(message.address), blocked
-                )
-            if isinstance(function, DetourFunction):
-                return function.next_hop_avoiding(
-                    message.address, blocked, message.state
-                )
-        return function.next_hop(message.address, message.state)
+        function = self._function_for(node)
+        corrupted = node in self._corrupt_tables
+        try:
+            if self._failed or self._failed_nodes or self._quarantined:
+                blocked = self._blocked_neighbors(node, message.destination)
+                if isinstance(function, FullInformationFunction):
+                    decision = function.next_hop_avoiding(
+                        int(message.address), blocked
+                    )
+                elif isinstance(function, DetourFunction):
+                    decision = function.next_hop_avoiding(
+                        message.address, blocked, message.state
+                    )
+                else:
+                    decision = function.next_hop(
+                        message.address, message.state
+                    )
+            else:
+                decision = function.next_hop(message.address, message.state)
+        except RoutingError:
+            if corrupted:
+                raise self._detected(
+                    node, "corrupted table produced a routing failure"
+                ) from None
+            raise
+        except (ReproError, KeyError, IndexError, TypeError,
+                ValueError) as exc:
+            if corrupted:
+                raise self._detected(
+                    node,
+                    f"corrupted table raised "
+                    f"{type(exc).__name__} while routing",
+                ) from exc
+            raise
+        if corrupted and not self._valid_forward(node, decision.next_node):
+            raise self._detected(
+                node,
+                f"corrupted table named invalid next hop "
+                f"{decision.next_node!r}",
+            )
+        return decision
 
     def _walk_drop(
         self,
@@ -230,6 +407,14 @@ class Network:
         limit = self._scheme.hop_limit()
         current = source
         while current != destination:
+            if current in self._quarantined:
+                return self._walk_drop(
+                    message,
+                    current,
+                    DropReason.TABLE_CORRUPT,
+                    f"node {current} is quarantined with a corrupt table",
+                    subject=node_subject(current),
+                )
             if message.hops >= limit:
                 return self._walk_drop(
                     message,
@@ -239,11 +424,28 @@ class Network:
                 )
             try:
                 decision = self._choose_hop(current, message)
+            except IntegrityError as exc:
+                return self._walk_drop(
+                    message,
+                    current,
+                    DropReason.TABLE_CORRUPT,
+                    str(exc),
+                    subject=node_subject(current),
+                )
             except RoutingError as exc:
                 return self._walk_drop(
                     message, current, DropReason.NO_ROUTE, str(exc)
                 )
             next_node = decision.next_node
+            if next_node in self._quarantined and next_node != destination:
+                return self._walk_drop(
+                    message,
+                    current,
+                    DropReason.TABLE_CORRUPT,
+                    f"next hop {next_node} is quarantined with a corrupt "
+                    f"table",
+                    subject=node_subject(next_node),
+                )
             if frozenset((current, next_node)) in self._failed:
                 return self._walk_drop(
                     message,
@@ -307,6 +509,7 @@ _RETRYABLE = frozenset(
         DropReason.HOP_LIMIT,
         DropReason.NO_ROUTE,
         DropReason.QUEUE_OVERFLOW,
+        DropReason.TABLE_CORRUPT,
     }
 )
 
@@ -328,9 +531,20 @@ class EventDrivenSimulator:
     then report the total time including backoff, and ``retries`` counts
     re-transmissions.
 
+    ``TABLE_CORRUPT`` fault events mutate a node's packed routing function
+    in place.  When the damage is *detected* (checksum or structural
+    failure at decode/route time) the node is quarantined, and — with a
+    ``repair_delay`` configured — a self-heal event is scheduled
+    ``repair_delay`` time units after detection, rebuilding the table
+    pristine from the scheme's graph+model knowledge.  The detection
+    latency (corruption time to detection time) lands in the
+    ``repro_corruption_detection_latency`` histogram.
+
     An enabled :class:`~repro.observability.tracer.Tracer` receives
-    inject/hop/retry/fault/drop/deliver span events; ``tracer=None`` (the
-    default) keeps the event loop identical to the untraced engine.
+    inject/hop/retry/fault/drop/deliver span events — plus
+    corrupt/quarantine/heal for the table-corruption lifecycle;
+    ``tracer=None`` (the default) keeps the event loop identical to the
+    untraced engine.
     """
 
     def __init__(
@@ -345,6 +559,7 @@ class EventDrivenSimulator:
         retry_policy: Optional[RetryPolicy] = None,
         retry_seed: int = 0,
         tracer: Optional[Tracer] = None,
+        repair_delay: Optional[float] = None,
     ) -> None:
         if link_latency <= 0:
             raise RoutingError(f"link latency must be positive, got {link_latency}")
@@ -356,6 +571,10 @@ class EventDrivenSimulator:
             raise RoutingError(
                 f"queue capacity must be positive, got {queue_capacity}"
             )
+        if repair_delay is not None and repair_delay <= 0:
+            raise RoutingError(
+                f"repair delay must be positive, got {repair_delay}"
+            )
         self._network = Network(scheme, failed_links, failed_nodes)
         self._scheme = scheme
         self._latency = link_latency
@@ -364,11 +583,14 @@ class EventDrivenSimulator:
         self._schedule = fault_schedule
         self._retry = retry_policy
         self._retry_rng = random.Random(retry_seed)
+        self._repair_delay = repair_delay
         self._queue: List[_Entry] = []
         self._sequence = itertools.count()
         self._records: List[DeliveryRecord] = []
         self._busy_until: dict[int, float] = {}
         self._forward_counts: dict[int, int] = {}
+        self._corrupted_at: Dict[int, float] = {}
+        self._reacted: Set[int] = set()
         self._live_messages = 0
         self._tracer = _live_tracer(tracer)
 
@@ -491,6 +713,70 @@ class EventDrivenSimulator:
             )
         )
 
+    def _apply_timed_fault(self, event: FaultEvent, now: float) -> None:
+        """Apply one scheduled fault, with corruption-lifecycle tracing.
+
+        The internal :class:`Network` is untraced (the engine owns span
+        emission with proper simulated timestamps), so corrupt/heal spans
+        are emitted here and quarantine spans in :meth:`_on_detection`.
+        """
+        tracer = self._tracer
+        if event.kind is FaultKind.TABLE_CORRUPT:
+            node = event.subject[0]
+            self._network.apply_fault(event)
+            self._corrupted_at[node] = now
+            # Fresh damage re-arms detection for this node.
+            self._reacted.discard(node)
+            if tracer is not None:
+                detail = (
+                    event.mutation.describe()
+                    if event.mutation is not None
+                    else None
+                )
+                tracer.corrupt(node=node, time=now, detail=detail)
+            return
+        if event.kind is FaultKind.TABLE_REPAIR:
+            node = event.subject[0]
+            healed = self._network.heal_table(node)
+            self._corrupted_at.pop(node, None)
+            self._reacted.discard(node)
+            if healed and tracer is not None:
+                tracer.heal(node=node, time=now)
+            return
+        if tracer is not None:
+            subject = (
+                link_subject(*event.subject)
+                if len(event.subject) == 2
+                else node_subject(event.subject[0])
+            )
+            tracer.fault(kind=event.kind.value, subject=subject, time=now)
+        self._network.apply_fault(event)
+
+    def _on_detection(self, node: int, now: float) -> None:
+        """React once per corruption episode: record latency, plan the heal."""
+        if node in self._reacted:
+            return
+        self._reacted.add(node)
+        if self._tracer is not None:
+            self._tracer.quarantine(node=node, time=now)
+        corrupted_since = self._corrupted_at.pop(node, None)
+        if corrupted_since is not None:
+            get_registry().histogram(
+                "repro_corruption_detection_latency"
+            ).observe(now - corrupted_since)
+        if self._repair_delay is not None:
+            heal_time = now + self._repair_delay
+            heapq.heappush(
+                self._queue,
+                (
+                    heal_time,
+                    _FAULT_PRIORITY,
+                    next(self._sequence),
+                    FaultEvent.table_repair(heal_time, node),
+                    heal_time,
+                ),
+            )
+
     def run(self) -> List[DeliveryRecord]:
         """Process all events; returns one record per injected message."""
         limit_base = self._scheme.hop_limit()
@@ -512,16 +798,7 @@ class EventDrivenSimulator:
             now, priority, _, payload, injected_at = heapq.heappop(self._queue)
             if priority == _FAULT_PRIORITY:
                 assert isinstance(payload, FaultEvent)
-                if self._tracer is not None:
-                    subject = (
-                        link_subject(*payload.subject)
-                        if len(payload.subject) == 2
-                        else node_subject(payload.subject[0])
-                    )
-                    self._tracer.fault(
-                        kind=payload.kind.value, subject=subject, time=now
-                    )
-                self._network.apply_fault(payload)
+                self._apply_timed_fault(payload, now)
                 continue
             message = payload
             assert isinstance(message, Message)
@@ -555,6 +832,16 @@ class EventDrivenSimulator:
                     subject=node_subject(current),
                 )
                 continue
+            if current in self._network._quarantined:
+                self._finish(
+                    message,
+                    now,
+                    injected_at,
+                    DropReason.TABLE_CORRUPT,
+                    f"node {current} is quarantined with a corrupt table",
+                    subject=node_subject(current),
+                )
+                continue
             if message.hops >= limit_base:
                 self._finish(
                     message,
@@ -566,9 +853,34 @@ class EventDrivenSimulator:
                 continue
             try:
                 decision = self._network._choose_hop(current, message)
+            except IntegrityError as exc:
+                self._on_detection(current, now)
+                self._finish(
+                    message,
+                    now,
+                    injected_at,
+                    DropReason.TABLE_CORRUPT,
+                    str(exc),
+                    subject=node_subject(current),
+                )
+                continue
             except RoutingError as exc:
                 self._finish(
                     message, now, injected_at, DropReason.NO_ROUTE, str(exc)
+                )
+                continue
+            if (
+                decision.next_node in self._network._quarantined
+                and decision.next_node != message.destination
+            ):
+                self._finish(
+                    message,
+                    now,
+                    injected_at,
+                    DropReason.TABLE_CORRUPT,
+                    f"next hop {decision.next_node} is quarantined with a "
+                    f"corrupt table",
+                    subject=node_subject(decision.next_node),
                 )
                 continue
             # A single-path scheme may have chosen a dead link or node:

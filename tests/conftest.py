@@ -1,11 +1,34 @@
-"""Shared fixtures: graphs and models reused across the suite."""
+"""Shared fixtures: graphs and models reused across the suite.
+
+Also registers the hypothesis profiles the fuzz tests run under:
+``dev`` (the default — no deadline, so slow scheme builds never flake)
+and ``ci`` (derandomized with a fixed example budget, selected by
+exporting ``HYPOTHESIS_PROFILE=ci`` in the workflow).
+"""
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.graphs import gnp_random_graph
 from repro.models import Knowledge, Labeling, RoutingModel
+
+settings.register_profile(
+    "dev",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "ci",
+    deadline=None,
+    derandomize=True,
+    max_examples=40,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture(scope="session")

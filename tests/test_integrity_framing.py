@@ -1,0 +1,140 @@
+"""Unit tests for the CRC/parity framing layer (repro.integrity.framing)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bitio import BitArray
+from repro.errors import IntegrityError
+from repro.integrity import (
+    FramingPolicy,
+    frame_bits,
+    unframe_bits,
+    verify_frame,
+)
+
+CHECKED = (FramingPolicy.PARITY, FramingPolicy.CRC8, FramingPolicy.CRC16)
+
+PAYLOADS = [
+    BitArray(()),
+    BitArray((1,)),
+    BitArray((0, 1, 1, 0, 1)),
+    BitArray.from_int(0xDEADBEEF, 32),
+    BitArray([i % 3 == 0 for i in range(97)]),
+]
+
+
+@pytest.mark.parametrize("policy", list(FramingPolicy))
+@pytest.mark.parametrize("payload", PAYLOADS, ids=lambda p: f"len{len(p)}")
+def test_round_trip(policy, payload):
+    framed = frame_bits(payload, policy)
+    assert len(framed) == len(payload) + policy.overhead_bits
+    assert unframe_bits(framed, policy) == payload
+    assert verify_frame(framed, policy)
+
+
+def test_overhead_bits_values():
+    assert FramingPolicy.NONE.overhead_bits == 0
+    assert FramingPolicy.PARITY.overhead_bits == 1
+    assert FramingPolicy.CRC8.overhead_bits == 8
+    assert FramingPolicy.CRC16.overhead_bits == 16
+
+
+def test_none_policy_is_identity():
+    payload = BitArray((1, 0, 1, 1))
+    assert frame_bits(payload, FramingPolicy.NONE) == payload
+    assert unframe_bits(payload, FramingPolicy.NONE) == payload
+
+
+@pytest.mark.parametrize("policy", CHECKED)
+@pytest.mark.parametrize("payload", PAYLOADS[1:], ids=lambda p: f"len{len(p)}")
+def test_every_single_bit_flip_is_detected(policy, payload):
+    # Exhaustive over every position of payload AND checksum: parity and
+    # both CRCs (polynomials with more than one term) detect all
+    # single-bit errors, the acceptance guarantee of the framing layer.
+    framed = frame_bits(payload, policy)
+    for position in range(len(framed)):
+        flipped = list(framed)
+        flipped[position] ^= 1
+        mutated = BitArray(flipped)
+        assert not verify_frame(mutated, policy)
+        with pytest.raises(IntegrityError):
+            unframe_bits(mutated, policy, node=7)
+
+
+@pytest.mark.parametrize("policy", (FramingPolicy.CRC8, FramingPolicy.CRC16))
+def test_truncation_detection_rate(policy):
+    # Truncating c trailing bits evades the checksum with probability
+    # ~2^-c (the lost bits must be consistent with the shifted register),
+    # so assert rates over many payload/cut pairs, not any single case:
+    # overall well above the default TRUNCATE span's ~94%, and perfect in
+    # this sample for deep cuts.
+    rng = __import__("random").Random(17)
+    shallow = []
+    deep = []
+    for _ in range(50):
+        payload = BitArray([rng.randrange(2) for _ in range(48)])
+        framed = frame_bits(payload, policy)
+        for cut in range(1, 17):
+            caught = not verify_frame(framed[: len(framed) - cut], policy)
+            (shallow if cut < 8 else deep).append(caught)
+    # Expected shallow rate is the mean of 1 - 2^-c over c in 1..7,
+    # about 0.86; assert with slack for sampling noise.
+    assert sum(shallow) / len(shallow) >= 0.75
+    assert sum(deep) / len(deep) >= 0.99
+
+
+@pytest.mark.parametrize("policy", (FramingPolicy.CRC8, FramingPolicy.CRC16))
+def test_all_zero_table_truncation_is_detected(policy):
+    # The all-ones register init exists for exactly this case: an init-0
+    # CRC of an all-zero payload is zero at every length, so truncating
+    # an all-zero framed table would verify at *any* cut depth.
+    payload = BitArray([0] * 40)
+    framed = frame_bits(payload, policy)
+    caught = [
+        not verify_frame(framed[: len(framed) - cut], policy)
+        for cut in range(3, len(payload))
+    ]
+    assert all(caught)
+
+
+@pytest.mark.parametrize("policy", CHECKED)
+def test_frame_shorter_than_checksum_is_detected(policy):
+    short = BitArray([1] * (policy.overhead_bits - 1))
+    assert not verify_frame(short, policy)
+    with pytest.raises(IntegrityError):
+        unframe_bits(short, policy)
+
+
+@pytest.mark.parametrize(
+    "policy,span",
+    [(FramingPolicy.CRC8, 8), (FramingPolicy.CRC16, 16)],
+)
+def test_crc_detects_bursts_up_to_its_width(policy, span):
+    payload = BitArray([i % 5 == 1 for i in range(64)])
+    framed = frame_bits(payload, policy)
+    for length in range(1, span + 1):
+        for start in range(len(framed) - length + 1):
+            flipped = list(framed)
+            for position in range(start, start + length):
+                flipped[position] ^= 1
+            assert not verify_frame(BitArray(flipped), policy)
+
+
+def test_parity_misses_even_weight_errors():
+    # The documented limitation that motivates the CRC policies.
+    payload = BitArray([1, 0, 1, 1, 0, 0, 1, 0])
+    framed = frame_bits(payload, FramingPolicy.PARITY)
+    flipped = list(framed)
+    flipped[0] ^= 1
+    flipped[3] ^= 1
+    assert verify_frame(BitArray(flipped), FramingPolicy.PARITY)
+
+
+def test_integrity_error_names_the_node():
+    payload = BitArray((1, 0, 1, 1, 0, 1, 0, 0, 1))
+    framed = frame_bits(payload, FramingPolicy.CRC8)
+    flipped = list(framed)
+    flipped[2] ^= 1
+    with pytest.raises(IntegrityError, match="node 42"):
+        unframe_bits(BitArray(flipped), FramingPolicy.CRC8, node=42)

@@ -98,7 +98,7 @@ def test_r002_accepts_chain_with_default_or_full_coverage():
         """
         def bucket(reason):
             if reason in (DropReason.LINK_DOWN, DropReason.NODE_DOWN,
-                          DropReason.ENDPOINT_DOWN):
+                          DropReason.ENDPOINT_DOWN, DropReason.TABLE_CORRUPT):
                 return "fault"
             elif reason in (DropReason.HOP_LIMIT, DropReason.NO_ROUTE,
                             DropReason.INVALID_FORWARD,
@@ -107,6 +107,27 @@ def test_r002_accepts_chain_with_default_or_full_coverage():
         """,
     )
     assert complete == []
+
+
+def test_r002_flags_dispatch_missing_table_corrupt():
+    # Seeded violation for the corruption drop reason specifically: a chain
+    # covering every *other* member must be flagged, and the finding must
+    # name the missing TABLE_CORRUPT member.
+    findings = findings_for(
+        "R002",
+        """
+        def bucket(reason):
+            if reason in (DropReason.LINK_DOWN, DropReason.NODE_DOWN,
+                          DropReason.ENDPOINT_DOWN):
+                return "fault"
+            elif reason in (DropReason.HOP_LIMIT, DropReason.NO_ROUTE,
+                            DropReason.INVALID_FORWARD,
+                            DropReason.QUEUE_OVERFLOW):
+                return "routing"
+        """,
+    )
+    assert len(findings) == 1
+    assert "TABLE_CORRUPT" in findings[0].message
 
 
 def test_r002_single_membership_test_is_not_a_dispatch():

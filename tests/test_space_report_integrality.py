@@ -12,6 +12,7 @@ import pytest
 
 from repro.core import available_schemes, build_scheme
 from repro.graphs import gnp_random_graph, path_graph
+from repro.integrity import FramingPolicy, IntegrityWrapper
 from repro.models import Knowledge, Labeling, RoutingModel
 
 # One certified dense graph for the diameter-2 constructions, a chain for
@@ -51,18 +52,43 @@ def test_space_report_is_integral_and_additive(scheme_name):
     scheme = build_scheme(scheme_name, graph, MODELS[scheme_name])
     report = scheme.space_report()
 
+    _assert_integral_and_additive(scheme_name, graph, report)
+
+
+@pytest.mark.parametrize(
+    "policy",
+    [FramingPolicy.PARITY, FramingPolicy.CRC8, FramingPolicy.CRC16],
+    ids=lambda p: p.value,
+)
+def test_framed_space_report_is_integral_and_additive(policy):
+    # The integrity charge rides the same exactness contract: an integer
+    # number of checksum bits per node, additively on its own line.
+    scheme = IntegrityWrapper(
+        build_scheme("full-table", GRAPH, MODELS["full-table"]), policy
+    )
+    report = scheme.space_report()
+    _assert_integral_and_additive(scheme.scheme_name, GRAPH, report)
+    for entry in report.per_node:
+        assert entry.integrity_bits == policy.overhead_bits
+    assert report.integrity_bits == GRAPH.n * policy.overhead_bits
+
+
+def _assert_integral_and_additive(scheme_name, graph, report):
     # Every per-node charge is a genuine int.
     assert len(report.per_node) == graph.n
     for entry in report.per_node:
         assert exact_int(entry.routing_bits), (scheme_name, entry)
         assert exact_int(entry.label_bits), (scheme_name, entry)
         assert exact_int(entry.aux_bits), (scheme_name, entry)
+        assert exact_int(entry.integrity_bits), (scheme_name, entry)
         assert exact_int(entry.total), (scheme_name, entry)
         assert entry.routing_bits >= 0
         assert entry.label_bits >= 0
         assert entry.aux_bits >= 0
+        assert entry.integrity_bits >= 0
         assert entry.total == (
             entry.routing_bits + entry.label_bits + entry.aux_bits
+            + entry.integrity_bits
         )
 
     # Report totals are ints and exactly additive across nodes.
@@ -70,12 +96,17 @@ def test_space_report_is_integral_and_additive(scheme_name):
     assert exact_int(report.routing_bits)
     assert exact_int(report.label_bits)
     assert exact_int(report.aux_bits)
+    assert exact_int(report.integrity_bits)
     assert exact_int(report.max_node_bits)
     assert report.total_bits == sum(e.total for e in report.per_node)
     assert report.routing_bits == sum(e.routing_bits for e in report.per_node)
     assert report.label_bits == sum(e.label_bits for e in report.per_node)
     assert report.aux_bits == sum(e.aux_bits for e in report.per_node)
+    assert report.integrity_bits == sum(
+        e.integrity_bits for e in report.per_node
+    )
     assert report.total_bits == (
         report.routing_bits + report.label_bits + report.aux_bits
+        + report.integrity_bits
     )
     assert report.max_node_bits == max(e.total for e in report.per_node)
