@@ -21,7 +21,7 @@ from dataclasses import dataclass
 
 from repro.core import build_scheme
 from repro.errors import AnalysisError, SchemeBuildError
-from repro.graphs import gnp_random_graph
+from repro.graphs import get_context, gnp_random_graph
 from repro.models import Knowledge, Labeling, RoutingModel
 
 __all__ = ["Corollary1Estimate", "corollary1_average"]
@@ -74,14 +74,20 @@ def corollary1_average(
             f"corollary1|{scheme_name}|{n}|{seed}|{i}".encode()
         ) & 0x7FFFFFFF
         graph = gnp_random_graph(n, seed=graph_seed)
+        # One context per sample: when the compact construction refuses,
+        # the full-table fallback reuses whatever the failed attempt
+        # already derived (degree statistics, partial distance work).
+        ctx = get_context(graph)
         try:
-            scheme = build_scheme(scheme_name, graph, model, **scheme_params)
+            scheme = build_scheme(
+                scheme_name, graph, model, ctx=ctx, **scheme_params
+            )
             bits = scheme.space_report().total_bits
             compact_totals.append(bits)
         except SchemeBuildError:
             # The paper: "The trivial upper bound ... O(n² log n) for
             # shortest path routing on all graphs" covers the sliver.
-            fallback = build_scheme("full-table", graph, _FALLBACK_MODEL)
+            fallback = build_scheme("full-table", graph, _FALLBACK_MODEL, ctx=ctx)
             bits = fallback.space_report().total_bits
             fallback_total += bits
             fallback_count += 1

@@ -13,7 +13,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.core import build_scheme, verify_scheme
 from repro.errors import ModelError, SchemeBuildError
-from repro.graphs import LabeledGraph
+from repro.graphs import LabeledGraph, get_context
 from repro.models import Knowledge, Labeling, RoutingModel
 
 __all__ = ["ComparisonRow", "compare_schemes", "format_comparison", "DEFAULT_MENU"]
@@ -53,11 +53,17 @@ def compare_schemes(
     sample_pairs: Optional[int] = 400,
     seed: int = 0,
 ) -> List[ComparisonRow]:
-    """Build and verify every scheme in the menu on one graph."""
+    """Build and verify every scheme in the menu on one graph.
+
+    All ten builds and verifications share one :class:`GraphContext`:
+    the distance matrix, port table and degree statistics are derived
+    once for the whole menu, not once per scheme.
+    """
+    ctx = get_context(graph)
     rows = []
     for name, model in menu:
         try:
-            scheme = build_scheme(name, graph, model)
+            scheme = build_scheme(name, graph, model, ctx=ctx)
         except (SchemeBuildError, ModelError) as exc:
             rows.append(
                 ComparisonRow(

@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.core import build_scheme, verify_scheme
 from repro.errors import SchemeBuildError
-from repro.graphs import gnp_random_graph
+from repro.graphs import get_context, gnp_random_graph
 from repro.models import RoutingModel
 
 __all__ = ["SweepPoint", "SweepSummary", "run_size_sweep", "mean_total_bits",
@@ -100,7 +100,14 @@ def _build_on_random_graph(scheme_name, model, n, seed, scheme_params, retries=2
         ) & 0x7FFFFFFF
         graph = gnp_random_graph(n, seed=graph_seed)
         try:
-            return graph, build_scheme(scheme_name, graph, model, **scheme_params)
+            # One explicit context per sample: the build and the verify
+            # pass that follows share its distance matrix, and redraws of
+            # out-of-class samples never pollute a kept graph's cache.
+            scheme = build_scheme(
+                scheme_name, graph, model, ctx=get_context(graph),
+                **scheme_params,
+            )
+            return graph, scheme
         except SchemeBuildError as exc:
             last_error = exc
     raise SchemeBuildError(

@@ -5,7 +5,8 @@ paper's bookkeeping depends on: integral bit accounting (R001), an
 exhaustive drop taxonomy (R002), the nullable-tracer idiom in hot paths
 (R003), seeded explicit RNGs (R004), the full :class:`RoutingScheme`
 contract (R005), no swallowed failures (R006), a typed public API (R007),
-and no mutable defaults (R008).
+no mutable defaults (R008), and context-routed graph derivations
+(R009).
 
 Run it as ``repro lint src`` (or ``python -m repro.cli lint src``); see
 ``docs/STATIC_ANALYSIS.md`` for the rule catalogue and suppression

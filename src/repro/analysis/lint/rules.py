@@ -1,4 +1,4 @@
-"""The repo-specific rules (R001–R008).
+"""The repo-specific rules (R001–R009).
 
 Each rule encodes an invariant the paper's bookkeeping or the simulator's
 design depends on; ``rationale`` strings say which.  Rules are pure AST
@@ -32,6 +32,7 @@ __all__ = [
     "NoSilentExceptRule",
     "PublicAnnotationsRule",
     "NoMutableDefaultRule",
+    "ContextRoutedDerivationsRule",
 ]
 
 
@@ -346,6 +347,7 @@ _SPAN_METHODS = frozenset(
         "corrupt",
         "quarantine",
         "heal",
+        "ctx",
     }
 )
 
@@ -851,3 +853,52 @@ class NoMutableDefaultRule(LintRule):
                         f"mutable default argument in {node.name}; use "
                         f"`None` and construct per call",
                     )
+
+
+# -- R009 ---------------------------------------------------------------------
+
+_RAW_DERIVATIONS = frozenset({"distance_matrix", "_bfs_tree"})
+
+
+@register_rule
+class ContextRoutedDerivationsRule(LintRule):
+    """Derived graph computations go through the shared GraphContext."""
+
+    rule_id = "R009"
+    name = "context-routed-derivations"
+    severity = Severity.ERROR
+    description = (
+        "outside `repro.graphs`, no direct `distance_matrix(...)` or "
+        "`_bfs_tree(...)` calls; derive through a `GraphContext` "
+        "(`ctx.distances()`, `ctx.bfs_tree(root)`) so the result is "
+        "memoized once per graph"
+    )
+    rationale = (
+        "The GraphContext refactor made the distance matrix a "
+        "compute-once-per-graph quantity; a raw call reintroduces an "
+        "O(n·m) BFS sweep per call site and splits the corruption "
+        "self-healer from its single pristine source. Deliberate "
+        "cache-bypass measurements carry a line suppression."
+    )
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        if context.in_package("repro.graphs"):
+            return
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if isinstance(node.func, ast.Name):
+                callee = node.func.id
+            elif isinstance(node.func, ast.Attribute):
+                callee = node.func.attr
+            else:
+                continue
+            if callee in _RAW_DERIVATIONS:
+                yield self.finding(
+                    context,
+                    node,
+                    f"direct `{callee}(...)` call outside `repro.graphs`; "
+                    f"go through the shared context "
+                    f"(`get_context(graph)` / `scheme.ctx`) so the "
+                    f"derivation is computed once per graph",
+                )

@@ -37,7 +37,7 @@ Commands
     Summarize a ``--trace-out`` JSONL file: hot nodes, hop latency
     percentiles, and fault-window attribution of every drop.
 ``lint [PATH ...]``
-    Run the repo-specific AST linter (rules R001–R008: bit-accounting
+    Run the repo-specific AST linter (rules R001–R009: bit-accounting
     integrality, DropReason exhaustiveness, tracer guards, seeded RNGs,
     scheme contract, exception hygiene, public annotations, mutable
     defaults) and exit non-zero on findings.  ``--list-rules`` prints the
@@ -402,7 +402,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     lint = sub.add_parser(
         "lint",
-        help="run the repo-specific AST linter (rules R001-R008) over "
+        help="run the repo-specific AST linter (rules R001-R009) over "
              "source paths",
     )
     lint.add_argument(

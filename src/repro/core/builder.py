@@ -9,8 +9,10 @@ from __future__ import annotations
 
 from typing import Callable, Dict
 
+from typing import Optional
+
 from repro.errors import SchemeBuildError
-from repro.graphs import LabeledGraph
+from repro.graphs import GraphContext, LabeledGraph, get_context
 from repro.models import RoutingModel
 from repro.observability import profile_section
 from repro.core.centers import CenterScheme
@@ -51,9 +53,19 @@ def available_schemes() -> tuple[str, ...]:
 
 
 def build_scheme(
-    name: str, graph: LabeledGraph, model: RoutingModel, **params
+    name: str,
+    graph: LabeledGraph,
+    model: RoutingModel,
+    ctx: Optional[GraphContext] = None,
+    **params,
 ) -> RoutingScheme:
     """Build the named scheme for a graph under a model.
+
+    ``ctx`` is the shared :class:`~repro.graphs.context.GraphContext`; by
+    default the process-wide context of ``graph`` is used, so successive
+    builds (and the verifier and simulator after them) reuse one set of
+    derivations.  Pass an explicit context to pin several stages of a
+    pipeline to the same instance.
 
     Raises :class:`~repro.errors.SchemeBuildError` for unknown names and
     propagates the scheme's own model/topology errors.
@@ -64,5 +76,7 @@ def build_scheme(
         raise SchemeBuildError(
             f"unknown scheme {name!r}; available: {', '.join(available_schemes())}"
         ) from exc
+    if ctx is None:
+        ctx = get_context(graph)
     with profile_section(f"build.{name}"):
-        return builder(graph, model, **params)
+        return builder(graph, model, ctx=ctx, **params)

@@ -13,11 +13,11 @@ only possible value strictly between 1 and 2 on a diameter-2 graph.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Hashable, Tuple
+from typing import Any, Dict, Hashable, Optional, Tuple
 
 from repro.bitio import BitArray, BitReader, BitWriter
 from repro.errors import RoutingError, SchemeBuildError
-from repro.graphs import LabeledGraph
+from repro.graphs import GraphContext, LabeledGraph
 from repro.models import RoutingModel, minimal_label_bits
 from repro.observability import profile_section
 from repro.core.scheme import HopDecision, LocalRoutingFunction, RoutingScheme
@@ -60,11 +60,12 @@ class CenterScheme(RoutingScheme):
         graph: LabeledGraph,
         model: RoutingModel,
         anchor: int = 1,
+        ctx: Optional[GraphContext] = None,
     ) -> None:
-        super().__init__(graph, model)
+        super().__init__(graph, model, ctx=ctx)
         model.require(neighbors_known=True)
         # Centres reuse the Theorem 1 construction for their own functions.
-        self._inner = TwoLevelScheme(graph, model)
+        self._inner = TwoLevelScheme(graph, model, ctx=self._ctx)
         cover = self._inner.covering_sequence_of(anchor)
         self._centers = frozenset({anchor} | set(cover))
         self._relay_center: Dict[int, int] = {}

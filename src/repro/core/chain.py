@@ -21,7 +21,7 @@ from typing import Any, Dict, Hashable, List, Optional, Tuple
 
 from repro.bitio import BitArray, BitReader, BitWriter
 from repro.errors import RoutingError, SchemeBuildError
-from repro.graphs import LabeledGraph
+from repro.graphs import GraphContext, LabeledGraph
 from repro.models import RoutingModel
 from repro.core.scheme import HopDecision, LocalRoutingFunction, RoutingScheme
 
@@ -102,8 +102,13 @@ class ChainComparisonScheme(RoutingScheme):
 
     scheme_name = "chain-comparison"
 
-    def __init__(self, graph: LabeledGraph, model: RoutingModel) -> None:
-        super().__init__(graph, model)
+    def __init__(
+        self,
+        graph: LabeledGraph,
+        model: RoutingModel,
+        ctx: Optional[GraphContext] = None,
+    ) -> None:
+        super().__init__(graph, model, ctx=ctx)
         model.require(relabeling=True)
         order = chain_order(graph)
         self._position: Dict[int, int] = {

@@ -128,7 +128,7 @@ class DetourWrapper(RoutingScheme):
             raise SchemeBuildError(
                 f"max_bounces must be >= 1, got {max_bounces}"
             )
-        super().__init__(inner.graph, inner.model)
+        super().__init__(inner.graph, inner.model, ctx=inner.ctx)
         self._inner = inner
         self._max_bounces = max_bounces
         self.scheme_name = f"detour({inner.scheme_name})"

@@ -11,13 +11,13 @@ bits are necessary on random graphs (see
 
 from __future__ import annotations
 
-from typing import Any, Dict, Hashable, Iterable, Tuple
+from typing import Any, Dict, Hashable, Iterable, Optional, Tuple
 
 import numpy as np
 
 from repro.bitio import BitArray, BitReader, BitWriter
 from repro.errors import RoutingError, SchemeBuildError
-from repro.graphs import LabeledGraph, distance_matrix
+from repro.graphs import GraphContext, LabeledGraph
 from repro.models import RoutingModel
 from repro.core.scheme import HopDecision, LocalRoutingFunction, RoutingScheme
 
@@ -71,9 +71,14 @@ class FullInformationScheme(RoutingScheme):
 
     scheme_name = "full-information"
 
-    def __init__(self, graph: LabeledGraph, model: RoutingModel) -> None:
-        super().__init__(graph, model)
-        self._dist = distance_matrix(graph)
+    def __init__(
+        self,
+        graph: LabeledGraph,
+        model: RoutingModel,
+        ctx: Optional[GraphContext] = None,
+    ) -> None:
+        super().__init__(graph, model, ctx=ctx)
+        self._dist = self._ctx.distances()
         if (self._dist < 0).any():
             raise SchemeBuildError(
                 "full-information scheme requires a connected graph"

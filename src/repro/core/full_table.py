@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.bitio import BitArray, BitReader, BitWriter
 from repro.errors import RoutingError, SchemeBuildError
-from repro.graphs import LabeledGraph, PortAssignment, distance_matrix
+from repro.graphs import GraphContext, LabeledGraph, PortAssignment
 from repro.models import RoutingModel
 from repro.observability import profile_section
 from repro.core.scheme import HopDecision, LocalRoutingFunction, RoutingScheme
@@ -58,16 +58,17 @@ class FullTableScheme(RoutingScheme):
         graph: LabeledGraph,
         model: RoutingModel,
         ports: Optional[PortAssignment] = None,
+        ctx: Optional[GraphContext] = None,
     ) -> None:
-        super().__init__(graph, model)
+        super().__init__(graph, model, ctx=ctx)
         if ports is None:
-            ports = PortAssignment.identity(graph)
+            ports = self._ctx.port_table()
         if model.ports_reassignable and not ports.is_identity():
             # A model-IB strategy would always normalise its ports first.
-            ports = PortAssignment.identity(graph)
+            ports = self._ctx.port_table()
         self._ports = ports
         with profile_section("build.full-table.distances"):
-            self._dist = distance_matrix(graph)
+            self._dist = self._ctx.distances()
         if (self._dist < 0).any():
             raise SchemeBuildError("full-table scheme requires a connected graph")
         with profile_section("build.full-table.tables"):

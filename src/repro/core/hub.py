@@ -13,11 +13,11 @@ climbs to the hub (≤ 2 hops) and descends a shortest path (2 hops): at most
 
 from __future__ import annotations
 
-from typing import Any, Dict, Hashable, Tuple
+from typing import Any, Dict, Hashable, Optional, Tuple
 
 from repro.bitio import BitArray, BitReader, BitWriter
 from repro.errors import RoutingError, SchemeBuildError
-from repro.graphs import LabeledGraph
+from repro.graphs import GraphContext, LabeledGraph
 from repro.models import RoutingModel
 from repro.observability import profile_section
 from repro.core.scheme import HopDecision, LocalRoutingFunction, RoutingScheme
@@ -61,12 +61,16 @@ class HubScheme(RoutingScheme):
     scheme_name = "thm4-hub"
 
     def __init__(
-        self, graph: LabeledGraph, model: RoutingModel, hub: int = 1
+        self,
+        graph: LabeledGraph,
+        model: RoutingModel,
+        hub: int = 1,
+        ctx: Optional[GraphContext] = None,
     ) -> None:
-        super().__init__(graph, model)
+        super().__init__(graph, model, ctx=ctx)
         model.require(neighbors_known=True)
         self._hub = hub
-        self._inner = TwoLevelScheme(graph, model)
+        self._inner = TwoLevelScheme(graph, model, ctx=self._ctx)
         hub_adjacent = graph.neighbor_set(hub)
         self._hub_index: Dict[int, int] = {}
         with profile_section("build.thm4-hub.hub-index"):

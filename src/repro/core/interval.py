@@ -18,7 +18,7 @@ from typing import Any, Dict, Hashable, List, Optional, Tuple
 
 from repro.bitio import BitArray, BitReader, BitWriter
 from repro.errors import RoutingError, SchemeBuildError
-from repro.graphs import LabeledGraph
+from repro.graphs import GraphContext, LabeledGraph
 from repro.models import RoutingModel, minimal_label_bits
 from repro.observability import profile_section
 from repro.core.scheme import HopDecision, LocalRoutingFunction, RoutingScheme
@@ -62,9 +62,13 @@ class IntervalRoutingScheme(RoutingScheme):
     scheme_name = "interval"
 
     def __init__(
-        self, graph: LabeledGraph, model: RoutingModel, root: int = 1
+        self,
+        graph: LabeledGraph,
+        model: RoutingModel,
+        root: int = 1,
+        ctx: Optional[GraphContext] = None,
     ) -> None:
-        super().__init__(graph, model)
+        super().__init__(graph, model, ctx=ctx)
         model.require(relabeling=True)
         if not graph.is_connected():
             raise SchemeBuildError("interval routing requires a connected graph")

@@ -24,7 +24,7 @@ from typing import Any, Dict, Hashable, List, Optional, Tuple
 
 from repro.bitio import BitArray, BitReader, BitWriter
 from repro.errors import RoutingError, SchemeBuildError
-from repro.graphs import LabeledGraph, PortAssignment
+from repro.graphs import GraphContext, LabeledGraph, PortAssignment
 from repro.models import RoutingModel, minimal_label_bits
 from repro.core.full_table import FullTableScheme
 from repro.core.scheme import HopDecision, LocalRoutingFunction, RoutingScheme
@@ -113,10 +113,11 @@ class MultiIntervalScheme(RoutingScheme):
         graph: LabeledGraph,
         model: RoutingModel,
         ports: Optional[PortAssignment] = None,
+        ctx: Optional[GraphContext] = None,
     ) -> None:
-        super().__init__(graph, model)
+        super().__init__(graph, model, ctx=ctx)
         # Reuse the full-table construction for the next-hop decisions.
-        self._table = FullTableScheme(graph, model, ports=ports)
+        self._table = FullTableScheme(graph, model, ports=ports, ctx=self._ctx)
         self._ports = self._table.port_assignment
         self._port_intervals: Dict[int, Dict[int, List[Interval]]] = {}
         for u in graph.nodes:

@@ -17,11 +17,11 @@ is the ``(1 + (c+3) log n) log n`` bits of each label:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Hashable, Tuple
+from typing import Any, Hashable, Optional, Tuple
 
 from repro.bitio import BitArray, BitReader, BitWriter
 from repro.errors import GraphError, RoutingError, SchemeBuildError
-from repro.graphs import LabeledGraph, covering_sequence
+from repro.graphs import GraphContext, LabeledGraph, covering_sequence
 from repro.models import RoutingModel, minimal_label_bits
 from repro.core.scheme import HopDecision, LocalRoutingFunction, RoutingScheme
 
@@ -69,8 +69,13 @@ class NeighborLabelScheme(RoutingScheme):
 
     scheme_name = "thm2-neighbor-labels"
 
-    def __init__(self, graph: LabeledGraph, model: RoutingModel) -> None:
-        super().__init__(graph, model)
+    def __init__(
+        self,
+        graph: LabeledGraph,
+        model: RoutingModel,
+        ctx: Optional[GraphContext] = None,
+    ) -> None:
+        super().__init__(graph, model, ctx=ctx)
         model.require(neighbors_known=True, relabeling=True)
         if not model.labels_charged:
             raise SchemeBuildError(

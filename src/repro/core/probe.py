@@ -16,11 +16,11 @@ space stays O(1) per node.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Hashable, Tuple
+from typing import Any, Hashable, Optional, Tuple
 
 from repro.bitio import BitArray, BitReader, BitWriter
-from repro.errors import RoutingError
-from repro.graphs import LabeledGraph
+from repro.errors import RoutingError, SchemeBuildError
+from repro.graphs import GraphContext, LabeledGraph
 from repro.models import RoutingModel
 from repro.core.scheme import HopDecision, LocalRoutingFunction, RoutingScheme
 
@@ -93,15 +93,18 @@ class ProbeScheme(RoutingScheme):
 
     scheme_name = "thm5-probe"
 
-    def __init__(self, graph: LabeledGraph, model: RoutingModel) -> None:
-        super().__init__(graph, model)
+    def __init__(
+        self,
+        graph: LabeledGraph,
+        model: RoutingModel,
+        ctx: Optional[GraphContext] = None,
+    ) -> None:
+        super().__init__(graph, model, ctx=ctx)
         model.require(neighbors_known=True)
-        from repro.errors import SchemeBuildError
-        from repro.graphs import distance_matrix
         from repro.observability import profile_section
 
         with profile_section("build.thm5-probe.distance-check"):
-            diameter_ok = not (distance_matrix(graph, max_distance=2) < 0).any()
+            diameter_ok = not (self._ctx.distances(max_distance=2) < 0).any()
         if not diameter_ok:
             raise SchemeBuildError(
                 "Theorem 5 probing delivers only when every pair is within "

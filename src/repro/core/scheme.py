@@ -15,7 +15,7 @@ from typing import Any, Dict, Hashable, Optional
 
 from repro.bitio import BitArray
 from repro.errors import RoutingError
-from repro.graphs import LabeledGraph
+from repro.graphs import GraphContext, LabeledGraph, get_context
 from repro.models import NodeSpace, RoutingModel, SpaceReport
 
 __all__ = ["HopDecision", "LocalRoutingFunction", "RoutingScheme", "StaticFunction"]
@@ -60,9 +60,15 @@ class RoutingScheme(abc.ABC):
 
     scheme_name: str = "abstract"
 
-    def __init__(self, graph: LabeledGraph, model: RoutingModel) -> None:
+    def __init__(
+        self,
+        graph: LabeledGraph,
+        model: RoutingModel,
+        ctx: Optional[GraphContext] = None,
+    ) -> None:
         self._graph = graph
         self._model = model
+        self._ctx = ctx if ctx is not None else get_context(graph)
         self._function_cache: Dict[int, LocalRoutingFunction] = {}
 
     # -- identity ------------------------------------------------------------
@@ -76,6 +82,17 @@ class RoutingScheme(abc.ABC):
     def model(self) -> RoutingModel:
         """The model the scheme was built (and is charged) under."""
         return self._model
+
+    @property
+    def ctx(self) -> GraphContext:
+        """The shared derived-computation context of :attr:`graph`.
+
+        Builders pull distances, BFS trees, port tables and degree
+        statistics from here instead of recomputing them; composite
+        schemes hand the same context to their inner schemes so one
+        pipeline derives each object exactly once.
+        """
+        return self._ctx
 
     # -- addressing ----------------------------------------------------------
 

@@ -23,11 +23,11 @@ stretch; benches report it next to the paper's diameter-2 menu.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Hashable, List, Tuple
+from typing import Any, Dict, Hashable, List, Optional, Tuple
 
 from repro.bitio import BitArray, BitReader, BitWriter
 from repro.errors import RoutingError, SchemeBuildError
-from repro.graphs import LabeledGraph
+from repro.graphs import GraphContext, LabeledGraph
 from repro.models import RoutingModel, minimal_label_bits
 from repro.core.interval import IntervalRoutingScheme
 from repro.core.scheme import HopDecision, LocalRoutingFunction, RoutingScheme
@@ -103,8 +103,9 @@ class TreeCoverScheme(RoutingScheme):
         graph: LabeledGraph,
         model: RoutingModel,
         num_trees: int = 3,
+        ctx: Optional[GraphContext] = None,
     ) -> None:
-        super().__init__(graph, model)
+        super().__init__(graph, model, ctx=ctx)
         model.require(relabeling=True)
         if not model.labels_charged:
             raise SchemeBuildError(
@@ -119,7 +120,7 @@ class TreeCoverScheme(RoutingScheme):
         # Reuse interval routing per tree; roots spread deterministically.
         inner_model = model
         self._trees = [
-            IntervalRoutingScheme(graph, inner_model, root=root)
+            IntervalRoutingScheme(graph, inner_model, root=root, ctx=self._ctx)
             for root in self._roots
         ]
         self._addresses: Dict[int, TreeCoverAddress] = {

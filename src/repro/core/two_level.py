@@ -23,11 +23,11 @@ interconnection vector per node and fixes the identity port convention
 from __future__ import annotations
 
 import math
-from typing import Any, Dict, Hashable, List, Tuple
+from typing import Any, Dict, Hashable, List, Optional, Tuple
 
 from repro.bitio import BitArray, BitReader, BitWriter
 from repro.errors import GraphError, RoutingError, SchemeBuildError
-from repro.graphs import LabeledGraph, covering_sequence
+from repro.graphs import GraphContext, LabeledGraph, covering_sequence
 from repro.models import RoutingModel
 from repro.observability import profile_section
 from repro.core.scheme import HopDecision, LocalRoutingFunction, RoutingScheme
@@ -94,8 +94,9 @@ class TwoLevelScheme(RoutingScheme):
         model: RoutingModel,
         strategy: str = "least",
         split_rule: str = "log",
+        ctx: Optional[GraphContext] = None,
     ) -> None:
-        super().__init__(graph, model)
+        super().__init__(graph, model, ctx=ctx)
         if not (model.neighbors_known or model.ports_reassignable):
             raise SchemeBuildError(
                 f"Theorem 1 requires model IB or II, got {model}"

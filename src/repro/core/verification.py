@@ -15,7 +15,6 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from repro.errors import RoutingError
-from repro.graphs import distance_matrix
 from repro.core.scheme import RoutingScheme
 
 __all__ = [
@@ -120,7 +119,7 @@ def verify_full_information_resilience(
     from repro.errors import RoutingError as _RoutingError
 
     graph = scheme.graph
-    dist = distance_matrix(graph)
+    dist = scheme.ctx.distances()
     nodes = list(graph.nodes)
     if sample_nodes is not None and sample_nodes < len(nodes):
         rng = random.Random(seed)
@@ -166,7 +165,7 @@ def verify_scheme(
     ``n(n-1)`` ordered pairs.
     """
     graph = scheme.graph
-    dist = distance_matrix(graph)
+    dist = scheme.ctx.distances()
     bound = scheme.stretch_bound()
     pairs = [
         (s, t)

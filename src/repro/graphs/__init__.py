@@ -12,9 +12,18 @@ The package implements the paper's network model from scratch:
   lower-bound family, and deterministic test families;
 * :mod:`~repro.graphs.properties` — the structural consequences of
   randomness (Lemmas 1–3, Claim 1);
-* :mod:`~repro.graphs.randomness` — per-instance certification.
+* :mod:`~repro.graphs.randomness` — per-instance certification;
+* :mod:`~repro.graphs.context` — the shared per-graph memoisation layer
+  (:class:`~repro.graphs.context.GraphContext`) every downstream consumer
+  pulls derived objects from.
 """
 
+from repro.graphs.context import (
+    GraphContext,
+    clear_context_cache,
+    get_context,
+    structural_fingerprint,
+)
 from repro.graphs.encoding import (
     decode_graph,
     edge_code_length,
@@ -62,11 +71,13 @@ from repro.graphs.randomness import (
 
 __all__ = [
     "DegreeStatistics",
+    "GraphContext",
     "LabeledGraph",
     "PortAssignment",
     "RandomnessCertificate",
     "certify_random_graph",
     "claim1_remainders",
+    "clear_context_cache",
     "common_neighbors",
     "min_common_neighbors",
     "complete_graph",
@@ -81,6 +92,7 @@ __all__ = [
     "edge_code_length",
     "edge_index",
     "encode_graph",
+    "get_context",
     "gnp_random_graph",
     "grid_graph",
     "index_to_edge",
@@ -96,5 +108,6 @@ __all__ = [
     "random_tree",
     "randomness_deficiency",
     "star_graph",
+    "structural_fingerprint",
     "torus_graph",
 ]

@@ -17,7 +17,7 @@ from typing import Optional, Tuple
 
 from repro.bitio import BitArray, BitReader, BitWriter
 from repro.errors import CodecError
-from repro.graphs import LabeledGraph, distance_matrix
+from repro.graphs import LabeledGraph, get_context
 from repro.models import minimal_label_bits
 from repro.incompressibility.framework import GraphCodec
 
@@ -26,7 +26,7 @@ __all__ = ["Lemma2Codec", "find_distant_pair"]
 
 def find_distant_pair(graph: LabeledGraph) -> Optional[Tuple[int, int]]:
     """The least pair ``u < v`` at distance > 2 (or unreachable), if any."""
-    dist = distance_matrix(graph, max_distance=2)
+    dist = get_context(graph).distances(max_distance=2)
     n = graph.n
     for u in range(1, n + 1):
         for v in range(u + 1, n + 1):

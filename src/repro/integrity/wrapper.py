@@ -38,7 +38,7 @@ class IntegrityWrapper(RoutingScheme):
         inner: RoutingScheme,
         policy: FramingPolicy = FramingPolicy.CRC8,
     ) -> None:
-        super().__init__(inner.graph, inner.model)
+        super().__init__(inner.graph, inner.model, ctx=inner.ctx)
         self._inner = inner
         self._policy = policy
         self.scheme_name = f"integrity-{policy.value}({inner.scheme_name})"

@@ -19,7 +19,7 @@ single inner node's routing function.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Hashable, Sequence, Tuple
+from typing import Any, Dict, Hashable, Optional, Sequence, Tuple
 
 from repro.bitio import (
     BitArray,
@@ -31,7 +31,9 @@ from repro.bitio import (
 )
 from repro.errors import GraphError, RoutingError, SchemeBuildError
 from repro.graphs import (
+    GraphContext,
     LabeledGraph,
+    get_context,
     lower_bound_graph,
     lower_bound_graph_variant,
 )
@@ -124,8 +126,9 @@ class ExplicitLowerBoundScheme(RoutingScheme):
         model: RoutingModel,
         k: int | None = None,
         inner_count: int | None = None,
+        ctx: Optional[GraphContext] = None,
     ) -> None:
-        super().__init__(graph, model)
+        super().__init__(graph, model, ctx=ctx)
         model.require(relabeling=False)  # Theorem 9 lives in model α
         if k is None:
             if graph.n % 3:
@@ -312,9 +315,7 @@ def detour_stretch(k: int, inner: int = 1, wrong_offset: int = 1) -> float:
     if wrong_middle > 2 * k:
         raise GraphError("wrong_offset exceeds the middle layer")
     # Best path from the wrong middle onwards (breadth-first search).
-    from repro.graphs import distance_matrix
-
-    dist = distance_matrix(graph)
+    dist = get_context(graph).distances()
     detour = 1 + int(dist[wrong_middle - 1, outer - 1])
     shortest = int(dist[inner - 1, outer - 1])
     return detour / shortest

@@ -25,6 +25,12 @@ message's life inside :class:`~repro.simulator.network.Network` or
     forwarding), and the function was rebuilt pristine from graph+model
     knowledge.  All three carry the node subject, so corrupt→heal opens a
     fault-attribution window exactly like link/node down→up.
+``ctx``
+    The shared :class:`~repro.graphs.context.GraphContext` computed a
+    fresh derivation (``detail`` names the kind, e.g. ``distances``) or
+    was explicitly invalidated.  Cache *hits* are deliberately not traced
+    — they are counted in the metrics registry — so a trace shows exactly
+    the work that was actually performed.
 
 The simulators take ``tracer=None`` by default and normalise any tracer
 whose ``enabled`` flag is false (e.g. :data:`NULL_TRACER`) to ``None``, so
@@ -60,7 +66,7 @@ class TraceEvent:
 
     event: str
     """``inject`` | ``hop`` | ``retry`` | ``fault`` | ``drop`` | ``deliver``
-    | ``corrupt`` | ``quarantine`` | ``heal``."""
+    | ``corrupt`` | ``quarantine`` | ``heal`` | ``ctx``."""
     seq: int = 0
     """Tracer-assigned monotone sequence number (total order of emission)."""
     time: float = 0.0
@@ -268,6 +274,19 @@ class Tracer:
         """The node's function was rebuilt pristine (self-heal or re-push)."""
         self._record(
             "heal", node=node, time=time, subject=node_subject(node)
+        )
+
+    def ctx(
+        self,
+        kind: str,
+        op: str,
+        time: float = 0.0,
+        duration: Optional[float] = None,
+    ) -> None:
+        """The graph context computed (``op="miss"``) or dropped
+        (``op="invalidate"``) the derivation named by ``kind``."""
+        self._record(
+            "ctx", reason=op, detail=kind, time=time, duration=duration
         )
 
 

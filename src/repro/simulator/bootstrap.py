@@ -20,7 +20,6 @@ from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from repro.errors import GraphError, RoutingError
-from repro.graphs import LabeledGraph
 from repro.core.scheme import RoutingScheme
 
 __all__ = ["BootstrapResult", "simulate_dissemination"]
@@ -50,23 +49,6 @@ class BootstrapResult:
         return sum(self.install_times.values()) / len(self.install_times)
 
 
-def _bfs_tree(graph: LabeledGraph, root: int) -> Dict[int, int]:
-    """Parent pointers of a BFS tree (parent[root] = root)."""
-    parent = {root: root}
-    frontier = [root]
-    while frontier:
-        next_frontier = []
-        for u in frontier:
-            for v in graph.neighbors(u):
-                if v not in parent:
-                    parent[v] = u
-                    next_frontier.append(v)
-        frontier = next_frontier
-    if len(parent) != graph.n:
-        raise GraphError("dissemination requires a connected graph")
-    return parent
-
-
 def simulate_dissemination(
     scheme: RoutingScheme,
     root: int = 1,
@@ -83,7 +65,11 @@ def simulate_dissemination(
     if link_rate_bits <= 0:
         raise RoutingError(f"link rate must be positive, got {link_rate_bits}")
     graph = scheme.graph
-    parent = _bfs_tree(graph, root)
+    # The dissemination tree comes from the shared context (the verifier
+    # and the builders have usually rooted the same BFS already).
+    parent = scheme.ctx.bfs_tree(root)
+    if len(parent) != graph.n:
+        raise GraphError("dissemination requires a connected graph")
 
     def path_to(v: int) -> List[Tuple[int, int]]:
         hops = []

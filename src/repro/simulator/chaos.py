@@ -31,7 +31,7 @@ from typing import (
 
 from repro.bitio import BitArray
 from repro.errors import GraphError
-from repro.graphs import LabeledGraph
+from repro.graphs import LabeledGraph, get_context
 
 __all__ = [
     "FaultKind",
@@ -444,18 +444,13 @@ def renewal_faults(
 
 
 def _ball(graph: LabeledGraph, center: int, radius: int) -> Set[int]:
-    """Nodes within hop distance ``radius`` of ``center`` (BFS)."""
-    seen = {center}
-    frontier = [center]
-    for _ in range(radius):
-        nxt: List[int] = []
-        for u in frontier:
-            for v in graph.neighbor_set(u):
-                if v not in seen:
-                    seen.add(v)
-                    nxt.append(v)
-        frontier = nxt
-    return seen
+    """Nodes within hop distance ``radius`` of ``center``.
+
+    Served by the shared :class:`~repro.graphs.context.GraphContext`, so
+    several regions (or repeated schedules on one graph) reuse one BFS
+    per epicentre.
+    """
+    return get_context(graph).ball(center, radius)
 
 
 def regional_failures(

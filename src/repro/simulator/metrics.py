@@ -9,13 +9,12 @@ breakdown of everything that did not arrive.
 from __future__ import annotations
 
 import math
-from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
-from repro.graphs import LabeledGraph, distance_matrix
+from repro.graphs import LabeledGraph, get_context
 from repro.observability.registry import get_registry
 from repro.simulator.message import DeliveryRecord, DropReason
 
@@ -27,32 +26,21 @@ __all__ = [
     "summarize",
 ]
 
-# Resilience sweeps call summarize() once per (scheme, churn level) on the
-# *same* graph; recomputing the O(n·m) all-pairs matrix each time dominated
-# their runtime.  A small strong-ref LRU keyed on object identity memoises
-# it (LabeledGraph is immutable and uses __slots__ without __weakref__, so
-# identity + a strong ref — which pins the id — is the safe key).
-_DIST_CACHE: "OrderedDict[int, Tuple[LabeledGraph, np.ndarray]]" = OrderedDict()
-_DIST_CACHE_SIZE = 8
-
 
 def cached_distance_matrix(graph: LabeledGraph) -> np.ndarray:
-    """All-pairs distances of ``graph``, memoised on graph identity."""
-    key = id(graph)
-    hit = _DIST_CACHE.get(key)
-    if hit is not None and hit[0] is graph:
-        _DIST_CACHE.move_to_end(key)
-        get_registry().counter("repro_distance_cache_total", op="hit").inc()
-        return hit[1]
-    get_registry().counter("repro_distance_cache_total", op="miss").inc()
-    dist = distance_matrix(graph)
-    _DIST_CACHE[key] = (graph, dist)
-    while len(_DIST_CACHE) > _DIST_CACHE_SIZE:
-        _DIST_CACHE.popitem(last=False)
-        get_registry().counter(
-            "repro_distance_cache_total", op="eviction"
-        ).inc()
-    return dist
+    """All-pairs distances of ``graph``, memoised in its shared context.
+
+    Deprecated shim: the simulator's private LRU was unified into
+    :class:`~repro.graphs.context.GraphContext`, so this now returns the
+    *same* ndarray object the builders and the verifier use.  The legacy
+    ``repro_distance_cache_total`` hit/miss counters are still published
+    for dashboards; evictions happen at the context-store level and are
+    counted as ``repro_graph_ctx_store_total{op="eviction"}``.
+    """
+    ctx = get_context(graph)
+    op = "hit" if ctx.has_cached_distances else "miss"
+    get_registry().counter("repro_distance_cache_total", op=op).inc()
+    return ctx.distances()
 
 
 @dataclass(frozen=True)

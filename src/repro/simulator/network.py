@@ -122,10 +122,15 @@ class Network:
         self._failed_nodes: Set[int] = set(failed_nodes)
         self._counter = itertools.count()
         self._tracer = _live_tracer(tracer)
-        # Table-corruption overlay: the scheme's own cache stays pristine
-        # (it is the graph+model knowledge the self-healer rebuilds from).
+        # The graph's shared context is the healer's knowledge source: it
+        # memoises each node's pristine serialised function, so repeat
+        # corruptions and heals of one node encode it exactly once.
+        self._ctx = scheme.ctx
+        self._ctx.set_tracer(self._tracer)
+        # Table-corruption overlay: the scheme object itself stays pristine.
         self._corrupt_tables: Dict[int, BitArray] = {}
         self._corrupt_functions: Dict[int, LocalRoutingFunction] = {}
+        self._healed_functions: Dict[int, LocalRoutingFunction] = {}
         self._quarantined: Set[int] = set()
         self._corruption_stats: Dict[str, int] = {
             "injected": 0,
@@ -202,11 +207,13 @@ class Network:
 
         The damage lives in an overlay; the scheme object itself stays
         pristine, modelling the node's *storage* going bad while the
-        network's graph+model knowledge (the healer's source) survives.
+        network's graph+model knowledge (the shared context, the healer's
+        source) survives.
         """
-        pristine = self._scheme.encode_function(node)
+        pristine = self._ctx.pristine_bits(self._scheme, node)
         self._corrupt_tables[node] = mutation.apply(pristine)
         self._corrupt_functions.pop(node, None)
+        self._healed_functions.pop(node, None)
         # Fresh damage supersedes any earlier detection verdict.
         self._quarantined.discard(node)
         self._corruption_stats["injected"] += 1
@@ -219,8 +226,11 @@ class Network:
     def heal_table(self, node: int) -> bool:
         """Rebuild ``node``'s function pristine from graph+model knowledge.
 
-        Returns whether there was anything to heal (corruption or
-        quarantine state cleared).
+        The replacement function is decoded from the context's memoised
+        pristine bits — the same serialised knowledge the corruption step
+        snapshotted — so healing is an explicit re-install, not a silent
+        fallback onto the scheme's in-memory cache.  Returns whether there
+        was anything to heal (corruption or quarantine state cleared).
         """
         was_broken = (
             node in self._corrupt_tables or node in self._quarantined
@@ -230,6 +240,9 @@ class Network:
         self._corrupt_tables.pop(node, None)
         self._corrupt_functions.pop(node, None)
         self._quarantined.discard(node)
+        self._healed_functions[node] = self._scheme.decode_function(
+            node, self._ctx.pristine_bits(self._scheme, node)
+        )
         self._corruption_stats["healed"] += 1
         get_registry().counter("repro_table_heals_total").inc()
         if self._tracer is not None:
@@ -281,6 +294,9 @@ class Network:
                     "repro_table_corruption_undetected_total"
                 ).inc()
             return overlay
+        healed = self._healed_functions.get(node)
+        if healed is not None:
+            return healed
         return self._scheme.function(node)
 
     def _valid_forward(self, node: int, next_node: object) -> bool:

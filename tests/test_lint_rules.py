@@ -1,4 +1,4 @@
-"""One positive and one negative fixture per lint rule (R001–R008)."""
+"""One positive and one negative fixture per lint rule (R001–R009)."""
 
 from __future__ import annotations
 
@@ -472,5 +472,50 @@ def test_r008_accepts_none_and_immutable_defaults():
         def f(items=None, pair=(), name="x", count=0):
             return items or []
         """,
+    )
+    assert findings == []
+
+
+# -- R009: derived computations go through the GraphContext -------------------
+
+
+def test_r009_flags_raw_derivation_calls_outside_graphs():
+    findings = findings_for(
+        "R009",
+        """
+        from repro.graphs import distance_matrix
+
+        def eccentricities(graph):
+            dist = distance_matrix(graph)
+            tree = bootstrap._bfs_tree(graph, 1)
+            return dist.max(axis=1), tree
+        """,
+        module="repro.simulator.fixture",
+    )
+    assert [f.line for f in findings] == [5, 6]
+    assert all(f.rule_id == "R009" for f in findings)
+    assert "once per graph" in findings[0].message
+
+
+def test_r009_allows_context_accessors_and_graphs_internals():
+    findings = findings_for(
+        "R009",
+        """
+        def eccentricities(graph):
+            ctx = get_context(graph)
+            return ctx.distances().max(axis=1), ctx.bfs_tree(1)
+        """,
+        module="repro.simulator.fixture",
+    )
+    assert findings == []
+
+    # Inside the graphs package the raw call IS the implementation.
+    findings = findings_for(
+        "R009",
+        """
+        def helper(graph):
+            return distance_matrix(graph)
+        """,
+        module="repro.graphs.properties",
     )
     assert findings == []

@@ -1,9 +1,10 @@
 """Tests for metrics-layer observability: cache counters, timestamps.
 
-Covers the distance-cache hit/miss/eviction instrumentation (including the
-id-keyed LRU eviction regression path), the registry counters fed by
-``summarize``, and the repaired ``mean_time_to_delivery`` computed from
-record timestamps instead of the ``mean_latency`` alias.
+Covers the ``cached_distance_matrix`` shim over the shared
+:class:`~repro.graphs.context.GraphContext` (legacy hit/miss counters,
+identity with the context's matrix, store-level eviction), the registry
+counters fed by ``summarize``, and the repaired ``mean_time_to_delivery``
+computed from record timestamps instead of the ``mean_latency`` alias.
 """
 
 from __future__ import annotations
@@ -13,7 +14,13 @@ import math
 import numpy as np
 import pytest
 
-from repro.graphs import gnp_random_graph, path_graph
+from repro.graphs import (
+    clear_context_cache,
+    get_context,
+    gnp_random_graph,
+    path_graph,
+)
+from repro.graphs.context import context_cache_size
 from repro.models import Knowledge, Labeling, RoutingModel
 from repro.core import build_scheme
 from repro.observability import MetricsRegistry, set_registry
@@ -25,7 +32,6 @@ from repro.simulator import (
     flapping_links,
     summarize,
 )
-import repro.simulator.metrics as metrics_mod
 
 
 @pytest.fixture
@@ -38,9 +44,9 @@ def registry():
 
 @pytest.fixture
 def clear_cache():
-    metrics_mod._DIST_CACHE.clear()
+    clear_context_cache()
     yield
-    metrics_mod._DIST_CACHE.clear()
+    clear_context_cache()
 
 
 def _cache_count(registry, op):
@@ -58,18 +64,33 @@ class TestDistanceCacheCounters:
         assert _cache_count(registry, "hit") == 1
         assert _cache_count(registry, "miss") == 1
 
-    def test_lru_eviction_of_oldest_entry(self, registry, clear_cache):
-        """Regression: the id-keyed LRU evicts oldest-first and a re-query
-        of the evicted graph is a miss that recomputes, never a stale hit."""
-        size = metrics_mod._DIST_CACHE_SIZE
+    def test_shim_returns_the_context_matrix(self, registry, clear_cache):
+        """Unified caches: simulator and context hold the same ndarray."""
+        graph = gnp_random_graph(12, seed=4)
+        via_shim = cached_distance_matrix(graph)
+        via_context = get_context(graph).distances()
+        assert via_shim is via_context
+
+    def test_context_first_makes_the_shim_hit(self, registry, clear_cache):
+        """Work done by a builder (via the context) is a shim hit — the
+        exact cross-layer reuse the unification buys."""
+        graph = gnp_random_graph(12, seed=5)
+        get_context(graph).distances()
+        cached_distance_matrix(graph)
+        assert _cache_count(registry, "hit") == 1
+        assert _cache_count(registry, "miss") == 0
+
+    def test_store_eviction_recomputes_afresh(self, registry, clear_cache):
+        """Evicted graphs recompute the same values, never a stale hit."""
+        size = context_cache_size()
         # Hold strong references so no id is ever reused across graphs.
         graphs = [gnp_random_graph(10, seed=s) for s in range(size + 2)]
         matrices = [cached_distance_matrix(g) for g in graphs]
-        assert _cache_count(registry, "eviction") == 2
-        assert len(metrics_mod._DIST_CACHE) == size
-        # The two oldest graphs were evicted; the newest still hits.
-        assert id(graphs[0]) not in metrics_mod._DIST_CACHE
-        assert id(graphs[1]) not in metrics_mod._DIST_CACHE
+        evictions = registry.counter(
+            "repro_graph_ctx_store_total", op="eviction"
+        ).value
+        assert evictions == 2
+        # The newest graph still hits its live context.
         hits_before = _cache_count(registry, "hit")
         assert cached_distance_matrix(graphs[-1]) is matrices[-1]
         assert _cache_count(registry, "hit") == hits_before + 1
@@ -78,21 +99,6 @@ class TestDistanceCacheCounters:
         assert recomputed is not matrices[0]
         np.testing.assert_array_equal(recomputed, matrices[0])
         assert _cache_count(registry, "miss") == size + 3
-
-    def test_lru_move_to_end_protects_recent_entries(
-        self, registry, clear_cache
-    ):
-        size = metrics_mod._DIST_CACHE_SIZE
-        graphs = [gnp_random_graph(10, seed=s) for s in range(size)]
-        for graph in graphs:
-            cached_distance_matrix(graph)
-        # Touch the oldest entry, then insert one more: the second-oldest
-        # (not the touched one) must be the eviction victim.
-        cached_distance_matrix(graphs[0])
-        newcomer = gnp_random_graph(10, seed=99)
-        cached_distance_matrix(newcomer)
-        assert id(graphs[0]) in metrics_mod._DIST_CACHE
-        assert id(graphs[1]) not in metrics_mod._DIST_CACHE
 
 
 class TestSummarizeCounters:

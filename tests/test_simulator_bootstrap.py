@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import types
+
 import pytest
 
 from repro.core import build_scheme
@@ -56,12 +58,16 @@ class TestMechanics:
         assert result.total_bit_hops == result.total_payload_bits - own
 
     def test_disconnected_dissemination_rejected(self, model_ii_alpha):
-        """A scheme whose graph is disconnected can't even be built here,
-        so exercise the tree builder directly."""
-        from repro.simulator.bootstrap import _bfs_tree
+        """The context's BFS tree covers only the reachable component; the
+        dissemination entry point must turn that into a GraphError."""
+        from repro.graphs import get_context
 
+        graph = LabeledGraph(4, [(1, 2)])
+        assert len(get_context(graph).bfs_tree(1)) == 2
+
+        stub = types.SimpleNamespace(graph=graph, ctx=get_context(graph))
         with pytest.raises(GraphError):
-            _bfs_tree(LabeledGraph(4, [(1, 2)]), root=1)
+            simulate_dissemination(stub, root=1)
 
     def test_bad_rate_rejected(self, model_ia_alpha):
         scheme = build_scheme("full-table", path_graph(3), model_ia_alpha)
