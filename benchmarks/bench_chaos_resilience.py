@@ -29,7 +29,7 @@ import random
 import sys
 
 from repro.core import DetourWrapper, build_scheme
-from repro.graphs import gnp_random_graph
+from repro.graphs import get_context, gnp_random_graph
 from repro.models import Knowledge, Labeling, RoutingModel
 from repro.simulator import (
     EventDrivenSimulator,
@@ -67,9 +67,13 @@ def measure(n=N, messages=MESSAGES, churn_levels=CHURN_LEVELS):
     schedule, so every scheme sees the identical failure trajectory.
     """
     graph = gnp_random_graph(n, seed=83)
-    full = build_scheme("full-information", graph, II_ALPHA)
-    interval = build_scheme("interval", graph, II_BETA)
-    hub = build_scheme("thm4-hub", graph, II_ALPHA)
+    # One shared context across the build->simulate sweep: distances, BFS
+    # trees and port tables are derived once and reused by all three
+    # builders and the metrics stretch computation.
+    ctx = get_context(graph)
+    full = build_scheme("full-information", graph, II_ALPHA, ctx=ctx)
+    interval = build_scheme("interval", graph, II_BETA, ctx=ctx)
+    hub = build_scheme("thm4-hub", graph, II_ALPHA, ctx=ctx)
     detour = DetourWrapper(interval)
     pairs = uniform_pairs(graph, messages, seed=1)
     clock = random.Random(5)

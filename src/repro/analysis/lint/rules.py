@@ -181,84 +181,128 @@ class BitIntegerArithmeticRule(LintRule):
 
 # -- R002 ---------------------------------------------------------------------
 
-_DROP_REASON_FALLBACK: FrozenSet[str] = frozenset(
-    {
-        "ENDPOINT_DOWN",
-        "LINK_DOWN",
-        "NODE_DOWN",
-        "HOP_LIMIT",
-        "NO_ROUTE",
-        "INVALID_FORWARD",
-        "QUEUE_OVERFLOW",
-        "TABLE_CORRUPT",
-    }
-)
+# The closed vocabularies the simulator dispatches over, with the frozen
+# member sets used when the package cannot be imported (lint outside the
+# repo tree).  The live import keeps the rule current as PRs grow a
+# taxonomy; the fallback is refreshed whenever a member is added.
+_TAXONOMY_SOURCES: dict = {
+    "DropReason": "repro.simulator.message",
+    "FaultKind": "repro.simulator.chaos",
+    "MutationKind": "repro.simulator.chaos",
+    "TopologyMutationKind": "repro.simulator.churn",
+}
+_TAXONOMY_FALLBACKS: dict = {
+    "DropReason": frozenset(
+        {
+            "ENDPOINT_DOWN",
+            "LINK_DOWN",
+            "NODE_DOWN",
+            "HOP_LIMIT",
+            "NO_ROUTE",
+            "INVALID_FORWARD",
+            "QUEUE_OVERFLOW",
+            "TABLE_CORRUPT",
+            "ROUTING_LOOP",
+        }
+    ),
+    "FaultKind": frozenset(
+        {
+            "LINK_DOWN",
+            "LINK_UP",
+            "NODE_DOWN",
+            "NODE_UP",
+            "TABLE_CORRUPT",
+            "TABLE_REPAIR",
+        }
+    ),
+    "MutationKind": frozenset({"BIT_FLIP", "BURST", "TRUNCATE"}),
+    "TopologyMutationKind": frozenset(
+        {"EDGE_ADD", "EDGE_REMOVE", "NODE_LEAVE", "NODE_JOIN"}
+    ),
+}
+
+# Back-compat alias (pre-generalisation name, still used by older configs).
+_DROP_REASON_FALLBACK: FrozenSet[str] = _TAXONOMY_FALLBACKS["DropReason"]
 
 
-def _drop_reason_members() -> FrozenSet[str]:
-    """Live member set of the taxonomy (kept current as PRs grow it)."""
+def _taxonomy_members(enum_name: str) -> FrozenSet[str]:
+    """Live member set of one taxonomy (kept current as PRs grow it)."""
+    import importlib
+
     try:
-        from repro.simulator.message import DropReason
+        module = importlib.import_module(_TAXONOMY_SOURCES[enum_name])
+        enum_cls = getattr(module, enum_name)
     except Exception:  # pragma: no cover - lint outside the repo tree
-        return _DROP_REASON_FALLBACK
-    return frozenset(member.name for member in DropReason)
+        return _TAXONOMY_FALLBACKS[enum_name]
+    return frozenset(member.name for member in enum_cls)
 
 
-def _drop_reason_member(node: ast.AST) -> Optional[str]:
-    """``DropReason.X`` -> ``"X"``."""
+def _taxonomy_member(node: ast.AST) -> Optional[Tuple[str, str]]:
+    """``<Taxonomy>.X`` -> ``("<Taxonomy>", "X")`` for known taxonomies."""
     if (
         isinstance(node, ast.Attribute)
         and isinstance(node.value, ast.Name)
-        and node.value.id == "DropReason"
+        and node.value.id in _TAXONOMY_SOURCES
     ):
-        return node.attr
+        return node.value.id, node.attr
     return None
 
 
-def _branch_members(test: ast.expr) -> Optional[Tuple[Optional[str], FrozenSet[str]]]:
-    """Decode one branch test into (subject, DropReason members), if it is one.
+def _branch_members(
+    test: ast.expr,
+) -> Optional[Tuple[Optional[str], str, FrozenSet[str]]]:
+    """Decode one branch test into (subject, taxonomy, members), if it is one.
 
-    Handles ``x == DropReason.M``, ``DropReason.M == x``, and
-    ``x in (DropReason.A, DropReason.B)``.
+    Handles ``x == Enum.M``, ``Enum.M == x``, ``x is Enum.M`` and
+    ``x in (Enum.A, Enum.B)`` for every registered taxonomy.
     """
     if not (isinstance(test, ast.Compare) and len(test.ops) == 1):
         return None
     left, op, right = test.left, test.ops[0], test.comparators[0]
-    if isinstance(op, ast.Eq):
-        member = _drop_reason_member(right)
-        if member is not None:
-            return _dotted_name(left), frozenset({member})
-        member = _drop_reason_member(left)
-        if member is not None:
-            return _dotted_name(right), frozenset({member})
+    if isinstance(op, (ast.Eq, ast.Is)):
+        decoded = _taxonomy_member(right)
+        if decoded is not None:
+            return _dotted_name(left), decoded[0], frozenset({decoded[1]})
+        decoded = _taxonomy_member(left)
+        if decoded is not None:
+            return _dotted_name(right), decoded[0], frozenset({decoded[1]})
         return None
     if isinstance(op, ast.In) and isinstance(right, (ast.Tuple, ast.Set, ast.List)):
-        members = [_drop_reason_member(elt) for elt in right.elts]
-        if members and all(member is not None for member in members):
-            return _dotted_name(left), frozenset(members)  # type: ignore[arg-type]
+        decoded_members = [_taxonomy_member(elt) for elt in right.elts]
+        if decoded_members and all(d is not None for d in decoded_members):
+            enums = {d[0] for d in decoded_members}  # type: ignore[index]
+            if len(enums) != 1:
+                return None  # mixed taxonomies: not a dispatch branch
+            return (
+                _dotted_name(left),
+                next(iter(enums)),
+                frozenset(d[1] for d in decoded_members),  # type: ignore[misc]
+            )
     return None
 
 
 @register_rule
 class DropReasonExhaustiveRule(LintRule):
-    """Dispatches over the drop taxonomy must cover every member."""
+    """Dispatches over the simulator's closed taxonomies must cover every
+    member (DropReason, FaultKind, MutationKind, TopologyMutationKind)."""
 
     rule_id = "R002"
     name = "dropreason-exhaustive"
     severity = Severity.ERROR
     description = (
-        "`if`/`elif` chains and `match` statements branching on "
-        "`DropReason` must handle every member or end in an explicit "
-        "default branch"
+        "`if`/`elif` chains and `match` statements branching on a closed "
+        "taxonomy (`DropReason`, `FaultKind`, `MutationKind`, "
+        "`TopologyMutationKind`) must handle every member or end in an "
+        "explicit default branch"
     )
     rationale = (
-        "The drop taxonomy grows PR over PR (QUEUE_OVERFLOW arrived after "
-        "the first five); a dispatch that silently ignores a new member "
-        "mis-buckets drops and skews every resilience experiment."
+        "The taxonomies grow PR over PR (QUEUE_OVERFLOW arrived after the "
+        "first five drop reasons, ROUTING_LOOP with churn); a dispatch "
+        "that silently ignores a new member mis-buckets events and skews "
+        "every resilience experiment."
     )
 
     def check(self, context: ModuleContext) -> Iterator[Finding]:
-        members = _drop_reason_members()
         elif_children: Set[int] = set()
         for node in ast.walk(context.tree):
             if isinstance(node, ast.If):
@@ -266,23 +310,25 @@ class DropReasonExhaustiveRule(LintRule):
                     elif_children.add(id(node.orelse[0]))
         for node in ast.walk(context.tree):
             if isinstance(node, ast.If) and id(node) not in elif_children:
-                yield from self._check_chain(context, node, members)
+                yield from self._check_chain(context, node)
             elif isinstance(node, ast.Match):
-                yield from self._check_match(context, node, members)
+                yield from self._check_match(context, node)
 
     def _check_chain(
-        self, context: ModuleContext, head: ast.If, members: FrozenSet[str]
+        self, context: ModuleContext, head: ast.If
     ) -> Iterator[Finding]:
         covered: Set[str] = set()
         subjects: Set[Optional[str]] = set()
+        enums: Set[str] = set()
         branches = 0
         node: ast.stmt = head
         while isinstance(node, ast.If):
             decoded = _branch_members(node.test)
             if decoded is None:
-                return  # mixed chain: not a pure DropReason dispatch
-            subject, branch_members = decoded
+                return  # mixed chain: not a pure taxonomy dispatch
+            subject, enum_name, branch_members = decoded
             subjects.add(subject)
+            enums.add(enum_name)
             covered.update(branch_members)
             branches += 1
             if not node.orelse:
@@ -291,22 +337,23 @@ class DropReasonExhaustiveRule(LintRule):
                 node = node.orelse[0]
                 continue
             return  # explicit else branch: defaulted, exhaustive enough
-        if branches < 2 or len(subjects) != 1:
+        if branches < 2 or len(subjects) != 1 or len(enums) != 1:
             return  # single test or inconsistent subject: not a dispatch
-        missing = members - covered
+        enum_name = next(iter(enums))
+        missing = _taxonomy_members(enum_name) - covered
         if missing:
             yield self.finding(
                 context,
                 head,
-                f"DropReason dispatch does not handle "
+                f"{enum_name} dispatch does not handle "
                 f"{', '.join(sorted(missing))} and has no `else` default",
             )
 
     def _check_match(
-        self, context: ModuleContext, node: ast.Match, members: FrozenSet[str]
+        self, context: ModuleContext, node: ast.Match
     ) -> Iterator[Finding]:
         covered: Set[str] = set()
-        saw_dropreason = False
+        enums: Set[str] = set()
         for case in node.cases:
             patterns = (
                 case.pattern.patterns
@@ -315,22 +362,24 @@ class DropReasonExhaustiveRule(LintRule):
             )
             for pattern in patterns:
                 if isinstance(pattern, ast.MatchValue):
-                    member = _drop_reason_member(pattern.value)
-                    if member is not None:
-                        saw_dropreason = True
-                        covered.add(member)
+                    decoded = _taxonomy_member(pattern.value)
+                    if decoded is not None:
+                        enums.add(decoded[0])
+                        covered.add(decoded[1])
                 elif isinstance(pattern, ast.MatchAs) and pattern.pattern is None:
                     return  # wildcard / capture-all default
-        if saw_dropreason:
-            missing = members - covered
-            if missing:
-                yield self.finding(
-                    context,
-                    node,
-                    f"`match` over DropReason does not handle "
-                    f"{', '.join(sorted(missing))} and has no `case _:` "
-                    f"default",
-                )
+        if len(enums) != 1:
+            return  # no taxonomy values, or mixed taxonomies
+        enum_name = next(iter(enums))
+        missing = _taxonomy_members(enum_name) - covered
+        if missing:
+            yield self.finding(
+                context,
+                node,
+                f"`match` over {enum_name} does not handle "
+                f"{', '.join(sorted(missing))} and has no `case _:` "
+                f"default",
+            )
 
 
 # -- R003 ---------------------------------------------------------------------
@@ -348,6 +397,9 @@ _SPAN_METHODS = frozenset(
         "quarantine",
         "heal",
         "ctx",
+        "mutate",
+        "repair",
+        "converged",
     }
 )
 

@@ -31,6 +31,15 @@ Commands
     ``--repair-delay`` enables the detection-triggered self-healer.
     Reports the corruption lifecycle (injected / detected / undetected /
     healed) alongside the delivery metrics and the integrity-bit overhead.
+``simulate-churn SCHEME N``
+    Run the event engine under *live topology churn*: a seeded schedule
+    of mutation events (edge add/remove, node join/leave) rewires the
+    graph while messages are in flight.  Each mutation dirties only the
+    affected routing tables; after ``--repair-delay`` the engine rebuilds
+    exactly those tables (``--full-rebuild`` forces the rebuild-everything
+    control arm) and ``--repair-rate`` staggers installs at a bits-per-time
+    budget.  Reports convergence times, stale deliveries, routing loops,
+    and bits rewritten vs. a full rebuild alongside the delivery metrics.
 ``codec NAME N``
     Run an incompressibility codec against a sampled or structured graph.
 ``trace-report TRACE``
@@ -44,7 +53,7 @@ Commands
     catalogue; ``--format json``/``--output`` emit the structured report.
 
 Observability flags: ``simulate``, ``simulate-chaos``,
-``simulate-corruption`` and ``build`` accept
+``simulate-corruption``, ``simulate-churn`` and ``build`` accept
 ``--trace-out FILE`` (hop-level JSONL spans), ``--metrics-out FILE``
 (metrics-registry dump — JSON, or Prometheus text when the file ends in
 ``.prom``), and the simulators accept ``--json`` for machine-readable
@@ -91,7 +100,9 @@ from repro.simulator import (
     MutationKind,
     Network,
     RetryPolicy,
+    TopologyMutationKind,
     flapping_links,
+    random_churn,
     regional_failures,
     renewal_faults,
     retry_histogram,
@@ -365,6 +376,57 @@ def _build_parser() -> argparse.ArgumentParser:
              "(composes outside the integrity framing)",
     )
     _add_observability_flags(corruption)
+
+    churn = sub.add_parser(
+        "simulate-churn",
+        help="run the event engine under live topology churn with "
+             "incremental scheme repair and convergence reporting",
+    )
+    churn.add_argument("scheme", choices=available_schemes())
+    churn.add_argument("n", type=int)
+    churn.add_argument(
+        "--seed", type=int, default=0,
+        help="seeds the graph, churn schedule, workload, retry jitter and "
+             "injection clock (default: 0)",
+    )
+    churn.add_argument("--model", type=parse_model, default=None)
+    churn.add_argument("--messages", type=int, default=300)
+    churn.add_argument(
+        "--workload",
+        choices=("uniform", "hotspot", "permutation"),
+        default="uniform",
+    )
+    churn.add_argument("--events", type=int, default=6,
+                       help="topology mutations scheduled over the horizon")
+    churn.add_argument(
+        "--kinds",
+        choices=("edges", "nodes", "all"),
+        default="edges",
+        help="mutation mix: edge add/remove, node leave/join, or all four",
+    )
+    churn.add_argument("--horizon", type=float, default=100.0,
+                       help="churn horizon in simulated time units")
+    churn.add_argument(
+        "--repair-delay", type=float, default=5.0,
+        help="repair planning starts this long after a mutation "
+             "(coalescing mutations that land in the window)",
+    )
+    churn.add_argument(
+        "--repair-rate", type=float, default=None,
+        help="stagger table installs at this many bits per time unit "
+             "(default: install the whole repair plan instantly)",
+    )
+    churn.add_argument(
+        "--full-rebuild", action="store_true",
+        help="rebuild every table on each repair instead of only the "
+             "dirtied ones (the control arm incremental repair is "
+             "measured against)",
+    )
+    churn.add_argument("--retries", type=int, default=0,
+                       help="max re-transmissions per message (0 = none)")
+    churn.add_argument("--backoff-base", type=float, default=1.0,
+                       help="base retry backoff delay")
+    _add_observability_flags(churn)
 
     codec = sub.add_parser("codec", help="run an incompressibility codec")
     codec.add_argument("name", choices=sorted(_CODECS))
@@ -746,6 +808,112 @@ def _cmd_simulate_corruption(args: argparse.Namespace) -> int:
     return 0
 
 
+_CHURN_KINDS = {
+    "edges": (
+        TopologyMutationKind.EDGE_ADD,
+        TopologyMutationKind.EDGE_REMOVE,
+    ),
+    "nodes": (
+        TopologyMutationKind.NODE_LEAVE,
+        TopologyMutationKind.NODE_JOIN,
+    ),
+    "all": (
+        TopologyMutationKind.EDGE_ADD,
+        TopologyMutationKind.EDGE_REMOVE,
+        TopologyMutationKind.NODE_LEAVE,
+        TopologyMutationKind.NODE_JOIN,
+    ),
+}
+
+
+def _cmd_simulate_churn(args: argparse.Namespace) -> int:
+    import random as _random
+
+    model = args.model or _default_model(args.scheme)
+    graph = gnp_random_graph(args.n, seed=args.seed)
+    scheme = build_scheme(args.scheme, graph, model)
+    schedule = random_churn(
+        graph,
+        args.events,
+        horizon=args.horizon,
+        seed=args.seed,
+        kinds=_CHURN_KINDS[args.kinds],
+    )
+    if args.workload == "uniform":
+        pairs = uniform_pairs(graph, args.messages, seed=args.seed)
+    elif args.workload == "hotspot":
+        pairs = hotspot_pairs(graph, args.messages, seed=args.seed)
+    else:
+        pairs = permutation_traffic(graph, seed=args.seed)
+    retry = (
+        RetryPolicy(max_attempts=args.retries + 1, base_delay=args.backoff_base)
+        if args.retries > 0
+        else None
+    )
+    tracer = _open_tracer(args)
+    sim = EventDrivenSimulator(
+        scheme,
+        retry_policy=retry,
+        retry_seed=args.seed,
+        tracer=tracer,
+        churn_schedule=schedule,
+        churn_repair_delay=args.repair_delay,
+        churn_repair_rate=args.repair_rate,
+        incremental_repair=not args.full_rebuild,
+    )
+    clock = _random.Random(args.seed)
+    for source, destination in pairs:
+        sim.inject(source, destination, clock.uniform(0.0, args.horizon * 0.8))
+    records = sim.run()
+    if tracer is not None:
+        tracer.close()
+    # Stretch is judged against the post-churn topology: that is the graph
+    # the converged scheme routes on.
+    metrics = summarize(records, sim.network.live_graph)
+    churn_stats = sim.churn_summary()
+    _write_metrics_out(args)
+    if args.json:
+        payload = json.loads(_metrics_json(args, metrics, records))
+        payload["churn"] = {
+            "scheduled": len(schedule),
+            "kinds": args.kinds,
+            "repair_delay": args.repair_delay,
+            "repair_rate": args.repair_rate,
+            "incremental": not args.full_rebuild,
+            **churn_stats,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    mode = "full-rebuild" if args.full_rebuild else "incremental"
+    print(f"{scheme.scheme_name} on G({args.n}, 1/2) under live topology "
+          f"churn ({len(schedule)} mutations, horizon {args.horizon:g}, "
+          f"{mode} repair)")
+    times = churn_stats["convergence_times"]
+    assert isinstance(times, list)
+    converged = "yes" if churn_stats["converged"] else "NO"
+    print(f"churn lifecycle: {churn_stats['mutations']} applied, "
+          f"{churn_stats['repairs']} repairs, converged: {converged}")
+    if times:
+        print(f"  convergence time: mean {sum(times) / len(times):.2f}, "
+              f"max {max(times):.2f}")
+    print(f"  tables rebuilt: {churn_stats['tables_rebuilt']} "
+          f"(reused {churn_stats['tables_reused']})  "
+          f"bits rewritten: {churn_stats['bits_rewritten']} "
+          f"of {churn_stats['bits_full']} a full rebuild would touch")
+    print(f"messages: {metrics.messages}  delivered: {metrics.delivered} "
+          f"({metrics.delivered_fraction:.1%})  "
+          f"stale deliveries: {metrics.stale_deliveries}")
+    if metrics.delivered:
+        print(f"mean hops: {metrics.mean_hops:.2f}  "
+              f"mean stretch: {metrics.mean_stretch:.2f}  "
+              f"max stretch: {metrics.max_stretch:.2f}")
+    print(f"retries: {metrics.total_retries} total, "
+          f"{metrics.mean_retries:.2f} per message")
+    for reason, count in sorted(metrics.drop_reasons.items()):
+        print(f"  dropped ({count}): {reason.value}")
+    return 0
+
+
 def _cmd_codec(args: argparse.Namespace) -> int:
     graph = _make_graph(args.graph, args.n, args.seed)
     codec = _CODECS[args.name]()
@@ -896,6 +1064,7 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "simulate-chaos": _cmd_simulate_chaos,
     "simulate-corruption": _cmd_simulate_corruption,
+    "simulate-churn": _cmd_simulate_churn,
     "codec": _cmd_codec,
     "bootstrap": _cmd_bootstrap,
     "compare": _cmd_compare,

@@ -48,6 +48,7 @@ from repro.core.persistence import (
     unpack_blob,
 )
 from repro.core.probe import ProbeFunction, ProbeScheme, ProbeState
+from repro.core.repair import RepairPlan, dirty_nodes, plan_repair
 from repro.core.scheme import (
     HopDecision,
     LocalRoutingFunction,
@@ -93,6 +94,7 @@ __all__ = [
     "ProbeScheme",
     "ProbeState",
     "RelayFunction",
+    "RepairPlan",
     "RouteTrace",
     "RoutingScheme",
     "SCHEME_BUILDERS",
@@ -109,7 +111,9 @@ __all__ = [
     "build_scheme",
     "chain_order",
     "cyclic_intervals",
+    "dirty_nodes",
     "pack_scheme",
+    "plan_repair",
     "restore_scheme",
     "route_message",
     "split_threshold",

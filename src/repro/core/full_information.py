@@ -137,3 +137,12 @@ class FullInformationScheme(RoutingScheme):
 
     def stretch_bound(self) -> float:
         return 1.0
+
+    def supports_incremental_repair(self) -> bool:
+        """Options read only N(u), row(u) and the neighbour rows.
+
+        Note the scheme still requires the mutated graph to be connected
+        (use ``keep_connected`` edge churn); node leave/join repair needs
+        the full-table scheme's unreachable tolerance.
+        """
+        return True

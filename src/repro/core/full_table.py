@@ -59,6 +59,7 @@ class FullTableScheme(RoutingScheme):
         model: RoutingModel,
         ports: Optional[PortAssignment] = None,
         ctx: Optional[GraphContext] = None,
+        allow_unreachable: bool = False,
     ) -> None:
         super().__init__(graph, model, ctx=ctx)
         if ports is None:
@@ -69,7 +70,7 @@ class FullTableScheme(RoutingScheme):
         self._ports = ports
         with profile_section("build.full-table.distances"):
             self._dist = self._ctx.distances()
-        if (self._dist < 0).any():
+        if not allow_unreachable and (self._dist < 0).any():
             raise SchemeBuildError("full-table scheme requires a connected graph")
         with profile_section("build.full-table.tables"):
             self._tables: Dict[int, Dict[int, int]] = {
@@ -82,14 +83,23 @@ class FullTableScheme(RoutingScheme):
         return self._ports
 
     def _build_table(self, u: int) -> Dict[int, int]:
-        """Least-neighbour-on-a-shortest-path table for one node."""
+        """Least-neighbour-on-a-shortest-path table for one node.
+
+        Unreachable destinations (possible only under
+        ``allow_unreachable``, e.g. after a churn node-leave isolated a
+        node) simply have no entry: a lookup raises
+        :class:`~repro.errors.RoutingError` and the walker records a
+        NO_ROUTE drop.
+        """
         graph = self._graph
         neighbors = graph.neighbors(u)
-        neighbor_rows = self._dist[np.array(neighbors) - 1, :]
         own_row = self._dist[u - 1, :]
         table: Dict[int, int] = {}
+        if not neighbors:
+            return table
+        neighbor_rows = self._dist[np.array(neighbors) - 1, :]
         for w in graph.nodes:
-            if w == u:
+            if w == u or own_row[w - 1] < 0:
                 continue
             on_shortest = neighbor_rows[:, w - 1] == own_row[w - 1] - 1
             index = int(np.argmax(on_shortest))
@@ -110,22 +120,48 @@ class FullTableScheme(RoutingScheme):
         return max(self._graph.degree(u) - 1, 0).bit_length()
 
     def encode_function(self, u: int) -> BitArray:
-        """``n - 1`` fixed-width port entries in destination order."""
+        """Fixed-width port entries, one per reachable destination, in
+        destination order (``n - 1`` of them on a connected graph)."""
         width = self.entry_width(u)
         writer = BitWriter()
+        own_row = self._dist[u - 1, :]
         for w in self._graph.nodes:
-            if w != u:
+            if w != u and own_row[w - 1] >= 0:
                 writer.write_uint(self._tables[u][w] - 1, width)
         return writer.getvalue()
 
     def decode_function(self, u: int, bits: BitArray) -> PortTableFunction:
+        # The decoder skips the same unreachable destinations the encoder
+        # skipped — reachability comes from the scheme's own distance
+        # knowledge, mirroring the encode order exactly.
         width = self.entry_width(u)
         reader = BitReader(bits)
         ports = {}
+        own_row = self._dist[u - 1, :]
         for w in self._graph.nodes:
-            if w != u:
+            if w != u and own_row[w - 1] >= 0:
                 ports[w] = reader.read_uint(width) + 1
         return PortTableFunction(u, ports, self._ports)
 
     def stretch_bound(self) -> float:
         return 1.0
+
+    # -- repair (live topology churn) -----------------------------------------
+
+    def rebuild(
+        self, graph: LabeledGraph, ctx: Optional[GraphContext] = None
+    ) -> "FullTableScheme":
+        """Rebuild over a mutated successor graph.
+
+        Tolerates unreachable pairs (a left node is isolated until it
+        rejoins) and re-derives the identity port table for the new
+        adjacency — a custom :class:`PortAssignment` cannot survive a
+        topology change.
+        """
+        return FullTableScheme(
+            graph, self._model, ctx=ctx, allow_unreachable=True
+        )
+
+    def supports_incremental_repair(self) -> bool:
+        """Table entries read only N(u), row(u) and the neighbour rows."""
+        return True

@@ -94,6 +94,31 @@ class RoutingScheme(abc.ABC):
         """
         return self._ctx
 
+    # -- repair (live topology churn) -----------------------------------------
+
+    def rebuild(self, graph: LabeledGraph, ctx: Optional[GraphContext] = None) -> "RoutingScheme":
+        """A same-configuration scheme over a mutated successor graph.
+
+        The churn repair path (:mod:`repro.core.repair`) calls this after
+        a topology mutation to obtain the converged target scheme.  The
+        default rebuilds from the constructor with the same model; schemes
+        carrying extra configuration (ports, parameters) override it.
+        """
+        return type(self)(graph, self._model, ctx=ctx)
+
+    def supports_incremental_repair(self) -> bool:
+        """Whether F(u) depends only on ``u``'s immediate neighbourhood.
+
+        True means each node's table (and its encoding) is a function of
+        exactly: ``u``'s adjacency, ``u``'s distance row, and the distance
+        rows of ``u``'s neighbours.  Under that locality the repair layer
+        can prove a node untouched by a mutation keeps bit-identical
+        tables and skip re-encoding it.  Schemes with global structure
+        (hubs, landmark sets, interval labellings) return False and are
+        repaired by full rebuild.
+        """
+        return False
+
     # -- addressing ----------------------------------------------------------
 
     def address_of(self, node: int) -> Hashable:

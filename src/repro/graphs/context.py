@@ -32,6 +32,7 @@ from typing import (
     Callable,
     Dict,
     Hashable,
+    Iterable,
     List,
     Optional,
     Set,
@@ -70,9 +71,28 @@ Fingerprint = Tuple[int, int, int]
 CTX_COUNTER = "repro_graph_ctx_total"
 """Counter name for per-accessor cache traffic (labels: ``kind``, ``op``)."""
 CTX_INVALIDATIONS = "repro_graph_ctx_invalidations_total"
-"""Counter name for explicit :meth:`GraphContext.invalidate` calls."""
+"""Counter name for explicit :meth:`GraphContext.invalidate` calls.
+
+Full flushes increment the plain (unlabelled) counter; selective drops
+increment it once per derivation ``kind`` actually dropped, labelled with
+that kind, so dashboards can tell a targeted churn invalidation from an
+all-or-nothing flush.
+"""
 CTX_STORE_COUNTER = "repro_graph_ctx_store_total"
 """Counter name for the process-wide context store (label: ``op``)."""
+
+_NODE_OF_KEY: Dict[str, Callable[[Any], int]] = {
+    "bfs_tree": lambda key: key,
+    "eccentricity": lambda key: key,
+    "sorted_adjacency": lambda key: key,
+    "pristine_bits": lambda key: key[1],
+}
+"""Node-scoped derivation kinds and how to read the node out of their key.
+
+Kinds absent here (``distances``, ``degree_stats``, ``port_table``) are
+whole-graph derivations: a node-scoped invalidation only drops them when
+their kind is requested explicitly.
+"""
 
 
 def structural_fingerprint(graph: LabeledGraph) -> Fingerprint:
@@ -189,19 +209,161 @@ class GraphContext:
             tracer.ctx(kind=kind, op="miss")
         return value
 
-    def invalidate(self) -> None:
-        """Drop every memoised derivation (the corruption/heal escape hatch).
+    def invalidate(
+        self,
+        nodes: Optional[Iterable[int]] = None,
+        kinds: Optional[Iterable[str]] = None,
+    ) -> int:
+        """Drop memoised derivations — wholesale or selectively.
 
-        The graph itself is immutable, so ordinary use never needs this;
-        it exists so the self-healing path (and tests) can force the next
-        accessor call to recompute from first principles.
+        With no arguments every memo is dropped (the corruption/heal
+        escape hatch, unchanged semantics).  With ``nodes`` and/or
+        ``kinds`` only the matching entries go: a topology mutation that
+        touches three nodes dirties their BFS trees, eccentricities,
+        adjacency orders and pristine table bits while the rest of the
+        cache survives.  Whole-graph derivations (``distances``,
+        ``degree_stats``, ``port_table``) are dropped by a node-scoped
+        call only when their kind is named explicitly in ``kinds``.
+
+        Returns the number of cache entries dropped.  Selective drops
+        increment the invalidation counter once per affected ``kind``
+        (labelled), full flushes increment the unlabelled counter —
+        see :data:`CTX_INVALIDATIONS`.
         """
-        self._cache.clear()
-        self._stats["invalidations"] += 1
-        get_registry().counter(CTX_INVALIDATIONS).inc()
-        tracer = self._tracer
-        if tracer is not None:
-            tracer.ctx(kind="*", op="invalidate")
+        if nodes is None and kinds is None:
+            dropped = len(self._cache)
+            self._cache.clear()
+            self._stats["invalidations"] += 1
+            get_registry().counter(CTX_INVALIDATIONS).inc()
+            tracer = self._tracer
+            if tracer is not None:
+                tracer.ctx(kind="*", op="invalidate")
+            return dropped
+        node_set = None if nodes is None else {int(v) for v in nodes}
+        kind_set = None if kinds is None else set(kinds)
+        doomed = [
+            full_key
+            for full_key in self._cache
+            if self._invalidation_selects(full_key, node_set, kind_set)
+        ]
+        dropped_kinds: Dict[str, int] = {}
+        for full_key in doomed:
+            del self._cache[full_key]
+            kind = full_key[0]  # type: ignore[index]
+            dropped_kinds[kind] = dropped_kinds.get(kind, 0) + 1
+        if doomed:
+            self._stats["invalidations"] += 1
+            registry = get_registry()
+            tracer = self._tracer
+            for kind in sorted(dropped_kinds):
+                registry.counter(CTX_INVALIDATIONS, kind=kind).inc()
+                if tracer is not None:
+                    tracer.ctx(kind=kind, op="invalidate")
+        return len(doomed)
+
+    @staticmethod
+    def _invalidation_selects(
+        full_key: Hashable,
+        node_set: Optional[Set[int]],
+        kind_set: Optional[Set[str]],
+    ) -> bool:
+        """Whether a selective :meth:`invalidate` call drops ``full_key``."""
+        kind, key = full_key  # type: ignore[misc]
+        if kind_set is not None and kind not in kind_set:
+            return False
+        if node_set is None:
+            return True
+        node_of = _NODE_OF_KEY.get(kind)
+        if node_of is None:
+            # Whole-graph derivation: a node-scoped call drops it only
+            # when the caller asked for the kind by name.
+            return kind_set is not None
+        return node_of(key) in node_set
+
+    # -- churn carry-forward --------------------------------------------------
+
+    def adopt_pristine_bits(
+        self, scheme: "RoutingScheme", node: int, bits: "BitArray"
+    ) -> None:
+        """Seed the pristine-bits memo for ``(scheme, node)`` without encoding.
+
+        The incremental repair path carries the serialised tables of nodes
+        a topology mutation did *not* dirty into the successor graph's
+        context, so the heal machinery's knowledge source stays warm and
+        the untouched tables are provably the same bits — no re-encode
+        ever happens for them.
+        """
+        self._cache[("pristine_bits", (id(scheme), node))] = (scheme, bits)
+        get_registry().counter(CTX_COUNTER, kind="pristine_bits", op="adopt").inc()
+
+    def inherit(self, other: "GraphContext", dirty: Iterable[int]) -> int:
+        """Carry still-valid per-node derivations over from a predecessor.
+
+        ``other`` is the context of the graph a topology mutation started
+        from and ``dirty`` the nodes the mutation affected.  Entries are
+        copied only when provably unchanged on *this* graph:
+
+        * ``sorted_adjacency`` — revalidated against the new adjacency;
+        * ``eccentricity`` — carried for clean nodes (a clean node's
+          distance row is unchanged by the dirty-set closure rule);
+        * ``bfs_tree`` — carried only when every tree edge still exists
+          and the depth map equals the new distance row (validated).
+
+        Whole-graph derivations and pristine bits are never inherited here
+        (pristine bits are scheme-keyed; the repair layer adopts them per
+        target scheme via :meth:`adopt_pristine_bits`).  Returns the
+        number of entries carried; each carried entry counts as an
+        ``op="adopt"`` on the cache-traffic counter.
+        """
+        dirty_set = {int(v) for v in dirty}
+        graph = self._graph
+        new_dist = self.distances()
+        registry = get_registry()
+        carried = 0
+        for full_key, value in other._cache.items():
+            kind, key = full_key  # type: ignore[misc]
+            if full_key in self._cache:
+                continue
+            if kind == "sorted_adjacency":
+                if value != graph.neighbors(key):
+                    continue
+            elif kind == "eccentricity":
+                if key in dirty_set:
+                    continue
+            elif kind == "bfs_tree":
+                if not self._bfs_tree_still_valid(key, value, new_dist):
+                    continue
+            else:
+                continue
+            self._cache[full_key] = value
+            registry.counter(CTX_COUNTER, kind=kind, op="adopt").inc()
+            carried += 1
+        return carried
+
+    def _bfs_tree_still_valid(
+        self,
+        root: int,
+        value: Tuple[Dict[int, int], Dict[int, int]],
+        new_dist: np.ndarray,
+    ) -> bool:
+        """Whether a predecessor graph's BFS tree is a BFS tree here too.
+
+        True iff the tree covers exactly the nodes reachable from the
+        root, every parent edge still exists, and every depth equals the
+        new distance row — i.e. the memo is indistinguishable from a
+        fresh traversal.
+        """
+        parent, depth = value
+        row = new_dist[root - 1]
+        if len(parent) != int((row >= 0).sum()):
+            return False
+        graph = self._graph
+        for v, p in parent.items():
+            if depth[v] != row[v - 1]:
+                return False
+            if v != root and not graph.has_edge(v, p):
+                return False
+        return True
 
     # -- derivations ---------------------------------------------------------
 

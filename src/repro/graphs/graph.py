@@ -148,6 +148,32 @@ class LabeledGraph:
             (e for e in self.edges() if frozenset(e) != drop),
         )
 
+    def with_edge(self, u: int, v: int) -> "LabeledGraph":
+        """Return a copy with one edge added (used for live topology churn).
+
+        The inverse of :meth:`without_edge`: the graph stays immutable and
+        a mutated *successor* graph is returned, so every derivation keyed
+        on the old structure stays valid for the old object.
+        """
+        self._check_node(u)
+        self._check_node(v)
+        if u == v:
+            raise GraphError(f"self-loop at node {u} is not allowed")
+        if self.has_edge(u, v):
+            raise GraphError(f"({u}, {v}) is already an edge")
+        return LabeledGraph(self._n, list(self.edges()) + [(u, v)])
+
+    def without_node_edges(self, u: int) -> "LabeledGraph":
+        """Return a copy with every edge incident to ``u`` removed.
+
+        Models a node *leaving* the network under churn: the label stays
+        (the node set is fixed ``1..n``) but the node becomes isolated.
+        """
+        self._check_node(u)
+        return LabeledGraph(
+            self._n, (e for e in self.edges() if u not in e)
+        )
+
     def complement(self) -> "LabeledGraph":
         """The complement graph — every bit of ``E(G)`` flipped.
 

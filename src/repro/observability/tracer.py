@@ -25,6 +25,12 @@ message's life inside :class:`~repro.simulator.network.Network` or
     forwarding), and the function was rebuilt pristine from graph+model
     knowledge.  All three carry the node subject, so corrupt→heal opens a
     fault-attribution window exactly like link/node down→up.
+``mutate`` / ``repair`` / ``converged``
+    The live-churn lifecycle: a topology mutation was applied to the
+    running network (``reason`` carries the ``TopologyMutationKind``
+    value, ``subject`` the edge or node), a dirtied node's table was
+    rebuilt and installed, and the scheme finished converging (``duration``
+    is the convergence time since the first uncovered mutation).
 ``ctx``
     The shared :class:`~repro.graphs.context.GraphContext` computed a
     fresh derivation (``detail`` names the kind, e.g. ``distances``) or
@@ -66,7 +72,8 @@ class TraceEvent:
 
     event: str
     """``inject`` | ``hop`` | ``retry`` | ``fault`` | ``drop`` | ``deliver``
-    | ``corrupt`` | ``quarantine`` | ``heal`` | ``ctx``."""
+    | ``corrupt`` | ``quarantine`` | ``heal`` | ``ctx`` | ``mutate`` |
+    ``repair`` | ``converged``."""
     seq: int = 0
     """Tracer-assigned monotone sequence number (total order of emission)."""
     time: float = 0.0
@@ -274,6 +281,41 @@ class Tracer:
         """The node's function was rebuilt pristine (self-heal or re-push)."""
         self._record(
             "heal", node=node, time=time, subject=node_subject(node)
+        )
+
+    def mutate(
+        self,
+        kind: str,
+        subject: Subject,
+        time: float = 0.0,
+        detail: Optional[str] = None,
+    ) -> None:
+        """A topology mutation was applied to the live network."""
+        self._record(
+            "mutate", reason=kind, subject=subject, time=time, detail=detail
+        )
+
+    def repair(
+        self, node: int, time: float = 0.0, detail: Optional[str] = None
+    ) -> None:
+        """A dirtied node's routing table was rebuilt and installed."""
+        self._record(
+            "repair",
+            node=node,
+            time=time,
+            detail=detail,
+            subject=node_subject(node),
+        )
+
+    def converged(
+        self,
+        time: float = 0.0,
+        duration: Optional[float] = None,
+        detail: Optional[str] = None,
+    ) -> None:
+        """Every table is consistent with the live topology again."""
+        self._record(
+            "converged", time=time, duration=duration, detail=detail
         )
 
     def ctx(

@@ -4,9 +4,10 @@ Executes any :class:`~repro.core.scheme.RoutingScheme` on its graph:
 immediate walking (:class:`~repro.simulator.network.Network`), discrete
 events (:class:`~repro.simulator.network.EventDrivenSimulator`),
 reproducible static failure injection (:mod:`~repro.simulator.failures`),
-dynamic chaos schedules (:mod:`~repro.simulator.chaos`), retry/backoff
-recovery (:mod:`~repro.simulator.recovery`), and delivery/stretch/
-resilience metrics.
+dynamic chaos schedules (:mod:`~repro.simulator.chaos`), live topology
+churn with incremental repair (:mod:`~repro.simulator.churn`),
+retry/backoff recovery (:mod:`~repro.simulator.recovery`), and
+delivery/stretch/resilience metrics.
 """
 
 from repro.simulator.bootstrap import BootstrapResult, simulate_dissemination
@@ -20,6 +21,12 @@ from repro.simulator.chaos import (
     regional_failures,
     renewal_faults,
     table_corruption,
+)
+from repro.simulator.churn import (
+    ChurnSchedule,
+    TopologyMutation,
+    TopologyMutationKind,
+    random_churn,
 )
 from repro.simulator.failures import (
     sample_incident_failures,
@@ -46,6 +53,7 @@ from repro.simulator.workloads import (
 
 __all__ = [
     "BootstrapResult",
+    "ChurnSchedule",
     "DeliveryRecord",
     "DetourWrapper",
     "DropReason",
@@ -59,6 +67,8 @@ __all__ = [
     "RetryPolicy",
     "RoutingMetrics",
     "TableMutation",
+    "TopologyMutation",
+    "TopologyMutationKind",
     "all_to_one",
     "cached_distance_matrix",
     "drop_breakdown",
@@ -66,6 +76,7 @@ __all__ = [
     "hotspot_pairs",
     "one_to_all",
     "permutation_traffic",
+    "random_churn",
     "regional_failures",
     "renewal_faults",
     "retry_histogram",

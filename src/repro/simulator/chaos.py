@@ -307,7 +307,9 @@ class FaultSchedule:
                 nodes.add(event.subject[0])
             elif event.kind is FaultKind.NODE_UP:
                 nodes.discard(event.subject[0])
-            # TABLE_CORRUPT / TABLE_REPAIR: tracked by corrupted_at.
+            else:
+                # TABLE_CORRUPT / TABLE_REPAIR: tracked by corrupted_at.
+                continue
         return links, nodes
 
     def corrupted_at(self, time: float) -> Set[int]:
@@ -320,6 +322,9 @@ class FaultSchedule:
                 corrupt.add(event.subject[0])
             elif event.kind is FaultKind.TABLE_REPAIR:
                 corrupt.discard(event.subject[0])
+            else:
+                # Link/node availability events: tracked by state_at.
+                continue
         return corrupt
 
 

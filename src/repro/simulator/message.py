@@ -39,6 +39,10 @@ class DropReason(str, enum.Enum):
     """A node's packed routing function failed its integrity check (or a
     quarantined node was asked to forward); retryable — the self-healer
     rebuilds the table from graph+model knowledge after the repair delay."""
+    ROUTING_LOOP = "routing loop"
+    """Churn loop detection: the message revisited a node with identical
+    header state while tables were converging after a topology mutation;
+    retryable — the retransmission sees the repaired tables."""
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
@@ -58,6 +62,10 @@ class Message:
     path: List[int] = field(default_factory=list)
     attempt: int = 0
     """Zero-based retry attempt this incarnation represents."""
+    stale: bool = False
+    """Set when a hop decision was made while the routing tables were not
+    yet converged after a topology mutation (the staleness mark the
+    convergence layer aggregates)."""
 
     @property
     def hops(self) -> int:
@@ -87,6 +95,10 @@ class DeliveryRecord:
     """Simulated time of the first injection (NaN in the untimed walker)."""
     completed_at: float = math.nan
     """Simulated time of the final outcome (NaN in the untimed walker)."""
+    stale: bool = False
+    """At least one hop decision used a table not yet repaired after a
+    topology mutation; a delivered-and-stale record is a *stale delivery*
+    (correct destination, possibly detoured route)."""
 
     @property
     def time_to_delivery(self) -> float:

@@ -65,6 +65,11 @@ class RoutingMetrics:
     ``injected_at``/``completed_at`` timestamps.  For untimed walker runs
     (no timestamps) it falls back to ``mean_latency``, to which it is
     identical whenever no retries occurred."""
+    stale_deliveries: int = 0
+    """Delivered messages that made at least one hop decision on tables
+    not yet repaired after a topology mutation (correct destination,
+    possibly detoured route) — the churn convergence layer's staleness
+    count."""
 
     @property
     def delivered_fraction(self) -> float:
@@ -91,6 +96,7 @@ class RoutingMetrics:
             "mean_time_to_delivery": _num(self.mean_time_to_delivery),
             "total_retries": self.total_retries,
             "mean_retries": self.mean_retries,
+            "stale_deliveries": self.stale_deliveries,
             "drop_breakdown": {
                 reason.name: count
                 for reason, count in sorted(self.drop_reasons.items())
@@ -132,11 +138,14 @@ def summarize(
     times_to_delivery = []
     delivered = 0
     total_retries = 0
+    stale_deliveries = 0
     for record in records:
         total_retries += record.retries
         if not record.delivered:
             continue
         delivered += 1
+        if record.stale:
+            stale_deliveries += 1
         hops.append(record.hops)
         latencies.append(record.latency)
         if not (
@@ -155,6 +164,8 @@ def summarize(
     registry.counter("repro_messages_routed_total").inc(len(records))
     registry.counter("repro_messages_delivered_total").inc(delivered)
     registry.counter("repro_retries_total").inc(total_retries)
+    if stale_deliveries:
+        registry.counter("repro_stale_deliveries_total").inc(stale_deliveries)
     breakdown = drop_breakdown(records)
     for reason, count in breakdown.items():
         registry.counter("repro_drops_total", reason=reason.name).inc(count)
@@ -172,4 +183,5 @@ def summarize(
         total_retries=total_retries,
         mean_retries=total_retries / len(records) if records else 0.0,
         mean_time_to_delivery=mean_ttd,
+        stale_deliveries=stale_deliveries,
     )

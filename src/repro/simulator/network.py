@@ -15,6 +15,17 @@ Two execution modes over the same routing schemes:
   with optional source-side :class:`~repro.simulator.recovery.RetryPolicy`
   recovery.
 
+Given a :class:`~repro.simulator.churn.ChurnSchedule` the engine also
+mutates the *topology itself* mid-run: each
+:class:`~repro.simulator.churn.TopologyMutation` updates the network's
+live graph while the installed tables keep describing the old one, a
+repair plan (:func:`~repro.core.repair.plan_repair`) rebuilds only the
+dirtied tables after a reaction delay, installs stream in at a
+configurable bits-per-time rate, and a ``converged`` span closes the
+episode.  Traffic routed during the stale window is marked
+(``DeliveryRecord.stale``) and guarded by per-message routing-loop
+detection (``DropReason.ROUTING_LOOP``).
+
 Every drop is classified by the structured
 :class:`~repro.simulator.message.DropReason` taxonomy; the human-readable
 context (which link, which node) rides in ``DeliveryRecord.drop_detail``.
@@ -25,21 +36,44 @@ from __future__ import annotations
 import heapq
 import itertools
 import random
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple, Union
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Set,
+    Tuple,
+    Union,
+)
 
 from repro.bitio import BitArray
 from repro.core import HopDecision, RoutingScheme
 from repro.core.detour import DetourFunction
 from repro.core.full_information import FullInformationFunction
+from repro.core.repair import RepairPlan, plan_repair
 from repro.core.scheme import LocalRoutingFunction
 from repro.errors import IntegrityError, ReproError, RoutingError
+from repro.graphs import LabeledGraph
 from repro.observability.registry import get_registry
-from repro.observability.tracer import Tracer, link_subject, node_subject
+from repro.observability.tracer import (
+    Subject,
+    Tracer,
+    link_subject,
+    node_subject,
+)
 from repro.simulator.chaos import (
     FaultEvent,
     FaultKind,
     FaultSchedule,
     TableMutation,
+)
+from repro.simulator.churn import (
+    ChurnSchedule,
+    TopologyMutation,
+    TopologyMutationKind,
 )
 from repro.simulator.message import DeliveryRecord, DropReason, Message
 from repro.simulator.recovery import RetryPolicy
@@ -60,6 +94,16 @@ def _live_tracer(tracer: Optional[Tracer]) -> Optional[Tracer]:
 
 def _as_links(edges: Iterable[Tuple[int, int]]) -> Set[Link]:
     return {frozenset(edge) for edge in edges}
+
+
+def _mutation_subject(mutation: TopologyMutation) -> Subject:
+    """The trace subject a topology mutation acts on."""
+    if mutation.kind in (
+        TopologyMutationKind.EDGE_ADD,
+        TopologyMutationKind.EDGE_REMOVE,
+    ):
+        return link_subject(*mutation.subject)
+    return node_subject(mutation.subject[0])
 
 
 def _drop_record(
@@ -84,6 +128,7 @@ def _drop_record(
         retries=message.attempt,
         injected_at=injected_at,
         completed_at=completed_at,
+        stale=message.stale,
     )
 
 
@@ -104,6 +149,7 @@ def _delivered_record(
         retries=message.attempt,
         injected_at=injected_at,
         completed_at=completed_at,
+        stale=message.stale,
     )
 
 
@@ -132,6 +178,12 @@ class Network:
         self._corrupt_functions: Dict[int, LocalRoutingFunction] = {}
         self._healed_functions: Dict[int, LocalRoutingFunction] = {}
         self._quarantined: Set[int] = set()
+        # Live-topology churn: the graph as it currently exists (the
+        # scheme's graph until the first mutation) plus repaired-table
+        # overlays installed before the converged scheme swap.
+        self._live_graph: LabeledGraph = scheme.graph
+        self._churned = False
+        self._updated_functions: Dict[int, LocalRoutingFunction] = {}
         self._corruption_stats: Dict[str, int] = {
             "injected": 0,
             "detected": 0,
@@ -185,6 +237,76 @@ class Network:
             self.corrupt_table(event.subject[0], event.mutation)
         else:  # TABLE_REPAIR
             self.heal_table(event.subject[0])
+
+    # -- live topology churn -------------------------------------------------
+
+    @property
+    def live_graph(self) -> LabeledGraph:
+        """The topology as it currently exists (mutations applied)."""
+        return self._live_graph
+
+    @property
+    def churned(self) -> bool:
+        """Whether any topology mutation has been applied."""
+        return self._churned
+
+    def apply_mutation(self, mutation: TopologyMutation) -> None:
+        """Apply one live topology mutation.
+
+        The installed scheme keeps describing the *pre-mutation* graph
+        until the repair path installs updated tables, so in the interim a
+        stale table forwarding over a removed edge drops (``LINK_DOWN``)
+        and fault-aware functions route around the removed edge as if it
+        had failed.  A node that leaves stops forwarding and receiving
+        (like a crash) until it rejoins.
+        """
+        self._live_graph = mutation.apply(self._live_graph)
+        self._churned = True
+        if mutation.kind is TopologyMutationKind.NODE_LEAVE:
+            self.fail_node(mutation.subject[0])
+        elif mutation.kind is TopologyMutationKind.NODE_JOIN:
+            self.restore_node(mutation.subject[0])
+        else:
+            # Edge mutations touch only the live adjacency applied above.
+            pass
+        get_registry().counter(
+            "repro_topology_mutations_total", kind=mutation.kind.name
+        ).inc()
+        if self._tracer is not None:
+            self._tracer.mutate(
+                kind=mutation.kind.value,
+                subject=_mutation_subject(mutation),
+                detail=mutation.describe(),
+            )
+
+    def install_table(self, node: int, function: LocalRoutingFunction) -> None:
+        """Install one repaired routing function ahead of convergence.
+
+        The node's storage was just rewritten, so any corruption, heal or
+        quarantine state it carried is superseded by the fresh table.
+        """
+        self._corrupt_tables.pop(node, None)
+        self._corrupt_functions.pop(node, None)
+        self._healed_functions.pop(node, None)
+        self._quarantined.discard(node)
+        self._updated_functions[node] = function
+
+    def install_scheme(self, scheme: RoutingScheme) -> None:
+        """Swap in the converged scheme built over the live graph.
+
+        Per-node overlays installed during the repair window collapse into
+        the scheme itself; corruption overlays on *clean* nodes survive
+        (their storage is still bad, and their encodings are bit-identical
+        across the swap).
+        """
+        if scheme.graph is not self._live_graph:
+            raise RoutingError(
+                "converged scheme must be built over the live graph"
+            )
+        self._scheme = scheme
+        self._ctx = scheme.ctx
+        self._ctx.set_tracer(self._tracer)
+        self._updated_functions.clear()
 
     # -- table corruption ----------------------------------------------------
 
@@ -294,6 +416,9 @@ class Network:
                     "repro_table_corruption_undetected_total"
                 ).inc()
             return overlay
+        updated = self._updated_functions.get(node)
+        if updated is not None:
+            return updated
         healed = self._healed_functions.get(node)
         if healed is not None:
             return healed
@@ -306,22 +431,31 @@ class Network:
             return False
         if next_node == node:
             return True
-        return (
-            1 <= next_node <= self._scheme.graph.n
-            and self._scheme.graph.has_edge(node, next_node)
+        if not 1 <= next_node <= self._scheme.graph.n:
+            return False
+        # Under churn a repaired table may legitimately name a neighbour
+        # that exists only in the live graph (an added edge).
+        return self._scheme.graph.has_edge(node, next_node) or (
+            self._churned and self._live_graph.has_edge(node, next_node)
         )
 
     def _blocked_neighbors(
         self, node: int, destination: Optional[int] = None
     ) -> List[int]:
         # Quarantined nodes refuse to forward but can still *receive*:
-        # the destination itself is never routed around.
+        # the destination itself is never routed around.  Under churn an
+        # edge absent from the live graph is as unusable as a failed one,
+        # and repaired tables may know neighbours the scheme graph lacks.
+        neighbors = self._scheme.graph.neighbor_set(node)
+        if self._churned:
+            neighbors = neighbors | self._live_graph.neighbor_set(node)
         return [
             nb
-            for nb in self._scheme.graph.neighbor_set(node)
+            for nb in neighbors
             if frozenset((node, nb)) in self._failed
             or nb in self._failed_nodes
             or (nb in self._quarantined and nb != destination)
+            or (self._churned and not self._live_graph.has_edge(node, nb))
         ]
 
     def _choose_hop(self, node: int, message: Message) -> HopDecision:
@@ -340,7 +474,12 @@ class Network:
         function = self._function_for(node)
         corrupted = node in self._corrupt_tables
         try:
-            if self._failed or self._failed_nodes or self._quarantined:
+            if (
+                self._failed
+                or self._failed_nodes
+                or self._quarantined
+                or self._churned
+            ):
                 blocked = self._blocked_neighbors(node, message.destination)
                 if isinstance(function, FullInformationFunction):
                     decision = function.next_hop_avoiding(
@@ -478,9 +617,21 @@ class Network:
                     f"node {next_node} is down",
                     subject=node_subject(next_node),
                 )
-            if next_node != current and not self._scheme.graph.has_edge(
+            if next_node != current and not self._live_graph.has_edge(
                 current, next_node
             ):
+                # An edge the scheme graph still has was removed by a
+                # topology mutation — a transient stale-table symptom, not
+                # a scheme bug.
+                if self._scheme.graph.has_edge(current, next_node):
+                    return self._walk_drop(
+                        message,
+                        current,
+                        DropReason.LINK_DOWN,
+                        f"link {current}-{next_node} was removed by a "
+                        f"topology mutation",
+                        subject=link_subject(current, next_node),
+                    )
                 return self._walk_drop(
                     message,
                     current,
@@ -510,13 +661,35 @@ class Network:
 
 # Heap entries: (time, priority, sequence, payload, first_injected_at).
 # Fault events carry priority 0 so a link that dies at time t is dead for
-# every message hop scheduled at the same t.
+# every message hop scheduled at the same t; topology mutations and the
+# engine's internal repair-control events share that priority.
 _FAULT_PRIORITY = 0
 _MESSAGE_PRIORITY = 1
-_Entry = Tuple[float, int, int, Union[Message, FaultEvent], float]
+
+
+@dataclass(frozen=True)
+class _RepairTick:
+    """Internal event: start planning a repair for one churn generation."""
+
+    generation: int
+
+
+@dataclass(frozen=True)
+class _TableInstall:
+    """Internal event: one staggered table install of the active plan."""
+
+    generation: int
+    node: int
+    final: bool
+    """Last install of the plan — convergence finalises after it."""
+
+
+_Payload = Union[Message, FaultEvent, TopologyMutation, _RepairTick, _TableInstall]
+_Entry = Tuple[float, int, int, _Payload, float]
 
 # Drops worth retrying: the condition that caused them can heal as the
-# fault schedule advances.  A scheme bug (INVALID_FORWARD) cannot.
+# fault schedule advances (ROUTING_LOOP: as churn repair converges).  A
+# scheme bug (INVALID_FORWARD) cannot.
 _RETRYABLE = frozenset(
     {
         DropReason.ENDPOINT_DOWN,
@@ -526,6 +699,7 @@ _RETRYABLE = frozenset(
         DropReason.NO_ROUTE,
         DropReason.QUEUE_OVERFLOW,
         DropReason.TABLE_CORRUPT,
+        DropReason.ROUTING_LOOP,
     }
 )
 
@@ -556,11 +730,27 @@ class EventDrivenSimulator:
     latency (corruption time to detection time) lands in the
     ``repro_corruption_detection_latency`` histogram.
 
+    A :class:`~repro.simulator.churn.ChurnSchedule` interleaves *topology
+    mutations* with the traffic: each mutation updates the network's live
+    graph immediately, while the installed tables keep describing the old
+    topology until the repair path converges.  ``churn_repair_delay``
+    models the control plane's reaction time; after it a repair plan
+    rebuilds only the dirtied tables (``incremental_repair=False`` forces
+    the full-rebuild control arm) and ``churn_repair_rate`` (bits per time
+    unit, ``None`` = instantaneous) staggers the installs, so large dirty
+    sets genuinely take longer to converge.  During the stale window every
+    forwarded message is marked ``stale`` and watched by a per-attempt
+    routing-loop detector (revisiting a node with identical header state
+    drops as retryable ``ROUTING_LOOP``).  Convergence closes the episode
+    with a ``converged`` span and a ``repro_churn_convergence_time``
+    observation per mutation; :meth:`churn_summary` reports the episode
+    accounting.
+
     An enabled :class:`~repro.observability.tracer.Tracer` receives
     inject/hop/retry/fault/drop/deliver span events — plus
-    corrupt/quarantine/heal for the table-corruption lifecycle;
-    ``tracer=None`` (the default) keeps the event loop identical to the
-    untraced engine.
+    corrupt/quarantine/heal for the table-corruption lifecycle and
+    mutate/repair/converged for churn; ``tracer=None`` (the default) keeps
+    the event loop identical to the untraced engine.
     """
 
     def __init__(
@@ -576,6 +766,10 @@ class EventDrivenSimulator:
         retry_seed: int = 0,
         tracer: Optional[Tracer] = None,
         repair_delay: Optional[float] = None,
+        churn_schedule: Optional[ChurnSchedule] = None,
+        churn_repair_delay: float = 5.0,
+        churn_repair_rate: Optional[float] = None,
+        incremental_repair: bool = True,
     ) -> None:
         if link_latency <= 0:
             raise RoutingError(f"link latency must be positive, got {link_latency}")
@@ -590,6 +784,21 @@ class EventDrivenSimulator:
         if repair_delay is not None and repair_delay <= 0:
             raise RoutingError(
                 f"repair delay must be positive, got {repair_delay}"
+            )
+        if churn_repair_delay <= 0:
+            raise RoutingError(
+                f"churn repair delay must be positive, got {churn_repair_delay}"
+            )
+        if churn_repair_rate is not None and churn_repair_rate <= 0:
+            raise RoutingError(
+                f"churn repair rate must be positive, got {churn_repair_rate}"
+            )
+        if churn_schedule is not None and scheme.address_of(1) != 1:
+            # Repaired schemes re-derive their own labels; only plain-label
+            # addressing survives a table swap mid-flight.
+            raise RoutingError(
+                "live topology churn requires a plain-label scheme "
+                "(address_of(u) == u)"
             )
         self._network = Network(scheme, failed_links, failed_nodes)
         self._scheme = scheme
@@ -609,6 +818,29 @@ class EventDrivenSimulator:
         self._reacted: Set[int] = set()
         self._live_messages = 0
         self._tracer = _live_tracer(tracer)
+        # Live topology churn state.
+        self._churn = churn_schedule
+        self._churn_delay = churn_repair_delay
+        self._churn_rate = churn_repair_rate
+        self._incremental = incremental_repair
+        self._base_scheme = scheme
+        self._generation = 0
+        self._control_events = 0
+        self._pending_mutations: List[TopologyMutation] = []
+        self._stale_since: Optional[float] = None
+        self._active_plan: Optional[RepairPlan] = None
+        self._plan_installed: Set[int] = set()
+        self._aborted_installs: Set[int] = set()
+        self._convergence_times: List[float] = []
+        self._hop_sets: Dict[Tuple[int, int], Set[Tuple[int, Any]]] = {}
+        self._churn_stats: Dict[str, int] = {
+            "mutations": 0,
+            "repairs": 0,
+            "tables_rebuilt": 0,
+            "tables_reused": 0,
+            "bits_rewritten": 0,
+            "bits_reused": 0,
+        }
 
     @property
     def network(self) -> Network:
@@ -793,11 +1025,161 @@ class EventDrivenSimulator:
                 ),
             )
 
+    # -- live topology churn --------------------------------------------------
+
+    def _push_control(self, payload: _Payload, at_time: float) -> None:
+        """Queue a churn control event (mutation / repair tick / install).
+
+        Control events keep the run loop draining even after all messages
+        resolve, so convergence always completes.
+        """
+        heapq.heappush(
+            self._queue,
+            (at_time, _FAULT_PRIORITY, next(self._sequence), payload, at_time),
+        )
+        self._control_events += 1
+
+    def _apply_mutation_event(
+        self, mutation: TopologyMutation, now: float
+    ) -> None:
+        """Mutate the live topology and (re)arm the repair reaction."""
+        self._network.apply_mutation(mutation)
+        self._pending_mutations.append(mutation)
+        self._churn_stats["mutations"] += 1
+        if self._stale_since is None:
+            self._stale_since = now
+        if self._active_plan is not None:
+            # A newer mutation invalidates the in-flight repair; whatever
+            # it already installed describes neither the old nor the next
+            # converged graph, so those nodes are forced dirty next plan.
+            self._aborted_installs |= self._plan_installed
+            self._active_plan = None
+            self._plan_installed = set()
+        self._generation += 1
+        # The mutation counter is incremented by Network.apply_mutation
+        # above — the single accounting point for both walker and engine.
+        if self._tracer is not None:
+            self._tracer.mutate(
+                kind=mutation.kind.value,
+                subject=_mutation_subject(mutation),
+                time=now,
+                detail=mutation.describe(),
+            )
+        self._push_control(
+            _RepairTick(self._generation), now + self._churn_delay
+        )
+
+    def _start_repair(self, tick: _RepairTick, now: float) -> None:
+        """Plan the repair for the current generation and begin installs."""
+        if tick.generation != self._generation or self._active_plan is not None:
+            return  # superseded by a newer mutation
+        plan = plan_repair(
+            self._base_scheme,
+            self._network.live_graph,
+            full=not self._incremental,
+            extra_dirty=self._aborted_installs,
+        )
+        self._active_plan = plan
+        self._plan_installed = set()
+        stats = self._churn_stats
+        stats["repairs"] += 1
+        stats["tables_rebuilt"] += len(plan.dirty)
+        stats["tables_reused"] += len(plan.clean)
+        stats["bits_rewritten"] += plan.bits_rewritten
+        stats["bits_reused"] += plan.bits_reused
+        get_registry().counter("repro_churn_repairs_total").inc()
+        if not plan.table_bits or self._churn_rate is None:
+            for node, _bits in plan.table_bits:
+                self._install_node(plan, node, now)
+            self._finalize_convergence(now)
+            return
+        elapsed = 0.0
+        last = len(plan.table_bits) - 1
+        for index, (node, bits) in enumerate(plan.table_bits):
+            # Deliberate ratio: bits over a bits-per-time rate is a time.
+            elapsed += bits / self._churn_rate  # repro-lint: disable=R001
+            self._push_control(
+                _TableInstall(tick.generation, node, index == last),
+                now + elapsed,
+            )
+
+    def _install_node(self, plan: RepairPlan, node: int, now: float) -> None:
+        """Install one repaired table, decoded from its pristine bits.
+
+        Going through ``decode_function`` on the memoised pristine
+        encoding — the heal machinery's re-install path — rather than the
+        scheme's in-memory function keeps repaired tables on the same
+        serialised-knowledge footing as corruption heals.
+        """
+        scheme = plan.new_scheme
+        bits = scheme.ctx.pristine_bits(scheme, node)
+        self._network.install_table(
+            node, scheme.decode_function(node, bits)
+        )
+        self._plan_installed.add(node)
+        if self._tracer is not None:
+            self._tracer.repair(
+                node=node, time=now, detail=f"{len(bits)} bits reinstalled"
+            )
+
+    def _apply_install(self, install: _TableInstall, now: float) -> None:
+        """Apply one staggered install; the final one converges."""
+        if install.generation != self._generation or self._active_plan is None:
+            return  # superseded by a newer mutation
+        self._install_node(self._active_plan, install.node, now)
+        if install.final:
+            self._finalize_convergence(now)
+
+    def _finalize_convergence(self, now: float) -> None:
+        """Swap in the converged scheme and close the churn episode."""
+        plan = self._active_plan
+        assert plan is not None
+        self._network.install_scheme(plan.new_scheme)
+        self._base_scheme = plan.new_scheme
+        self._scheme = plan.new_scheme
+        histogram = get_registry().histogram("repro_churn_convergence_time")
+        for mutation in self._pending_mutations:
+            histogram.observe(now - mutation.time)
+        duration = (
+            now - self._stale_since if self._stale_since is not None else 0.0
+        )
+        self._convergence_times.append(duration)
+        if self._tracer is not None:
+            self._tracer.converged(
+                time=now, duration=duration, detail=plan.describe()
+            )
+        self._pending_mutations = []
+        self._stale_since = None
+        self._active_plan = None
+        self._plan_installed = set()
+        self._aborted_installs = set()
+
+    def churn_summary(self) -> Dict[str, object]:
+        """Episode accounting of the last run's churn convergence.
+
+        ``bits_full`` is what full rebuilds would have pushed over the
+        same episodes; ``converged`` reports whether every mutation's
+        repair completed before the run drained.
+        """
+        stats = self._churn_stats
+        return {
+            "mutations": stats["mutations"],
+            "repairs": stats["repairs"],
+            "tables_rebuilt": stats["tables_rebuilt"],
+            "tables_reused": stats["tables_reused"],
+            "bits_rewritten": stats["bits_rewritten"],
+            "bits_reused": stats["bits_reused"],
+            "bits_full": stats["bits_rewritten"] + stats["bits_reused"],
+            "convergence_times": list(self._convergence_times),
+            "converged": self._stale_since is None,
+        }
+
     def run(self) -> List[DeliveryRecord]:
         """Process all events; returns one record per injected message."""
         limit_base = self._scheme.hop_limit()
         self._busy_until = {}
         self._forward_counts = {}
+        self._hop_sets = {}
         if self._schedule is not None:
             for event in self._schedule:
                 heapq.heappush(
@@ -810,11 +1192,25 @@ class EventDrivenSimulator:
                         event.time,
                     ),
                 )
-        while self._queue and self._live_messages:
+        if self._churn is not None:
+            for mutation in self._churn:
+                self._push_control(mutation, mutation.time)
+        # Control events (mutations, repair ticks, installs) keep the loop
+        # alive past the last message so convergence always completes.
+        while self._queue and (self._live_messages or self._control_events):
             now, priority, _, payload, injected_at = heapq.heappop(self._queue)
             if priority == _FAULT_PRIORITY:
-                assert isinstance(payload, FaultEvent)
-                self._apply_timed_fault(payload, now)
+                if isinstance(payload, FaultEvent):
+                    self._apply_timed_fault(payload, now)
+                else:
+                    self._control_events -= 1
+                    if isinstance(payload, TopologyMutation):
+                        self._apply_mutation_event(payload, now)
+                    elif isinstance(payload, _RepairTick):
+                        self._start_repair(payload, now)
+                    else:
+                        assert isinstance(payload, _TableInstall)
+                        self._apply_install(payload, now)
                 continue
             message = payload
             assert isinstance(message, Message)
@@ -867,6 +1263,36 @@ class EventDrivenSimulator:
                     f"hop limit {limit_base} exceeded",
                 )
                 continue
+            if self._churn is not None:
+                # A forwarding decision made while tables are converging
+                # marks the message stale; revisiting a node with identical
+                # header state during that window is a routing loop.
+                if self._stale_since is not None:
+                    message.stale = True
+                seen = self._hop_sets.setdefault(
+                    (message.msg_id, message.attempt), set()
+                )
+                key = (current, message.state)
+                try:
+                    looped = key in seen
+                    if not looped:
+                        seen.add(key)
+                except TypeError:
+                    # Unhashable header state: loop detection skipped; the
+                    # hop limit still bounds the walk.
+                    looped = False
+                if looped:
+                    get_registry().counter("repro_routing_loops_total").inc()
+                    self._finish(
+                        message,
+                        now,
+                        injected_at,
+                        DropReason.ROUTING_LOOP,
+                        f"revisited node {current} with identical header "
+                        f"state during churn convergence",
+                        subject=node_subject(current),
+                    )
+                    continue
             try:
                 decision = self._network._choose_hop(current, message)
             except IntegrityError as exc:
@@ -898,6 +1324,36 @@ class EventDrivenSimulator:
                     f"corrupt table",
                     subject=node_subject(decision.next_node),
                 )
+                continue
+            if (
+                self._network.churned
+                and decision.next_node != current
+                and not self._network.live_graph.has_edge(
+                    current, decision.next_node
+                )
+            ):
+                if self._network.scheme.graph.has_edge(
+                    current, decision.next_node
+                ):
+                    # Stale table forwarding over a mutated-away edge.
+                    self._finish(
+                        message,
+                        now,
+                        injected_at,
+                        DropReason.LINK_DOWN,
+                        f"link {current}-{decision.next_node} was removed "
+                        f"by a topology mutation",
+                        subject=link_subject(current, decision.next_node),
+                    )
+                else:
+                    self._finish(
+                        message,
+                        now,
+                        injected_at,
+                        DropReason.INVALID_FORWARD,
+                        f"{current} forwarded to non-adjacent "
+                        f"{decision.next_node}",
+                    )
                 continue
             # A single-path scheme may have chosen a dead link or node:
             # drop (or retry), as the hop-by-hop walker does.

@@ -102,6 +102,7 @@ def test_r002_accepts_chain_with_default_or_full_coverage():
                 return "fault"
             elif reason in (DropReason.HOP_LIMIT, DropReason.NO_ROUTE,
                             DropReason.INVALID_FORWARD,
+                            DropReason.ROUTING_LOOP,
                             DropReason.QUEUE_OVERFLOW):
                 return "routing"
         """,
@@ -128,6 +129,100 @@ def test_r002_flags_dispatch_missing_table_corrupt():
     )
     assert len(findings) == 1
     assert "TABLE_CORRUPT" in findings[0].message
+
+
+def test_r002_flags_dispatch_missing_routing_loop():
+    # Seeded violation for the churn loop-detection reason: the full
+    # pre-churn vocabulary is no longer exhaustive.
+    findings = findings_for(
+        "R002",
+        """
+        def bucket(reason):
+            if reason in (DropReason.LINK_DOWN, DropReason.NODE_DOWN,
+                          DropReason.ENDPOINT_DOWN, DropReason.TABLE_CORRUPT):
+                return "fault"
+            elif reason in (DropReason.HOP_LIMIT, DropReason.NO_ROUTE,
+                            DropReason.INVALID_FORWARD,
+                            DropReason.QUEUE_OVERFLOW):
+                return "routing"
+        """,
+    )
+    assert len(findings) == 1
+    assert "ROUTING_LOOP" in findings[0].message
+
+
+def test_r002_flags_incomplete_fault_kind_dispatch():
+    # Seeded violation over the chaos taxonomy: `is` comparisons count as
+    # dispatch branches, and the finding names the taxonomy.
+    findings = findings_for(
+        "R002",
+        """
+        def apply(event):
+            if event.kind is FaultKind.LINK_DOWN:
+                return "down"
+            elif event.kind is FaultKind.LINK_UP:
+                return "up"
+            elif event.kind is FaultKind.NODE_DOWN:
+                return "crash"
+            elif event.kind is FaultKind.NODE_UP:
+                return "recover"
+        """,
+    )
+    assert len(findings) == 1
+    assert "FaultKind" in findings[0].message
+    assert "TABLE_CORRUPT" in findings[0].message
+    assert "TABLE_REPAIR" in findings[0].message
+
+
+def test_r002_flags_incomplete_topology_mutation_dispatch():
+    # Seeded violation over the churn taxonomy.
+    findings = findings_for(
+        "R002",
+        """
+        def apply(mutation):
+            if mutation.kind is TopologyMutationKind.EDGE_ADD:
+                return "add"
+            elif mutation.kind is TopologyMutationKind.EDGE_REMOVE:
+                return "remove"
+        """,
+    )
+    assert len(findings) == 1
+    assert "TopologyMutationKind" in findings[0].message
+    assert "NODE_JOIN" in findings[0].message
+    assert "NODE_LEAVE" in findings[0].message
+
+
+def test_r002_accepts_complete_mutation_kind_match():
+    findings = findings_for(
+        "R002",
+        """
+        def label(kind):
+            match kind:
+                case MutationKind.BIT_FLIP:
+                    return "flip"
+                case MutationKind.BURST:
+                    return "burst"
+                case MutationKind.TRUNCATE:
+                    return "truncate"
+        """,
+    )
+    assert findings == []
+
+
+def test_r002_mixed_taxonomy_chain_is_not_a_dispatch():
+    # A chain comparing against two different taxonomies is heuristically
+    # not a single-vocabulary dispatch and must not be flagged.
+    findings = findings_for(
+        "R002",
+        """
+        def weird(event):
+            if event.kind is FaultKind.LINK_DOWN:
+                return "fault"
+            elif event.reason is DropReason.LINK_DOWN:
+                return "drop"
+        """,
+    )
+    assert findings == []
 
 
 def test_r002_single_membership_test_is_not_a_dispatch():
