@@ -28,14 +28,21 @@ self-checking pass; ``--output PATH`` overrides the JSON location.
 
 from __future__ import annotations
 
-import json
 import pathlib
 import random
 import sys
+import time
 
 from repro.core import build_scheme
 from repro.graphs import get_context, gnp_random_graph
 from repro.models import Knowledge, Labeling, RoutingModel
+from repro.observability import (
+    BenchMetric,
+    BenchResult,
+    BetterDirection,
+    RunManifest,
+    write_bench_result,
+)
 from repro.simulator import (
     DropReason,
     EventDrivenSimulator,
@@ -209,6 +216,50 @@ def check(result) -> None:
             assert incremental["tables_reused"] > 0
 
 
+def _bench_result(result) -> BenchResult:
+    """Wrap one measurement as a schema-versioned, gateable artifact."""
+    workload = result["workload"]
+    manifest = RunManifest.capture(
+        "bench:churn_convergence",
+        seed=83,
+        scheme=workload["scheme"],
+        n=workload["n"],
+        params=workload,
+        graph=gnp_random_graph(workload["n"], seed=83),
+    )
+    lowest = min(result["sweep"], key=lambda row: row["churn_events"])
+    incremental = lowest["by_mode"]["incremental"]
+    probe_min = min(
+        cell["probe_delivered_fraction"]
+        for row in result["sweep"]
+        for cell in row["by_mode"].values()
+    )
+    metrics = {
+        # Post-convergence correctness is all-or-nothing: gate exactly.
+        "probe_delivered_fraction_min": BenchMetric(
+            probe_min, BetterDirection.HIGHER, tolerance=0.0
+        ),
+        # The headline saving: fraction of the full-rebuild bits the
+        # incremental arm rewrote at the lowest churn rate.
+        "incremental_rewrite_fraction_low_churn": BenchMetric(
+            incremental["bits_rewritten"] / incremental["bits_full"],
+            BetterDirection.LOWER,
+            tolerance=0.10,
+        ),
+        "max_convergence_time_low_churn": BenchMetric(
+            incremental["max_convergence_time"], unit="sim-time"
+        ),
+    }
+    return BenchResult(
+        bench="churn_convergence",
+        manifest=manifest,
+        workload=workload,
+        metrics=metrics,
+        extra={key: value for key, value in result.items()
+               if key != "workload"},
+    )
+
+
 def _format(result) -> str:
     workload = result["workload"]
     lines = [
@@ -248,16 +299,10 @@ def _format(result) -> str:
     return "\n".join(lines)
 
 
-def _write_output(result, path) -> None:
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(result, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-
-
 def test_churn_convergence(benchmark, write_result):
     result = benchmark.pedantic(measure, rounds=1, iterations=1)
     write_result("churn_convergence", _format(result))
-    _write_output(result, DEFAULT_OUTPUT)
+    write_bench_result(_bench_result(result), DEFAULT_OUTPUT)
     check(result)
 
 
@@ -271,9 +316,12 @@ def main(argv=None) -> int:
     messages = SMOKE_MESSAGES if smoke else MESSAGES
     levels = SMOKE_CHURN_EVENTS if smoke else CHURN_EVENTS
     probes = SMOKE_PROBES if smoke else PROBES
+    started = time.perf_counter()
     result = measure(n, messages, levels, probes)
+    bench = _bench_result(result)
+    bench.manifest = bench.manifest.completed(time.perf_counter() - started)
     print(_format(result))
-    _write_output(result, output)
+    write_bench_result(bench, output)
     print(f"\nresults written to {output}")
     check(result)
     print("assertions ok")

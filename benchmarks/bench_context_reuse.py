@@ -31,7 +31,6 @@ delta in noise); ``--output PATH`` overrides the JSON location.
 
 from __future__ import annotations
 
-import json
 import pathlib
 import random
 import sys
@@ -41,7 +40,15 @@ from repro.core import build_scheme, verify_scheme
 from repro.graphs import clear_context_cache, gnp_random_graph
 from repro.graphs.context import CTX_COUNTER
 from repro.models import Knowledge, Labeling, RoutingModel
-from repro.observability import MetricsRegistry, set_registry
+from repro.observability import (
+    BenchMetric,
+    BenchResult,
+    BetterDirection,
+    MetricsRegistry,
+    RunManifest,
+    set_registry,
+    write_bench_result,
+)
 from repro.simulator import Network, summarize
 
 II_BETA = RoutingModel(Knowledge.II, Labeling.BETA)
@@ -155,6 +162,44 @@ def check(result, smoke=False) -> None:
         )
 
 
+def _bench_result(result) -> BenchResult:
+    """Wrap one measurement as a schema-versioned, gateable artifact."""
+    workload = result["workload"]
+    manifest = RunManifest.capture(
+        "bench:context_reuse",
+        seed=131,
+        scheme="interval",
+        n=workload["n"],
+        params=workload,
+        graph=gnp_random_graph(workload["n"], seed=131),
+    )
+    metrics = {
+        "speedup_ratio": BenchMetric(
+            result["speedup_ratio"], BetterDirection.HIGHER, tolerance=0.10
+        ),
+        # The counter evidence is exact, so it gates with zero slack.
+        "distance_computes_shared": BenchMetric(
+            float(result["distance_computes"]["shared"]),
+            BetterDirection.LOWER,
+            tolerance=0.0,
+        ),
+        "best_seconds_shared": BenchMetric(
+            result["best_seconds"]["shared"], unit="s"
+        ),
+        "best_seconds_isolated": BenchMetric(
+            result["best_seconds"]["isolated"], unit="s"
+        ),
+    }
+    return BenchResult(
+        bench="context_reuse",
+        manifest=manifest,
+        workload=workload,
+        metrics=metrics,
+        extra={key: value for key, value in result.items()
+               if key != "workload"},
+    )
+
+
 def _format(result) -> str:
     work = result["workload"]
     best = result["best_seconds"]
@@ -176,15 +221,10 @@ def _format(result) -> str:
     return "\n".join(lines)
 
 
-def _write_json(result, path) -> None:
-    path = pathlib.Path(path)
-    path.write_text(json.dumps(result, indent=2) + "\n")
-
-
 def test_context_reuse(benchmark, write_result):
     result = benchmark.pedantic(measure, rounds=1, iterations=1)
     write_result("context_reuse", _format(result))
-    _write_json(result, DEFAULT_OUTPUT)
+    write_bench_result(_bench_result(result), DEFAULT_OUTPUT)
     check(result)
 
 
@@ -194,12 +234,15 @@ def main(argv=None) -> int:
     output = DEFAULT_OUTPUT
     if "--output" in args:
         output = pathlib.Path(args[args.index("--output") + 1])
+    started = time.perf_counter()
     if smoke:
         result = measure(SMOKE_N, SMOKE_VERIFY_PAIRS, SMOKE_MESSAGES, SMOKE_REPS)
     else:
         result = measure()
+    bench = _bench_result(result)
+    bench.manifest = bench.manifest.completed(time.perf_counter() - started)
     print(_format(result))
-    _write_json(result, output)
+    write_bench_result(bench, output)
     print(f"\ntimings written to {output}")
     check(result, smoke=smoke)
     print("assertions ok")

@@ -32,16 +32,23 @@ quick self-checking pass; ``--output PATH`` overrides the JSON location.
 
 from __future__ import annotations
 
-import json
 import pathlib
 import random
 import sys
+import time
 
 from repro.core import build_scheme
 from repro.errors import IntegrityError, ReproError
 from repro.graphs import gnp_random_graph
 from repro.integrity import FramingPolicy, IntegrityWrapper
 from repro.models import Knowledge, Labeling, RoutingModel
+from repro.observability import (
+    BenchMetric,
+    BenchResult,
+    BetterDirection,
+    RunManifest,
+    write_bench_result,
+)
 from repro.simulator import (
     EventDrivenSimulator,
     MutationKind,
@@ -210,6 +217,55 @@ def check(result) -> None:
                 assert cell["undetected"] <= unframed["undetected"]
 
 
+def _bench_result(result) -> BenchResult:
+    """Wrap one measurement as a schema-versioned, gateable artifact."""
+    workload = result["workload"]
+    manifest = RunManifest.capture(
+        "bench:corruption_resilience",
+        seed=83,
+        scheme=workload["scheme"],
+        n=workload["n"],
+        params=workload,
+        graph=gnp_random_graph(workload["n"], seed=83),
+    )
+    higher = BetterDirection.HIGHER
+    # Detection rates are exhaustive enumerations over deterministic
+    # tables, so they gate with zero slack; end-to-end delivery under
+    # the heaviest corruption level gets a little room for behavioural
+    # drift in the seeded schedules.
+    metrics = {
+        "detection_rate_parity": BenchMetric(
+            result["detection"][FramingPolicy.PARITY.value]["rate"],
+            higher, tolerance=0.0,
+        ),
+        "detection_rate_crc8": BenchMetric(
+            result["detection"][FramingPolicy.CRC8.value]["rate"],
+            higher, tolerance=0.0,
+        ),
+        "detection_rate_crc16": BenchMetric(
+            result["detection"][FramingPolicy.CRC16.value]["rate"],
+            higher, tolerance=0.0,
+        ),
+        "detection_rate_unframed": BenchMetric(
+            result["detection"][FramingPolicy.NONE.value]["rate"]
+        ),
+        "delivered_fraction_crc16_worst": BenchMetric(
+            result["sweep"][-1]["by_policy"][FramingPolicy.CRC16.value][
+                "delivered_fraction"
+            ],
+            higher, tolerance=0.05,
+        ),
+    }
+    return BenchResult(
+        bench="corruption_resilience",
+        manifest=manifest,
+        workload=workload,
+        metrics=metrics,
+        extra={key: value for key, value in result.items()
+               if key != "workload"},
+    )
+
+
 def _format(result) -> str:
     workload = result["workload"]
     lines = [
@@ -257,16 +313,10 @@ def _format(result) -> str:
     return "\n".join(lines)
 
 
-def _write_output(result, path) -> None:
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(result, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-
-
 def test_corruption_resilience(benchmark, write_result):
     result = benchmark.pedantic(measure, rounds=1, iterations=1)
     write_result("corruption_resilience", _format(result))
-    _write_output(result, DEFAULT_OUTPUT)
+    write_bench_result(_bench_result(result), DEFAULT_OUTPUT)
     check(result)
 
 
@@ -279,9 +329,12 @@ def main(argv=None) -> int:
     n = SMOKE_N if smoke else N
     messages = SMOKE_MESSAGES if smoke else MESSAGES
     levels = SMOKE_CORRUPTION_LEVELS if smoke else CORRUPTION_LEVELS
+    started = time.perf_counter()
     result = measure(n, messages, levels)
+    bench = _bench_result(result)
+    bench.manifest = bench.manifest.completed(time.perf_counter() - started)
     print(_format(result))
-    _write_output(result, output)
+    write_bench_result(bench, output)
     print(f"\nresults written to {output}")
     check(result)
     print("assertions ok")

@@ -190,6 +190,7 @@ _TAXONOMY_SOURCES: dict = {
     "FaultKind": "repro.simulator.chaos",
     "MutationKind": "repro.simulator.chaos",
     "TopologyMutationKind": "repro.simulator.churn",
+    "BetterDirection": "repro.observability.bench",
 }
 _TAXONOMY_FALLBACKS: dict = {
     "DropReason": frozenset(
@@ -219,6 +220,7 @@ _TAXONOMY_FALLBACKS: dict = {
     "TopologyMutationKind": frozenset(
         {"EDGE_ADD", "EDGE_REMOVE", "NODE_LEAVE", "NODE_JOIN"}
     ),
+    "BetterDirection": frozenset({"HIGHER", "LOWER", "NEUTRAL"}),
 }
 
 # Back-compat alias (pre-generalisation name, still used by older configs).
@@ -400,6 +402,8 @@ _SPAN_METHODS = frozenset(
         "mutate",
         "repair",
         "converged",
+        "sample",
+        "slo",
     }
 )
 

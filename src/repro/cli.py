@@ -45,6 +45,10 @@ Commands
 ``trace-report TRACE``
     Summarize a ``--trace-out`` JSONL file: hot nodes, hop latency
     percentiles, and fault-window attribution of every drop.
+``bench-report --baseline FILE --fresh FILE``
+    Diff a fresh schema-versioned bench artifact against a committed
+    baseline and exit non-zero on any gated-metric regression beyond the
+    per-metric (or ``--threshold``) tolerance — the CI regression gate.
 ``lint [PATH ...]``
     Run the repo-specific AST linter (rules R001–R009: bit-accounting
     integrality, DropReason exhaustiveness, tracer guards, seeded RNGs,
@@ -59,6 +63,13 @@ Observability flags: ``simulate``, ``simulate-chaos``,
 ``.prom``), and the simulators accept ``--json`` for machine-readable
 :class:`RoutingMetrics` on stdout.
 
+Every artifact-writing invocation captures a
+:class:`~repro.observability.manifest.RunManifest` (git sha, seeds, graph
+fingerprint, toolchain versions, wall time) and embeds it in the trace
+file (first JSONL row), the metrics dump (``manifest`` key, or a
+``# manifest:`` comment in Prometheus text) and the ``--json`` summary,
+so any emitted number is traceable to the exact run that produced it.
+
 All sampling is seeded (``--seed``) and therefore reproducible.
 """
 
@@ -67,6 +78,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time as _time
 from typing import Optional, Sequence
 
 from repro.core import available_schemes, build_scheme, route_message, verify_scheme
@@ -89,11 +101,16 @@ from repro.integrity import FramingPolicy, IntegrityWrapper
 from repro.models import Knowledge, Labeling, RoutingModel
 from repro.observability import (
     JsonlTracer,
+    RunManifest,
+    TraceDecodeError,
+    compare_runs,
     format_trace_report,
     get_registry,
+    load_bench_result,
     read_trace,
     summarize_trace,
 )
+from repro.observability.bench import format_comparison as _format_bench_diff
 from repro.simulator import (
     DetourWrapper,
     EventDrivenSimulator,
@@ -174,27 +191,55 @@ def _add_observability_flags(
         )
 
 
-def _open_tracer(args: argparse.Namespace) -> Optional[JsonlTracer]:
+def _run_manifest(args: argparse.Namespace, graph=None) -> RunManifest:
+    """One RunManifest per CLI invocation, embedded in every artifact."""
+    params = {
+        key: value
+        for key, value in vars(args).items()
+        if key != "command"
+    }
+    return RunManifest.capture(
+        command=args.command,
+        seed=getattr(args, "seed", None),
+        scheme=getattr(args, "scheme", None),
+        n=getattr(args, "n", None),
+        params=params,
+        graph=graph,
+    )
+
+
+def _open_tracer(
+    args: argparse.Namespace, manifest: RunManifest
+) -> Optional[JsonlTracer]:
     if getattr(args, "trace_out", None):
-        return JsonlTracer(args.trace_out)
+        return JsonlTracer(args.trace_out, manifest=manifest)
     return None
 
 
-def _write_metrics_out(args: argparse.Namespace) -> None:
+def _write_metrics_out(
+    args: argparse.Namespace, manifest: RunManifest
+) -> None:
     path = getattr(args, "metrics_out", None)
     if not path:
         return
     registry = get_registry()
-    text = (
-        registry.to_prometheus()
-        if path.endswith(".prom")
-        else registry.to_json()
-    )
+    if path.endswith(".prom"):
+        text = (
+            f"# manifest: {manifest.to_json()}\n" + registry.to_prometheus()
+        )
+    else:
+        text = json.dumps(
+            {"manifest": manifest.to_dict(), "metrics": registry.snapshot()},
+            indent=2,
+            sort_keys=True,
+        ) + "\n"
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(text)
 
 
-def _metrics_json(args: argparse.Namespace, metrics, records) -> str:
+def _metrics_json(
+    args: argparse.Namespace, metrics, records, manifest: RunManifest
+) -> str:
     payload = metrics.to_dict()
     payload["scheme"] = args.scheme
     payload["n"] = args.n
@@ -203,6 +248,7 @@ def _metrics_json(args: argparse.Namespace, metrics, records) -> str:
         str(retries): count
         for retries, count in sorted(retry_histogram(records).items())
     }
+    payload["manifest"] = manifest.to_dict()
     return json.dumps(payload, indent=2, sort_keys=True)
 
 
@@ -493,6 +539,33 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print the rule catalogue and exit",
     )
 
+    bench_report = sub.add_parser(
+        "bench-report",
+        help="diff a fresh bench artifact against a committed baseline "
+             "and exit non-zero on gated-metric regressions",
+    )
+    bench_report.add_argument(
+        "--baseline", type=str, required=True, metavar="FILE",
+        help="committed schema-versioned BENCH_*.json baseline",
+    )
+    bench_report.add_argument(
+        "--fresh", type=str, required=True, metavar="FILE",
+        help="freshly generated bench artifact to judge",
+    )
+    bench_report.add_argument(
+        "--threshold", type=float, default=0.10,
+        help="default relative tolerance for metrics that declare none "
+             "(default: 0.10)",
+    )
+    bench_report.add_argument(
+        "--json", action="store_true",
+        help="print the comparison as JSON instead of the table",
+    )
+    bench_report.add_argument(
+        "--output", type=str, default=None, metavar="FILE",
+        help="also write the comparison JSON (with manifest) here",
+    )
+
     trace_report = sub.add_parser(
         "trace-report",
         help="summarize a --trace-out JSONL file (hot nodes, hop latency "
@@ -536,8 +609,10 @@ def _cmd_certify(args: argparse.Namespace) -> int:
 
 
 def _cmd_build(args: argparse.Namespace) -> int:
+    started = _time.perf_counter()
     model = args.model or _default_model(args.scheme)
     graph = gnp_random_graph(args.n, seed=args.seed)
+    manifest = _run_manifest(args, graph)
     scheme = build_scheme(args.scheme, graph, model)
     report = scheme.space_report()
     print(report.summary())
@@ -546,11 +621,12 @@ def _cmd_build(args: argparse.Namespace) -> int:
         with open(args.save, "wb") as handle:
             handle.write(blob)
         print(f"packed scheme written to {args.save} ({len(blob)} bytes)")
+    manifest = manifest.completed(_time.perf_counter() - started)
     if args.trace_out:
-        # Builds emit no hop spans; an empty-but-valid trace file beats a
+        # Builds emit no hop spans; a manifest-only trace file beats a
         # surprising missing one when scripts pass the flag uniformly.
-        JsonlTracer(args.trace_out).close()
-    _write_metrics_out(args)
+        JsonlTracer(args.trace_out, manifest=manifest).close()
+    _write_metrics_out(args, manifest)
     if args.metrics_out:
         print(f"metrics written to {args.metrics_out}")
     return 0
@@ -578,8 +654,10 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    started = _time.perf_counter()
     model = args.model or _default_model(args.scheme)
     graph = gnp_random_graph(args.n, seed=args.seed)
+    manifest = _run_manifest(args, graph)
     scheme = build_scheme(args.scheme, graph, model)
     failures = (
         sample_link_failures(graph, args.failures, seed=args.seed)
@@ -601,7 +679,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         pairs = one_to_all(graph)
     else:
         pairs = permutation_traffic(graph, seed=args.seed)
-    tracer = _open_tracer(args)
+    tracer = _open_tracer(args, manifest)
     network = Network(
         scheme, failures, failed_nodes=node_failures, tracer=tracer
     )
@@ -609,9 +687,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     if tracer is not None:
         tracer.close()
     metrics = summarize(records, graph)
-    _write_metrics_out(args)
+    manifest = manifest.completed(_time.perf_counter() - started)
+    _write_metrics_out(args, manifest)
     if args.json:
-        print(_metrics_json(args, metrics, records))
+        print(_metrics_json(args, metrics, records, manifest))
         return 0
     print(f"messages: {metrics.messages}  delivered: {metrics.delivered} "
           f"({metrics.delivered_fraction:.1%})")
@@ -627,8 +706,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 def _cmd_simulate_chaos(args: argparse.Namespace) -> int:
     import random as _random
 
+    started = _time.perf_counter()
     model = args.model or _default_model(args.scheme)
     graph = gnp_random_graph(args.n, seed=args.seed)
+    manifest = _run_manifest(args, graph)
     scheme = build_scheme(args.scheme, graph, model)
     if args.detour:
         scheme = DetourWrapper(scheme)
@@ -664,7 +745,7 @@ def _cmd_simulate_chaos(args: argparse.Namespace) -> int:
         if args.retries > 0
         else None
     )
-    tracer = _open_tracer(args)
+    tracer = _open_tracer(args, manifest)
     sim = EventDrivenSimulator(
         scheme,
         fault_schedule=schedule,
@@ -679,9 +760,10 @@ def _cmd_simulate_chaos(args: argparse.Namespace) -> int:
     if tracer is not None:
         tracer.close()
     metrics = summarize(records, graph)
-    _write_metrics_out(args)
+    manifest = manifest.completed(_time.perf_counter() - started)
+    _write_metrics_out(args, manifest)
     if args.json:
-        print(_metrics_json(args, metrics, records))
+        print(_metrics_json(args, metrics, records, manifest))
         return 0
     print(f"{scheme.scheme_name} on G({args.n}, 1/2) under "
           f"{args.schedule} churn ({len(schedule)} fault events, "
@@ -721,8 +803,10 @@ _MUTATION_CHOICES = {
 def _cmd_simulate_corruption(args: argparse.Namespace) -> int:
     import random as _random
 
+    started = _time.perf_counter()
     model = args.model or _default_model(args.scheme)
     graph = gnp_random_graph(args.n, seed=args.seed)
+    manifest = _run_manifest(args, graph)
     scheme = build_scheme(args.scheme, graph, model)
     policy = FramingPolicy(args.framing)
     if policy is not FramingPolicy.NONE:
@@ -756,7 +840,7 @@ def _cmd_simulate_corruption(args: argparse.Namespace) -> int:
         else None
     )
     repair_delay = args.repair_delay if args.repair_delay > 0 else None
-    tracer = _open_tracer(args)
+    tracer = _open_tracer(args, manifest)
     sim = EventDrivenSimulator(
         scheme,
         fault_schedule=schedule,
@@ -774,9 +858,10 @@ def _cmd_simulate_corruption(args: argparse.Namespace) -> int:
     metrics = summarize(records, graph)
     lifecycle = sim.network.corruption_summary()
     integrity_overhead = scheme.space_report().integrity_bits
-    _write_metrics_out(args)
+    manifest = manifest.completed(_time.perf_counter() - started)
+    _write_metrics_out(args, manifest)
     if args.json:
-        payload = json.loads(_metrics_json(args, metrics, records))
+        payload = json.loads(_metrics_json(args, metrics, records, manifest))
         payload["corruption"] = {
             "framing": policy.value,
             "scheduled": len(schedule),
@@ -829,8 +914,10 @@ _CHURN_KINDS = {
 def _cmd_simulate_churn(args: argparse.Namespace) -> int:
     import random as _random
 
+    started = _time.perf_counter()
     model = args.model or _default_model(args.scheme)
     graph = gnp_random_graph(args.n, seed=args.seed)
+    manifest = _run_manifest(args, graph)
     scheme = build_scheme(args.scheme, graph, model)
     schedule = random_churn(
         graph,
@@ -850,7 +937,7 @@ def _cmd_simulate_churn(args: argparse.Namespace) -> int:
         if args.retries > 0
         else None
     )
-    tracer = _open_tracer(args)
+    tracer = _open_tracer(args, manifest)
     sim = EventDrivenSimulator(
         scheme,
         retry_policy=retry,
@@ -871,9 +958,10 @@ def _cmd_simulate_churn(args: argparse.Namespace) -> int:
     # the converged scheme routes on.
     metrics = summarize(records, sim.network.live_graph)
     churn_stats = sim.churn_summary()
-    _write_metrics_out(args)
+    manifest = manifest.completed(_time.perf_counter() - started)
+    _write_metrics_out(args, manifest)
     if args.json:
-        payload = json.loads(_metrics_json(args, metrics, records))
+        payload = json.loads(_metrics_json(args, metrics, records, manifest))
         payload["churn"] = {
             "scheduled": len(schedule),
             "kinds": args.kinds,
@@ -1038,13 +1126,38 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_bench_report(args: argparse.Namespace) -> int:
+    started = _time.perf_counter()
+    try:
+        baseline = load_bench_result(args.baseline)
+        fresh = load_bench_result(args.fresh)
+    except FileNotFoundError as exc:
+        print(f"error: bench artifact not found: {exc.filename}",
+              file=sys.stderr)
+        return 2
+    report = compare_runs(
+        baseline, fresh, default_tolerance=args.threshold
+    )
+    manifest = _run_manifest(args).completed(_time.perf_counter() - started)
+    payload = {"manifest": manifest.to_dict(), **report.to_dict()}
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(_format_bench_diff(report))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return 0 if report.ok() else 1
+
+
 def _cmd_trace_report(args: argparse.Namespace) -> int:
     try:
         events = read_trace(args.trace)
     except FileNotFoundError:
         print(f"error: trace file {args.trace} not found", file=sys.stderr)
         return 2
-    except (ValueError, TypeError) as exc:
+    except (TraceDecodeError, ValueError, TypeError) as exc:
         print(f"error: malformed trace {args.trace}: {exc}", file=sys.stderr)
         return 2
     summary = summarize_trace(events, top=args.top)
@@ -1070,6 +1183,7 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "report": _cmd_report,
     "lint": _cmd_lint,
+    "bench-report": _cmd_bench_report,
     "trace-report": _cmd_trace_report,
 }
 

@@ -14,7 +14,26 @@ Three cooperating pieces, all usable independently:
   attribution) over a ``--trace-out`` JSONL file.
 """
 
+from repro.observability.bench import (
+    BENCH_SCHEMA_VERSION,
+    BenchMetric,
+    BenchResult,
+    BenchSchemaError,
+    BetterDirection,
+    ComparisonReport,
+    MetricDelta,
+    compare_runs,
+    format_comparison,
+    load_bench_result,
+    write_bench_result,
+)
+from repro.observability.manifest import (
+    ManifestError,
+    RunManifest,
+    embedded_manifest,
+)
 from repro.observability.profiling import phase_breakdown, profile_section, timed
+from repro.observability.sampling import RingBufferTracer, SamplingTracer
 from repro.observability.registry import (
     Counter,
     Gauge,
@@ -33,35 +52,57 @@ from repro.observability.tracer import (
     JsonlTracer,
     NullTracer,
     RecordingTracer,
+    TraceDecodeError,
     TraceEvent,
     Tracer,
+    iter_trace,
     link_subject,
     load_events,
     node_subject,
     read_trace,
+    read_trace_manifest,
 )
 
 __all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BenchMetric",
+    "BenchResult",
+    "BenchSchemaError",
+    "BetterDirection",
+    "ComparisonReport",
     "Counter",
     "Gauge",
     "Histogram",
     "JsonlTracer",
+    "ManifestError",
+    "MetricDelta",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
     "RecordingTracer",
+    "RingBufferTracer",
+    "RunManifest",
+    "SamplingTracer",
+    "TraceDecodeError",
     "TraceEvent",
     "TraceSummary",
     "Tracer",
+    "compare_runs",
+    "embedded_manifest",
+    "format_comparison",
     "format_trace_report",
     "get_registry",
+    "iter_trace",
     "link_subject",
+    "load_bench_result",
     "load_events",
     "node_subject",
     "phase_breakdown",
     "profile_section",
     "read_trace",
+    "read_trace_manifest",
     "set_registry",
     "summarize_trace",
     "timed",
+    "write_bench_result",
 ]

@@ -1,0 +1,389 @@
+"""Unified benchmark artifacts and regression gating.
+
+Before this module every ``benchmarks/bench_*.py`` invented its own JSON
+shape, and nothing compared a fresh run against history — a silent perf
+regression would simply become the new committed baseline.  This module
+gives all benchmarks one schema and one comparator:
+
+* :class:`BenchResult` — schema-versioned artifact: the benchmark name,
+  the :class:`~repro.observability.manifest.RunManifest` of the run that
+  produced it, the workload knobs, and a dict of named
+  :class:`BenchMetric` values annotated with which direction is *better*
+  (:class:`BetterDirection`) and an optional per-metric relative
+  tolerance.  Legacy payloads ride along untyped under ``extra``.
+* :func:`write_bench_result` / :func:`load_bench_result` — the only
+  writer/loader; the loader rejects schema-less bench JSON outright
+  (:class:`BenchSchemaError`), which is what lets CI refuse unversioned
+  artifacts.
+* :func:`compare_runs` — per-metric regression detection: a directed
+  metric whose relative change exceeds its tolerance (default
+  ``0.10``) is a regression; a directed metric that vanished from the
+  fresh run is a failure too.  ``repro bench-report`` turns the
+  resulting :class:`ComparisonReport` into an exit code CI can gate on.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+from repro.errors import ReproError
+from repro.observability.manifest import RunManifest
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BenchMetric",
+    "BenchResult",
+    "BenchSchemaError",
+    "BetterDirection",
+    "ComparisonReport",
+    "MetricDelta",
+    "compare_runs",
+    "format_comparison",
+    "load_bench_result",
+    "write_bench_result",
+]
+
+BENCH_SCHEMA_VERSION = 2
+"""Version 1 is the retroactive name for the ad-hoc pre-harness shapes."""
+
+
+class BenchSchemaError(ReproError):
+    """A bench artifact is schema-less, mis-versioned, or malformed."""
+
+
+class BetterDirection(enum.Enum):
+    """Which way a metric should move to count as an improvement."""
+
+    HIGHER = "higher"
+    """Bigger is better (speedup ratios, detection rates, retention)."""
+    LOWER = "lower"
+    """Smaller is better (overhead ratios, bit counts, latencies)."""
+    NEUTRAL = "neutral"
+    """Informational only (raw seconds, event counts); never gated."""
+
+
+@dataclass(frozen=True)
+class BenchMetric:
+    """One named measurement with its regression-gating contract."""
+
+    value: float
+    direction: BetterDirection = BetterDirection.NEUTRAL
+    tolerance: Optional[float] = None
+    """Relative slack before a directed move counts as a regression;
+    ``None`` defers to the comparator's default."""
+    unit: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        row: Dict[str, Any] = {
+            "value": self.value,
+            "direction": self.direction.value,
+        }
+        if self.tolerance is not None:
+            row["tolerance"] = self.tolerance
+        if self.unit is not None:
+            row["unit"] = self.unit
+        return row
+
+    @classmethod
+    def from_dict(cls, row: Mapping[str, Any]) -> "BenchMetric":
+        try:
+            direction = BetterDirection(row.get("direction", "neutral"))
+        except ValueError as exc:
+            raise BenchSchemaError(
+                f"unknown metric direction {row.get('direction')!r}"
+            ) from exc
+        if "value" not in row:
+            raise BenchSchemaError("metric row has no 'value'")
+        return cls(
+            value=float(row["value"]),
+            direction=direction,
+            tolerance=(
+                float(row["tolerance"]) if row.get("tolerance") is not None
+                else None
+            ),
+            unit=row.get("unit"),
+        )
+
+
+@dataclass
+class BenchResult:
+    """Schema-versioned benchmark artifact with an embedded run ledger."""
+
+    bench: str
+    manifest: RunManifest
+    workload: Dict[str, Any] = field(default_factory=dict)
+    metrics: Dict[str, BenchMetric] = field(default_factory=dict)
+    extra: Dict[str, Any] = field(default_factory=dict)
+    """Legacy/auxiliary payload (sweeps, per-cell detail) — not gated."""
+    schema_version: int = BENCH_SCHEMA_VERSION
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema_version": self.schema_version,
+            "bench": self.bench,
+            "manifest": self.manifest.to_dict(),
+            "workload": self.workload,
+            "metrics": {
+                name: metric.to_dict()
+                for name, metric in sorted(self.metrics.items())
+            },
+            "extra": self.extra,
+        }
+
+    @classmethod
+    def from_dict(cls, row: Mapping[str, Any]) -> "BenchResult":
+        if not isinstance(row, Mapping):
+            raise BenchSchemaError(
+                f"bench artifact must be an object, got {type(row).__name__}"
+            )
+        if "schema_version" not in row:
+            raise BenchSchemaError(
+                "schema-less bench JSON (no 'schema_version'); regenerate "
+                "with the repro.observability.bench writer"
+            )
+        version = row["schema_version"]
+        if version != BENCH_SCHEMA_VERSION:
+            raise BenchSchemaError(
+                f"unsupported bench schema_version {version!r} "
+                f"(this loader reads {BENCH_SCHEMA_VERSION})"
+            )
+        if "bench" not in row or "manifest" not in row:
+            raise BenchSchemaError(
+                "bench artifact must carry 'bench' and 'manifest'"
+            )
+        metrics_row = row.get("metrics", {})
+        if not isinstance(metrics_row, Mapping):
+            raise BenchSchemaError("'metrics' must be an object")
+        return cls(
+            bench=str(row["bench"]),
+            manifest=RunManifest.from_dict(row["manifest"]),
+            workload=dict(row.get("workload", {})),
+            metrics={
+                str(name): BenchMetric.from_dict(metric)
+                for name, metric in metrics_row.items()
+            },
+            extra=dict(row.get("extra", {})),
+            schema_version=int(version),
+        )
+
+
+def write_bench_result(
+    result: BenchResult, path: Union[str, os.PathLike]
+) -> None:
+    """Write the artifact as stable, diff-friendly JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(result.to_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_bench_result(path: Union[str, os.PathLike]) -> BenchResult:
+    """Load and validate a bench artifact (schema-less JSON is rejected)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            row = json.load(handle)
+        except ValueError as exc:
+            raise BenchSchemaError(
+                f"{os.fspath(path)}: not valid JSON ({exc})"
+            ) from exc
+    if not isinstance(row, dict):
+        raise BenchSchemaError(
+            f"{os.fspath(path)}: bench artifact must be a JSON object"
+        )
+    return BenchResult.from_dict(row)
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """Comparison of one metric between a baseline and a fresh run."""
+
+    metric: str
+    baseline: Optional[float]
+    fresh: Optional[float]
+    relative_change: Optional[float]
+    direction: BetterDirection
+    tolerance: float
+    verdict: str
+    """``regression`` | ``improvement`` | ``ok`` | ``missing``."""
+
+
+@dataclass
+class ComparisonReport:
+    """Everything ``repro bench-report`` needs to render and gate."""
+
+    bench: str
+    deltas: List[MetricDelta]
+    baseline_manifest: RunManifest
+    fresh_manifest: RunManifest
+
+    @property
+    def regressions(self) -> List[MetricDelta]:
+        return [d for d in self.deltas if d.verdict in ("regression", "missing")]
+
+    @property
+    def improvements(self) -> List[MetricDelta]:
+        return [d for d in self.deltas if d.verdict == "improvement"]
+
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "bench": self.bench,
+            "ok": self.ok(),
+            "regressions": len(self.regressions),
+            "improvements": len(self.improvements),
+            "deltas": [
+                {
+                    "metric": d.metric,
+                    "baseline": d.baseline,
+                    "fresh": d.fresh,
+                    "relative_change": d.relative_change,
+                    "direction": d.direction.value,
+                    "tolerance": d.tolerance,
+                    "verdict": d.verdict,
+                }
+                for d in self.deltas
+            ],
+            "baseline_manifest": self.baseline_manifest.to_dict(),
+            "fresh_manifest": self.fresh_manifest.to_dict(),
+        }
+
+
+def _relative_change(baseline: float, fresh: float) -> float:
+    if baseline == 0.0:
+        if fresh == baseline:
+            return 0.0
+        return float("inf") if fresh > baseline else float("-inf")
+    return (fresh - baseline) / abs(baseline)
+
+
+def _verdict(
+    direction: BetterDirection, relative_change: float, tolerance: float
+) -> str:
+    if direction is BetterDirection.HIGHER:
+        if relative_change < -tolerance:
+            return "regression"
+        if relative_change > tolerance:
+            return "improvement"
+        return "ok"
+    elif direction is BetterDirection.LOWER:
+        if relative_change > tolerance:
+            return "regression"
+        if relative_change < -tolerance:
+            return "improvement"
+        return "ok"
+    elif direction is BetterDirection.NEUTRAL:
+        return "ok"
+    else:  # pragma: no cover - closed enum
+        raise AssertionError(f"unhandled direction {direction!r}")
+
+
+def compare_runs(
+    baseline: BenchResult,
+    fresh: BenchResult,
+    default_tolerance: float = 0.10,
+) -> ComparisonReport:
+    """Diff two runs of the same benchmark, metric by metric.
+
+    The baseline's per-metric tolerances are the contract; metrics that
+    declare none use ``default_tolerance``.  A directed metric missing
+    from the fresh run fails the comparison (verdict ``missing``) — a
+    gate that silently stopped measuring is not a passing gate.
+    """
+    if baseline.bench != fresh.bench:
+        raise BenchSchemaError(
+            f"cannot compare different benchmarks: baseline is "
+            f"{baseline.bench!r}, fresh is {fresh.bench!r}"
+        )
+    if default_tolerance < 0.0:
+        raise ValueError(
+            f"default_tolerance must be >= 0, got {default_tolerance}"
+        )
+    deltas: List[MetricDelta] = []
+    for name in sorted(baseline.metrics):
+        base = baseline.metrics[name]
+        tolerance = (
+            base.tolerance if base.tolerance is not None else default_tolerance
+        )
+        live = fresh.metrics.get(name)
+        if live is None:
+            verdict = (
+                "missing" if base.direction is not BetterDirection.NEUTRAL
+                else "ok"
+            )
+            deltas.append(
+                MetricDelta(
+                    metric=name,
+                    baseline=base.value,
+                    fresh=None,
+                    relative_change=None,
+                    direction=base.direction,
+                    tolerance=tolerance,
+                    verdict=verdict,
+                )
+            )
+            continue
+        rel = _relative_change(base.value, live.value)
+        deltas.append(
+            MetricDelta(
+                metric=name,
+                baseline=base.value,
+                fresh=live.value,
+                relative_change=rel,
+                direction=base.direction,
+                tolerance=tolerance,
+                verdict=_verdict(base.direction, rel, tolerance),
+            )
+        )
+    return ComparisonReport(
+        bench=baseline.bench,
+        deltas=deltas,
+        baseline_manifest=baseline.manifest,
+        fresh_manifest=fresh.manifest,
+    )
+
+
+def format_comparison(report: ComparisonReport) -> str:
+    """Human-readable comparison table with a one-line verdict."""
+    lines = [
+        f"bench-report: {report.bench}",
+        f"  baseline: {report.baseline_manifest.git_sha[:12]} "
+        f"({report.baseline_manifest.created_at})",
+        f"  fresh:    {report.fresh_manifest.git_sha[:12]} "
+        f"({report.fresh_manifest.created_at})",
+        "",
+        f"  {'metric':<32} {'baseline':>12} {'fresh':>12} "
+        f"{'change':>9}  verdict",
+    ]
+    for delta in report.deltas:
+        fresh = "-" if delta.fresh is None else f"{delta.fresh:.6g}"
+        base = "-" if delta.baseline is None else f"{delta.baseline:.6g}"
+        change = (
+            "-" if delta.relative_change is None
+            else f"{delta.relative_change:+.1%}"
+        )
+        marker = "!" if delta.verdict in ("regression", "missing") else " "
+        lines.append(
+            f" {marker}{delta.metric:<32} {base:>12} {fresh:>12} "
+            f"{change:>9}  {delta.verdict}"
+        )
+    lines.append("")
+    if report.ok():
+        lines.append(
+            f"OK: no regressions across {len(report.deltas)} metric(s)"
+            + (
+                f", {len(report.improvements)} improvement(s)"
+                if report.improvements else ""
+            )
+        )
+    else:
+        names = ", ".join(d.metric for d in report.regressions)
+        lines.append(
+            f"REGRESSION: {len(report.regressions)} gated metric(s) "
+            f"failed: {names}"
+        )
+    return "\n".join(lines)

@@ -211,12 +211,72 @@ def _format_value(value: float) -> str:
     return repr(float(value))
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape per the exposition format: backslash, double-quote, newline."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _escape_help(text: str) -> str:
+    """HELP text escaping: backslash and newline only (quotes stay)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _label_text(labels: Labels, extra: Labels = ()) -> str:
     merged = labels + extra
     if not merged:
         return ""
-    inner = ",".join(f'{k}="{v}"' for k, v in merged)
+    inner = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in merged)
     return "{" + inner + "}"
+
+
+_WELL_KNOWN_HELP: Dict[str, str] = {
+    "repro_messages_routed_total": "Messages injected into a simulator.",
+    "repro_messages_delivered_total": "Messages delivered to their destination.",
+    "repro_drops_total": "Messages dropped, labelled by DropReason.",
+    "repro_retries_total": "Source re-injections after a retryable drop.",
+    "repro_routing_loops_total": "Walks aborted after revisiting a node.",
+    "repro_stale_deliveries_total":
+        "Deliveries that routed on out-of-date topology knowledge.",
+    "repro_scheme_table_bits": "Total routing-table bits of the built scheme.",
+    "repro_scheme_max_node_bits": "Largest per-node table in bits.",
+    "repro_phase_seconds": "Wall time per profiled phase.",
+    "repro_phase_calls_total": "Invocations per profiled phase.",
+    "repro_distance_cache_total":
+        "Distance-matrix cache accesses, labelled by hit/miss.",
+    "repro_graph_ctx_total":
+        "GraphContext derivation accesses, labelled by kind and op.",
+    "repro_graph_ctx_invalidations_total":
+        "Explicit GraphContext invalidations.",
+    "repro_graph_ctx_store_total":
+        "Process-wide context store traffic, labelled by op.",
+    "repro_table_corruptions_total": "Injected routing-table corruptions.",
+    "repro_table_corruption_detected_total":
+        "Corruptions caught by integrity framing.",
+    "repro_table_corruption_undetected_total":
+        "Corruptions that slipped past the framing policy.",
+    "repro_table_heals_total": "Corrupted tables rebuilt pristine.",
+    "repro_corruption_detection_latency":
+        "Simulated time from corruption to detection.",
+    "repro_topology_mutations_total":
+        "Live topology mutations applied, labelled by kind.",
+    "repro_churn_repairs_total": "Node tables rebuilt after churn.",
+    "repro_churn_tables_rebuilt_total":
+        "Tables rebuilt from scratch during churn repair.",
+    "repro_churn_tables_reused_total":
+        "Tables carried forward unchanged during churn repair.",
+    "repro_churn_table_bits_rewritten_total":
+        "Table bits rewritten by incremental repair.",
+    "repro_churn_table_bits_reused_total":
+        "Table bits reused by incremental repair.",
+    "repro_churn_convergence_time":
+        "Simulated time from first uncovered mutation to convergence.",
+}
+"""Default ``# HELP`` text for the stack's own metrics.
+
+Keyed by the *raw* metric name (pre-sanitisation); ``describe`` overrides
+these, and metrics absent from both expose no HELP line."""
 
 
 class MetricsRegistry:
@@ -224,7 +284,19 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._metrics: Dict[_MetricKey, Metric] = {}
+        self._help: Dict[str, str] = {}
         self._lock = threading.Lock()
+
+    def describe(self, name: str, help_text: str) -> None:
+        """Attach ``# HELP`` text to a metric name (overrides defaults)."""
+        with self._lock:
+            self._help[name] = help_text
+
+    def help_for(self, name: str) -> Optional[str]:
+        """The HELP text for ``name`` (described, well-known, or ``None``)."""
+        with self._lock:
+            described = self._help.get(name)
+        return described if described is not None else _WELL_KNOWN_HELP.get(name)
 
     def _get_or_create(
         self, cls: Type[Metric], name: str, labels: Labels, **kwargs: Any
@@ -289,12 +361,21 @@ class MetricsRegistry:
         return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
 
     def to_prometheus(self) -> str:
-        """Prometheus text exposition format (0.0.4) of every metric."""
+        """Prometheus text exposition format (0.0.4) of every metric.
+
+        Each metric family is preceded by its ``# HELP`` line (when text
+        is known via :meth:`describe` or the built-in defaults) and its
+        ``# TYPE`` line; label values are escaped per the format
+        (backslash, double-quote, newline).
+        """
         lines: List[str] = []
         seen_types = set()
         for metric in self.metrics():
             name = sanitize_metric_name(metric.name)
             if name not in seen_types:
+                help_text = self.help_for(metric.name)
+                if help_text is not None:
+                    lines.append(f"# HELP {name} {_escape_help(help_text)}")
                 lines.append(f"# TYPE {name} {metric.kind}")
                 seen_types.add(name)
             if isinstance(metric, (Counter, Gauge)):

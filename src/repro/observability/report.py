@@ -30,11 +30,12 @@ _UP_KINDS = frozenset({"link up", "node up"})
 
 
 def _percentile(samples: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile of a sorted sample list."""
+    """Nearest-rank percentile; sorts internally (input order is free)."""
     if not samples:
         return math.nan
-    rank = max(int(math.ceil(q / 100.0 * len(samples))) - 1, 0)
-    return samples[min(rank, len(samples) - 1)]
+    ordered = sorted(samples)
+    rank = max(int(math.ceil(q / 100.0 * len(ordered))) - 1, 0)
+    return ordered[min(rank, len(ordered) - 1)]
 
 
 @dataclass

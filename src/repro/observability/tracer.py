@@ -18,7 +18,9 @@ message's life inside :class:`~repro.simulator.network.Network` or
     Final outcome; drops carry the structured ``DropReason`` name, the
     free-text detail, and — when the simulator knows it — the failed
     subject (``["link", u, v]`` or ``["node", u]``) so a trace report can
-    attribute the drop to the fault window that caused it.
+    attribute the drop to the fault window that caused it.  Stale
+    deliveries (the table routed on out-of-date topology) carry
+    ``detail="stale"``.
 ``corrupt`` / ``quarantine`` / ``heal``
     The table-corruption lifecycle of one node: its packed routing
     function was damaged, the damage was detected (the node stops
@@ -37,11 +39,44 @@ message's life inside :class:`~repro.simulator.network.Network` or
     was explicitly invalidated.  Cache *hits* are deliberately not traced
     — they are counted in the metrics registry — so a trace shows exactly
     the work that was actually performed.
+``sample``
+    A :class:`~repro.observability.sampling.SamplingTracer` summarising
+    its own behaviour on close: how many messages it saw, kept by the
+    seeded coin, and promoted because they turned anomalous.
+``slo``
+    A self-observed guarantee was violated (e.g. the sampler failed to
+    retain an anomalous message).  Emitted defensively; a healthy run
+    contains none.
+
+Causality
+---------
+
+Every emitter returns the sequence number of the event it recorded, and
+events carry two optional links that turn a flat trace into a tree:
+
+* ``parent`` — the previous span of the *same message* (assigned
+  automatically by :meth:`Tracer._record`, so ``inject → hop → … →
+  deliver`` chains without any caller involvement);
+* ``cause``  — an explicit cross-message/control-plane edge supplied by
+  the caller, e.g. a ``quarantine`` caused by a ``corrupt`` span, or a
+  ``repair``/``converged`` caused by the ``mutate`` span that dirtied it.
 
 The simulators take ``tracer=None`` by default and normalise any tracer
 whose ``enabled`` flag is false (e.g. :data:`NULL_TRACER`) to ``None``, so
 the disabled path costs a single ``is None`` test per event site — that is
 the zero-overhead guarantee the benchmarks pin down.
+
+Run ledger
+----------
+
+:class:`JsonlTracer` accepts an optional
+:class:`~repro.observability.manifest.RunManifest`, written as the first
+JSONL row (``{"manifest": {...}}``) so every trace file is traceable to
+the exact invocation that produced it.  The read helpers skip the
+manifest row transparently; :func:`read_trace_manifest` recovers it.
+Malformed rows (including a truncated final line from a killed run)
+raise :class:`TraceDecodeError` with the offending location instead of
+leaking a raw ``json`` or ``TypeError`` crash.
 """
 
 from __future__ import annotations
@@ -50,20 +85,46 @@ import itertools
 import json
 import os
 from dataclasses import asdict, dataclass
-from typing import IO, Any, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import (
+    IO,
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.errors import ReproError
+from repro.observability.manifest import RunManifest
 
 __all__ = [
     "TraceEvent",
+    "TraceDecodeError",
     "Tracer",
     "NullTracer",
     "NULL_TRACER",
     "RecordingTracer",
     "JsonlTracer",
     "read_trace",
+    "read_trace_manifest",
+    "iter_trace",
     "load_events",
 ]
 
 Subject = Tuple[str, ...]
+
+
+class TraceDecodeError(ReproError):
+    """A trace file row could not be decoded (bad JSON or unknown shape)."""
+
+    def __init__(self, source: str, line: int, problem: str) -> None:
+        super().__init__(f"{source}:{line}: {problem}")
+        self.source = source
+        self.line = line
+        self.problem = problem
 
 
 @dataclass(frozen=True)
@@ -73,7 +134,7 @@ class TraceEvent:
     event: str
     """``inject`` | ``hop`` | ``retry`` | ``fault`` | ``drop`` | ``deliver``
     | ``corrupt`` | ``quarantine`` | ``heal`` | ``ctx`` | ``mutate`` |
-    ``repair`` | ``converged``."""
+    ``repair`` | ``converged`` | ``sample`` | ``slo``."""
     seq: int = 0
     """Tracer-assigned monotone sequence number (total order of emission)."""
     time: float = 0.0
@@ -96,6 +157,10 @@ class TraceEvent:
     detail: Optional[str] = None
     subject: Optional[Subject] = None
     """Failed entity as ``("link", u, v)`` / ``("node", u)`` strings."""
+    parent: Optional[int] = None
+    """``seq`` of the previous span of the same message (intra-message tree)."""
+    cause: Optional[int] = None
+    """``seq`` of the control-plane span that caused this one (cross links)."""
 
     def to_dict(self) -> dict:
         """Compact dict with ``None`` fields elided (JSONL row)."""
@@ -125,25 +190,66 @@ def node_subject(u: int) -> Subject:
     return ("node", str(u))
 
 
+_TERMINAL_EVENTS = frozenset(("deliver", "drop"))
+
+
 class Tracer:
     """Base tracer: builds events, assigns sequence numbers, dispatches.
 
     Subclasses override :meth:`emit`.  All convenience emitters funnel
     through :meth:`_record` so the sequence numbering (and therefore span
-    ordering) is uniform across sinks.
+    ordering) is uniform across sinks.  ``_record`` also maintains the
+    per-message ``parent`` chain: each event of a message links back to
+    the previous span of the same message, so a trace replays as a tree
+    without any cooperation from the emission sites.
     """
 
     enabled: bool = True
 
     def __init__(self) -> None:
         self._seq = itertools.count()
+        self._last_span: Dict[int, int] = {}
 
     def emit(self, event: TraceEvent) -> None:
         """Deliver one event to the sink."""
         raise NotImplementedError
 
-    def _record(self, event: str, **fields: Any) -> None:
-        self.emit(TraceEvent(event=event, seq=next(self._seq), **fields))
+    # -- sampling protocol ----------------------------------------------------
+    #
+    # Emission sites that process many messages (the event engine) ask
+    # ``wants(msg_id)`` once per message and cache the answer instead of
+    # paying a method call per suppressed span.  Base tracers keep every
+    # message, so the default is a constant ``True`` and ``promote`` —
+    # re-announcing a message the caller had suppressed — is a no-op.
+    # ``SamplingTracer`` overrides both.
+
+    def wants(self, msg_id: int) -> bool:
+        """Should the caller emit this message's spans at all?"""
+        return True
+
+    def promote(
+        self,
+        msg_id: int,
+        source: int,
+        destination: int,
+        inject_time: float = 0.0,
+    ) -> None:
+        """A suppressed message turned anomalous; start streaming it."""
+
+    def _record(self, event: str, **fields: Any) -> int:
+        seq = next(self._seq)
+        msg_id = fields.get("msg_id")
+        if msg_id is not None:
+            if fields.get("parent") is None:
+                parent = self._last_span.get(msg_id)
+                if parent is not None:
+                    fields["parent"] = parent
+            if event in _TERMINAL_EVENTS:
+                self._last_span.pop(msg_id, None)
+            else:
+                self._last_span[msg_id] = seq
+        self.emit(TraceEvent(event=event, seq=seq, **fields))
+        return seq
 
     # -- convenience emitters -------------------------------------------------
 
@@ -154,9 +260,9 @@ class Tracer:
         destination: int,
         time: float = 0.0,
         attempt: int = 0,
-    ) -> None:
+    ) -> int:
         """The message enters the network."""
-        self._record(
+        return self._record(
             "inject",
             msg_id=msg_id,
             source=source,
@@ -174,9 +280,9 @@ class Tracer:
         time: float = 0.0,
         duration: Optional[float] = None,
         attempt: int = 0,
-    ) -> None:
+    ) -> int:
         """A node chose an outgoing edge for the message."""
-        self._record(
+        return self._record(
             "hop",
             msg_id=msg_id,
             node=node,
@@ -195,9 +301,9 @@ class Tracer:
         time: float,
         reason: str,
         duration: Optional[float] = None,
-    ) -> None:
+    ) -> int:
         """The source scheduled a re-transmission after a retryable drop."""
-        self._record(
+        return self._record(
             "retry",
             msg_id=msg_id,
             source=source,
@@ -209,9 +315,9 @@ class Tracer:
 
     def fault(
         self, kind: str, subject: Subject, time: float, detail: Optional[str] = None
-    ) -> None:
+    ) -> int:
         """A scheduled fault event fired."""
-        self._record(
+        return self._record(
             "fault", reason=kind, subject=subject, time=time, detail=detail
         )
 
@@ -225,9 +331,9 @@ class Tracer:
         subject: Optional[Subject] = None,
         attempt: int = 0,
         hop: Optional[int] = None,
-    ) -> None:
+    ) -> int:
         """Final outcome: the message was dropped at ``node``."""
-        self._record(
+        return self._record(
             "drop",
             msg_id=msg_id,
             node=node,
@@ -246,41 +352,59 @@ class Tracer:
         time: float = 0.0,
         hop: Optional[int] = None,
         attempt: int = 0,
-    ) -> None:
-        """Final outcome: the message arrived at its destination."""
-        self._record(
+        detail: Optional[str] = None,
+    ) -> int:
+        """Final outcome: the message arrived at its destination.
+
+        ``detail="stale"`` marks a delivery that routed on out-of-date
+        topology knowledge (an anomaly for the sampler's purposes).
+        """
+        return self._record(
             "deliver", msg_id=msg_id, node=node, time=time, hop=hop,
-            attempt=attempt,
+            attempt=attempt, detail=detail,
         )
 
     def corrupt(
-        self, node: int, time: float = 0.0, detail: Optional[str] = None
-    ) -> None:
+        self,
+        node: int,
+        time: float = 0.0,
+        detail: Optional[str] = None,
+        cause: Optional[int] = None,
+    ) -> int:
         """A node's packed routing function was corrupted."""
-        self._record(
+        return self._record(
             "corrupt",
             node=node,
             time=time,
             detail=detail,
             subject=node_subject(node),
+            cause=cause,
         )
 
     def quarantine(
-        self, node: int, time: float = 0.0, detail: Optional[str] = None
-    ) -> None:
+        self,
+        node: int,
+        time: float = 0.0,
+        detail: Optional[str] = None,
+        cause: Optional[int] = None,
+    ) -> int:
         """Table corruption was detected; the node stops forwarding."""
-        self._record(
+        return self._record(
             "quarantine",
             node=node,
             time=time,
             detail=detail,
             subject=node_subject(node),
+            cause=cause,
         )
 
-    def heal(self, node: int, time: float = 0.0) -> None:
+    def heal(
+        self, node: int, time: float = 0.0, cause: Optional[int] = None
+    ) -> int:
         """The node's function was rebuilt pristine (self-heal or re-push)."""
-        self._record(
-            "heal", node=node, time=time, subject=node_subject(node)
+        return self._record(
+            "heal", node=node, time=time, subject=node_subject(node),
+            cause=cause,
         )
 
     def mutate(
@@ -289,22 +413,29 @@ class Tracer:
         subject: Subject,
         time: float = 0.0,
         detail: Optional[str] = None,
-    ) -> None:
+        cause: Optional[int] = None,
+    ) -> int:
         """A topology mutation was applied to the live network."""
-        self._record(
-            "mutate", reason=kind, subject=subject, time=time, detail=detail
+        return self._record(
+            "mutate", reason=kind, subject=subject, time=time, detail=detail,
+            cause=cause,
         )
 
     def repair(
-        self, node: int, time: float = 0.0, detail: Optional[str] = None
-    ) -> None:
+        self,
+        node: int,
+        time: float = 0.0,
+        detail: Optional[str] = None,
+        cause: Optional[int] = None,
+    ) -> int:
         """A dirtied node's routing table was rebuilt and installed."""
-        self._record(
+        return self._record(
             "repair",
             node=node,
             time=time,
             detail=detail,
             subject=node_subject(node),
+            cause=cause,
         )
 
     def converged(
@@ -312,10 +443,12 @@ class Tracer:
         time: float = 0.0,
         duration: Optional[float] = None,
         detail: Optional[str] = None,
-    ) -> None:
+        cause: Optional[int] = None,
+    ) -> int:
         """Every table is consistent with the live topology again."""
-        self._record(
-            "converged", time=time, duration=duration, detail=detail
+        return self._record(
+            "converged", time=time, duration=duration, detail=detail,
+            cause=cause,
         )
 
     def ctx(
@@ -324,11 +457,34 @@ class Tracer:
         op: str,
         time: float = 0.0,
         duration: Optional[float] = None,
-    ) -> None:
+    ) -> int:
         """The graph context computed (``op="miss"``) or dropped
         (``op="invalidate"``) the derivation named by ``kind``."""
-        self._record(
+        return self._record(
             "ctx", reason=op, detail=kind, time=time, duration=duration
+        )
+
+    def sample(
+        self,
+        detail: str,
+        time: float = 0.0,
+        duration: Optional[float] = None,
+    ) -> int:
+        """A sampling tracer summarises its keep/promote/suppress tallies."""
+        return self._record(
+            "sample", detail=detail, time=time, duration=duration
+        )
+
+    def slo(
+        self,
+        reason: str,
+        time: float = 0.0,
+        detail: Optional[str] = None,
+        subject: Optional[Subject] = None,
+    ) -> int:
+        """A self-observed guarantee was violated (defensive marker span)."""
+        return self._record(
+            "slo", reason=reason, time=time, detail=detail, subject=subject
         )
 
 
@@ -361,9 +517,20 @@ class RecordingTracer(Tracer):
 
 
 class JsonlTracer(Tracer):
-    """Streams events as JSON Lines to a file (the ``--trace-out`` sink)."""
+    """Streams events as JSON Lines to a file (the ``--trace-out`` sink).
 
-    def __init__(self, target: Union[str, os.PathLike, IO[str]]) -> None:
+    When a :class:`~repro.observability.manifest.RunManifest` is supplied
+    it is written as the first row (``{"manifest": {...}}``) so the trace
+    carries its own run ledger.  Because events stream as they happen,
+    the embedded manifest reports the invocation's start state; the
+    final wall time lives in the run's metrics/summary artifacts.
+    """
+
+    def __init__(
+        self,
+        target: Union[str, os.PathLike, IO[str]],
+        manifest: Optional[RunManifest] = None,
+    ) -> None:
         super().__init__()
         if hasattr(target, "write"):
             self._handle: IO[str] = target  # type: ignore[assignment]
@@ -372,6 +539,12 @@ class JsonlTracer(Tracer):
             self._handle = open(target, "w", encoding="utf-8")
             self._owns_handle = True
         self.written = 0
+        self.manifest = manifest
+        if manifest is not None:
+            self._handle.write(
+                json.dumps({"manifest": manifest.to_dict()}, sort_keys=True)
+            )
+            self._handle.write("\n")
 
     def emit(self, event: TraceEvent) -> None:
         self._handle.write(json.dumps(event.to_dict(), sort_keys=True))
@@ -391,26 +564,90 @@ class JsonlTracer(Tracer):
         self.close()
 
 
-def load_events(lines: Sequence[str]) -> List[TraceEvent]:
-    """Parse JSONL rows (blank lines skipped) into events."""
+def _decode_row(line: str, source: str, lineno: int) -> Optional[TraceEvent]:
+    """One JSONL row → event; ``None`` for the manifest row; raise on junk."""
+    try:
+        row = json.loads(line)
+    except ValueError as exc:
+        raise TraceDecodeError(
+            source, lineno, f"not valid JSON ({exc})"
+        ) from exc
+    if not isinstance(row, dict):
+        raise TraceDecodeError(
+            source, lineno, f"expected an object row, got {type(row).__name__}"
+        )
+    if "event" not in row:
+        if "manifest" in row:
+            return None
+        raise TraceDecodeError(
+            source, lineno, "row has neither 'event' nor 'manifest'"
+        )
+    try:
+        return TraceEvent.from_dict(row)
+    except TypeError as exc:
+        raise TraceDecodeError(
+            source, lineno, f"bad trace event ({exc})"
+        ) from exc
+
+
+def load_events(
+    lines: Sequence[str], source: str = "<events>"
+) -> List[TraceEvent]:
+    """Parse JSONL rows (blank lines and the manifest row skipped).
+
+    Raises :class:`TraceDecodeError` — not a bare ``json``/``TypeError``
+    crash — when a row is malformed, naming the source and line.
+    """
     events = []
-    for line in lines:
+    for lineno, line in enumerate(lines, start=1):
         line = line.strip()
         if line:
-            events.append(TraceEvent.from_dict(json.loads(line)))
+            event = _decode_row(line, source, lineno)
+            if event is not None:
+                events.append(event)
     return events
 
 
 def read_trace(path: Union[str, os.PathLike]) -> List[TraceEvent]:
     """Read a ``--trace-out`` JSONL file back into :class:`TraceEvent` s."""
     with open(path, "r", encoding="utf-8") as handle:
-        return load_events(handle.readlines())
+        return load_events(handle.readlines(), source=os.fspath(path))
+
+
+def read_trace_manifest(
+    path: Union[str, os.PathLike],
+) -> Optional[RunManifest]:
+    """Recover the embedded :class:`RunManifest` from a trace file.
+
+    Returns ``None`` when the trace was written without a manifest (the
+    pre-ledger format).  Only leading blank lines may precede the
+    manifest row.
+    """
+    source = os.fspath(path)
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except ValueError as exc:
+                raise TraceDecodeError(
+                    source, lineno, f"not valid JSON ({exc})"
+                ) from exc
+            if isinstance(row, dict) and "manifest" in row:
+                return RunManifest.from_dict(row["manifest"])
+            return None
+    return None
 
 
 def iter_trace(path: Union[str, os.PathLike]) -> Iterator[TraceEvent]:
     """Stream a JSONL trace without holding the whole file."""
+    source = os.fspath(path)
     with open(path, "r", encoding="utf-8") as handle:
-        for line in handle:
+        for lineno, line in enumerate(handle, start=1):
             line = line.strip()
             if line:
-                yield TraceEvent.from_dict(json.loads(line))
+                event = _decode_row(line, source, lineno)
+                if event is not None:
+                    yield event

@@ -66,6 +66,11 @@ class Message:
     """Set when a hop decision was made while the routing tables were not
     yet converged after a topology mutation (the staleness mark the
     convergence layer aggregates)."""
+    traced: bool = True
+    """Whether span emission is on for this message.  A sampling tracer
+    may decline a message at inject (``Tracer.wants``); the engine then
+    skips every per-hop span call until the message turns anomalous and
+    is promoted back to traced."""
 
     @property
     def hops(self) -> int:

@@ -190,6 +190,11 @@ class Network:
             "undetected": 0,
             "healed": 0,
         }
+        # Open trace spans for causal links: the corrupt span of each
+        # still-damaged node (quarantine/heal link back to it) and the
+        # most recent mutate span (repairs link back to their trigger).
+        self._corrupt_spans: Dict[int, int] = {}
+        self._mutate_span: Optional[int] = None
 
     @property
     def scheme(self) -> RoutingScheme:
@@ -273,7 +278,7 @@ class Network:
             "repro_topology_mutations_total", kind=mutation.kind.name
         ).inc()
         if self._tracer is not None:
-            self._tracer.mutate(
+            self._mutate_span = self._tracer.mutate(
                 kind=mutation.kind.value,
                 subject=_mutation_subject(mutation),
                 detail=mutation.describe(),
@@ -343,7 +348,9 @@ class Network:
             "repro_table_corruptions_total", kind=mutation.kind.name
         ).inc()
         if self._tracer is not None:
-            self._tracer.corrupt(node=node, detail=mutation.describe())
+            self._corrupt_spans[node] = self._tracer.corrupt(
+                node=node, detail=mutation.describe()
+            )
 
     def heal_table(self, node: int) -> bool:
         """Rebuild ``node``'s function pristine from graph+model knowledge.
@@ -368,7 +375,9 @@ class Network:
         self._corruption_stats["healed"] += 1
         get_registry().counter("repro_table_heals_total").inc()
         if self._tracer is not None:
-            self._tracer.heal(node=node)
+            self._tracer.heal(
+                node=node, cause=self._corrupt_spans.pop(node, None)
+            )
         return True
 
     def _detected(self, node: int, why: str) -> IntegrityError:
@@ -380,7 +389,10 @@ class Network:
                 "repro_table_corruption_detected_total"
             ).inc()
             if self._tracer is not None:
-                self._tracer.quarantine(node=node, detail=why)
+                self._tracer.quarantine(
+                    node=node, detail=why,
+                    cause=self._corrupt_spans.get(node),
+                )
         return IntegrityError(f"node {node}: {why}")
 
     def _function_for(self, node: int) -> LocalRoutingFunction:
@@ -841,6 +853,12 @@ class EventDrivenSimulator:
             "bits_rewritten": 0,
             "bits_reused": 0,
         }
+        # Open trace spans for causal links: corrupt span per damaged
+        # node, the latest mutate span (repairs link to it) and the first
+        # mutate span of the current churn episode (converged links to it).
+        self._corrupt_spans: Dict[int, int] = {}
+        self._mutate_span: Optional[int] = None
+        self._episode_root_span: Optional[int] = None
 
     @property
     def network(self) -> Network:
@@ -862,7 +880,12 @@ class EventDrivenSimulator:
             path=[source],
         )
         if self._tracer is not None:
-            self._tracer.inject(message.msg_id, source, destination, time=at_time)
+            if self._tracer.wants(message.msg_id):
+                self._tracer.inject(
+                    message.msg_id, source, destination, time=at_time
+                )
+            else:
+                message.traced = False
         self._push_message(message, at_time, at_time)
 
     def _push_message(
@@ -897,13 +920,23 @@ class EventDrivenSimulator:
         """
         tracer = self._tracer
         if reason is None:
-            if tracer is not None:
+            # A stale delivery is anomalous: promote it even though the
+            # message was suppressed at inject and never dropped.
+            if tracer is not None and (message.traced or message.stale):
+                if not message.traced:
+                    tracer.promote(
+                        message.msg_id,
+                        message.source,
+                        message.destination,
+                        injected_at,
+                    )
                 tracer.deliver(
                     message.msg_id,
                     node=message.destination,
                     time=now,
                     hop=message.hops,
                     attempt=message.attempt,
+                    detail="stale" if message.stale else None,
                 )
             self._records.append(
                 _delivered_record(
@@ -929,6 +962,13 @@ class EventDrivenSimulator:
                 attempt=message.attempt + 1,
             )
             if tracer is not None:
+                if not message.traced:
+                    tracer.promote(
+                        message.msg_id,
+                        message.source,
+                        message.destination,
+                        injected_at,
+                    )
                 tracer.retry(
                     message.msg_id,
                     source=message.source,
@@ -940,6 +980,13 @@ class EventDrivenSimulator:
             self._push_message(fresh, now + backoff, injected_at)
             return
         if tracer is not None:
+            if not message.traced:
+                tracer.promote(
+                    message.msg_id,
+                    message.source,
+                    message.destination,
+                    injected_at,
+                )
             tracer.drop(
                 message.msg_id,
                 node=message.path[-1],
@@ -981,7 +1028,9 @@ class EventDrivenSimulator:
                     if event.mutation is not None
                     else None
                 )
-                tracer.corrupt(node=node, time=now, detail=detail)
+                self._corrupt_spans[node] = tracer.corrupt(
+                    node=node, time=now, detail=detail
+                )
             return
         if event.kind is FaultKind.TABLE_REPAIR:
             node = event.subject[0]
@@ -989,7 +1038,10 @@ class EventDrivenSimulator:
             self._corrupted_at.pop(node, None)
             self._reacted.discard(node)
             if healed and tracer is not None:
-                tracer.heal(node=node, time=now)
+                tracer.heal(
+                    node=node, time=now,
+                    cause=self._corrupt_spans.pop(node, None),
+                )
             return
         if tracer is not None:
             subject = (
@@ -1006,7 +1058,9 @@ class EventDrivenSimulator:
             return
         self._reacted.add(node)
         if self._tracer is not None:
-            self._tracer.quarantine(node=node, time=now)
+            self._tracer.quarantine(
+                node=node, time=now, cause=self._corrupt_spans.get(node)
+            )
         corrupted_since = self._corrupted_at.pop(node, None)
         if corrupted_since is not None:
             get_registry().histogram(
@@ -1059,12 +1113,14 @@ class EventDrivenSimulator:
         # The mutation counter is incremented by Network.apply_mutation
         # above — the single accounting point for both walker and engine.
         if self._tracer is not None:
-            self._tracer.mutate(
+            self._mutate_span = self._tracer.mutate(
                 kind=mutation.kind.value,
                 subject=_mutation_subject(mutation),
                 time=now,
                 detail=mutation.describe(),
             )
+            if self._episode_root_span is None:
+                self._episode_root_span = self._mutate_span
         self._push_control(
             _RepairTick(self._generation), now + self._churn_delay
         )
@@ -1119,7 +1175,9 @@ class EventDrivenSimulator:
         self._plan_installed.add(node)
         if self._tracer is not None:
             self._tracer.repair(
-                node=node, time=now, detail=f"{len(bits)} bits reinstalled"
+                node=node, time=now,
+                detail=f"{len(bits)} bits reinstalled",
+                cause=self._mutate_span,
             )
 
     def _apply_install(self, install: _TableInstall, now: float) -> None:
@@ -1146,8 +1204,10 @@ class EventDrivenSimulator:
         self._convergence_times.append(duration)
         if self._tracer is not None:
             self._tracer.converged(
-                time=now, duration=duration, detail=plan.describe()
+                time=now, duration=duration, detail=plan.describe(),
+                cause=self._episode_root_span,
             )
+            self._episode_root_span = None
         self._pending_mutations = []
         self._stale_since = None
         self._active_plan = None
@@ -1402,7 +1462,7 @@ class EventDrivenSimulator:
                 self._forward_counts.get(current, 0) + 1
             )
             arrival = departure + self._latency
-            if self._tracer is not None:
+            if self._tracer is not None and message.traced:
                 self._tracer.hop(
                     message.msg_id,
                     node=current,

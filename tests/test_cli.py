@@ -166,12 +166,18 @@ class TestObservabilityFlags:
         payload = json.loads(capsys.readouterr().out)
         rows = [json.loads(line) for line in trace.read_text().splitlines()]
         assert rows, "trace file must not be empty"
-        drops = [row for row in rows if row["event"] == "drop"]
+        # the run ledger rides along: first row of the trace, a key in the
+        # metrics dump and the summary, all naming the same invocation
+        assert "manifest" in rows[0]
+        assert rows[0]["manifest"]["command"] == "simulate-chaos"
+        assert payload["manifest"]["run_id"] == rows[0]["manifest"]["run_id"]
+        drops = [row for row in rows if row.get("event") == "drop"]
         # acceptance: every drop in drop_breakdown has an annotated span
         assert len(drops) == sum(payload["drop_breakdown"].values())
         assert all("reason" in row for row in drops)
         registry_dump = json.loads(metrics.read_text())
-        assert "repro_messages_routed_total" in registry_dump
+        assert registry_dump["manifest"]["run_id"] == payload["manifest"]["run_id"]
+        assert "repro_messages_routed_total" in registry_dump["metrics"]
 
         assert main(["trace-report", str(trace)]) == 0
         out = capsys.readouterr().out
@@ -195,8 +201,14 @@ class TestObservabilityFlags:
         import json
 
         payload = json.loads(target.read_text())
-        assert "repro_scheme_table_bits" in payload
-        assert "repro_phase_seconds" in payload
+        assert "repro_scheme_table_bits" in payload["metrics"]
+        assert "repro_phase_seconds" in payload["metrics"]
+        from repro.observability import embedded_manifest
+
+        manifest = embedded_manifest(payload)
+        assert manifest.command == "build"
+        assert manifest.n == 24
+        assert manifest.wall_time_s is not None
 
     def test_build_metrics_out_prometheus(self, tmp_path, capsys):
         target = tmp_path / "metrics.prom"
@@ -204,5 +216,139 @@ class TestObservabilityFlags:
             ["build", "thm4-hub", "32", "--metrics-out", str(target)]
         ) == 0
         text = target.read_text()
+        assert text.startswith("# manifest: ")
+        import json
+
+        from repro.observability import RunManifest
+
+        manifest = RunManifest.from_dict(
+            json.loads(text.splitlines()[0][len("# manifest: "):])
+        )
+        assert manifest.scheme == "thm4-hub"
         assert "# TYPE repro_scheme_table_bits gauge" in text
+        assert "# HELP repro_scheme_table_bits" in text
         assert 'scheme="thm4-hub"' in text
+
+
+class TestBenchReport:
+    """The regression gate: `repro bench-report` exit codes and output."""
+
+    @staticmethod
+    def _result(value, tolerance=0.10):
+        from repro.observability import (
+            BenchMetric,
+            BenchResult,
+            BetterDirection,
+            RunManifest,
+        )
+
+        return BenchResult(
+            bench="context_reuse",
+            manifest=RunManifest.capture("bench:context_reuse", seed=0),
+            workload={"n": 256},
+            metrics={
+                "speedup_ratio": BenchMetric(
+                    value, BetterDirection.HIGHER, tolerance
+                ),
+                "best_seconds": BenchMetric(0.25),
+            },
+        )
+
+    def test_clean_run_passes(self, tmp_path, capsys):
+        from repro.observability import write_bench_result
+
+        baseline = tmp_path / "baseline.json"
+        fresh = tmp_path / "fresh.json"
+        write_bench_result(self._result(1.10), baseline)
+        write_bench_result(self._result(1.08), fresh)
+        assert main(
+            ["bench-report", "--baseline", str(baseline), "--fresh", str(fresh)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "OK: no regressions" in out
+
+    def test_doctored_regression_fails(self, tmp_path, capsys):
+        # acceptance: a >10% speedup_ratio regression exits non-zero
+        from repro.observability import write_bench_result
+
+        baseline = tmp_path / "baseline.json"
+        doctored = tmp_path / "doctored.json"
+        write_bench_result(self._result(1.10), baseline)
+        write_bench_result(self._result(1.10 * 0.85), doctored)
+        assert main(
+            ["bench-report", "--baseline", str(baseline),
+             "--fresh", str(doctored)]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+        assert "speedup_ratio" in out
+
+    def test_doctored_committed_baseline_fails(self, tmp_path, capsys):
+        # The same check against the real committed BENCH_context.json.
+        import json
+        import pathlib
+
+        committed = pathlib.Path(__file__).parents[1] / "BENCH_context.json"
+        row = json.loads(committed.read_text())
+        row["metrics"]["speedup_ratio"]["value"] *= 0.85
+        doctored = tmp_path / "doctored.json"
+        doctored.write_text(json.dumps(row))
+        assert main(
+            ["bench-report", "--baseline", str(committed),
+             "--fresh", str(doctored)]
+        ) == 1
+        assert "speedup_ratio" in capsys.readouterr().out
+
+    def test_missing_gated_metric_fails(self, tmp_path, capsys):
+        from repro.observability import write_bench_result
+
+        baseline = tmp_path / "baseline.json"
+        fresh = tmp_path / "fresh.json"
+        write_bench_result(self._result(1.10), baseline)
+        gutted = self._result(1.10)
+        del gutted.metrics["speedup_ratio"]
+        write_bench_result(gutted, fresh)
+        assert main(
+            ["bench-report", "--baseline", str(baseline), "--fresh", str(fresh)]
+        ) == 1
+
+    def test_schema_less_json_rejected(self, tmp_path, capsys):
+        import json
+
+        baseline = tmp_path / "baseline.json"
+        legacy = tmp_path / "legacy.json"
+        from repro.observability import write_bench_result
+
+        write_bench_result(self._result(1.10), baseline)
+        legacy.write_text(json.dumps({"workload": {}, "speedup_ratio": 1.0}))
+        assert main(
+            ["bench-report", "--baseline", str(baseline),
+             "--fresh", str(legacy)]
+        ) == 2
+        assert "schema" in capsys.readouterr().err
+
+    def test_json_and_output_embed_manifest(self, tmp_path, capsys):
+        import json
+
+        from repro.observability import embedded_manifest, write_bench_result
+
+        baseline = tmp_path / "baseline.json"
+        out_file = tmp_path / "comparison.json"
+        write_bench_result(self._result(1.10), baseline)
+        assert main(
+            ["bench-report", "--baseline", str(baseline),
+             "--fresh", str(baseline), "--json", "--output", str(out_file)]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert embedded_manifest(payload).command == "bench-report"
+        written = json.loads(out_file.read_text())
+        assert embedded_manifest(written).command == "bench-report"
+        assert written["deltas"] == payload["deltas"]
+
+    def test_missing_file_exits_2(self, capsys):
+        assert main(
+            ["bench-report", "--baseline", "/nonexistent/b.json",
+             "--fresh", "/nonexistent/f.json"]
+        ) == 2
+        assert "not found" in capsys.readouterr().err

@@ -192,6 +192,40 @@ def test_r002_flags_incomplete_topology_mutation_dispatch():
     assert "NODE_LEAVE" in findings[0].message
 
 
+def test_r002_flags_incomplete_better_direction_dispatch():
+    # Seeded violation over the bench-gating taxonomy: a comparator that
+    # forgets NEUTRAL would gate on wall-clock seconds.
+    findings = findings_for(
+        "R002",
+        """
+        def gate(metric):
+            if metric.direction is BetterDirection.HIGHER:
+                return "regress-if-lower"
+            elif metric.direction is BetterDirection.LOWER:
+                return "regress-if-higher"
+        """,
+    )
+    assert len(findings) == 1
+    assert "BetterDirection" in findings[0].message
+    assert "NEUTRAL" in findings[0].message
+
+
+def test_r002_accepts_complete_better_direction_dispatch():
+    findings = findings_for(
+        "R002",
+        """
+        def gate(metric):
+            if metric.direction is BetterDirection.HIGHER:
+                return "regress-if-lower"
+            elif metric.direction is BetterDirection.LOWER:
+                return "regress-if-higher"
+            elif metric.direction is BetterDirection.NEUTRAL:
+                return "informational"
+        """,
+    )
+    assert findings == []
+
+
 def test_r002_accepts_complete_mutation_kind_match():
     findings = findings_for(
         "R002",
@@ -280,6 +314,23 @@ def test_r003_flags_unguarded_span_call_in_simulator():
     )
     assert len(findings) == 1
     assert "tracer.hop" in findings[0].message
+
+
+def test_r003_flags_unguarded_sample_and_slo_spans():
+    # Seeded violations for the sampling-protocol span names: the summary
+    # and breach spans are hot-path emissions like any other.
+    findings = findings_for(
+        "R003",
+        """
+        def finish(self):
+            self._tracer.sample(0.01, 100, 1, time=9.0)
+            self._tracer.slo(7, time=9.0)
+        """,
+        module="repro.simulator.fake",
+    )
+    assert len(findings) == 2
+    assert "tracer.sample" in findings[0].message
+    assert "tracer.slo" in findings[1].message
 
 
 def test_r003_accepts_guard_early_return_and_and_guard():

@@ -147,6 +147,60 @@ class TestPrometheusExposition:
         assert sanitize_metric_name("9lives").startswith("_")
 
 
+class TestHelpAndEscaping:
+    def test_golden_exposition(self):
+        """Full exposition text of a small registry, byte for byte."""
+        registry = MetricsRegistry()
+        registry.counter("repro_drops_total", reason="LINK_DOWN").inc(3)
+        registry.gauge("repro_scheme_table_bits", scheme="interval").set(99)
+        assert registry.to_prometheus() == (
+            "# HELP repro_drops_total Messages dropped, labelled by "
+            "DropReason.\n"
+            "# TYPE repro_drops_total counter\n"
+            'repro_drops_total{reason="LINK_DOWN"} 3\n'
+            "# HELP repro_scheme_table_bits Total routing-table bits of "
+            "the built scheme.\n"
+            "# TYPE repro_scheme_table_bits gauge\n"
+            'repro_scheme_table_bits{scheme="interval"} 99\n'
+        )
+
+    def test_label_value_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("c", detail='path\\to "x"\nnext').inc()
+        text = registry.to_prometheus()
+        assert 'detail="path\\\\to \\"x\\"\\nnext"' in text
+        assert "\n\n" not in text  # the raw newline never leaks
+
+    def test_describe_overrides_well_known_help(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_drops_total").inc()
+        registry.describe("repro_drops_total", "Custom text.")
+        assert "# HELP repro_drops_total Custom text." in (
+            registry.to_prometheus()
+        )
+
+    def test_help_text_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.describe("c", "slash \\ and\nnewline")
+        assert "# HELP c slash \\\\ and\\nnewline\n" in (
+            registry.to_prometheus()
+        )
+
+    def test_unknown_metric_has_no_help_line(self):
+        registry = MetricsRegistry()
+        registry.counter("mystery_total").inc()
+        text = registry.to_prometheus()
+        assert "# HELP" not in text
+        assert "# TYPE mystery_total counter" in text
+
+    def test_help_line_emitted_once_per_family(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_drops_total", reason="a").inc()
+        registry.counter("repro_drops_total", reason="b").inc()
+        assert registry.to_prometheus().count("# HELP repro_drops_total") == 1
+
+
 class TestGlobalRegistry:
     def test_swap_and_restore(self):
         fresh = MetricsRegistry()

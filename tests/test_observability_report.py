@@ -29,6 +29,23 @@ from repro.simulator import (
 GOLDEN = pathlib.Path(__file__).parent / "data" / "golden_trace.jsonl"
 
 
+class TestPercentile:
+    def test_unsorted_input(self):
+        from repro.observability.report import _percentile
+
+        samples = [9.0, 1.0, 5.0, 3.0, 7.0]
+        assert _percentile(samples, 50) == 5.0
+        assert _percentile(samples, 100) == 9.0
+        assert _percentile(samples, 0) == 1.0
+        # The helper must not have mutated the caller's list either.
+        assert samples == [9.0, 1.0, 5.0, 3.0, 7.0]
+
+    def test_empty_is_nan(self):
+        from repro.observability.report import _percentile
+
+        assert math.isnan(_percentile([], 50))
+
+
 class TestGoldenTrace:
     @pytest.fixture(scope="class")
     def summary(self):
