@@ -1,0 +1,78 @@
+"""`repro.analysis.flow` — the cross-module dataflow analysis engine.
+
+Four layers, each consuming only the one below:
+
+1. :mod:`~repro.analysis.flow.symbols` — per-module symbol tables and the
+   import-resolving :class:`ProjectIndex` (re-export chains followed);
+2. :mod:`~repro.analysis.flow.callgraph` — every call expression resolved
+   to a project qualname where the symbol table allows it;
+3. :mod:`~repro.analysis.flow.dataflow` — intraprocedural reaching
+   definitions and value provenance (parameter / constant / ambient /
+   opaque atoms);
+4. :mod:`~repro.analysis.flow.summaries` — interprocedural fixpoints:
+   seed sinks, GraphContext cache effects, exception escapes and bit
+   purity per function.
+
+On top sit the flow-sensitive lint rules (R010–R013) in
+:mod:`~repro.analysis.flow.rules`, registered in the same registry as
+the per-file rules and driven by ``repro lint`` (on by default; disable
+with ``--no-flow``, inspect the graph with ``--dump-callgraph``).
+
+Everything is stdlib-``ast`` only: the analysed code is never imported.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Tuple
+
+from repro.analysis.flow.callgraph import CallGraph, CallSite, build_callgraph
+from repro.analysis.flow.dataflow import Env, ProvSet, evaluate, walk_function
+from repro.analysis.flow.summaries import (
+    EffectSummary,
+    EffectViolation,
+    FlowAnalysis,
+    RngSite,
+)
+from repro.analysis.flow.symbols import (
+    ClassInfo,
+    FunctionInfo,
+    ModuleInfo,
+    ProjectIndex,
+    build_module_info,
+)
+
+__all__ = [
+    "CallGraph",
+    "CallSite",
+    "build_callgraph",
+    "Env",
+    "ProvSet",
+    "evaluate",
+    "walk_function",
+    "EffectSummary",
+    "EffectViolation",
+    "FlowAnalysis",
+    "RngSite",
+    "ClassInfo",
+    "FunctionInfo",
+    "ModuleInfo",
+    "ProjectIndex",
+    "build_module_info",
+    "build_project",
+    "analyse_project",
+]
+
+
+def build_project(
+    files: Iterable[Tuple[str, str, ast.Module]]
+) -> ProjectIndex:
+    """Index ``(module_name, path, tree)`` triples into a ProjectIndex."""
+    return ProjectIndex(
+        build_module_info(name, path, tree) for name, path, tree in files
+    )
+
+
+def analyse_project(project: ProjectIndex) -> FlowAnalysis:
+    """Build the call graph and run every interprocedural fixpoint."""
+    return FlowAnalysis(project).run()

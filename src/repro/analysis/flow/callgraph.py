@@ -1,0 +1,222 @@
+"""Import-resolved call graph over the project symbol table.
+
+Every ``ast.Call`` in every function body (module-level code counts as a
+pseudo-function named ``module.<module>``) is resolved to a project
+qualname where the symbol table allows it:
+
+* bare names through local defs and (re-exported) imports;
+* ``self.method(...)`` through the enclosing class and its bases;
+* ``Module.func(...)`` / ``Class.method(...)`` through dotted resolution;
+* attribute calls on unknown receivers through a *unique-method*
+  fallback: if exactly one project class defines the method name (and the
+  name is not a common container/stdlib method), the call is attributed
+  to it.
+
+Unresolved calls are kept as ``CallSite`` rows with ``callee=None`` so
+the JSON dump is an honest picture of coverage, not just the happy path.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.analysis.flow.symbols import FunctionInfo, ProjectIndex
+
+__all__ = ["CallSite", "CallGraph", "build_callgraph"]
+
+CALLGRAPH_VERSION = 1
+
+# Attribute names too generic to attribute by uniqueness: container and
+# stdlib-protocol methods that would otherwise mis-resolve onto whatever
+# project class happens to define the same name.
+_COMMON_METHODS = frozenset(
+    {
+        "add", "append", "clear", "close", "copy", "count", "discard",
+        "extend", "format", "get", "index", "insert", "items", "join",
+        "keys", "pop", "popleft", "read", "remove", "reverse", "set",
+        "setdefault", "sort", "split", "strip", "update", "values",
+        "write", "encode", "decode", "open", "run", "next", "send",
+    }
+)
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+@dataclass
+class CallSite:
+    """One call expression, attributed to its (pseudo-)function."""
+
+    caller: str
+    callee: Optional[str]
+    """Resolved project qualname, or None for external/unresolved."""
+    display: str
+    """The callee as written in the source (best effort)."""
+    lineno: int
+    col: int
+    node: ast.Call
+    via_self: bool = False
+    """Whether the call was dispatched through ``self``/``cls``."""
+
+
+class CallGraph:
+    """Call sites grouped by caller, with reverse edges."""
+
+    def __init__(self) -> None:
+        self.sites_by_caller: Dict[str, List[CallSite]] = {}
+        self._callers_of: Dict[str, List[CallSite]] = {}
+
+    def add(self, site: CallSite) -> None:
+        self.sites_by_caller.setdefault(site.caller, []).append(site)
+        if site.callee is not None:
+            self._callers_of.setdefault(site.callee, []).append(site)
+
+    def sites(self, caller: str) -> List[CallSite]:
+        return self.sites_by_caller.get(caller, [])
+
+    def callers_of(self, qualname: str) -> List[CallSite]:
+        return self._callers_of.get(qualname, [])
+
+    def iter_sites(self) -> Iterator[CallSite]:
+        for caller in sorted(self.sites_by_caller):
+            yield from self.sites_by_caller[caller]
+
+    def callees(self, caller: str) -> List[str]:
+        """Resolved callee qualnames of one caller (deduplicated, sorted)."""
+        return sorted(
+            {s.callee for s in self.sites(caller) if s.callee is not None}
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-dumpable picture: nodes, resolved edges, coverage stats."""
+        resolved = 0
+        unresolved = 0
+        edges: List[Dict[str, object]] = []
+        for site in self.iter_sites():
+            if site.callee is None:
+                unresolved += 1
+                continue
+            resolved += 1
+            edges.append(
+                {
+                    "caller": site.caller,
+                    "callee": site.callee,
+                    "line": site.lineno,
+                }
+            )
+        return {
+            "version": CALLGRAPH_VERSION,
+            "functions": sorted(self.sites_by_caller),
+            "edges": edges,
+            "resolved_calls": resolved,
+            "unresolved_calls": unresolved,
+        }
+
+
+def build_callgraph(project: ProjectIndex) -> CallGraph:
+    """Resolve every call expression in every module of the project."""
+    graph = CallGraph()
+    for module in sorted(project.modules):
+        info = project.modules[module]
+        # Module-level statements form a pseudo-function so seeds or
+        # mutations at import time are still analysed.
+        toplevel: List[ast.stmt] = [
+            stmt
+            for stmt in info.tree.body
+            if not isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            )
+        ]
+        pseudo = f"{module}.<module>"
+        for stmt in toplevel:
+            _collect_calls(graph, project, module, None, pseudo, stmt)
+        for fn in info.functions.values():
+            for stmt in fn.node.body:  # type: ignore[attr-defined]
+                _collect_calls(graph, project, module, None, fn.qualname, stmt)
+        for cls in info.classes.values():
+            for method in cls.methods.values():
+                for stmt in method.node.body:  # type: ignore[attr-defined]
+                    _collect_calls(
+                        graph, project, module, cls.name, method.qualname, stmt
+                    )
+    return graph
+
+
+def _collect_calls(
+    graph: CallGraph,
+    project: ProjectIndex,
+    module: str,
+    cls: Optional[str],
+    caller: str,
+    node: ast.AST,
+) -> None:
+    for child in ast.walk(node):
+        if isinstance(child, ast.Call):
+            callee, display, via_self = resolve_call(
+                project, module, cls, child
+            )
+            graph.add(
+                CallSite(
+                    caller=caller,
+                    callee=callee,
+                    display=display,
+                    lineno=child.lineno,
+                    col=child.col_offset,
+                    node=child,
+                    via_self=via_self,
+                )
+            )
+
+
+def resolve_call(
+    project: ProjectIndex,
+    module: str,
+    cls: Optional[str],
+    call: ast.Call,
+) -> Tuple[Optional[str], str, bool]:
+    """Resolve one call expression to ``(qualname, display, via_self)``."""
+    func = call.func
+    dotted = _dotted(func)
+    if dotted is None:
+        return None, "<dynamic>", False
+    parts = dotted.split(".")
+    # self.method(...) / cls.method(...) inside a class body.
+    if cls is not None and parts[0] in ("self", "cls") and len(parts) == 2:
+        info = project.modules.get(module)
+        if info is not None and cls in info.classes:
+            method = project.resolve_method(
+                info.classes[cls].qualname, parts[1]
+            )
+            if method is not None:
+                return method.qualname, dotted, True
+        return None, dotted, True
+    resolved = project.resolve(module, dotted)
+    if resolved is not None and resolved in project.functions:
+        return resolved, dotted, False
+    if resolved is not None and resolved in project.classes:
+        # Constructor call: attribute it to __init__ when present.
+        init = project.resolve_method(resolved, "__init__")
+        if init is not None:
+            return init.qualname, dotted, False
+        return resolved, dotted, False
+    # Unique-method fallback for attribute calls on unknown receivers.
+    if isinstance(func, ast.Attribute):
+        name = func.attr
+        candidates = project.method_index.get(name, [])
+        if (
+            len(candidates) == 1
+            and name not in _COMMON_METHODS
+            and not name.startswith("__")
+        ):
+            return candidates[0].qualname, dotted, False
+    return None, dotted, False

@@ -1,0 +1,454 @@
+"""Intraprocedural dataflow: reaching definitions and value provenance.
+
+The walker executes a function body abstractly, statement by statement,
+maintaining an environment mapping local names to *provenance sets* —
+which parameters, constants or opaque sources each value derives from.
+Branches are analysed independently and merged by union; loop bodies run
+twice so loop-carried definitions reach their uses (a fixpoint for the
+union lattice, whose chains over a finite atom set have length <= 2 per
+variable per pass).
+
+Provenance atoms are ``(tag, detail)`` pairs:
+
+``("param", name)``
+    Derives from the enclosing function's parameter ``name`` (attribute
+    and subscript projections included: ``args.seed`` is ``args``).
+``("const", "")``
+    A literal or module-level constant.
+``("ambient", desc)``
+    An entropy/clock source: ``time.time()``, ``os.urandom()``,
+    module-level ``random.*`` draws, ``uuid``/``secrets``.  Anything
+    tainted by one of these is irreproducible by construction.
+``("call", qualname)``
+    A resolved project call whose return could not be reduced further.
+``("opaque", desc)``
+    An unresolved global, external call or attribute chain.
+
+Interprocedural knowledge arrives through a caller-supplied ``call_hook``
+that maps a call node (plus the evaluated provenance of its arguments)
+to the provenance of its return value — the summary layer plugs the
+fixpointed function summaries in there.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
+
+__all__ = [
+    "ProvSet",
+    "PARAM",
+    "CONST",
+    "AMBIENT",
+    "CALL",
+    "OPAQUE",
+    "const_set",
+    "Env",
+    "evaluate",
+    "walk_function",
+    "AMBIENT_CALLS",
+    "ambient_source",
+]
+
+Atom = Tuple[str, str]
+ProvSet = FrozenSet[Atom]
+
+PARAM = "param"
+CONST = "const"
+AMBIENT = "ambient"
+CALL = "call"
+OPAQUE = "opaque"
+
+_EMPTY: ProvSet = frozenset()
+_CONST: ProvSet = frozenset({(CONST, "")})
+
+
+def const_set() -> ProvSet:
+    """The provenance of a literal."""
+    return _CONST
+
+
+# Dotted call targets whose results are entropy or wall-clock state; a
+# seed derived from one of these is irreproducible by construction.  The
+# leading module segment is matched after import-alias normalisation.
+AMBIENT_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "os.urandom",
+        "os.getrandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "secrets.token_bytes",
+        "secrets.token_hex",
+        "secrets.randbits",
+        "secrets.randbelow",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.date.today",
+    }
+)
+
+# Bare ``random.X()`` module-level draws (ambient global RNG state); the
+# seeded-RNG constructors are deliberately not in this set.
+_AMBIENT_RANDOM_ATTRS = frozenset(
+    {
+        "random", "randint", "randrange", "choice", "choices", "shuffle",
+        "sample", "uniform", "gauss", "random_sample", "getrandbits",
+        "randbytes", "betavariate", "expovariate", "normalvariate",
+    }
+)
+
+# Builtin calls whose result derives entirely from their arguments.
+_PASSTHROUGH_BUILTINS = frozenset(
+    {
+        "int", "float", "str", "bytes", "bool", "abs", "round", "len",
+        "min", "max", "sum", "sorted", "tuple", "list", "set", "dict",
+        "frozenset", "hash", "divmod", "pow", "repr", "ord", "chr",
+        "zip", "map", "filter", "enumerate", "reversed", "next", "iter",
+        "range",
+    }
+)
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def ambient_source(
+    dotted: str, normalise: Callable[[str], str]
+) -> Optional[str]:
+    """The ambient source a dotted call target names, if any.
+
+    ``normalise`` maps the leading alias through the module's imports
+    (``_random.random`` -> ``random.random``).
+    """
+    full = normalise(dotted)
+    if full in AMBIENT_CALLS:
+        return full
+    parts = full.split(".")
+    if (
+        len(parts) == 2
+        and parts[0] == "random"
+        and parts[1] in _AMBIENT_RANDOM_ATTRS
+    ):
+        return full
+    if len(parts) >= 2 and parts[0] in ("secrets", "uuid"):
+        return full
+    # np.random.<draw> on the module-level generator.
+    if (
+        len(parts) == 3
+        and parts[0] in ("np", "numpy")
+        and parts[1] == "random"
+        and parts[2] in _AMBIENT_RANDOM_ATTRS
+    ):
+        return full
+    return None
+
+
+class Env:
+    """Mutable mapping of local names to provenance sets."""
+
+    __slots__ = ("bindings",)
+
+    def __init__(self, bindings: Optional[Dict[str, ProvSet]] = None) -> None:
+        self.bindings: Dict[str, ProvSet] = dict(bindings or {})
+
+    def copy(self) -> "Env":
+        return Env(self.bindings)
+
+    def merge(self, other: "Env") -> None:
+        """Union-merge another branch's bindings into this one."""
+        for name, prov in other.bindings.items():
+            if name in self.bindings:
+                self.bindings[name] = self.bindings[name] | prov
+            else:
+                self.bindings[name] = prov
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Env) and self.bindings == other.bindings
+
+    def __hash__(self) -> int:  # pragma: no cover - unhashable by design
+        raise TypeError("Env is mutable")
+
+
+CallHook = Callable[[ast.Call, "Env"], ProvSet]
+StatementHook = Callable[[ast.stmt, "Env"], None]
+
+
+def evaluate(
+    expr: ast.expr,
+    env: Env,
+    params: FrozenSet[str],
+    module_constants: FrozenSet[str],
+    call_hook: CallHook,
+) -> ProvSet:
+    """Provenance of one expression under the current environment."""
+
+    def rec(node: ast.expr) -> ProvSet:
+        if isinstance(node, ast.Constant):
+            return _CONST
+        if isinstance(node, ast.Name):
+            if node.id in env.bindings:
+                return env.bindings[node.id]
+            if node.id in params:
+                return frozenset({(PARAM, node.id)})
+            if node.id in module_constants:
+                return _CONST
+            return frozenset({(OPAQUE, node.id)})
+        if isinstance(node, ast.Attribute):
+            # Projection: args.seed derives from args; chains collapse
+            # onto the base value's provenance.
+            return rec(node.value)
+        if isinstance(node, ast.Subscript):
+            return rec(node.value) | rec(node.slice)
+        if isinstance(node, ast.Call):
+            return call_hook(node, env)
+        if isinstance(node, ast.NamedExpr):
+            value = rec(node.value)
+            if isinstance(node.target, ast.Name):
+                env.bindings[node.target.id] = value
+            return value
+        if isinstance(node, ast.IfExp):
+            return rec(node.body) | rec(node.orelse)
+        if isinstance(node, ast.BoolOp):
+            out: ProvSet = _EMPTY
+            for value in node.values:
+                out |= rec(value)
+            return out
+        if isinstance(node, ast.BinOp):
+            return rec(node.left) | rec(node.right)
+        if isinstance(node, ast.UnaryOp):
+            return rec(node.operand)
+        if isinstance(node, ast.Compare):
+            out = rec(node.left)
+            for comparator in node.comparators:
+                out |= rec(comparator)
+            return out
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            out = _EMPTY
+            for elt in node.elts:
+                out |= rec(elt)
+            return out or _CONST
+        if isinstance(node, ast.Dict):
+            out = _EMPTY
+            for key in node.keys:
+                if key is not None:
+                    out |= rec(key)
+            for value in node.values:
+                out |= rec(value)
+            return out or _CONST
+        if isinstance(node, ast.Starred):
+            return rec(node.value)
+        if isinstance(node, ast.JoinedStr):
+            out = _EMPTY
+            for value in node.values:
+                if isinstance(value, ast.FormattedValue):
+                    out |= rec(value.value)
+            return out or _CONST
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            comp_env = env.copy()
+            out = _EMPTY
+            for gen in node.generators:
+                iterable = evaluate(
+                    gen.iter, comp_env, params, module_constants, call_hook
+                )
+                for leaf in ast.walk(gen.target):
+                    if isinstance(leaf, ast.Name):
+                        comp_env.bindings[leaf.id] = iterable
+                out |= iterable
+            out |= evaluate(
+                node.elt, comp_env, params, module_constants, call_hook
+            )
+            return out
+        if isinstance(node, ast.DictComp):
+            comp_env = env.copy()
+            out = _EMPTY
+            for gen in node.generators:
+                iterable = evaluate(
+                    gen.iter, comp_env, params, module_constants, call_hook
+                )
+                for leaf in ast.walk(gen.target):
+                    if isinstance(leaf, ast.Name):
+                        comp_env.bindings[leaf.id] = iterable
+                out |= iterable
+            out |= evaluate(
+                node.key, comp_env, params, module_constants, call_hook
+            )
+            out |= evaluate(
+                node.value, comp_env, params, module_constants, call_hook
+            )
+            return out
+        if isinstance(node, (ast.Await, ast.YieldFrom)):
+            return rec(node.value)  # type: ignore[arg-type]
+        if isinstance(node, ast.Yield):
+            return rec(node.value) if node.value is not None else _EMPTY
+        if isinstance(node, ast.Lambda):
+            return _CONST
+        return frozenset({(OPAQUE, type(node).__name__)})
+
+    return rec(expr)
+
+
+def walk_function(
+    body: List[ast.stmt],
+    env: Env,
+    params: FrozenSet[str],
+    module_constants: FrozenSet[str],
+    call_hook: CallHook,
+    on_statement: Optional[StatementHook] = None,
+) -> Env:
+    """Abstractly execute a statement list, returning the exit environment.
+
+    ``on_statement`` observes each statement *before* its effects apply,
+    with the environment valid at that program point — the rule passes
+    hang their checks there.
+    """
+
+    def run(statements: List[ast.stmt], env: Env) -> Env:
+        for stmt in statements:
+            if on_statement is not None:
+                on_statement(stmt, env)
+            env = step(stmt, env)
+        return env
+
+    def assign(target: ast.expr, prov: ProvSet, env: Env) -> None:
+        if isinstance(target, ast.Name):
+            env.bindings[target.id] = prov
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                assign(elt, prov, env)
+        elif isinstance(target, ast.Starred):
+            assign(target.value, prov, env)
+        # Attribute/subscript stores do not rebind local names.
+
+    def step(stmt: ast.stmt, env: Env) -> Env:
+        if isinstance(stmt, ast.Assign):
+            prov = evaluate(
+                stmt.value, env, params, module_constants, call_hook
+            )
+            for target in stmt.targets:
+                assign(target, prov, env)
+            return env
+        if isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                prov = evaluate(
+                    stmt.value, env, params, module_constants, call_hook
+                )
+                assign(stmt.target, prov, env)
+            return env
+        if isinstance(stmt, ast.AugAssign):
+            prov = evaluate(
+                stmt.value, env, params, module_constants, call_hook
+            )
+            if isinstance(stmt.target, ast.Name):
+                previous = env.bindings.get(stmt.target.id, _EMPTY)
+                env.bindings[stmt.target.id] = previous | prov
+            return env
+        if isinstance(stmt, ast.Expr):
+            evaluate(stmt.value, env, params, module_constants, call_hook)
+            return env
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                evaluate(stmt.value, env, params, module_constants, call_hook)
+            return env
+        if isinstance(stmt, ast.If):
+            evaluate(stmt.test, env, params, module_constants, call_hook)
+            then_env = run(stmt.body, env.copy())
+            else_env = run(stmt.orelse, env.copy())
+            then_env.merge(else_env)
+            return then_env
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            iterable = evaluate(
+                stmt.iter, env, params, module_constants, call_hook
+            )
+            assign(stmt.target, iterable, env)
+            first = run(stmt.body, env.copy())
+            env.merge(first)
+            second = run(stmt.body, env.copy())
+            env.merge(second)
+            env = run(stmt.orelse, env)
+            return env
+        if isinstance(stmt, ast.While):
+            evaluate(stmt.test, env, params, module_constants, call_hook)
+            first = run(stmt.body, env.copy())
+            env.merge(first)
+            second = run(stmt.body, env.copy())
+            env.merge(second)
+            env = run(stmt.orelse, env)
+            return env
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                prov = evaluate(
+                    item.context_expr, env, params, module_constants, call_hook
+                )
+                if item.optional_vars is not None:
+                    assign(item.optional_vars, prov, env)
+            return run(stmt.body, env)
+        if isinstance(stmt, ast.Try):
+            entry = env.copy()
+            after_body = run(stmt.body, env)
+            merged = entry
+            merged.merge(after_body)
+            for handler in stmt.handlers:
+                handler_env = merged.copy()
+                if handler.name is not None:
+                    handler_env.bindings[handler.name] = frozenset(
+                        {(OPAQUE, "exception")}
+                    )
+                merged.merge(run(handler.body, handler_env))
+            merged = run(stmt.orelse, merged)
+            merged = run(stmt.finalbody, merged)
+            return merged
+        if isinstance(stmt, ast.Match):
+            evaluate(stmt.subject, env, params, module_constants, call_hook)
+            subject = evaluate(
+                stmt.subject, env, params, module_constants, call_hook
+            )
+            merged: Optional[Env] = None
+            for case in stmt.cases:
+                case_env = env.copy()
+                for leaf in ast.walk(case.pattern):
+                    if isinstance(leaf, ast.MatchAs) and leaf.name:
+                        case_env.bindings[leaf.name] = subject
+                case_env = run(case.body, case_env)
+                if merged is None:
+                    merged = case_env
+                else:
+                    merged.merge(case_env)
+            if merged is not None:
+                env.merge(merged)
+            return env
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Nested defs: analysed as part of the enclosing function so
+            # locally-invoked closures contribute their effects; their
+            # parameters shadow nothing we track.
+            run(stmt.body, env.copy())
+            return env
+        if isinstance(stmt, ast.ClassDef):
+            run(stmt.body, env.copy())
+            return env
+        if isinstance(stmt, (ast.Raise, ast.Assert)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    evaluate(child, env, params, module_constants, call_hook)
+            return env
+        if isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    env.bindings.pop(target.id, None)
+            return env
+        return env
+
+    return run(body, env)

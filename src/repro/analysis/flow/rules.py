@@ -1,0 +1,317 @@
+"""The flow-sensitive rules: R010 seed provenance, R011 invalidation
+discipline, R012 bit conservation, R013 exception-boundary policy.
+
+Each rule is a thin adapter from the summaries computed by
+:class:`~repro.analysis.flow.summaries.FlowAnalysis` to findings in the
+shared lint registry.  The analysis itself is rule-agnostic; the rules
+own only the judgement calls — what counts as a violation and how to
+phrase it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set, Tuple
+
+from repro.analysis.flow.dataflow import AMBIENT, CONST, PARAM
+from repro.analysis.flow.summaries import FlowAnalysis
+from repro.analysis.lint.findings import Finding, Severity
+from repro.analysis.lint.registry import FlowRule, register_rule
+from repro.analysis.lint.rules import _is_bit_identifier
+
+__all__ = [
+    "SeedProvenanceRule",
+    "InvalidationDisciplineRule",
+    "BitConservationRule",
+    "ExceptionBoundaryRule",
+]
+
+
+@register_rule
+class SeedProvenanceRule(FlowRule):
+    """R010: every RNG must be constructed from an explicit seed."""
+
+    rule_id = "R010"
+    name = "seed-provenance"
+    severity = Severity.ERROR
+    description = (
+        "random.Random / numpy Generator constructions must receive a seed "
+        "traceable to an explicit parameter, manifest field or constant — "
+        "transitively, through helper functions"
+    )
+    rationale = (
+        "The RunManifest ledger replays experiments from recorded seeds; a "
+        "single RNG whose seed is ambient (wall clock, OS entropy) or "
+        "untraceable makes every derived number unreproducible. The per-file "
+        "R004 catches bare module-level draws; R010 follows seeds through "
+        "the call graph so a helper cannot launder one."
+    )
+
+    def check_project(self, analysis: FlowAnalysis) -> Iterator[Finding]:
+        seen: Set[Tuple[str, int, int, str]] = set()
+
+        def emit(path: str, line: int, col: int, message: str) -> Iterator[Finding]:
+            key = (path, line, col, message)
+            if key not in seen:
+                seen.add(key)
+                yield self.project_finding(path, line, col, message)
+
+        for site in sorted(
+            analysis.rng_sites.values(),
+            key=lambda s: (s.path, s.lineno, s.col),
+        ):
+            if site.seed_prov is None:
+                yield from emit(
+                    site.path,
+                    site.lineno,
+                    site.col,
+                    f"{site.constructor} constructed without a seed argument; "
+                    "pass an explicit seed (parameter or RunManifest field)",
+                )
+                continue
+            ambient = sorted(d for t, d in site.seed_prov if t == AMBIENT)
+            if ambient:
+                yield from emit(
+                    site.path,
+                    site.lineno,
+                    site.col,
+                    f"seed of {site.constructor} derives from ambient source "
+                    f"{ambient[0]}; seeds must come from explicit parameters",
+                )
+                continue
+            tags = {t for t, _ in site.seed_prov}
+            if PARAM not in tags and CONST not in tags:
+                yield from emit(
+                    site.path,
+                    site.lineno,
+                    site.col,
+                    f"seed of {site.constructor} cannot be traced to an "
+                    "explicit seed parameter or constant",
+                )
+        for esc in sorted(
+            analysis.seed_escalations,
+            key=lambda e: (e.path, e.lineno, e.col),
+        ):
+            short = esc.callee.rsplit(".", maxsplit=1)[-1]
+            yield from emit(
+                esc.path,
+                esc.lineno,
+                esc.col,
+                f"argument '{esc.param}' of {short}() feeds an RNG seed but "
+                f"{esc.reason}",
+            )
+
+
+@register_rule
+class InvalidationDisciplineRule(FlowRule):
+    """R011: mutations of cached state must be invalidated before reads."""
+
+    rule_id = "R011"
+    name = "invalidation-discipline"
+    severity = Severity.ERROR
+    description = (
+        "code that mutates Graph adjacency or packed table bits must call "
+        "GraphContext.invalidate(...) covering the touched kinds before the "
+        "context is read again"
+    )
+    rationale = (
+        "GraphContext memoises every shared derivation; a mutation that "
+        "skips invalidate() leaves stale distances or pristine bits to be "
+        "served to the next consumer. The analysis tracks dirty derivation "
+        "kinds across branches and calls, so a helper's read is charged to "
+        "the caller that left the cache dirty."
+    )
+
+    def check_project(self, analysis: FlowAnalysis) -> Iterator[Finding]:
+        seen: Set[Tuple[str, int, int, str]] = set()
+        for violation in sorted(
+            analysis.effect_violations,
+            key=lambda v: (v.path, v.lineno, v.col, v.kind),
+        ):
+            where = (
+                ""
+                if violation.detail == "read"
+                else f" ({violation.detail})"
+            )
+            message = (
+                f"context kind '{violation.kind}' is read{where} after a "
+                f"mutation at line {violation.mutated_line} with no "
+                f"GraphContext.invalidate(...) covering it in between"
+            )
+            key = (violation.path, violation.lineno, violation.col, message)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield self.project_finding(
+                violation.path, violation.lineno, violation.col, message
+            )
+
+
+@register_rule
+class BitConservationRule(FlowRule):
+    """R012: ``*_bits`` values must be additive integer charges."""
+
+    rule_id = "R012"
+    name = "bit-conservation"
+    severity = Severity.ERROR
+    description = (
+        "functions returning or assigning *_bits quantities may only "
+        "combine additive integer charges (bitio primitives, lengths, "
+        "integerised expressions) — float-valued calls are flagged through "
+        "the call graph"
+    )
+    rationale = (
+        "The paper's space bounds are exact bit counts; one float-valued "
+        "helper silently turns a certified table size into an estimate. "
+        "R001 polices operators per file; R012 follows calls across "
+        "modules, so a *_bits value cannot absorb a math.log2 two hops away."
+    )
+
+    def check_project(self, analysis: FlowAnalysis) -> Iterator[Finding]:
+        for module_name in sorted(analysis.project.modules):
+            info = analysis.project.modules[module_name]
+            units: List[Tuple[object, str]] = []
+            for fn in info.functions.values():
+                units.append((fn, fn.name))
+            for cls in info.classes.values():
+                for method in cls.methods.values():
+                    units.append((method, method.name))
+            for fn, name in units:
+                yield from self._check_function(analysis, info, fn)  # type: ignore[arg-type]
+
+    def _check_function(
+        self, analysis: FlowAnalysis, info: object, fn: object
+    ) -> Iterator[Finding]:
+        from repro.analysis.flow.symbols import FunctionInfo, ModuleInfo
+
+        assert isinstance(info, ModuleInfo) and isinstance(fn, FunctionInfo)
+        returns_float = _annotated_float(fn.returns)
+        is_bit_function = _is_bit_identifier(fn.name) and not returns_float
+        for node in _function_statements(fn.node):
+            if isinstance(node, ast.Return) and node.value is not None:
+                if not is_bit_function:
+                    continue
+                for offender, reason in analysis.judge_bits_expr(
+                    info, fn.cls, node.value, strict_division=True
+                ):
+                    yield self.project_finding(
+                        info.path,
+                        offender.lineno,
+                        offender.col_offset,
+                        f"{fn.name}() returns a *_bits quantity but combines "
+                        f"{reason}; bit charges must stay additive integers",
+                    )
+            elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                if isinstance(node, ast.Assign):
+                    targets = node.targets
+                    value = node.value
+                elif isinstance(node, ast.AnnAssign):
+                    targets = [node.target]
+                    value = node.value
+                    if _annotated_float(node.annotation):
+                        continue
+                else:
+                    targets = [node.target]
+                    value = node.value
+                if value is None or not _targets_bits(targets):
+                    continue
+                for offender, reason in analysis.judge_bits_expr(
+                    info, fn.cls, value, strict_division=False
+                ):
+                    yield self.project_finding(
+                        info.path,
+                        offender.lineno,
+                        offender.col_offset,
+                        f"assignment to a *_bits name draws on {reason}; "
+                        "bit charges must trace to integer bitio primitives",
+                    )
+
+
+def _annotated_float(annotation: object) -> bool:
+    return isinstance(annotation, ast.Name) and annotation.id == "float"
+
+
+def _targets_bits(targets: List[ast.expr]) -> bool:
+    for target in targets:
+        for leaf in ast.walk(target):
+            if isinstance(leaf, ast.Name) and _is_bit_identifier(leaf.id):
+                return True
+            if isinstance(leaf, ast.Attribute) and _is_bit_identifier(leaf.attr):
+                return True
+    return False
+
+
+def _function_statements(node: ast.AST) -> Iterator[ast.stmt]:
+    """Statements of a function body, not descending into nested defs."""
+    stack: List[ast.stmt] = list(node.body)  # type: ignore[attr-defined]
+    while stack:
+        stmt = stack.pop()
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        yield stmt
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.stmt):
+                stack.append(child)
+
+
+# Module -> (entry points, exception classes allowed to escape them).
+_BOUNDARIES: Tuple[Tuple[str, Tuple[str, ...], Tuple[str, ...]], ...] = (
+    ("repro.core.persistence", ("unpack_blob",), ("CodecError",)),
+    (
+        "repro.integrity.framing",
+        ("frame_bits", "unframe_bits", "verify_frame"),
+        ("IntegrityError",),
+    ),
+)
+
+
+@register_rule
+class ExceptionBoundaryRule(FlowRule):
+    """R013: boundary functions leak only their contracted exceptions."""
+
+    rule_id = "R013"
+    name = "exception-boundary"
+    severity = Severity.ERROR
+    description = (
+        "only CodecError escapes codec entry points and only IntegrityError "
+        "escapes framing — checked against the interprocedural escape sets, "
+        "not a per-file pattern"
+    )
+    rationale = (
+        "Persistence hardening (PR 4) promises callers a single exception "
+        "type per boundary; a deep helper that grows a new raise silently "
+        "breaks that contract. The escape analysis propagates raised "
+        "classes through the call graph, filtered by try/except blocks "
+        "aware of the ReproError hierarchy."
+    )
+
+    def check_project(self, analysis: FlowAnalysis) -> Iterator[Finding]:
+        for module_name, entry_points, allowed in _BOUNDARIES:
+            info = analysis.project.modules.get(module_name)
+            if info is None:
+                continue
+            for entry in entry_points:
+                fn = info.functions.get(entry)
+                if fn is None:
+                    continue
+                escapes = analysis.escapes.get(fn.qualname, frozenset())
+                offending = sorted(
+                    name
+                    for name in escapes
+                    if analysis.is_repro_exception(name)
+                    and not any(
+                        allow in analysis.exception_ancestry(name)
+                        for allow in allowed
+                    )
+                )
+                if not offending:
+                    continue
+                allowed_text = " or ".join(allowed)
+                yield self.project_finding(
+                    info.path,
+                    fn.node.lineno,  # type: ignore[attr-defined]
+                    fn.node.col_offset,  # type: ignore[attr-defined]
+                    f"boundary function {entry}() can leak "
+                    f"{', '.join(offending)}; only {allowed_text} may escape "
+                    "this entry point (wrap or translate internal failures)",
+                )

@@ -1,0 +1,1268 @@
+"""Interprocedural summaries: seeds, effects, escapes and bit purity.
+
+:class:`FlowAnalysis` runs four fixpoints over the project call graph,
+each producing the per-function summary one of the flow rules consumes:
+
+* **return provenance** — what each function's return value derives
+  from, expressed in :mod:`repro.analysis.flow.dataflow` atoms with
+  parameter atoms left symbolic so call sites can substitute their
+  actual arguments;
+* **RNG sites and seed sinks** — every ``random.Random`` /
+  ``numpy.random.default_rng``-family construction, the provenance of
+  its seed argument, and the transitive set of parameters that feed a
+  seed (R010);
+* **cache effects** — which :class:`~repro.graphs.context.GraphContext`
+  derivation kinds a function leaves dirty, cleans via ``invalidate``,
+  or reads while unprotected (R011);
+* **exception escapes** — which named exception classes can propagate
+  out of each function, with ``try``/``except`` filtering that follows
+  the project's class hierarchy (R013);
+
+plus a memoised **bit-purity** judgement (is a function's return value
+an additive integer charge?) for R012.
+
+Everything here is whole-program but still purely syntactic: no linted
+code is imported, and every verdict can be traced to source lines.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.analysis.flow.callgraph import (
+    CallGraph,
+    CallSite,
+    build_callgraph,
+    resolve_call,
+)
+from repro.analysis.flow.dataflow import (
+    AMBIENT,
+    CALL,
+    CONST,
+    OPAQUE,
+    PARAM,
+    Env,
+    ProvSet,
+    ambient_source,
+    evaluate,
+    walk_function,
+)
+from repro.analysis.flow.symbols import FunctionInfo, ModuleInfo, ProjectIndex
+
+__all__ = [
+    "FlowAnalysis",
+    "RngSite",
+    "SeedEscalation",
+    "EffectSummary",
+    "EffectViolation",
+    "ALL_KINDS",
+    "PER_NODE_KINDS",
+    "READER_KINDS",
+]
+
+_MAX_PASSES = 6
+
+# ---------------------------------------------------------------------------
+# R010 vocabulary
+# ---------------------------------------------------------------------------
+
+# Normalised constructor targets -> index/keyword of the seed argument.
+# ``random.SystemRandom`` is deliberately absent: it is OS entropy by
+# design and R004 already blesses it for non-reproducible uses.
+_RNG_CONSTRUCTORS: Dict[str, Tuple[int, str]] = {
+    "random.Random": (0, "x"),
+    "numpy.random.default_rng": (0, "seed"),
+    "numpy.random.RandomState": (0, "seed"),
+    "numpy.random.Generator": (0, "bit_generator"),
+    "numpy.random.PCG64": (0, "seed"),
+    "numpy.random.SeedSequence": (0, "entropy"),
+    "np.random.default_rng": (0, "seed"),
+    "np.random.RandomState": (0, "seed"),
+    "np.random.Generator": (0, "bit_generator"),
+    "np.random.PCG64": (0, "seed"),
+    "np.random.SeedSequence": (0, "entropy"),
+}
+
+# Builtin calls whose result derives entirely from their arguments.
+_PASSTHROUGH_BUILTINS = frozenset(
+    {
+        "int", "float", "str", "bytes", "bool", "abs", "round", "len",
+        "min", "max", "sum", "sorted", "tuple", "list", "set", "dict",
+        "frozenset", "hash", "divmod", "pow", "zip", "enumerate",
+        "reversed", "next", "iter", "range",
+    }
+)
+
+# ---------------------------------------------------------------------------
+# R011 vocabulary
+# ---------------------------------------------------------------------------
+
+ALL_KINDS = frozenset(
+    {
+        "distances",
+        "bfs_tree",
+        "eccentricity",
+        "degree_stats",
+        "sorted_adjacency",
+        "port_table",
+        "pristine_bits",
+    }
+)
+PER_NODE_KINDS = frozenset(
+    {"bfs_tree", "eccentricity", "sorted_adjacency", "pristine_bits"}
+)
+"""Kinds a ``invalidate(nodes=...)`` call without ``kinds`` drops
+(mirrors ``GraphContext._invalidation_selects``)."""
+
+READER_KINDS: Dict[str, str] = {
+    "distances": "distances",
+    "bfs_tree": "bfs_tree",
+    "ball": "bfs_tree",
+    "eccentricity": "eccentricity",
+    "degree_stats": "degree_stats",
+    "sorted_adjacency": "sorted_adjacency",
+    "port_table": "port_table",
+    "pristine_bits": "pristine_bits",
+}
+"""GraphContext accessor name -> derivation kind it serves."""
+
+# Attribute-name prefixes whose stores/mutations dirty context kinds.
+# ``_adj`` covers the adjacency family (``_adj_sets``, ``_adj_sorted``).
+_MUTATION_PREFIXES: Tuple[Tuple[str, FrozenSet[str]], ...] = (
+    ("_adj", ALL_KINDS),
+    ("_function_cache", frozenset({"pristine_bits"})),
+)
+
+# Idiomatic cache *fills* — ``cache[k] = compute(k)`` — write the value a
+# cold lookup would have computed anyway, so a plain subscript store to
+# these attributes is not treated as a mutation.  Overwrites through
+# ``del`` / ``clear`` / ``update`` / rebinding still are.
+_FILL_IDIOM_ATTRS = frozenset({"_function_cache"})
+
+_MUTATOR_METHODS = frozenset(
+    {
+        "add", "append", "appendleft", "clear", "discard", "extend",
+        "insert", "pop", "popleft", "remove", "setdefault", "update",
+        "__setitem__",
+    }
+)
+
+# ---------------------------------------------------------------------------
+# R012 vocabulary
+# ---------------------------------------------------------------------------
+
+_INTEGERIZERS = frozenset(
+    {"int", "len", "round", "math.ceil", "math.floor", "ceil", "floor"}
+)
+_COMBINATORS = frozenset({"sum", "max", "min", "abs"})
+_FLOAT_CALLS = frozenset(
+    {
+        "math.log", "math.log2", "math.log10", "math.log1p", "math.sqrt",
+        "math.exp", "math.pow", "math.lgamma", "math.comb_float",
+        "statistics.mean", "statistics.fmean", "statistics.median",
+        "statistics.stdev", "statistics.pstdev", "statistics.variance",
+        "np.mean", "numpy.mean", "np.log2", "numpy.log2", "np.log",
+        "numpy.log", "np.sqrt", "numpy.sqrt", "np.average",
+        "numpy.average", "float",
+    }
+)
+
+# ---------------------------------------------------------------------------
+# R013 vocabulary
+# ---------------------------------------------------------------------------
+
+_BUILTIN_PARENTS: Dict[str, str] = {
+    "UnicodeDecodeError": "ValueError",
+    "UnicodeEncodeError": "ValueError",
+    "KeyError": "LookupError",
+    "IndexError": "LookupError",
+    "OverflowError": "ArithmeticError",
+    "ZeroDivisionError": "ArithmeticError",
+    "FloatingPointError": "ArithmeticError",
+    "FileNotFoundError": "OSError",
+    "PermissionError": "OSError",
+    "IsADirectoryError": "OSError",
+    "TimeoutError": "OSError",
+    "ValueError": "Exception",
+    "LookupError": "Exception",
+    "ArithmeticError": "Exception",
+    "OSError": "Exception",
+    "TypeError": "Exception",
+    "AttributeError": "Exception",
+    "RuntimeError": "Exception",
+    "NotImplementedError": "RuntimeError",
+    "StopIteration": "Exception",
+    "EOFError": "Exception",
+    "MemoryError": "Exception",
+    "AssertionError": "Exception",
+}
+_CATCH_ALL = frozenset({"Exception", "BaseException"})
+
+
+@dataclass
+class RngSite:
+    """One RNG construction, with the provenance of its seed."""
+
+    function: str
+    """Qualname of the enclosing (pseudo-)function."""
+    module: str
+    path: str
+    lineno: int
+    col: int
+    constructor: str
+    """The normalised constructor target (``random.Random``, ...)."""
+    seed_prov: Optional[ProvSet]
+    """Provenance of the seed argument; None when no seed was passed."""
+
+
+@dataclass
+class SeedEscalation:
+    """A call site that feeds an irreproducible value into a seed chain."""
+
+    function: str
+    path: str
+    lineno: int
+    col: int
+    callee: str
+    param: str
+    reason: str
+
+
+@dataclass
+class EffectSummary:
+    """What one function does to GraphContext memo kinds, from outside."""
+
+    outstanding: FrozenSet[str] = frozenset()
+    """Kinds left dirty (mutated, not invalidated) at exit."""
+    cleans: FrozenSet[str] = frozenset()
+    """Kinds guaranteed invalidated on every path through the function."""
+    exposed_reads: FrozenSet[str] = frozenset()
+    """Kinds read before this function mutates or cleans them itself —
+    i.e. reads that observe whatever dirt the caller left outstanding."""
+
+    def key(self) -> Tuple[FrozenSet[str], FrozenSet[str], FrozenSet[str]]:
+        return (self.outstanding, self.cleans, self.exposed_reads)
+
+
+@dataclass
+class EffectViolation:
+    """A context read that can observe a mutation not yet invalidated."""
+
+    function: str
+    path: str
+    lineno: int
+    col: int
+    kind: str
+    mutated_line: int
+    detail: str
+
+
+@dataclass
+class _EffectState:
+    outstanding: Set[str] = field(default_factory=set)
+    cleaned: Set[str] = field(default_factory=set)
+    exposed: Set[str] = field(default_factory=set)
+    touched: Set[str] = field(default_factory=set)
+    """Kinds this function has mutated or cleaned at this point (its own
+    reads of these observe local state, not the caller's)."""
+    mutation_lines: Dict[str, int] = field(default_factory=dict)
+
+    def copy(self) -> "_EffectState":
+        return _EffectState(
+            outstanding=set(self.outstanding),
+            cleaned=set(self.cleaned),
+            exposed=set(self.exposed),
+            touched=set(self.touched),
+            mutation_lines=dict(self.mutation_lines),
+        )
+
+    def merge(self, other: "_EffectState") -> None:
+        self.outstanding |= other.outstanding
+        self.cleaned &= other.cleaned
+        self.exposed |= other.exposed
+        self.touched &= other.touched
+        for kind, line in other.mutation_lines.items():
+            self.mutation_lines.setdefault(kind, line)
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _annotation_name(node: Optional[ast.expr]) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value.rsplit(".", maxsplit=1)[-1].strip("'\" []")
+    return None
+
+
+class FlowAnalysis:
+    """All interprocedural facts the flow rules need, computed once."""
+
+    def __init__(
+        self, project: ProjectIndex, graph: Optional[CallGraph] = None
+    ) -> None:
+        self.project = project
+        self.graph = graph if graph is not None else build_callgraph(project)
+        self.return_prov: Dict[str, ProvSet] = {}
+        self.rng_sites: Dict[int, RngSite] = {}
+        self.site_args: Dict[int, Dict[str, ProvSet]] = {}
+        self.seed_sinks: Dict[str, Set[str]] = {}
+        self.seed_escalations: List[SeedEscalation] = []
+        self.effects: Dict[str, EffectSummary] = {}
+        self.effect_violations: List[EffectViolation] = []
+        self.escapes: Dict[str, FrozenSet[str]] = {}
+        self._purity: Dict[str, Optional[bool]] = {}
+        self._purity_stack: Set[str] = set()
+        self._analyzed = False
+
+    def run(self) -> "FlowAnalysis":
+        """Compute every summary (idempotent)."""
+        if self._analyzed:
+            return self
+        self._analyzed = True
+        self._provenance_fixpoint()
+        self._seed_sink_fixpoint()
+        self._effects_fixpoint()
+        self._escape_fixpoint()
+        return self
+
+    # -- shared helpers -------------------------------------------------------
+
+    def normalise(self, module: str, dotted: str) -> str:
+        """Map a dotted use-site name through the module's import aliases."""
+        info = self.project.modules.get(module)
+        if info is None:
+            return dotted
+        head, _, tail = dotted.partition(".")
+        target = info.imports.get(head)
+        if target is None:
+            return dotted
+        return f"{target}.{tail}" if tail else target
+
+    def _walk_units(self) -> List[Tuple[ModuleInfo, Optional[FunctionInfo], str]]:
+        """Every analysable unit: (module, function-or-None, qualname).
+
+        ``None`` marks the module-level pseudo-function.
+        """
+        units: List[Tuple[ModuleInfo, Optional[FunctionInfo], str]] = []
+        for name in sorted(self.project.modules):
+            info = self.project.modules[name]
+            units.append((info, None, f"{name}.<module>"))
+            for fn in info.functions.values():
+                units.append((info, fn, fn.qualname))
+            for cls in info.classes.values():
+                for method in cls.methods.values():
+                    units.append((info, method, method.qualname))
+        return units
+
+    @staticmethod
+    def _unit_body(info: ModuleInfo, fn: Optional[FunctionInfo]) -> List[ast.stmt]:
+        if fn is None:
+            return [
+                stmt
+                for stmt in info.tree.body
+                if not isinstance(
+                    stmt,
+                    (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+                )
+            ]
+        return list(fn.node.body)  # type: ignore[attr-defined]
+
+    @staticmethod
+    def _unit_params(fn: Optional[FunctionInfo]) -> FrozenSet[str]:
+        if fn is None:
+            return frozenset()
+        names: Set[str] = set(fn.params) | set(fn.kwonly)
+        if fn.vararg:
+            names.add(fn.vararg)
+        if fn.kwarg:
+            names.add(fn.kwarg)
+        if fn.has_self:
+            args = fn.node.args  # type: ignore[attr-defined]
+            positional = list(args.posonlyargs) + list(args.args)
+            if positional:
+                names.add(positional[0].arg)
+        return frozenset(names)
+
+    # -- return provenance ----------------------------------------------------
+
+    def _provenance_fixpoint(self) -> None:
+        units = self._walk_units()
+        for _ in range(_MAX_PASSES):
+            changed = False
+            for info, fn, qualname in units:
+                result = self._walk_provenance(info, fn, qualname)
+                if self.return_prov.get(qualname) != result:
+                    self.return_prov[qualname] = result
+                    changed = True
+            if not changed:
+                break
+
+    def _walk_provenance(
+        self, info: ModuleInfo, fn: Optional[FunctionInfo], qualname: str
+    ) -> ProvSet:
+        params = self._unit_params(fn)
+        consts = frozenset(info.constants)
+        returned: Set[Tuple[str, str]] = set()
+        cls = fn.cls if fn is not None else None
+
+        def hook(call: ast.Call, env: Env) -> ProvSet:
+            return self._call_provenance(
+                info, cls, qualname, params, consts, call, env, hook
+            )
+
+        def on_statement(stmt: ast.stmt, env: Env) -> None:
+            if isinstance(stmt, ast.Return) and stmt.value is not None:
+                returned.update(
+                    evaluate(stmt.value, env, params, consts, hook)
+                )
+
+        walk_function(
+            self._unit_body(info, fn),
+            Env(),
+            params,
+            consts,
+            hook,
+            on_statement=on_statement,
+        )
+        if not returned:
+            return frozenset({(CONST, "")})
+        return frozenset(returned)
+
+    def _call_provenance(
+        self,
+        info: ModuleInfo,
+        cls: Optional[str],
+        caller: str,
+        params: FrozenSet[str],
+        consts: FrozenSet[str],
+        call: ast.Call,
+        env: Env,
+        hook: "object",
+    ) -> ProvSet:
+        def arg_prov(expr: ast.expr) -> ProvSet:
+            return evaluate(expr, env, params, consts, hook)  # type: ignore[arg-type]
+
+        dotted = _dotted(call.func)
+        full = self.normalise(info.name, dotted) if dotted else None
+
+        if full is not None:
+            source = ambient_source(
+                dotted or "", lambda d: self.normalise(info.name, d)
+            )
+            if source is not None:
+                return frozenset({(AMBIENT, source)})
+            rng = _RNG_CONSTRUCTORS.get(full)
+            if rng is not None:
+                seed = self._seed_argument(call, rng)
+                seed_prov = arg_prov(seed) if seed is not None else None
+                self.rng_sites[id(call)] = RngSite(
+                    function=caller,
+                    module=info.name,
+                    path=info.path,
+                    lineno=call.lineno,
+                    col=call.col_offset,
+                    constructor=full,
+                    seed_prov=seed_prov,
+                )
+                return seed_prov if seed_prov is not None else frozenset(
+                    {(OPAQUE, full)}
+                )
+
+        callee, _display, via_self = resolve_call(
+            self.project, info.name, cls, call
+        )
+        if callee is not None and callee in self.project.functions:
+            target = self.project.functions[callee]
+            skip_first = self._explicit_self_call(info, target, call, via_self)
+            bound = target.bind_args(call, skip_first=skip_first)
+            bound_prov = {name: arg_prov(e) for name, e in bound.items()}
+            self.site_args[id(call)] = bound_prov
+            ret = self.return_prov.get(callee)
+            if ret is None:
+                return frozenset({(CALL, callee)})
+            out: Set[Tuple[str, str]] = set()
+            for tag, detail in ret:
+                if tag == PARAM:
+                    if detail in bound_prov:
+                        out |= bound_prov[detail]
+                    elif detail in target.defaults:
+                        default = target.defaults[detail]
+                        out |= (
+                            frozenset({(CONST, "")})
+                            if isinstance(default, ast.Constant)
+                            else frozenset({(OPAQUE, f"{callee}:{detail}")})
+                        )
+                    elif target.has_self and detail == self._self_name(target):
+                        out.add((OPAQUE, f"{callee}:self"))
+                    else:
+                        out.add((OPAQUE, f"{callee}:{detail}"))
+                else:
+                    out.add((tag, detail))
+            return frozenset(out) if out else frozenset({(CONST, "")})
+
+        # External or unresolved: the result derives from the arguments.
+        combined: Set[Tuple[str, str]] = set()
+        for arg in call.args:
+            combined |= arg_prov(
+                arg.value if isinstance(arg, ast.Starred) else arg
+            )
+        for keyword in call.keywords:
+            combined |= arg_prov(keyword.value)
+        if combined:
+            return frozenset(combined)
+        if dotted is not None and dotted.split(".")[0] in _PASSTHROUGH_BUILTINS:
+            return frozenset({(CONST, "")})
+        return frozenset({(OPAQUE, dotted or "<dynamic>")})
+
+    @staticmethod
+    def _self_name(fn: FunctionInfo) -> Optional[str]:
+        if not fn.has_self:
+            return None
+        args = fn.node.args  # type: ignore[attr-defined]
+        positional = list(args.posonlyargs) + list(args.args)
+        return positional[0].arg if positional else None
+
+    def _explicit_self_call(
+        self,
+        info: ModuleInfo,
+        target: FunctionInfo,
+        call: ast.Call,
+        via_self: bool,
+    ) -> bool:
+        """``Class.method(obj, ...)`` passes the instance positionally."""
+        if not target.has_self or via_self:
+            return False
+        dotted = _dotted(call.func)
+        if dotted is None or "." not in dotted:
+            return False
+        head = dotted.split(".")[0]
+        resolved = self.project.resolve(info.name, head)
+        return resolved is not None and resolved in self.project.classes
+
+    @staticmethod
+    def _seed_argument(
+        call: ast.Call, slot: Tuple[int, str]
+    ) -> Optional[ast.expr]:
+        index, keyword = slot
+        positional = [a for a in call.args if not isinstance(a, ast.Starred)]
+        if len(positional) > index:
+            return positional[index]
+        for kw in call.keywords:
+            if kw.arg == keyword:
+                return kw.value
+        return None
+
+    # -- seed sinks (R010 interprocedural step) -------------------------------
+
+    def _seed_sink_fixpoint(self) -> None:
+        """Propagate "this parameter feeds an RNG seed" to callers.
+
+        A function whose RNG seed provenance contains ``("param", p)``
+        obliges every caller to pass something reproducible for ``p``;
+        callers forwarding their own parameter extend the chain, callers
+        passing ambient or untraceable values are recorded as
+        :class:`SeedEscalation` rows for R010 to report.
+        """
+        worklist: List[Tuple[str, str]] = []
+        for site in self.rng_sites.values():
+            if site.seed_prov is None:
+                continue
+            fn = self.project.functions.get(site.function)
+            bindable = set(fn.params) | set(fn.kwonly) if fn else set()
+            for tag, detail in site.seed_prov:
+                if tag == PARAM and detail in bindable:
+                    sinks = self.seed_sinks.setdefault(site.function, set())
+                    if detail not in sinks:
+                        sinks.add(detail)
+                        worklist.append((site.function, detail))
+        seen_sites: Set[Tuple[int, str]] = set()
+        while worklist:
+            callee, param = worklist.pop()
+            for site in self.graph.callers_of(callee):
+                key = (id(site.node), param)
+                if key in seen_sites:
+                    continue
+                seen_sites.add(key)
+                self._check_seed_forwarding(site, callee, param, worklist)
+
+    def _check_seed_forwarding(
+        self,
+        site: CallSite,
+        callee: str,
+        param: str,
+        worklist: List[Tuple[str, str]],
+    ) -> None:
+        target = self.project.functions.get(callee)
+        if target is None:
+            return
+        bound = self.site_args.get(id(site.node))
+        if bound is None or param not in bound:
+            # Defaulted or star-forwarded: judge the default if any.
+            default = target.defaults.get(param)
+            if default is not None and not isinstance(default, ast.Constant):
+                self.seed_escalations.append(
+                    SeedEscalation(
+                        function=site.caller,
+                        path=self._path_of(site.caller),
+                        lineno=site.lineno,
+                        col=site.col,
+                        callee=callee,
+                        param=param,
+                        reason="non-constant default",
+                    )
+                )
+            return
+        prov = bound[param]
+        ambient = sorted(d for t, d in prov if t == AMBIENT)
+        if ambient:
+            self.seed_escalations.append(
+                SeedEscalation(
+                    function=site.caller,
+                    path=self._path_of(site.caller),
+                    lineno=site.lineno,
+                    col=site.col,
+                    callee=callee,
+                    param=param,
+                    reason=f"derives from ambient source {ambient[0]}",
+                )
+            )
+            return
+        tags = {t for t, _ in prov}
+        caller_fn = self.project.functions.get(site.caller)
+        bindable = (
+            set(caller_fn.params) | set(caller_fn.kwonly) if caller_fn else set()
+        )
+        forwarded = {
+            d for t, d in prov if t == PARAM and d in bindable
+        }
+        if forwarded:
+            for name in forwarded:
+                sinks = self.seed_sinks.setdefault(site.caller, set())
+                if name not in sinks:
+                    sinks.add(name)
+                    worklist.append((site.caller, name))
+            return
+        if CONST in tags or PARAM in tags:
+            # A literal seed, or instance state (`self`): explicit enough.
+            return
+        self.seed_escalations.append(
+            SeedEscalation(
+                function=site.caller,
+                path=self._path_of(site.caller),
+                lineno=site.lineno,
+                col=site.col,
+                callee=callee,
+                param=param,
+                reason="value cannot be traced to a seed parameter or constant",
+            )
+        )
+
+    def _path_of(self, qualname: str) -> str:
+        module = qualname
+        while module and module not in self.project.modules:
+            module = module.rpartition(".")[0]
+        info = self.project.modules.get(module)
+        return info.path if info is not None else "<unknown>"
+
+    # -- cache effects (R011) -------------------------------------------------
+
+    def _effects_fixpoint(self) -> None:
+        units = self._walk_units()
+        for _ in range(_MAX_PASSES):
+            changed = False
+            for info, fn, qualname in units:
+                summary, _ = self._walk_effects(info, fn, qualname, report=False)
+                if self.effects.get(qualname, EffectSummary()).key() != summary.key():
+                    self.effects[qualname] = summary
+                    changed = True
+            if not changed:
+                break
+        for info, fn, qualname in units:
+            if info.name.startswith("repro.graphs"):
+                # The context layer itself manages its own memo table.
+                continue
+            _, violations = self._walk_effects(info, fn, qualname, report=True)
+            self.effect_violations.extend(violations)
+
+    def _walk_effects(
+        self,
+        info: ModuleInfo,
+        fn: Optional[FunctionInfo],
+        qualname: str,
+        report: bool,
+    ) -> Tuple[EffectSummary, List[EffectViolation]]:
+        violations: List[EffectViolation] = []
+        cls = fn.cls if fn is not None else None
+        init_self = (
+            self._self_name(fn)
+            if fn is not None and fn.name == "__init__"
+            else None
+        )
+
+        def run(stmts: List[ast.stmt], state: _EffectState) -> _EffectState:
+            for stmt in stmts:
+                state = step(stmt, state)
+            return state
+
+        def apply_events(node: ast.AST, state: _EffectState) -> None:
+            for event in sorted(
+                _effect_events(self, info, cls, node, init_self),
+                key=lambda e: (e[0].lineno, e[0].col_offset),
+            ):
+                site, action, payload = event
+                if action == "read":
+                    kind = payload  # type: ignore[assignment]
+                    assert isinstance(kind, str)
+                    if kind in state.outstanding:
+                        violations.append(
+                            EffectViolation(
+                                function=qualname,
+                                path=info.path,
+                                lineno=site.lineno,
+                                col=site.col_offset,
+                                kind=kind,
+                                mutated_line=state.mutation_lines.get(
+                                    kind, site.lineno
+                                ),
+                                detail="read",
+                            )
+                        )
+                    if kind not in state.touched:
+                        state.exposed.add(kind)
+                elif action == "mutate":
+                    kinds = payload  # type: ignore[assignment]
+                    assert isinstance(kinds, frozenset)
+                    state.outstanding |= kinds
+                    state.cleaned -= kinds
+                    state.touched |= kinds
+                    for kind in kinds:
+                        state.mutation_lines.setdefault(kind, site.lineno)
+                elif action == "invalidate":
+                    kinds = payload  # type: ignore[assignment]
+                    assert isinstance(kinds, frozenset)
+                    state.outstanding -= kinds
+                    state.cleaned |= kinds
+                    state.touched |= kinds
+                    for kind in kinds:
+                        state.mutation_lines.pop(kind, None)
+                elif action == "call":
+                    callee = payload
+                    assert isinstance(callee, str)
+                    summary = self.effects.get(callee, EffectSummary())
+                    observed = state.outstanding & summary.exposed_reads
+                    for kind in sorted(observed):
+                        violations.append(
+                            EffectViolation(
+                                function=qualname,
+                                path=info.path,
+                                lineno=site.lineno,
+                                col=site.col_offset,
+                                kind=kind,
+                                mutated_line=state.mutation_lines.get(
+                                    kind, site.lineno
+                                ),
+                                detail=f"via call to {callee}",
+                            )
+                        )
+                    exposed_through = summary.exposed_reads - state.touched
+                    state.exposed |= exposed_through
+                    state.outstanding = (
+                        state.outstanding - summary.cleans
+                    ) | summary.outstanding
+                    state.cleaned = (
+                        state.cleaned | summary.cleans
+                    ) - summary.outstanding
+                    state.touched |= summary.cleans | summary.outstanding
+                    for kind in summary.outstanding:
+                        state.mutation_lines.setdefault(kind, site.lineno)
+                    for kind in summary.cleans:
+                        state.mutation_lines.pop(kind, None)
+
+        def step(stmt: ast.stmt, state: _EffectState) -> _EffectState:
+            if isinstance(stmt, ast.If):
+                apply_events(stmt.test, state)
+                then_state = run(stmt.body, state.copy())
+                else_state = run(stmt.orelse, state.copy())
+                then_state.merge(else_state)
+                return then_state
+            if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+                header = stmt.iter if isinstance(stmt, (ast.For, ast.AsyncFor)) else stmt.test
+                apply_events(header, state)
+                first = run(stmt.body, state.copy())
+                state.merge(first)
+                second = run(stmt.body, state.copy())
+                state.merge(second)
+                return run(stmt.orelse, state)
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                for item in stmt.items:
+                    apply_events(item.context_expr, state)
+                return run(stmt.body, state)
+            if isinstance(stmt, ast.Try):
+                entry = state.copy()
+                after_body = run(stmt.body, state)
+                merged = entry
+                merged.merge(after_body)
+                for handler in stmt.handlers:
+                    merged.merge(run(handler.body, merged.copy()))
+                merged = run(stmt.orelse, merged)
+                return run(stmt.finalbody, merged)
+            if isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                return state
+            apply_events(stmt, state)
+            return state
+
+        final = run(self._unit_body(info, fn), _EffectState())
+        summary = EffectSummary(
+            outstanding=frozenset(final.outstanding),
+            cleans=frozenset(final.cleaned),
+            exposed_reads=frozenset(final.exposed),
+        )
+        return summary, (violations if report else [])
+
+    # -- exception escapes (R013) ---------------------------------------------
+
+    def _escape_fixpoint(self) -> None:
+        units = self._walk_units()
+        for _ in range(_MAX_PASSES):
+            changed = False
+            for info, fn, qualname in units:
+                escapes = self._walk_escapes(info, fn)
+                if self.escapes.get(qualname) != escapes:
+                    self.escapes[qualname] = escapes
+                    changed = True
+            if not changed:
+                break
+
+    def exception_ancestry(self, name: str) -> List[str]:
+        """``name`` plus every ancestor class name we can see."""
+        out: List[str] = []
+        seen: Set[str] = set()
+        frontier = [name]
+        while frontier:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            out.append(current)
+            for qual, cls in self.project.classes.items():
+                if cls.name == current:
+                    for base in cls.bases:
+                        frontier.append(base.rsplit(".", maxsplit=1)[-1])
+            parent = _BUILTIN_PARENTS.get(current)
+            if parent is not None:
+                frontier.append(parent)
+        return out
+
+    def catches(self, handler: str, escape: str) -> bool:
+        """Whether ``except handler:`` stops an in-flight ``escape``."""
+        if handler in _CATCH_ALL:
+            return True
+        return handler in self.exception_ancestry(escape)
+
+    def is_repro_exception(self, name: str) -> bool:
+        """Whether ``name`` sits inside the project's ReproError family."""
+        return "ReproError" in self.exception_ancestry(name)
+
+    def _walk_escapes(
+        self, info: ModuleInfo, fn: Optional[FunctionInfo]
+    ) -> FrozenSet[str]:
+        cls = fn.cls if fn is not None else None
+
+        def exc_name(node: Optional[ast.expr]) -> Optional[str]:
+            if node is None:
+                return None
+            target = node.func if isinstance(node, ast.Call) else node
+            dotted = _dotted(target)
+            if dotted is None:
+                return None
+            return dotted.rsplit(".", maxsplit=1)[-1]
+
+        def call_escapes(node: ast.AST) -> Set[str]:
+            out: Set[str] = set()
+            for child in ast.walk(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                    continue
+                if isinstance(child, ast.Call):
+                    callee, _d, _v = resolve_call(
+                        self.project, info.name, cls, child
+                    )
+                    if callee is not None:
+                        out |= self.escapes.get(callee, frozenset())
+            return out
+
+        def block(stmts: List[ast.stmt], reraise: FrozenSet[str]) -> Set[str]:
+            out: Set[str] = set()
+            for stmt in stmts:
+                out |= stmt_escapes(stmt, reraise)
+            return out
+
+        def stmt_escapes(stmt: ast.stmt, reraise: FrozenSet[str]) -> Set[str]:
+            if isinstance(stmt, ast.Raise):
+                out = call_escapes(stmt)
+                if stmt.exc is None:
+                    return out | set(reraise)
+                name = exc_name(stmt.exc)
+                if name is not None:
+                    out.add(name)
+                return out
+            if isinstance(stmt, ast.Try):
+                body = block(stmt.body, reraise)
+                escaped: Set[str] = set()
+                caught_any = False
+                for handler in stmt.handlers:
+                    names = handler_names(handler)
+                    if names is None:  # bare except
+                        caught = set(body)
+                        caught_any = True
+                    else:
+                        caught = {
+                            e
+                            for e in body
+                            if any(self.catches(h, e) for h in names)
+                        }
+                    body -= caught
+                    escaped |= block(
+                        handler.body, reraise=frozenset(caught) | reraise
+                    )
+                escaped |= body
+                if not caught_any and not stmt.handlers:
+                    escaped |= set()
+                escaped |= block(stmt.orelse, reraise)
+                escaped |= block(stmt.finalbody, reraise)
+                return escaped
+            if isinstance(stmt, ast.If):
+                out = call_escapes(stmt.test)
+                out |= block(stmt.body, reraise)
+                out |= block(stmt.orelse, reraise)
+                return out
+            if isinstance(stmt, (ast.For, ast.AsyncFor)):
+                out = call_escapes(stmt.iter)
+                out |= block(stmt.body, reraise)
+                out |= block(stmt.orelse, reraise)
+                return out
+            if isinstance(stmt, ast.While):
+                out = call_escapes(stmt.test)
+                out |= block(stmt.body, reraise)
+                out |= block(stmt.orelse, reraise)
+                return out
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                out: Set[str] = set()
+                for item in stmt.items:
+                    out |= call_escapes(item.context_expr)
+                out |= block(stmt.body, reraise)
+                return out
+            if isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                return set()
+            if isinstance(stmt, ast.Assert):
+                return call_escapes(stmt) | {"AssertionError"}
+            return call_escapes(stmt)
+
+        def handler_names(
+            handler: ast.ExceptHandler,
+        ) -> Optional[List[str]]:
+            if handler.type is None:
+                return None
+            if isinstance(handler.type, ast.Tuple):
+                names = []
+                for elt in handler.type.elts:
+                    name = exc_name(elt)
+                    if name is not None:
+                        names.append(name)
+                return names
+            name = exc_name(handler.type)
+            return [name] if name is not None else []
+
+        return frozenset(block(self._unit_body(info, fn), frozenset()))
+
+    # -- bit purity (R012) ----------------------------------------------------
+
+    def bit_purity(self, qualname: str) -> Optional[bool]:
+        """True if the function returns an additive integer charge,
+        False if it is float-valued, None when undecidable."""
+        if qualname in self._purity:
+            return self._purity[qualname]
+        fn = self.project.functions.get(qualname)
+        if fn is None:
+            return None
+        annotation = _annotation_name(fn.returns)
+        if annotation == "int":
+            self._purity[qualname] = True
+            return True
+        if annotation == "float":
+            self._purity[qualname] = False
+            return False
+        if qualname in self._purity_stack:
+            return None
+        self._purity_stack.add(qualname)
+        try:
+            info = self.project.modules.get(fn.module)
+            if info is None:
+                self._purity[qualname] = None
+                return None
+            verdict: Optional[bool] = True
+            for node in ast.walk(fn.node):  # type: ignore[arg-type]
+                if isinstance(node, ast.Return) and node.value is not None:
+                    problems = self.judge_bits_expr(
+                        info, fn.cls, node.value, strict_division=True
+                    )
+                    if problems:
+                        verdict = False
+                        break
+            self._purity[qualname] = verdict
+            return verdict
+        finally:
+            self._purity_stack.discard(qualname)
+
+    def judge_bits_expr(
+        self,
+        info: ModuleInfo,
+        cls: Optional[str],
+        expr: ast.expr,
+        *,
+        strict_division: bool,
+    ) -> List[Tuple[ast.expr, str]]:
+        """Problems that keep ``expr`` from being an additive integer charge.
+
+        ``strict_division`` adds true division and float literals to the
+        offence list (return-position checking); without it only
+        float-valued *calls* are flagged (assignment-position checking,
+        where the per-file R001 already polices operators).
+        """
+        problems: List[Tuple[ast.expr, str]] = []
+
+        def judge(node: ast.expr) -> None:
+            if isinstance(node, ast.Constant):
+                if strict_division and isinstance(node.value, float):
+                    problems.append((node, "float literal"))
+                return
+            if isinstance(node, ast.BinOp):
+                if strict_division and isinstance(node.op, ast.Div):
+                    problems.append((node, "true division (/)"))
+                    return
+                judge(node.left)
+                judge(node.right)
+                return
+            if isinstance(node, ast.UnaryOp):
+                judge(node.operand)
+                return
+            if isinstance(node, ast.IfExp):
+                judge(node.body)
+                judge(node.orelse)
+                return
+            if isinstance(node, ast.Call):
+                dotted = _dotted(node.func)
+                full = self.normalise(info.name, dotted) if dotted else None
+                if dotted in _INTEGERIZERS or full in _INTEGERIZERS:
+                    return  # an integerizer launders anything inside it
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "bit_length"
+                ):
+                    return
+                if dotted in _COMBINATORS:
+                    for arg in node.args:
+                        judge(arg)
+                    return
+                if full in _FLOAT_CALLS or dotted in _FLOAT_CALLS:
+                    problems.append(
+                        (node, f"float-valued call {dotted or full}")
+                    )
+                    return
+                callee, _d, _v = resolve_call(
+                    self.project, info.name, cls, node
+                )
+                if callee is not None and callee in self.project.functions:
+                    purity = self.bit_purity(callee)
+                    if purity is False:
+                        problems.append(
+                            (node, f"float-valued project call {callee}")
+                        )
+                return
+            if isinstance(node, (ast.Tuple, ast.List)):
+                for elt in node.elts:
+                    judge(elt)
+                return
+            if isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+                judge(node.elt)
+                return
+            # Names, attributes, subscripts: permissive — R001 already
+            # polices local operator misuse per file.
+            return
+
+        judge(expr)
+        return problems
+
+
+def _effect_events(
+    analysis: FlowAnalysis,
+    info: ModuleInfo,
+    cls: Optional[str],
+    node: ast.AST,
+    init_self: Optional[str] = None,
+) -> List[Tuple[ast.AST, str, object]]:
+    """Mutations, invalidations, context reads and project calls in ``node``.
+
+    ``init_self`` names the ``self`` argument when the enclosing function
+    is an ``__init__``: stores through it are object construction, which
+    cannot stale any existing context memo.  Events come back unsorted;
+    the caller orders them by source position to approximate
+    statement-internal sequencing.
+    """
+    events: List[Tuple[ast.AST, str, object]] = []
+    for child in ast.walk(node):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if isinstance(child, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                child.targets
+                if isinstance(child, ast.Assign)
+                else [child.target]
+            )
+            for target in targets:
+                kinds = _mutation_kinds(target, store=True, init_self=init_self)
+                if kinds:
+                    events.append((child, "mutate", kinds))
+        elif isinstance(child, ast.Delete):
+            for target in child.targets:
+                kinds = _mutation_kinds(target, store=False, init_self=init_self)
+                if kinds:
+                    events.append((child, "mutate", kinds))
+        elif isinstance(child, ast.Call):
+            func = child.func
+            if isinstance(func, ast.Attribute):
+                if func.attr in _MUTATOR_METHODS:
+                    kinds = _mutation_kinds(
+                        func.value, store=False, init_self=init_self
+                    )
+                    if kinds:
+                        events.append((child, "mutate", kinds))
+                        continue
+                if func.attr == "invalidate" and _is_ctx_receiver(func.value):
+                    events.append(
+                        (child, "invalidate", _invalidate_coverage(child))
+                    )
+                    continue
+                reader = READER_KINDS.get(func.attr)
+                if reader is not None and _is_ctx_receiver(func.value):
+                    events.append((child, "read", reader))
+                    continue
+            callee, _d, _v = resolve_call(analysis.project, info.name, cls, child)
+            if callee is not None:
+                events.append((child, "call", callee))
+        elif isinstance(child, ast.Attribute):
+            reader = READER_KINDS.get(child.attr)
+            if reader is not None and _is_ctx_receiver(child.value):
+                # Bare attribute access (e.g. a property-style read).
+                events.append((child, "read", reader))
+    return events
+
+
+def _chain_root(node: ast.AST) -> Optional[str]:
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+def _mutation_kinds(
+    target: ast.AST,
+    *,
+    store: bool,
+    init_self: Optional[str] = None,
+) -> FrozenSet[str]:
+    """Context kinds dirtied by a store/mutation through ``target``.
+
+    ``store`` is True for plain assignment targets, where the
+    fill-idiom exemption applies to subscript stores; ``del``,
+    mutator-method receivers and rebinding never get it.
+    """
+    if init_self is not None and _chain_root(target) == init_self:
+        return frozenset()
+    kinds: Set[str] = set()
+    for child in ast.walk(target):
+        name: Optional[str] = None
+        if isinstance(child, ast.Attribute):
+            name = child.attr
+        elif isinstance(child, ast.Name):
+            name = child.id
+        if name is None:
+            continue
+        for prefix, dirty in _MUTATION_PREFIXES:
+            if not name.startswith(prefix):
+                continue
+            if (
+                store
+                and isinstance(target, ast.Subscript)
+                and name in _FILL_IDIOM_ATTRS
+            ):
+                continue
+            kinds |= dirty
+    return frozenset(kinds)
+
+
+def _is_ctx_receiver(node: ast.AST) -> bool:
+    """Whether an attribute receiver looks like a GraphContext."""
+    dotted = _dotted(node)
+    if dotted is not None:
+        last = dotted.rsplit(".", maxsplit=1)[-1].lower()
+        return "ctx" in last or "context" in last
+    if isinstance(node, ast.Call):
+        target = _dotted(node.func)
+        if target is not None:
+            last = target.rsplit(".", maxsplit=1)[-1]
+            return last in ("get_context", "context")
+    return False
+
+
+def _invalidate_coverage(call: ast.Call) -> FrozenSet[str]:
+    """Kinds an ``invalidate(...)`` call is guaranteed to drop."""
+    has_nodes = False
+    kinds_value: Optional[ast.expr] = None
+    positional = [a for a in call.args if not isinstance(a, ast.Starred)]
+    if len(positional) >= 1:
+        has_nodes = not (
+            isinstance(positional[0], ast.Constant)
+            and positional[0].value is None
+        )
+    if len(positional) >= 2:
+        kinds_value = positional[1]
+    for keyword in call.keywords:
+        if keyword.arg == "nodes":
+            has_nodes = not (
+                isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is None
+            )
+        elif keyword.arg == "kinds":
+            kinds_value = keyword.value
+    if kinds_value is None:
+        if not has_nodes:
+            return ALL_KINDS  # bare invalidate(): full flush
+        return PER_NODE_KINDS
+    named: Set[str] = set()
+    literal = True
+    for child in ast.walk(kinds_value):
+        if isinstance(child, ast.Constant) and isinstance(child.value, str):
+            named.add(child.value)
+        elif isinstance(child, (ast.Name, ast.Call, ast.Attribute)):
+            literal = False
+    if not literal and not named:
+        # Dynamic kind set: assume the author covered what they touched.
+        return ALL_KINDS
+    return frozenset(named & ALL_KINDS) if named else ALL_KINDS

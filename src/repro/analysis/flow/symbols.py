@@ -1,0 +1,394 @@
+"""Project symbol table: modules, classes, functions, import resolution.
+
+The flow engine's ground truth.  Every linted file is parsed once into a
+:class:`ModuleInfo`; the :class:`ProjectIndex` then answers the questions
+the later layers ask — "what does the name ``chaos.random_faults`` mean
+inside ``repro.cli``?", "which class defines ``pristine_bits``?", "is
+``CodecError`` a subclass of ``ReproError``?" — using nothing but the
+parsed source (no imports of the analysed code are ever executed).
+
+Resolution follows re-export chains (``from repro.graphs.context import
+get_context`` inside ``repro/graphs/__init__.py`` makes
+``repro.graphs.get_context`` an alias of the real definition), so the
+call graph built on top sees through the package facades the repo uses
+everywhere.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "FunctionInfo",
+    "ClassInfo",
+    "ModuleInfo",
+    "ProjectIndex",
+    "build_module_info",
+]
+
+_MAX_REEXPORT_DEPTH = 16
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition."""
+
+    qualname: str
+    """``module.func`` or ``module.Class.func``."""
+    module: str
+    name: str
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    cls: Optional[str] = None
+    """Owning class name (unqualified) for methods."""
+    params: Tuple[str, ...] = ()
+    """Bindable parameter names in call order, ``self``/``cls`` excluded."""
+    has_self: bool = False
+    vararg: Optional[str] = None
+    kwarg: Optional[str] = None
+    kwonly: Tuple[str, ...] = ()
+    defaults: Dict[str, ast.expr] = field(default_factory=dict)
+    returns: Optional[ast.expr] = None
+
+    @property
+    def is_method(self) -> bool:
+        return self.cls is not None
+
+    def bind_args(
+        self, call: ast.Call, *, skip_first: bool = False
+    ) -> Dict[str, ast.expr]:
+        """Map a call's argument expressions onto parameter names.
+
+        ``skip_first`` drops the first positional argument (an explicit
+        ``self`` in ``Class.method(obj, ...)`` style calls).  Starred and
+        double-starred arguments are ignored — static binding cannot see
+        through them.
+        """
+        bound: Dict[str, ast.expr] = {}
+        positional = [a for a in call.args if not isinstance(a, ast.Starred)]
+        if skip_first and positional:
+            positional = positional[1:]
+        slots = list(self.params)
+        for name, value in zip(slots, positional):
+            bound[name] = value
+        for keyword in call.keywords:
+            if keyword.arg is not None and (
+                keyword.arg in self.params or keyword.arg in self.kwonly
+            ):
+                bound[keyword.arg] = keyword.value
+        return bound
+
+
+@dataclass
+class ClassInfo:
+    """One class definition with its (unresolved) base names."""
+
+    qualname: str
+    module: str
+    name: str
+    node: ast.ClassDef
+    bases: Tuple[str, ...] = ()
+    """Raw dotted base names as written in the source."""
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file, symbolised."""
+
+    name: str
+    path: str
+    tree: ast.Module
+    imports: Dict[str, str] = field(default_factory=dict)
+    """Local alias -> fully qualified dotted target."""
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    constants: Set[str] = field(default_factory=set)
+    """Module-level names bound to literal constants."""
+    globals: Set[str] = field(default_factory=set)
+    """All module-level assigned names (constants included)."""
+
+
+def _function_info(
+    node: ast.FunctionDef, module: str, cls: Optional[str]
+) -> FunctionInfo:
+    args = node.args
+    positional = [a.arg for a in list(args.posonlyargs) + list(args.args)]
+    has_self = False
+    if cls is not None and positional and not _is_staticmethod(node):
+        has_self = True
+        positional = positional[1:]
+    defaults: Dict[str, ast.expr] = {}
+    pos_with_defaults = list(args.posonlyargs) + list(args.args)
+    for arg, default in zip(
+        pos_with_defaults[len(pos_with_defaults) - len(args.defaults):],
+        args.defaults,
+    ):
+        defaults[arg.arg] = default
+    for arg, kw_default in zip(args.kwonlyargs, args.kw_defaults):
+        if kw_default is not None:
+            defaults[arg.arg] = kw_default
+    prefix = f"{module}.{cls}." if cls else f"{module}."
+    return FunctionInfo(
+        qualname=prefix + node.name,
+        module=module,
+        name=node.name,
+        node=node,
+        cls=cls,
+        params=tuple(positional),
+        has_self=has_self,
+        vararg=args.vararg.arg if args.vararg else None,
+        kwarg=args.kwarg.arg if args.kwarg else None,
+        kwonly=tuple(a.arg for a in args.kwonlyargs),
+        defaults=defaults,
+        returns=node.returns,
+    )
+
+
+def _is_staticmethod(node: ast.FunctionDef) -> bool:
+    for decorator in node.decorator_list:
+        name = decorator
+        while isinstance(name, ast.Attribute):
+            name = name.value
+        if isinstance(decorator, ast.Name) and decorator.id == "staticmethod":
+            return True
+        if (
+            isinstance(decorator, ast.Attribute)
+            and decorator.attr == "staticmethod"
+        ):
+            return True
+    return False
+
+
+def _resolve_relative(module: str, level: int, target: Optional[str]) -> str:
+    """Absolute dotted target of a ``from . import x`` style import."""
+    parts = module.split(".")
+    # Level 1 is "the current package": for a module that means its
+    # parent, which is also what dropping one component yields.
+    base = parts[: len(parts) - level] if level <= len(parts) else []
+    if target:
+        base = base + target.split(".")
+    return ".".join(base)
+
+
+def build_module_info(name: str, path: str, tree: ast.Module) -> ModuleInfo:
+    """Symbolise one parsed module (no project context needed yet)."""
+    info = ModuleInfo(name=name, path=path, tree=tree)
+    for node in tree.body:
+        _collect_statement(info, node)
+    return info
+
+
+def _collect_statement(info: ModuleInfo, node: ast.stmt) -> None:
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".")[0]
+            target = alias.name if alias.asname else alias.name.split(".")[0]
+            info.imports[local] = target
+    elif isinstance(node, ast.ImportFrom):
+        base = (
+            _resolve_relative(info.name, node.level, node.module)
+            if node.level
+            else (node.module or "")
+        )
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            local = alias.asname or alias.name
+            info.imports[local] = f"{base}.{alias.name}" if base else alias.name
+    elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        info.functions[node.name] = _function_info(node, info.name, None)  # type: ignore[arg-type]
+        info.globals.add(node.name)
+    elif isinstance(node, ast.ClassDef):
+        cls = ClassInfo(
+            qualname=f"{info.name}.{node.name}",
+            module=info.name,
+            name=node.name,
+            node=node,
+            bases=tuple(
+                dotted
+                for dotted in (_dotted(b) for b in node.bases)
+                if dotted is not None
+            ),
+        )
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                cls.methods[item.name] = _function_info(
+                    item, info.name, node.name  # type: ignore[arg-type]
+                )
+        info.classes[node.name] = cls
+        info.globals.add(node.name)
+    elif isinstance(node, ast.Assign):
+        for target in node.targets:
+            for leaf in ast.walk(target):
+                if isinstance(leaf, ast.Name):
+                    info.globals.add(leaf.id)
+                    if isinstance(node.value, ast.Constant):
+                        info.constants.add(leaf.id)
+    elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+        info.globals.add(node.target.id)
+        if isinstance(node.value, ast.Constant):
+            info.constants.add(node.target.id)
+    elif isinstance(node, (ast.If, ast.Try)):
+        # TYPE_CHECKING blocks and guarded imports still bind names.
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.stmt):
+                _collect_statement(info, child)
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class ProjectIndex:
+    """The whole linted program: every module symbolised and cross-linked."""
+
+    def __init__(self, modules: Iterable[ModuleInfo]) -> None:
+        self.modules: Dict[str, ModuleInfo] = {m.name: m for m in modules}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        self.method_index: Dict[str, List[FunctionInfo]] = {}
+        for mod in self.modules.values():
+            for fn in mod.functions.values():
+                self.functions[fn.qualname] = fn
+            for cls in mod.classes.values():
+                self.classes[cls.qualname] = cls
+                for method in cls.methods.values():
+                    self.functions[method.qualname] = method
+                    self.method_index.setdefault(method.name, []).append(method)
+
+    # -- name resolution -----------------------------------------------------
+
+    def resolve_export(self, module: str, symbol: str) -> Optional[str]:
+        """Qualname of ``symbol`` as exported by ``module`` (re-exports
+        followed); None when the module is outside the project or the
+        symbol cannot be found."""
+        seen = 0
+        current_module, current_symbol = module, symbol
+        while seen < _MAX_REEXPORT_DEPTH:
+            seen += 1
+            submodule = f"{current_module}.{current_symbol}"
+            if submodule in self.modules:
+                return submodule
+            info = self.modules.get(current_module)
+            if info is None:
+                return None
+            if current_symbol in info.functions:
+                return info.functions[current_symbol].qualname
+            if current_symbol in info.classes:
+                return info.classes[current_symbol].qualname
+            target = info.imports.get(current_symbol)
+            if target is None:
+                return None
+            if target in self.modules:
+                # `import x.y` style binding of a submodule name.
+                return target
+            head, _, tail = target.rpartition(".")
+            if not head:
+                return None
+            current_module, current_symbol = head, tail
+        return None
+
+    def resolve(self, module: str, dotted: str) -> Optional[str]:
+        """Project qualname for a dotted use-site name, or None.
+
+        Handles ``helper`` (local def), ``get_context`` (from-import,
+        re-exports followed), ``chaos.random_faults`` (module alias),
+        ``RoutingScheme.build`` (class attribute) and deeper chains.
+        """
+        info = self.modules.get(module)
+        if info is None:
+            return None
+        parts = dotted.split(".")
+        head, rest = parts[0], parts[1:]
+
+        resolved: Optional[str] = None
+        if head in info.functions:
+            resolved = info.functions[head].qualname
+        elif head in info.classes:
+            resolved = info.classes[head].qualname
+        elif head in info.imports:
+            target = info.imports[head]
+            if target in self.modules:
+                resolved = target
+            else:
+                t_head, _, t_tail = target.rpartition(".")
+                resolved = (
+                    self.resolve_export(t_head, t_tail) if t_head else None
+                )
+                if resolved is None and target in self.modules:
+                    resolved = target
+        if resolved is None:
+            return None
+
+        for part in rest:
+            if resolved in self.modules:
+                step = self.resolve_export(resolved, part)
+                if step is None:
+                    return None
+                resolved = step
+            elif resolved in self.classes:
+                method = self.resolve_method(resolved, part)
+                if method is None:
+                    return None
+                resolved = method.qualname
+            else:
+                return None
+        return resolved
+
+    def resolve_method(
+        self, class_qualname: str, method: str
+    ) -> Optional[FunctionInfo]:
+        """Look ``method`` up on a class and its project-visible bases."""
+        seen: Set[str] = set()
+        stack = [class_qualname]
+        while stack:
+            qual = stack.pop(0)
+            if qual in seen:
+                continue
+            seen.add(qual)
+            cls = self.classes.get(qual)
+            if cls is None:
+                continue
+            if method in cls.methods:
+                return cls.methods[method]
+            for base in cls.bases:
+                base_qual = self.resolve(cls.module, base)
+                if base_qual is not None:
+                    stack.append(base_qual)
+        return None
+
+    def class_ancestry(self, class_qualname: str) -> List[str]:
+        """Unqualified names of the class and all project-visible bases."""
+        names: List[str] = []
+        seen: Set[str] = set()
+        stack = [class_qualname]
+        while stack:
+            qual = stack.pop(0)
+            if qual in seen:
+                continue
+            seen.add(qual)
+            cls = self.classes.get(qual)
+            if cls is None:
+                # External base: keep its last name component.
+                names.append(qual.rsplit(".", maxsplit=1)[-1])
+                continue
+            names.append(cls.name)
+            for base in cls.bases:
+                base_qual = self.resolve(cls.module, base)
+                stack.append(
+                    base_qual if base_qual is not None else base
+                )
+        return names
+
+    def iter_functions(self) -> Sequence[FunctionInfo]:
+        """Every function and method, deterministically ordered."""
+        return sorted(self.functions.values(), key=lambda f: f.qualname)

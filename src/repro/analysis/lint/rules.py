@@ -1,4 +1,6 @@
-"""The repo-specific rules (R001–R009).
+"""The repo-specific per-file rules (R001–R009) and the suppression
+audit (R014); the cross-module flow rules R010–R013 live in
+:mod:`repro.analysis.flow.rules`.
 
 Each rule encodes an invariant the paper's bookkeeping or the simulator's
 design depends on; ``rationale`` strings say which.  Rules are pure AST
@@ -958,3 +960,29 @@ class ContextRoutedDerivationsRule(LintRule):
                     f"(`get_context(graph)` / `scheme.ctx`) so the "
                     f"derivation is computed once per graph",
                 )
+
+
+@register_rule
+class UnusedSuppressionRule(LintRule):
+    """R014: a suppression comment that silences nothing is stale."""
+
+    rule_id = "R014"
+    name = "unused-suppression"
+    severity = Severity.WARNING
+    description = (
+        "a `# repro-lint: disable=RXXX` comment that suppresses zero "
+        "findings is reported so documented exceptions cannot outlive the "
+        "code they excused"
+    )
+    rationale = (
+        "Suppressions are the audit trail of deliberate rule exceptions; "
+        "once the excused code is rewritten, a leftover comment silently "
+        "grants future violations a free pass. The runner counts every "
+        "suppression's uses across the whole run (flow rules included) and "
+        "flags the ones that earned none."
+    )
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        # Driven by the runner after all other rules have recorded their
+        # suppression uses; per-module checking cannot see flow findings.
+        return iter(())

@@ -7,9 +7,7 @@ right class and surfaces the paper's model restrictions as build errors.
 
 from __future__ import annotations
 
-from typing import Callable, Dict
-
-from typing import Optional
+from typing import Any, Callable, Dict, Optional
 
 from repro.errors import SchemeBuildError
 from repro.graphs import GraphContext, LabeledGraph, get_context
@@ -57,7 +55,7 @@ def build_scheme(
     graph: LabeledGraph,
     model: RoutingModel,
     ctx: Optional[GraphContext] = None,
-    **params,
+    **params: Any,
 ) -> RoutingScheme:
     """Build the named scheme for a graph under a model.
 

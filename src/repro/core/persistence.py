@@ -17,7 +17,7 @@ information.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Any, Dict
 
 from repro.bitio import BitArray, BitReader, BitWriter
 from repro.errors import BitstreamError, CodecError
@@ -114,7 +114,7 @@ def unpack_blob(data: bytes) -> SchemeBlob:
 
 
 def restore_scheme(
-    data: bytes, graph: LabeledGraph, model: RoutingModel, **params
+    data: bytes, graph: LabeledGraph, model: RoutingModel, **params: Any
 ) -> RoutingScheme:
     """Rebuild a live scheme whose functions come from a packed blob.
 

@@ -30,7 +30,7 @@ from __future__ import annotations
 import enum
 
 from repro.bitio import BitArray
-from repro.errors import IntegrityError
+from repro.errors import BitstreamError, IntegrityError
 
 __all__ = [
     "FramingPolicy",
@@ -95,10 +95,18 @@ class FramingPolicy(str, enum.Enum):
 
 
 def frame_bits(payload: BitArray, policy: FramingPolicy) -> BitArray:
-    """Append ``policy``'s checksum to ``payload`` (identity under NONE)."""
+    """Append ``policy``'s checksum to ``payload`` (identity under NONE).
+
+    Only :class:`~repro.errors.IntegrityError` escapes this entry point:
+    a malformed payload that trips the bit layer is reported as a framing
+    failure, not as a leaked :class:`~repro.errors.BitstreamError`.
+    """
     if policy is FramingPolicy.NONE:
         return payload
-    return payload + policy.checksum(payload)
+    try:
+        return payload + policy.checksum(payload)
+    except BitstreamError as exc:
+        raise IntegrityError(f"cannot frame payload: {exc}") from exc
 
 
 def unframe_bits(
@@ -120,9 +128,14 @@ def unframe_bits(
             f"than its {overhead}-bit {policy.value} checksum"
         )
     split = len(framed) - overhead
-    payload = framed[:split]
-    stored = framed[split:]
-    expected = policy.checksum(payload)
+    try:
+        payload = framed[:split]
+        stored = framed[split:]
+        expected = policy.checksum(payload)
+    except BitstreamError as exc:
+        raise IntegrityError(
+            f"node {node}: cannot unframe function bits: {exc}"
+        ) from exc
     if stored != expected:
         raise IntegrityError(
             f"node {node}: {policy.value} checksum mismatch "

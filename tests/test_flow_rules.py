@@ -1,0 +1,505 @@
+"""Flow-sensitive lint rules R010–R013, the R014 suppression audit, and
+the flow-aware CLI surface (`--no-flow`, `--dump-callgraph`, `--diff`).
+
+Every rule gets at least one positive fixture (the violation fires) and
+one negative fixture (the disciplined version stays clean) — the PR's
+acceptance criterion.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis.lint import lint_paths, lint_source, rule_by_id
+from repro.cli import main
+
+
+def run_flow(source, *, path="tmp/fixture.py", module=None, rules=None):
+    """Lint one dedented blob with the flow pass on."""
+    active = None if rules is None else [rule_by_id(r) for r in rules]
+    return lint_source(
+        textwrap.dedent(source),
+        path=path,
+        module=module,
+        active_rules=active,
+        flow=True,
+    )
+
+
+def rule_ids(result):
+    return [finding.rule_id for finding in result.findings]
+
+
+# -- R010: seed provenance ----------------------------------------------------
+
+
+def test_r010_fires_on_unseeded_rng_construction():
+    result = run_flow(
+        """
+        import random
+
+        def fresh():
+            return random.Random()
+        """,
+        rules=["R010"],
+    )
+    assert rule_ids(result) == ["R010"]
+    assert "without a seed argument" in result.findings[0].message
+
+
+def test_r010_fires_on_ambient_seed_through_helper():
+    result = run_flow(
+        """
+        import random
+        import time
+
+        def make_rng(seed):
+            return random.Random(seed)
+
+        def runner():
+            return make_rng(time.time())
+        """,
+        rules=["R010"],
+    )
+    assert rule_ids(result) == ["R010"]
+    message = result.findings[0].message
+    assert "make_rng" in message
+    assert "time.time" in message
+
+
+def test_r010_fires_on_untraceable_seed():
+    result = run_flow(
+        """
+        import random
+
+        def fresh(config):
+            return random.Random(config.pick())
+        """,
+        rules=["R010"],
+    )
+    assert rule_ids(result) == ["R010"]
+
+
+def test_r010_clean_on_param_and_constant_seeds():
+    result = run_flow(
+        """
+        import random
+
+        DEFAULT_SEED = 1996
+
+        def from_param(seed):
+            return random.Random(seed)
+
+        def from_constant():
+            return random.Random(DEFAULT_SEED)
+
+        def derived(seed):
+            return random.Random(seed * 2 + 1)
+        """,
+        rules=["R010"],
+    )
+    assert result.findings == []
+
+
+def test_r010_clean_when_seed_threads_through_two_helpers():
+    result = run_flow(
+        """
+        import random
+
+        def make_rng(seed):
+            return random.Random(seed)
+
+        def outer(seed):
+            return make_rng(seed + 1)
+        """,
+        rules=["R010"],
+    )
+    assert result.findings == []
+
+
+# -- R011: invalidation discipline --------------------------------------------
+
+R011_DIRTY = """
+def corrupt(graph, ctx):
+    graph._adj_sets = ()
+    return ctx.distances()
+"""
+
+R011_CLEAN = """
+def repaired(graph, ctx):
+    graph._adj_sets = ()
+    ctx.invalidate()
+    return ctx.distances()
+"""
+
+
+def test_r011_fires_on_read_after_unflushed_mutation():
+    result = run_flow(R011_DIRTY, module="repro.fake.mutator", rules=["R011"])
+    assert rule_ids(result) == ["R011"]
+    assert "invalidate" in result.findings[0].message
+
+
+def test_r011_clean_when_invalidate_precedes_read():
+    result = run_flow(R011_CLEAN, module="repro.fake.mutator", rules=["R011"])
+    assert result.findings == []
+
+
+def test_r011_fires_across_function_boundary():
+    result = run_flow(
+        """
+        def mutate(graph):
+            graph._adj_sets = ()
+
+        def pipeline(graph, ctx):
+            mutate(graph)
+            return ctx.distances()
+        """,
+        module="repro.fake.pipeline",
+        rules=["R011"],
+    )
+    assert "R011" in rule_ids(result)
+
+
+def test_r011_lazy_cache_fill_is_not_a_mutation():
+    result = run_flow(
+        """
+        class Scheme:
+            def __init__(self, ctx):
+                self._function_cache = {}
+                self._ctx = ctx
+
+            def function(self, u):
+                if u not in self._function_cache:
+                    self._function_cache[u] = u * 2
+                return self._function_cache[u]
+
+            def read(self):
+                return self._ctx.distances()
+        """,
+        module="repro.fake.scheme",
+        rules=["R011"],
+    )
+    assert result.findings == []
+
+
+# -- R012: bit conservation ---------------------------------------------------
+
+
+def test_r012_fires_on_float_valued_bits_return():
+    result = run_flow(
+        """
+        import math
+
+        def table_bits(n: int):
+            return math.log2(n) + 7
+        """,
+        rules=["R012"],
+    )
+    assert rule_ids(result) == ["R012"]
+    assert "math.log2" in result.findings[0].message
+
+
+def test_r012_fires_on_float_call_in_bits_assignment():
+    # Plain `/` on a bit-named target is R001's per-file job; the flow
+    # rule adds what R001 cannot see — float-valued calls.
+    result = run_flow(
+        """
+        import math
+
+        def report(n: int) -> int:
+            header_bits = math.log2(n)
+            return int(header_bits)
+        """,
+        rules=["R012"],
+    )
+    assert rule_ids(result) == ["R012"]
+
+
+def test_r012_clean_on_integer_arithmetic_and_annotated_floats():
+    result = run_flow(
+        """
+        import math
+
+        def table_bits(n: int) -> int:
+            return n * 3 + len(str(n))
+
+        def ratio_bits(n: int) -> float:
+            # Annotated float: a deliberate diagnostic, not a charge.
+            return math.log2(n)
+
+        def ceil_bits(n: int) -> int:
+            return math.ceil(math.log2(n))
+        """,
+        rules=["R012"],
+    )
+    assert result.findings == []
+
+
+def test_r012_traces_purity_through_project_helpers():
+    result = run_flow(
+        """
+        def half(n: int):
+            return n / 2
+
+        def padding_bits(n: int):
+            return half(n)
+        """,
+        rules=["R012"],
+    )
+    assert rule_ids(result) == ["R012"]
+
+
+# -- R013: exception boundaries -----------------------------------------------
+
+R013_PRELUDE = """
+class ReproError(Exception):
+    pass
+
+class BitstreamError(ReproError):
+    pass
+
+class CodecError(ReproError):
+    pass
+
+def _read_bits(data):
+    if not data:
+        raise BitstreamError("empty")
+    return data
+"""
+
+R013_LEAKY = R013_PRELUDE + """
+def unpack_blob(data):
+    return _read_bits(data)
+"""
+
+R013_SHIELDED = R013_PRELUDE + """
+def unpack_blob(data):
+    try:
+        return _read_bits(data)
+    except BitstreamError as exc:
+        raise CodecError(str(exc)) from exc
+"""
+
+
+def test_r013_fires_when_bitstream_error_escapes_codec_boundary():
+    result = run_flow(
+        R013_LEAKY,
+        path="tmp/repro/core/persistence.py",
+        module="repro.core.persistence",
+        rules=["R013"],
+    )
+    assert rule_ids(result) == ["R013"]
+    assert "BitstreamError" in result.findings[0].message
+
+
+def test_r013_clean_when_boundary_translates_to_codec_error():
+    result = run_flow(
+        R013_SHIELDED,
+        path="tmp/repro/core/persistence.py",
+        module="repro.core.persistence",
+        rules=["R013"],
+    )
+    assert result.findings == []
+
+
+def test_r013_subclasses_of_the_allowed_error_are_fine():
+    source = R013_PRELUDE + """
+class BlobCodecError(CodecError):
+    pass
+
+def unpack_blob(data):
+    try:
+        return _read_bits(data)
+    except BitstreamError as exc:
+        raise BlobCodecError(str(exc)) from exc
+"""
+    result = run_flow(
+        source,
+        path="tmp/repro/core/persistence.py",
+        module="repro.core.persistence",
+        rules=["R013"],
+    )
+    assert result.findings == []
+
+
+# -- R014: stale suppressions -------------------------------------------------
+
+
+def test_r014_flags_suppression_that_matched_nothing():
+    result = lint_source("x = 1  # repro-lint: disable=R001\n")
+    assert rule_ids(result) == ["R014"]
+    assert "matched no findings" in result.findings[0].message
+
+
+def test_r014_quiet_when_the_suppression_is_earning_its_keep():
+    result = lint_source(
+        "total_bits = 10\n"
+        "share = total_bits / 2  # repro-lint: disable=R001\n"
+    )
+    assert result.findings == []
+    assert result.suppressed == 1
+
+
+def test_r014_ignores_docstrings_describing_the_syntax():
+    result = lint_source(
+        '"""Docs: write `# repro-lint: disable=R001` to mute a line."""\n'
+        "x = 1\n"
+    )
+    assert result.findings == []
+
+
+def test_r014_not_judged_for_rules_outside_the_active_set():
+    # Only R001 runs: a stale R008 suppression cannot be judged fairly.
+    result = lint_source(
+        "x = 1  # repro-lint: disable=R008\n",
+        active_rules=[rule_by_id("R001"), rule_by_id("R014")],
+    )
+    assert result.findings == []
+
+
+def test_r014_flow_rule_suppressions_only_judged_when_flow_ran():
+    source = "x = 1  # repro-lint: disable=R011\n"
+    without_flow = lint_source(source)
+    assert without_flow.findings == []
+    with_flow = lint_source(source, flow=True)
+    assert rule_ids(with_flow) == ["R014"]
+
+
+def test_flow_findings_respect_suppression_comments():
+    source = textwrap.dedent(
+        """
+        import random
+
+        def fresh():
+            return random.Random()  # repro-lint: disable=R010
+        """
+    )
+    result = lint_source(
+        source, active_rules=[rule_by_id("R010")], flow=True
+    )
+    assert result.findings == []
+    assert result.suppressed == 1
+
+
+# -- runner error paths -------------------------------------------------------
+
+
+def test_unreadable_file_exits_2_with_structured_diagnostic(tmp_path, capsys):
+    broken_link = tmp_path / "locked.py"
+    broken_link.symlink_to(tmp_path / "does-not-exist")
+    assert main(["lint", str(tmp_path)]) == 2
+    out = capsys.readouterr().out
+    assert "R000" in out
+    assert "cannot read file" in out
+
+
+def test_syntax_error_file_exits_2_with_r000(tmp_path, capsys):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def f(:\n")
+    assert main(["lint", str(tmp_path)]) == 2
+    out = capsys.readouterr().out
+    assert "R000" in out and "syntax error" in out
+
+
+def test_empty_directory_exits_2(tmp_path, capsys):
+    assert main(["lint", str(tmp_path)]) == 2
+    assert "no Python files found" in capsys.readouterr().err
+
+
+def test_unparseable_file_still_joins_flow_run(tmp_path):
+    (tmp_path / "broken.py").write_text("def f(:\n")
+    (tmp_path / "fine.py").write_text("import random\n\ndef f():\n    return random.Random()\n")
+    result = lint_paths([str(tmp_path)])
+    ids = {finding.rule_id for finding in result.findings}
+    assert "R000" in ids and "R010" in ids
+
+
+# -- CLI: --no-flow, --dump-callgraph, --diff ---------------------------------
+
+FLOW_ONLY_VIOLATION = (
+    "import random\n"
+    "\n"
+    "def f() -> random.Random:\n"
+    "    return random.Random()\n"
+)
+
+
+def test_cli_no_flow_skips_flow_rules(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text(FLOW_ONLY_VIOLATION)
+    assert main(["lint", str(bad)]) == 1
+    assert "R010" in capsys.readouterr().out
+    assert main(["lint", str(bad), "--no-flow"]) == 0
+
+
+def test_cli_dump_callgraph_writes_json(tmp_path, capsys):
+    src = tmp_path / "ok.py"
+    src.write_text("def f() -> int:\n    return g()\n\ndef g() -> int:\n    return 0\n")
+    out = tmp_path / "callgraph.json"
+    assert main(["lint", str(src), "--dump-callgraph", str(out)]) == 0
+    payload = json.loads(out.read_text())
+    assert payload["version"] == 1
+    assert any(f.endswith(".f") for f in payload["functions"])
+
+
+def test_cli_dump_callgraph_requires_flow(tmp_path, capsys):
+    src = tmp_path / "ok.py"
+    src.write_text("x = 1\n")
+    out = tmp_path / "callgraph.json"
+    assert main(
+        ["lint", str(src), "--no-flow", "--dump-callgraph", str(out)]
+    ) == 2
+    assert "--no-flow" in capsys.readouterr().err
+
+
+def test_cli_diff_restricts_findings_to_changed_files(tmp_path, capsys):
+    # The fixture lives outside the repo's diff against HEAD, so its
+    # finding is filtered out; the full program was still analysed.
+    bad = tmp_path / "bad.py"
+    bad.write_text(FLOW_ONLY_VIOLATION)
+    assert main(["lint", str(bad)]) == 1
+    capsys.readouterr()
+    assert main(["lint", str(bad), "--diff", "HEAD"]) == 0
+
+
+def test_cli_diff_with_bad_ref_exits_2(tmp_path, capsys):
+    src = tmp_path / "ok.py"
+    src.write_text("x = 1\n")
+    assert main(
+        ["lint", str(src), "--diff", "no-such-ref-xyz"]
+    ) == 2
+    assert "cannot resolve --diff" in capsys.readouterr().err
+
+
+def test_cli_diff_keeps_parse_errors_even_off_diff(tmp_path, capsys):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def f(:\n")
+    assert main(["lint", str(bad), "--diff", "HEAD"]) == 2
+    assert "R000" in capsys.readouterr().out
+
+
+# -- seeded violations through the CLI (CI smoke mirror) ----------------------
+
+
+@pytest.mark.parametrize(
+    "relpath, source, rule",
+    [
+        ("repro/runner.py", FLOW_ONLY_VIOLATION, "R010"),
+        ("repro/fake/mutator.py", textwrap.dedent(R011_DIRTY), "R011"),
+        (
+            "repro/fake/space.py",
+            "import math\n\ndef table_bits(n: int):\n    return math.log2(n)\n",
+            "R012",
+        ),
+        ("repro/core/persistence.py", textwrap.dedent(R013_LEAKY), "R013"),
+    ],
+)
+def test_cli_seeded_flow_violations_fail(tmp_path, relpath, source, rule, capsys):
+    target = tmp_path / relpath
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(source)
+    assert main(["lint", str(tmp_path), "--select", rule]) == 1
+    assert rule in capsys.readouterr().out

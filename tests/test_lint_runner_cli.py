@@ -149,7 +149,7 @@ def test_runner_walks_directories_deterministically(tmp_path):
 
 def test_registry_has_exactly_the_documented_rules():
     ids = [rule.rule_id for rule in all_rules()]
-    assert ids == [f"R{n:03d}" for n in range(1, 10)]
+    assert ids == [f"R{n:03d}" for n in range(1, 15)]
     for rule in all_rules():
         assert rule.description
         assert rule.rationale
