@@ -193,6 +193,8 @@ _TAXONOMY_SOURCES: dict = {
     "MutationKind": "repro.simulator.chaos",
     "TopologyMutationKind": "repro.simulator.churn",
     "BetterDirection": "repro.observability.bench",
+    "StoreFaultKind": "repro.store.faults",
+    "RecordKind": "repro.store.journal",
 }
 _TAXONOMY_FALLBACKS: dict = {
     "DropReason": frozenset(
@@ -223,6 +225,10 @@ _TAXONOMY_FALLBACKS: dict = {
         {"EDGE_ADD", "EDGE_REMOVE", "NODE_LEAVE", "NODE_JOIN"}
     ),
     "BetterDirection": frozenset({"HIGHER", "LOWER", "NEUTRAL"}),
+    "StoreFaultKind": frozenset(
+        {"TORN_WRITE", "SHORT_WRITE", "LOST_FSYNC", "RENAME_FAIL", "BIT_ROT"}
+    ),
+    "RecordKind": frozenset({"PUT", "SWAP"}),
 }
 
 # Back-compat alias (pre-generalisation name, still used by older configs).
@@ -404,6 +410,10 @@ _SPAN_METHODS = frozenset(
         "mutate",
         "repair",
         "converged",
+        "persist",
+        "reject",
+        "recover",
+        "swap",
         "sample",
         "slo",
     }
@@ -455,9 +465,10 @@ class TracerGuardRule(LintRule):
     name = "tracer-guarded"
     severity = Severity.ERROR
     description = (
-        "in `repro.simulator` and `repro.core`, tracer span calls "
-        "(`inject`/`hop`/`retry`/`fault`/`drop`/`deliver`/`emit`) must sit "
-        "under `if tracer is not None` (or after an `is None` early return)"
+        "in `repro.simulator`, `repro.core` and `repro.store`, tracer span "
+        "calls (`inject`/`hop`/`drop`/`deliver`/`persist`/`recover`/… "
+        "/`emit`) must sit under `if tracer is not None` (or after an "
+        "`is None` early return)"
     )
     rationale = (
         "The observability PR's zero-overhead guarantee is a single "
@@ -466,7 +477,9 @@ class TracerGuardRule(LintRule):
     )
 
     def check(self, context: ModuleContext) -> Iterator[Finding]:
-        if not context.in_package("repro.simulator", "repro.core"):
+        if not context.in_package(
+            "repro.simulator", "repro.core", "repro.store"
+        ):
             return
         yield from self._scan_block(context, context.tree.body, frozenset())
 

@@ -40,6 +40,19 @@ Commands
     control arm) and ``--repair-rate`` staggers installs at a bits-per-time
     budget.  Reports convergence times, stale deliveries, routing loops,
     and bits rewritten vs. a full rebuild alongside the delivery metrics.
+``store put|get|list|verify|recover|compact``
+    Crash-safe durable scheme store (``--dir`` names the store
+    directory).  ``put`` builds a scheme and appends a CRC-framed,
+    manifest-carrying record to the journal (``--hot-swap`` additionally
+    read-back-verifies the stored bits and atomically switches the
+    active generation); ``get`` fetches a generation (``--output`` saves
+    the packed blob); ``list`` shows generations and active pointers;
+    ``verify`` audits the disk with a fresh recovery pass plus a deep
+    decode of every blob, exiting 1 on any damage; ``recover`` rebuilds
+    the catalog — quarantining corrupt records, dropping the torn tail,
+    falling back to the last good snapshot — and can emit the
+    quarantine report (``--report``); ``compact`` snapshots the catalog
+    atomically and resets the journal.
 ``codec NAME N``
     Run an incompressibility codec against a sampled or structured graph.
 ``trace-report TRACE``
@@ -135,6 +148,7 @@ from repro.simulator import (
     summarize,
     table_corruption,
 )
+from repro.store import LocalFilesystem, SchemeStore
 from repro.simulator.workloads import (
     all_to_one,
     hotspot_pairs,
@@ -198,6 +212,41 @@ def _add_observability_flags(
         )
 
 
+def _retry_parent() -> argparse.ArgumentParser:
+    """Shared ``--retries``/backoff flags for every retrying simulator.
+
+    One parent parser (``add_help=False`` so it composes) instead of the
+    same four ``add_argument`` calls repeated per subcommand — and the
+    full :class:`~repro.simulator.recovery.RetryPolicy` surface is
+    reachable: multiplier, cap, and jitter, not just the base delay.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--retries", type=int, default=0,
+                        help="max re-transmissions per message (0 = none)")
+    parent.add_argument("--backoff-base", type=float, default=1.0,
+                        help="base retry backoff delay")
+    parent.add_argument("--backoff-multiplier", type=float, default=2.0,
+                        help="exponential backoff growth factor per retry")
+    parent.add_argument("--max-delay", type=float, default=60.0,
+                        help="cap on any single backoff delay")
+    parent.add_argument("--jitter", type=float, default=0.1,
+                        help="+/- fraction of seeded jitter on each delay")
+    return parent
+
+
+def _retry_policy(args: argparse.Namespace) -> Optional[RetryPolicy]:
+    """The RetryPolicy the retry flags describe (None when retries off)."""
+    if args.retries <= 0:
+        return None
+    return RetryPolicy(
+        max_attempts=args.retries + 1,
+        base_delay=args.backoff_base,
+        multiplier=args.backoff_multiplier,
+        max_delay=args.max_delay,
+        jitter=args.jitter,
+    )
+
+
 def _run_manifest(args: argparse.Namespace, graph=None) -> RunManifest:
     """One RunManifest per CLI invocation, embedded in every artifact."""
     params = {
@@ -205,8 +254,11 @@ def _run_manifest(args: argparse.Namespace, graph=None) -> RunManifest:
         for key, value in vars(args).items()
         if key != "command"
     }
+    command = args.command
+    if getattr(args, "store_command", None):
+        command = f"store-{args.store_command}"
     return RunManifest.capture(
-        command=args.command,
+        command=command,
         seed=getattr(args, "seed", None),
         scheme=getattr(args, "scheme", None),
         n=getattr(args, "n", None),
@@ -317,9 +369,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_observability_flags(simulate)
 
+    retry_parent = _retry_parent()
+
     chaos = sub.add_parser(
         "simulate-chaos",
         help="run the event engine under a dynamic fault schedule",
+        parents=[retry_parent],
     )
     chaos.add_argument("scheme", choices=available_schemes())
     chaos.add_argument("n", type=int)
@@ -361,10 +416,6 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="regional: hop radius of each outage")
     chaos.add_argument("--outage", type=float, default=20.0,
                        help="regional: outage duration")
-    chaos.add_argument("--retries", type=int, default=0,
-                       help="max re-transmissions per message (0 = none)")
-    chaos.add_argument("--backoff-base", type=float, default=1.0,
-                       help="base retry backoff delay")
     chaos.add_argument("--detour", action="store_true",
                        help="wrap the scheme in the bounce-once DetourWrapper")
     _add_observability_flags(chaos)
@@ -373,6 +424,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "simulate-corruption",
         help="run the event engine while seeded faults corrupt routing "
              "tables mid-run (integrity framing + self-healing)",
+        parents=[retry_parent],
     )
     corruption.add_argument("scheme", choices=available_schemes())
     corruption.add_argument("n", type=int)
@@ -419,10 +471,6 @@ def _build_parser() -> argparse.ArgumentParser:
         help="self-heal rebuilds a table this long after detection "
              "(negative disables healing)",
     )
-    corruption.add_argument("--retries", type=int, default=0,
-                            help="max re-transmissions per message (0 = none)")
-    corruption.add_argument("--backoff-base", type=float, default=1.0,
-                            help="base retry backoff delay")
     corruption.add_argument(
         "--detour", action="store_true",
         help="wrap the scheme in the bounce-once DetourWrapper "
@@ -434,6 +482,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "simulate-churn",
         help="run the event engine under live topology churn with "
              "incremental scheme repair and convergence reporting",
+        parents=[retry_parent],
     )
     churn.add_argument("scheme", choices=available_schemes())
     churn.add_argument("n", type=int)
@@ -475,10 +524,6 @@ def _build_parser() -> argparse.ArgumentParser:
              "dirtied ones (the control arm incremental repair is "
              "measured against)",
     )
-    churn.add_argument("--retries", type=int, default=0,
-                       help="max re-transmissions per message (0 = none)")
-    churn.add_argument("--backoff-base", type=float, default=1.0,
-                       help="base retry backoff delay")
     _add_observability_flags(churn)
 
     codec = sub.add_parser("codec", help="run an incompressibility codec")
@@ -587,6 +632,77 @@ def _build_parser() -> argparse.ArgumentParser:
         "--output", type=str, default=None, metavar="FILE",
         help="also write the comparison JSON (with manifest) here",
     )
+
+    store = sub.add_parser(
+        "store",
+        help="crash-safe durable scheme store: journaled puts, snapshots, "
+             "verified hot-swap, audited recovery",
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+
+    store_put = store_sub.add_parser(
+        "put", help="build a scheme and durably store a new generation"
+    )
+    store_put.add_argument("scheme", choices=available_schemes())
+    store_put.add_argument("n", type=int)
+    store_put.add_argument("--dir", type=str, required=True, metavar="DIR",
+                           help="store directory (created on first use)")
+    store_put.add_argument("--seed", type=int, default=0)
+    store_put.add_argument("--model", type=parse_model, default=None)
+    store_put.add_argument("--name", type=str, default=None,
+                           help="store key (default: the scheme name)")
+    store_put.add_argument(
+        "--hot-swap", action="store_true",
+        help="verified hot-swap: store, read back bit-exact, then switch "
+             "the active generation (failure leaves the old one serving)",
+    )
+    store_put.add_argument(
+        "--snapshot-every", type=int, default=8,
+        help="compact into a snapshot after this many puts (default: 8)",
+    )
+    _add_observability_flags(store_put, json_flag=False)
+
+    store_get = store_sub.add_parser(
+        "get", help="fetch a stored generation (active by default)"
+    )
+    store_get.add_argument("name", type=str, help="store key")
+    store_get.add_argument("--dir", type=str, required=True, metavar="DIR")
+    store_get.add_argument("--generation", type=int, default=None)
+    store_get.add_argument("--output", type=str, default=None, metavar="FILE",
+                           help="write the packed scheme blob to this file")
+
+    store_list = store_sub.add_parser(
+        "list", help="list stored schemes, generations and active pointers"
+    )
+    store_list.add_argument("--dir", type=str, required=True, metavar="DIR")
+    store_list.add_argument("--json", action="store_true")
+
+    store_verify = store_sub.add_parser(
+        "verify",
+        help="audit the disk: fresh recovery pass + deep blob decode, "
+             "diffed against the catalog (exit 1 on any damage)",
+    )
+    store_verify.add_argument("--dir", type=str, required=True, metavar="DIR")
+    store_verify.add_argument("--json", action="store_true")
+
+    store_recover = store_sub.add_parser(
+        "recover",
+        help="rebuild the catalog from disk, quarantining damaged records "
+             "and falling back to the last good snapshot",
+    )
+    store_recover.add_argument("--dir", type=str, required=True, metavar="DIR")
+    store_recover.add_argument("--json", action="store_true")
+    store_recover.add_argument(
+        "--report", type=str, default=None, metavar="FILE",
+        help="write the quarantine/recovery report JSON here (CI artifact)",
+    )
+    _add_observability_flags(store_recover, json_flag=False)
+
+    store_compact = store_sub.add_parser(
+        "compact",
+        help="snapshot the catalog atomically and reset the journal",
+    )
+    store_compact.add_argument("--dir", type=str, required=True, metavar="DIR")
 
     trace_report = sub.add_parser(
         "trace-report",
@@ -762,11 +878,7 @@ def _cmd_simulate_chaos(args: argparse.Namespace) -> int:
         pairs = hotspot_pairs(graph, args.messages, seed=args.seed)
     else:
         pairs = permutation_traffic(graph, seed=args.seed)
-    retry = (
-        RetryPolicy(max_attempts=args.retries + 1, base_delay=args.backoff_base)
-        if args.retries > 0
-        else None
-    )
+    retry = _retry_policy(args)
     tracer = _open_tracer(args, manifest)
     sim = EventDrivenSimulator(
         scheme,
@@ -856,11 +968,7 @@ def _cmd_simulate_corruption(args: argparse.Namespace) -> int:
         pairs = hotspot_pairs(graph, args.messages, seed=args.seed)
     else:
         pairs = permutation_traffic(graph, seed=args.seed)
-    retry = (
-        RetryPolicy(max_attempts=args.retries + 1, base_delay=args.backoff_base)
-        if args.retries > 0
-        else None
-    )
+    retry = _retry_policy(args)
     repair_delay = args.repair_delay if args.repair_delay > 0 else None
     tracer = _open_tracer(args, manifest)
     sim = EventDrivenSimulator(
@@ -954,11 +1062,7 @@ def _cmd_simulate_churn(args: argparse.Namespace) -> int:
         pairs = hotspot_pairs(graph, args.messages, seed=args.seed)
     else:
         pairs = permutation_traffic(graph, seed=args.seed)
-    retry = (
-        RetryPolicy(max_attempts=args.retries + 1, base_delay=args.backoff_base)
-        if args.retries > 0
-        else None
-    )
+    retry = _retry_policy(args)
     tracer = _open_tracer(args, manifest)
     sim = EventDrivenSimulator(
         scheme,
@@ -1263,6 +1367,134 @@ def _cmd_trace_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _store_put(args: argparse.Namespace) -> int:
+    started = _time.perf_counter()
+    model = args.model or _default_model(args.scheme)
+    graph = gnp_random_graph(args.n, seed=args.seed)
+    manifest = _run_manifest(args, graph)
+    scheme = build_scheme(args.scheme, graph, model)
+    blob = pack_scheme(scheme)
+    name = args.name or args.scheme
+    tracer = _open_tracer(args, manifest)
+    store = SchemeStore.open(
+        LocalFilesystem(args.dir),
+        snapshot_every=args.snapshot_every,
+        tracer=tracer,
+    )
+    manifest = manifest.completed(_time.perf_counter() - started)
+    if args.hot_swap:
+        generation = store.hot_swap(name, blob, manifest=manifest.to_dict())
+        action = "hot-swapped"
+    else:
+        generation = store.put(name, blob, manifest=manifest.to_dict())
+        action = "stored"
+    if tracer is not None:
+        tracer.close()
+    _write_metrics_out(args, manifest)
+    print(f"{action} {name}@{generation} ({8 * len(blob)} bits, "
+          f"active generation {store.active_generation(name)})")
+    return 0
+
+
+def _store_get(args: argparse.Namespace) -> int:
+    store = SchemeStore.open(LocalFilesystem(args.dir))
+    entry = store.get(args.name, args.generation)
+    if args.output:
+        with open(args.output, "wb") as handle:
+            handle.write(entry.blob)
+        print(f"{entry.name}@{entry.generation} ({entry.blob_bits} bits) "
+              f"written to {args.output}")
+    else:
+        print(f"{entry.name}@{entry.generation}: {entry.blob_bits} bits, "
+              f"manifest {'present' if entry.manifest else 'absent'}")
+    return 0
+
+
+def _store_list(args: argparse.Namespace) -> int:
+    store = SchemeStore.open(LocalFilesystem(args.dir))
+    rows = store.list()
+    if args.json:
+        print(json.dumps(rows, indent=2, sort_keys=True))
+        return 0
+    if not rows:
+        print("store is empty")
+        return 0
+    for row in rows:
+        generations = ", ".join(map(str, row["generations"]))
+        print(f"{row['name']}: active @{row['active_generation']} "
+              f"({row['active_blob_bits']} bits), generations [{generations}]")
+    return 0
+
+
+def _store_verify(args: argparse.Namespace) -> int:
+    # Read-only audit: recover WITHOUT self-healing, so damage on disk is
+    # reported instead of silently compacted away before we look at it.
+    store = SchemeStore(LocalFilesystem(args.dir))
+    store.recover(heal=False)
+    report = store.verify()
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    elif report["ok"]:
+        print(f"store verified clean "
+              f"({report['recovery']['records_replayed']} records, "
+              f"{len(store.list())} schemes)")
+    else:
+        print(f"store verification FAILED ({len(report['problems'])} problems):")
+        for problem in report["problems"]:
+            print(f"  - {problem}")
+    return 0 if report["ok"] else 1
+
+
+def _store_recover(args: argparse.Namespace) -> int:
+    manifest = _run_manifest(args)
+    tracer = _open_tracer(args, manifest)
+    store = SchemeStore.open(LocalFilesystem(args.dir), tracer=tracer)
+    report = store.last_recovery
+    assert report is not None  # open() always recovers
+    if tracer is not None:
+        tracer.close()
+    _write_metrics_out(args, manifest)
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(
+                {"manifest": manifest.to_dict(), "recovery": report.to_dict()},
+                handle, indent=2, sort_keys=True,
+            )
+            handle.write("\n")
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(f"recovered from {report.source}: "
+              f"{report.records_applied}/{report.records_replayed} records "
+              f"applied, {len(report.quarantined)} quarantined, "
+              f"{report.torn_tail_bytes} torn-tail bytes, "
+              f"{len(report.snapshots_rejected)} snapshots rejected")
+    # Degraded-but-recovered is still success: the catalog is consistent.
+    return 0
+
+
+def _store_compact(args: argparse.Namespace) -> int:
+    store = SchemeStore.open(LocalFilesystem(args.dir))
+    target = store.compact()
+    print(f"catalog compacted into {target} "
+          f"({store.catalog.total_entries} entries)")
+    return 0
+
+
+_STORE_COMMANDS = {
+    "put": _store_put,
+    "get": _store_get,
+    "list": _store_list,
+    "verify": _store_verify,
+    "recover": _store_recover,
+    "compact": _store_compact,
+}
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    return _STORE_COMMANDS[args.store_command](args)
+
+
 _COMMANDS = {
     "schemes": _cmd_schemes,
     "certify": _cmd_certify,
@@ -1280,6 +1512,7 @@ _COMMANDS = {
     "lint": _cmd_lint,
     "bench-report": _cmd_bench_report,
     "trace-report": _cmd_trace_report,
+    "store": _cmd_store,
 }
 
 

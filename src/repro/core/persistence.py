@@ -99,10 +99,22 @@ def unpack_blob(data: bytes) -> SchemeBlob:
         except UnicodeDecodeError as exc:
             raise CodecError(f"scheme name is not valid UTF-8: {exc}") from exc
         n = reader.read_gamma()
-        functions = {u: reader.read_prime() for u in range(1, n + 1)}
+        functions: Dict[int, BitArray] = {}
+        for u in range(1, n + 1):
+            try:
+                functions[u] = reader.read_prime()
+            except BitstreamError as exc:
+                # A short blob must be reported as the structural lie it
+                # is — declared n vs functions actually present — not as
+                # a leaked bitstream exhaustion deep inside a prime code.
+                raise CodecError(
+                    f"blob declares n={n} but holds only {len(functions)} "
+                    f"per-node functions ({exc})"
+                ) from exc
         if not reader.at_end():
             raise CodecError(
-                f"{reader.remaining} trailing bits in scheme blob"
+                f"blob declares n={n} but {reader.remaining} bits of "
+                "trailing data follow the last function"
             )
     except CodecError:
         raise

@@ -57,3 +57,13 @@ class IntegrityError(ReproError):
 
 class AnalysisError(ReproError):
     """Raised for invalid analysis inputs (e.g. empty scaling samples)."""
+
+
+class StoreError(ReproError):
+    """Raised when the durable scheme store cannot complete an operation.
+
+    Covers I/O failures surfaced by the filesystem layer (a rename that
+    did not land, an unreadable journal) and logical failures (a missing
+    generation, a hot-swap candidate that failed verification).  Corrupt
+    *records* do not raise: recovery quarantines them and reports the
+    damage in its :class:`~repro.store.recovery.RecoveryReport`."""

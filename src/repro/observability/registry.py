@@ -272,6 +272,17 @@ _WELL_KNOWN_HELP: Dict[str, str] = {
         "Table bits reused by incremental repair.",
     "repro_churn_convergence_time":
         "Simulated time from first uncovered mutation to convergence.",
+    "repro_store_records_total":
+        "Journal records durably written, labelled by op (put/swap).",
+    "repro_store_quarantined_total":
+        "Damaged store records/snapshots quarantined, labelled by reason.",
+    "repro_store_recoveries_total":
+        "Recovery passes completed, labelled by source (journal/snapshot/empty).",
+    "repro_store_snapshots_total": "Catalog snapshots installed.",
+    "repro_store_swaps_total": "Verified hot-swaps of a scheme's active generation.",
+    "repro_store_journal_bits": "Current size of the store journal in bits.",
+    "repro_store_snapshot_bits": "Current size of the newest snapshot in bits.",
+    "repro_store_recovery_seconds": "Wall time per recovery pass.",
 }
 """Default ``# HELP`` text for the stack's own metrics.
 

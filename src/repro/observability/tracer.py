@@ -39,6 +39,16 @@ message's life inside :class:`~repro.simulator.network.Network` or
     was explicitly invalidated.  Cache *hits* are deliberately not traced
     — they are counted in the metrics registry — so a trace shows exactly
     the work that was actually performed.
+``persist`` / ``reject`` / ``recover`` / ``swap``
+    The durable-store lifecycle (:mod:`repro.store`): a journal record or
+    snapshot was durably written (``reason`` carries the operation —
+    ``put``/``swap``/``snapshot``/``compact``); a damaged record or
+    snapshot was detected and quarantined instead of trusted (``reason``
+    carries the damage class, ``detail`` the scan's diagnosis); a
+    :class:`~repro.store.recovery.RecoveryManager` finished rebuilding
+    the catalog (``duration`` is the recovery time, ``detail`` the
+    source it recovered from); and a scheme's active generation was
+    switched by a verified hot-swap.
 ``sample``
     A :class:`~repro.observability.sampling.SamplingTracer` summarising
     its own behaviour on close: how many messages it saw, kept by the
@@ -134,7 +144,8 @@ class TraceEvent:
     event: str
     """``inject`` | ``hop`` | ``retry`` | ``fault`` | ``drop`` | ``deliver``
     | ``corrupt`` | ``quarantine`` | ``heal`` | ``ctx`` | ``mutate`` |
-    ``repair`` | ``converged`` | ``sample`` | ``slo``."""
+    ``repair`` | ``converged`` | ``persist`` | ``reject`` | ``recover`` |
+    ``swap`` | ``sample`` | ``slo``."""
     seq: int = 0
     """Tracer-assigned monotone sequence number (total order of emission)."""
     time: float = 0.0
@@ -450,6 +461,53 @@ class Tracer:
             "converged", time=time, duration=duration, detail=detail,
             cause=cause,
         )
+
+    def persist(
+        self,
+        op: str,
+        detail: Optional[str] = None,
+        time: float = 0.0,
+        duration: Optional[float] = None,
+    ) -> int:
+        """The store durably wrote something (``op``: ``put`` | ``swap`` |
+        ``snapshot`` | ``compact``); ``detail`` names the scheme/file."""
+        return self._record(
+            "persist", reason=op, detail=detail, time=time, duration=duration
+        )
+
+    def reject(
+        self,
+        reason: str,
+        detail: Optional[str] = None,
+        time: float = 0.0,
+    ) -> int:
+        """Damaged store bytes were detected and quarantined, not trusted."""
+        return self._record(
+            "reject", reason=reason, detail=detail, time=time
+        )
+
+    def recover(
+        self,
+        detail: Optional[str] = None,
+        time: float = 0.0,
+        duration: Optional[float] = None,
+        reason: Optional[str] = None,
+    ) -> int:
+        """A recovery pass rebuilt the catalog (``detail`` names the
+        source: the journal, a snapshot, or an empty store)."""
+        return self._record(
+            "recover", detail=detail, time=time, duration=duration,
+            reason=reason,
+        )
+
+    def swap(
+        self,
+        detail: str,
+        time: float = 0.0,
+        cause: Optional[int] = None,
+    ) -> int:
+        """A verified hot-swap switched a scheme's active generation."""
+        return self._record("swap", detail=detail, time=time, cause=cause)
 
     def ctx(
         self,

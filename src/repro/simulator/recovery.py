@@ -13,6 +13,7 @@ decorator (bounce to a live neighbour instead of dropping), lives in
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass
 
@@ -65,12 +66,25 @@ class RetryPolicy:
         return self.max_attempts - 1
 
     def delay(self, retry: int, rng: random.Random) -> float:
-        """Backoff before the ``retry``-th re-transmission (0-based)."""
+        """Backoff before the ``retry``-th re-transmission (0-based).
+
+        The cap holds for *every* retry index: once the exponent is past
+        the point where ``base_delay * multiplier**retry`` reaches
+        ``max_delay`` the power is never evaluated, so a large index
+        cannot overflow float range where the naive formula would.
+        """
         if retry < 0:
             raise ReproError(f"retry index must be >= 0, got {retry}")
-        nominal = min(
-            self.base_delay * self.multiplier**retry, self.max_delay
-        )
+        if self.multiplier == 1.0:
+            nominal = min(self.base_delay, self.max_delay)
+        elif retry >= math.log(
+            self.max_delay / self.base_delay, self.multiplier
+        ):
+            nominal = self.max_delay
+        else:
+            nominal = min(
+                self.base_delay * self.multiplier**retry, self.max_delay
+            )
         if self.jitter == 0:
             return nominal
         return nominal * (1 - self.jitter + 2 * self.jitter * rng.random())

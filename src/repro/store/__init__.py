@@ -1,0 +1,76 @@
+"""Crash-safe durable storage for packed routing schemes.
+
+The paper treats a routing table as an expensive, carefully counted bit
+artifact; this package gives those bits a home that survives the disk's
+failure modes.  An append-only journal of CRC-framed records
+(:mod:`repro.store.journal`), periodic atomically-installed snapshots of
+the generation-numbered catalog (:mod:`repro.store.catalog`), a recovery
+manager that earns the catalog back from damaged bytes
+(:mod:`repro.store.recovery`), and a facade tying them together with
+verified hot-swap and compaction (:class:`~repro.store.store.SchemeStore`)
+— all driven adversarially by a seeded fault-injecting filesystem shim
+(:mod:`repro.store.faults`) over an explicit visible/durable byte model
+(:mod:`repro.store.filesystem`).
+
+This is the persistence layer the ROADMAP's routing-as-a-service server
+loads from: a scheme written here can be served, verified, hot-swapped,
+and recovered after any crash point without ever routing on bits that
+failed their integrity check.
+"""
+
+from repro.store.catalog import (
+    Catalog,
+    CatalogEntry,
+    decode_snapshot,
+    encode_snapshot,
+    snapshot_name,
+    snapshot_sequence,
+)
+from repro.store.faults import (
+    FaultyFilesystem,
+    SimulatedCrash,
+    StoreFault,
+    StoreFaultKind,
+    storage_faults,
+)
+from repro.store.filesystem import Filesystem, LocalFilesystem, MemoryFilesystem
+from repro.store.journal import (
+    JOURNAL_NAME,
+    JournalRecord,
+    JournalScan,
+    QuarantinedRange,
+    RecordKind,
+    encode_put,
+    encode_swap,
+    scan_journal,
+)
+from repro.store.recovery import RecoveryManager, RecoveryReport
+from repro.store.store import SchemeStore
+
+__all__ = [
+    "Catalog",
+    "CatalogEntry",
+    "Filesystem",
+    "FaultyFilesystem",
+    "JOURNAL_NAME",
+    "JournalRecord",
+    "JournalScan",
+    "LocalFilesystem",
+    "MemoryFilesystem",
+    "QuarantinedRange",
+    "RecordKind",
+    "RecoveryManager",
+    "RecoveryReport",
+    "SchemeStore",
+    "SimulatedCrash",
+    "StoreFault",
+    "StoreFaultKind",
+    "decode_snapshot",
+    "encode_put",
+    "encode_snapshot",
+    "encode_swap",
+    "scan_journal",
+    "snapshot_name",
+    "snapshot_sequence",
+    "storage_faults",
+]

@@ -1,0 +1,271 @@
+"""Seeded storage-fault injection for the scheme store.
+
+The chaos engine (:mod:`repro.simulator.chaos`) attacks the *network*;
+this module attacks the *disk* with the failure modes real storage
+exhibits, so the store's crash-safety claims are tested against an
+adversary rather than assumed:
+
+* ``TORN_WRITE``  — an append persists only a prefix and the process
+  dies mid-write (the classic torn journal record);
+* ``SHORT_WRITE`` — an append silently writes fewer bytes than asked
+  (no crash, the caller believes it succeeded);
+* ``LOST_FSYNC``  — ``sync`` reports success but durable media never
+  saw the bytes; a later crash reveals the lie;
+* ``RENAME_FAIL`` — the atomic ``replace`` install raises instead of
+  landing (snapshot installs and journal resets must survive this);
+* ``BIT_ROT``     — a bit of an already-durable file flips post hoc
+  (media decay; applied on demand via :meth:`FaultyFilesystem.rot`).
+
+Faults are described by :class:`StoreFault` values targeting the *k*-th
+operation of their kind, generated deterministically by
+:func:`storage_faults` — the same seeded schedule-generator shape as the
+chaos/corruption/churn axes — and enforced by
+:class:`FaultyFilesystem`, a decorator over any
+:class:`~repro.store.filesystem.Filesystem`.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import StoreError
+from repro.store.filesystem import Filesystem, MemoryFilesystem
+
+__all__ = [
+    "StoreFaultKind",
+    "StoreFault",
+    "SimulatedCrash",
+    "FaultyFilesystem",
+    "storage_faults",
+]
+
+
+class StoreFaultKind(str, enum.Enum):
+    """What one injected storage fault does to the filesystem."""
+
+    TORN_WRITE = "torn write"
+    """An append persists a prefix, then the process crashes."""
+    SHORT_WRITE = "short write"
+    """An append silently persists a prefix (no crash, no error)."""
+    LOST_FSYNC = "lost fsync"
+    """``sync`` succeeds but durability is never achieved."""
+    RENAME_FAIL = "rename fail"
+    """The atomic ``replace`` install raises instead of landing."""
+    BIT_ROT = "bit rot"
+    """A bit of a durable file flips after the fact (media decay)."""
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class SimulatedCrash(StoreError):
+    """The fault plan killed the process mid-operation (simulation only)."""
+
+
+@dataclass(frozen=True)
+class StoreFault:
+    """One scheduled storage fault.
+
+    ``op_index`` counts operations of the fault's own kind (appends for
+    the write faults, syncs for ``LOST_FSYNC``, replaces for
+    ``RENAME_FAIL``), zero-based, so a plan composes independent axes
+    without cross-talk.  ``fraction`` is the prefix kept by a torn/short
+    write; ``bit_offset`` is the (modulo file length) position a
+    ``BIT_ROT`` fault flips; ``path`` optionally pins a fault to one
+    file name (``None`` matches any).
+    """
+
+    kind: StoreFaultKind
+    op_index: int = 0
+    fraction: float = 0.5
+    bit_offset: int = 0
+    path: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.op_index < 0:
+            raise StoreError(
+                f"fault op_index must be >= 0, got {self.op_index}"
+            )
+        if not 0.0 <= self.fraction < 1.0:
+            raise StoreError(
+                f"fault fraction must be in [0, 1), got {self.fraction}"
+            )
+        if self.bit_offset < 0:
+            raise StoreError(
+                f"fault bit_offset must be >= 0, got {self.bit_offset}"
+            )
+
+
+_WRITE_KINDS = (StoreFaultKind.TORN_WRITE, StoreFaultKind.SHORT_WRITE)
+
+
+class FaultyFilesystem(Filesystem):
+    """A :class:`Filesystem` decorator that enforces a fault plan.
+
+    Pass-through for every operation the plan does not target.  The shim
+    counts operations per fault kind; when a scheduled fault's index
+    comes up it is *consumed* (fires once).  ``BIT_ROT`` faults are not
+    operation-triggered: call :meth:`rot` to apply them post hoc.
+    """
+
+    def __init__(
+        self, inner: Filesystem, faults: Iterable[StoreFault] = ()
+    ) -> None:
+        self.inner = inner
+        self._pending: List[StoreFault] = list(faults)
+        self._op_counts: Dict[StoreFaultKind, int] = {}
+        self.fired: List[StoreFault] = []
+
+    # -- plan machinery -------------------------------------------------------
+
+    def _take(
+        self, kinds: Tuple[StoreFaultKind, ...], name: str
+    ) -> Optional[StoreFault]:
+        """Consume and return the fault scheduled for this operation."""
+        index = self._op_counts.get(kinds[0], 0)
+        for kind in kinds:
+            self._op_counts[kind] = index + 1
+        for i, fault in enumerate(self._pending):
+            if fault.kind not in kinds:
+                continue
+            if fault.op_index != index:
+                continue
+            if fault.path is not None and fault.path != name:
+                continue
+            self.fired.append(self._pending.pop(i))
+            return self.fired[-1]
+        return None
+
+    @property
+    def pending(self) -> List[StoreFault]:
+        """Faults scheduled but not yet fired."""
+        return list(self._pending)
+
+    # -- Filesystem surface ---------------------------------------------------
+
+    def read(self, name: str) -> bytes:
+        return self.inner.read(name)
+
+    def exists(self, name: str) -> bool:
+        return self.inner.exists(name)
+
+    def append(self, name: str, data: bytes) -> None:
+        fault = self._take(_WRITE_KINDS, name)
+        if fault is None:
+            self.inner.append(name, data)
+            return
+        kept = data[: int(len(data) * fault.fraction)]
+        self.inner.append(name, kept)
+        if fault.kind is StoreFaultKind.TORN_WRITE:
+            # A torn write is a crash mid-write: the prefix it persisted
+            # must be what a recovery sees, so sync it before dying.
+            self.inner.sync(name)
+            raise SimulatedCrash(
+                f"torn write: {len(kept)} of {len(data)} bytes hit {name}"
+            )
+
+    def sync(self, name: str) -> None:
+        fault = self._take((StoreFaultKind.LOST_FSYNC,), name)
+        if fault is None:
+            self.inner.sync(name)
+
+    def replace(self, name: str, data: bytes) -> None:
+        fault = self._take((StoreFaultKind.RENAME_FAIL,), name)
+        if fault is not None:
+            raise StoreError(
+                f"rename fail: atomic install of {name} did not land"
+            )
+        self.inner.replace(name, data)
+
+    def delete(self, name: str) -> None:
+        self.inner.delete(name)
+
+    def list(self) -> List[str]:
+        return self.inner.list()
+
+    # -- simulation-only surface ---------------------------------------------
+
+    def rot(self, default_path: str = "journal.log") -> List[int]:
+        """Apply every pending ``BIT_ROT`` fault; returns bit positions hit.
+
+        Requires the wrapped filesystem to support post-hoc corruption
+        (the :class:`~repro.store.filesystem.MemoryFilesystem` does).
+        """
+        if not isinstance(self.inner, MemoryFilesystem):
+            raise StoreError(
+                "bit rot injection needs a MemoryFilesystem underneath"
+            )
+        positions: List[int] = []
+        rotted = [
+            fault for fault in self._pending
+            if fault.kind is StoreFaultKind.BIT_ROT
+        ]
+        for fault in rotted:
+            self._pending.remove(fault)
+            self.fired.append(fault)
+            positions.append(
+                self.inner.corrupt_bit(
+                    fault.path or default_path, fault.bit_offset
+                )
+            )
+        return positions
+
+    def crash(self) -> None:
+        """Forward a simulated power cut to the wrapped filesystem."""
+        if not isinstance(self.inner, MemoryFilesystem):
+            raise StoreError(
+                "crash simulation needs a MemoryFilesystem underneath"
+            )
+        self.inner.crash()
+
+
+def storage_faults(
+    count: int,
+    *,
+    seed: int,
+    kinds: Sequence[StoreFaultKind] = (
+        StoreFaultKind.TORN_WRITE,
+        StoreFaultKind.SHORT_WRITE,
+        StoreFaultKind.LOST_FSYNC,
+        StoreFaultKind.RENAME_FAIL,
+        StoreFaultKind.BIT_ROT,
+    ),
+    horizon_ops: int = 16,
+    max_bit_offset: int = 1 << 20,
+) -> List[StoreFault]:
+    """A seeded, deterministic plan of ``count`` storage faults.
+
+    Mirrors the chaos schedule generators: same seed, same plan.  Op
+    indices are drawn uniformly from ``[0, horizon_ops)`` per kind;
+    torn/short writes keep a uniform fraction of the data; bit rot
+    picks an unreduced offset (applied modulo the victim file length).
+    """
+    if count < 0:
+        raise StoreError(f"fault count must be >= 0, got {count}")
+    if not kinds:
+        raise StoreError("storage fault plan needs at least one kind")
+    if horizon_ops < 1:
+        raise StoreError(f"horizon_ops must be >= 1, got {horizon_ops}")
+    rng = random.Random(seed)
+    used: Dict[StoreFaultKind, Set[int]] = {}
+    plan: List[StoreFault] = []
+    for _ in range(count):
+        kind = rng.choice(tuple(kinds))
+        taken = used.setdefault(kind, set())
+        free = [i for i in range(horizon_ops) if i not in taken]
+        if not free:
+            continue  # this kind's horizon is saturated; best effort
+        op_index = rng.choice(free)
+        taken.add(op_index)
+        plan.append(
+            StoreFault(
+                kind=kind,
+                op_index=op_index,
+                fraction=rng.uniform(0.0, 0.95),
+                bit_offset=rng.randrange(max_bit_offset),
+            )
+        )
+    return plan

@@ -1,0 +1,206 @@
+"""The storage layer the scheme store talks to — real or simulated.
+
+The store never touches ``open``/``os`` directly; every byte goes through
+a :class:`Filesystem`, a deliberately narrow contract (read, append,
+sync, atomic replace, delete, list) that two implementations satisfy:
+
+* :class:`LocalFilesystem` — a directory on the real disk, for the CLI
+  and any long-lived deployment.  ``replace`` is the classic
+  write-to-temp + ``fsync`` + ``os.replace`` atomic-install idiom.
+* :class:`MemoryFilesystem` — an in-memory model that distinguishes
+  *visible* bytes (what a subsequent read returns) from *durable* bytes
+  (what survives :meth:`MemoryFilesystem.crash`).  ``append`` alone
+  leaves data volatile; only ``sync`` — or the all-in-one ``replace`` —
+  promotes it.  That split is what lets the fault-injection shim
+  (:mod:`repro.store.faults`) model torn writes, lost fsyncs, and
+  crash-point sweeps deterministically and instantly, with no real I/O.
+
+All paths are names relative to the filesystem's root; the store uses
+flat names (``journal.log``, ``snapshot-000001.snap``) only.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from typing import Dict, List
+
+from repro.errors import StoreError
+
+__all__ = ["Filesystem", "LocalFilesystem", "MemoryFilesystem"]
+
+
+class Filesystem:
+    """Abstract byte store: the only I/O surface the scheme store uses."""
+
+    def read(self, name: str) -> bytes:
+        """All visible bytes of ``name`` (raises StoreError when absent)."""
+        raise NotImplementedError
+
+    def exists(self, name: str) -> bool:
+        """Whether ``name`` currently exists (visible, durable or not)."""
+        raise NotImplementedError
+
+    def append(self, name: str, data: bytes) -> None:
+        """Append ``data`` to ``name`` (creating it); NOT yet durable."""
+        raise NotImplementedError
+
+    def sync(self, name: str) -> None:
+        """Make every appended byte of ``name`` durable (fsync)."""
+        raise NotImplementedError
+
+    def replace(self, name: str, data: bytes) -> None:
+        """Atomically install ``data`` as the full durable content of
+        ``name`` (write temp, sync, rename): afterwards a reader sees
+        either the old content or the new, never a mixture."""
+        raise NotImplementedError
+
+    def delete(self, name: str) -> None:
+        """Remove ``name`` (missing files are ignored)."""
+        raise NotImplementedError
+
+    def list(self) -> List[str]:
+        """Sorted names of every existing file."""
+        raise NotImplementedError
+
+
+class LocalFilesystem(Filesystem):
+    """A real directory on disk (created on first use)."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        try:
+            os.makedirs(root, exist_ok=True)
+        except OSError as exc:
+            raise StoreError(f"cannot create store directory {root}: {exc}") from exc
+
+    def _path(self, name: str) -> str:
+        return os.path.join(self.root, name)
+
+    def read(self, name: str) -> bytes:
+        try:
+            with open(self._path(name), "rb") as handle:
+                return handle.read()
+        except OSError as exc:
+            raise StoreError(f"cannot read {name}: {exc}") from exc
+
+    def exists(self, name: str) -> bool:
+        return os.path.exists(self._path(name))
+
+    def append(self, name: str, data: bytes) -> None:
+        try:
+            with open(self._path(name), "ab") as handle:
+                handle.write(data)
+        except OSError as exc:
+            raise StoreError(f"cannot append to {name}: {exc}") from exc
+
+    def sync(self, name: str) -> None:
+        try:
+            fd = os.open(self._path(name), os.O_RDONLY)
+            try:
+                os.fsync(fd)
+            finally:
+                os.close(fd)
+        except OSError as exc:
+            raise StoreError(f"cannot fsync {name}: {exc}") from exc
+
+    def replace(self, name: str, data: bytes) -> None:
+        try:
+            fd, tmp = tempfile.mkstemp(dir=self.root, prefix=name + ".tmp")
+            try:
+                os.write(fd, data)
+                os.fsync(fd)
+            finally:
+                os.close(fd)
+            os.replace(tmp, self._path(name))
+        except OSError as exc:
+            raise StoreError(f"cannot install {name}: {exc}") from exc
+
+    def delete(self, name: str) -> None:
+        try:
+            os.remove(self._path(name))
+        except FileNotFoundError:
+            pass
+        except OSError as exc:
+            raise StoreError(f"cannot delete {name}: {exc}") from exc
+
+    def list(self) -> List[str]:
+        try:
+            return sorted(
+                entry for entry in os.listdir(self.root)
+                if os.path.isfile(self._path(entry))
+            )
+        except OSError as exc:
+            raise StoreError(f"cannot list {self.root}: {exc}") from exc
+
+
+class MemoryFilesystem(Filesystem):
+    """In-memory filesystem with an explicit durability model.
+
+    ``append`` updates only the *visible* view; ``sync`` copies it into
+    the *durable* view; :meth:`crash` discards everything volatile —
+    exactly the contract a crash-consistency test needs.  ``replace``
+    is atomic and durable in one step, mirroring the temp+fsync+rename
+    idiom of :class:`LocalFilesystem`.
+    """
+
+    def __init__(self) -> None:
+        self._visible: Dict[str, bytearray] = {}
+        self._durable: Dict[str, bytes] = {}
+
+    def read(self, name: str) -> bytes:
+        if name not in self._visible:
+            raise StoreError(f"cannot read {name}: no such file")
+        return bytes(self._visible[name])
+
+    def exists(self, name: str) -> bool:
+        return name in self._visible
+
+    def append(self, name: str, data: bytes) -> None:
+        self._visible.setdefault(name, bytearray()).extend(data)
+
+    def sync(self, name: str) -> None:
+        if name in self._visible:
+            self._durable[name] = bytes(self._visible[name])
+
+    def replace(self, name: str, data: bytes) -> None:
+        self._visible[name] = bytearray(data)
+        self._durable[name] = bytes(data)
+
+    def delete(self, name: str) -> None:
+        self._visible.pop(name, None)
+        self._durable.pop(name, None)
+
+    def list(self) -> List[str]:
+        return sorted(self._visible)
+
+    # -- simulation-only surface ---------------------------------------------
+
+    def crash(self) -> None:
+        """Lose every byte that was never synced (simulated power cut)."""
+        self._visible = {
+            name: bytearray(data) for name, data in self._durable.items()
+        }
+
+    def durable_bytes(self, name: str) -> bytes:
+        """The bytes of ``name`` that would survive a crash right now."""
+        return self._durable.get(name, b"")
+
+    def corrupt_bit(self, name: str, bit_offset: int) -> int:
+        """Flip one bit of ``name`` in place (post-hoc bit rot).
+
+        The offset is reduced modulo the file length so a seeded fault is
+        meaningful for any file; returns the absolute bit position hit.
+        Raises :class:`~repro.errors.StoreError` on a missing/empty file.
+        """
+        data = self._visible.get(name)
+        if not data:
+            raise StoreError(f"cannot corrupt {name}: no such file or empty")
+        position = bit_offset % (8 * len(data))
+        data[position // 8] ^= 1 << (7 - position % 8)
+        if name in self._durable:
+            durable = bytearray(self._durable[name])
+            if position // 8 < len(durable):
+                durable[position // 8] ^= 1 << (7 - position % 8)
+                self._durable[name] = bytes(durable)
+        return position

@@ -1,0 +1,264 @@
+"""Append-only journal of integrity-framed scheme records.
+
+Every mutation of the store is one self-contained record appended to
+``journal.log``.  A record is byte-aligned and CRC-framed with the same
+:class:`~repro.integrity.framing.FramingPolicy` machinery that frames
+routing functions, so the detector already proven against single flips
+and short bursts guards the storage path too::
+
+    magic(1) | kind(1) | payload length(4, big-endian) | payload | CRC-16(2)
+
+The CRC is computed over everything before it (header *and* payload), so
+a flip anywhere in the record is detected.  Two record kinds exist:
+
+* ``PUT``  — a new scheme generation: JSON metadata (name, generation,
+  the full :class:`~repro.observability.manifest.RunManifest` dict) plus
+  the :func:`~repro.core.persistence.pack_scheme` blob;
+* ``SWAP`` — switch a name's *active* generation (JSON only).  Written
+  by verified hot-swap after its PUT, so any journal prefix that
+  contains a SWAP also contains its target.
+
+:func:`scan_journal` parses a journal byte string defensively and never
+raises on damage; it classifies what it finds:
+
+* a record that ends past EOF is a **torn tail** — the expected artifact
+  of a crash mid-append; the scan stops there;
+* a complete record whose CRC fails verification is **quarantined** and
+  skipped (its declared length is trusted for resynchronisation; if the
+  length itself was hit, the next magic check fails and the rest of the
+  journal is quarantined as an unreadable tail);
+* a bad magic or kind byte makes the remaining bytes an **unreadable
+  tail** — without a trustworthy header there is nothing to resync on.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.bitio import BitArray
+from repro.errors import StoreError
+from repro.integrity import FramingPolicy, verify_frame
+
+__all__ = [
+    "RecordKind",
+    "JournalRecord",
+    "QuarantinedRange",
+    "JournalScan",
+    "encode_put",
+    "encode_swap",
+    "scan_journal",
+]
+
+JOURNAL_NAME = "journal.log"
+
+_MAGIC = 0xA7
+_HEADER_LEN = 6  # magic + kind + 4-byte payload length
+_CRC_LEN = FramingPolicy.CRC16.overhead_bits // 8
+_MAX_PAYLOAD = 1 << 28  # 32 MiB sanity cap on one record
+
+
+class RecordKind(enum.IntEnum):
+    """Wire tag of a journal record."""
+
+    PUT = 1
+    """A new scheme generation (metadata + packed blob)."""
+    SWAP = 2
+    """Activate an existing generation (metadata only)."""
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One verified record, plus where it sat in the journal."""
+
+    kind: RecordKind
+    name: str
+    generation: int
+    manifest: Optional[Dict[str, Any]]
+    blob: Optional[bytes]
+    offset: int
+    length: int
+
+
+@dataclass(frozen=True)
+class QuarantinedRange:
+    """A damaged byte range the scan isolated instead of trusting."""
+
+    offset: int
+    length: int
+    reason: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form for the quarantine report."""
+        return {
+            "offset": self.offset,
+            "length": self.length,
+            "reason": self.reason,
+        }
+
+
+@dataclass
+class JournalScan:
+    """Everything a defensive pass over journal bytes found."""
+
+    records: List[JournalRecord] = field(default_factory=list)
+    quarantined: List[QuarantinedRange] = field(default_factory=list)
+    torn_tail_bytes: int = 0
+    scanned_bytes: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """Whether the journal parsed end to end with no damage at all."""
+        return not self.quarantined and self.torn_tail_bytes == 0
+
+
+def _frame(head: bytes) -> bytes:
+    """CRC-16 frame ``head`` (header + payload) into a full record."""
+    bits = BitArray._from_packed(head, 8 * len(head))
+    checksum = FramingPolicy.CRC16.checksum(bits)
+    return head + checksum.to_bytes()
+
+
+def _meta_bytes(name: str, generation: int, extra: Dict[str, Any]) -> bytes:
+    meta = {"name": name, "generation": generation}
+    meta.update(extra)
+    return json.dumps(meta, sort_keys=True).encode("utf-8")
+
+
+def encode_put(
+    name: str,
+    generation: int,
+    manifest: Dict[str, Any],
+    blob: bytes,
+) -> bytes:
+    """Encode a PUT record: JSON metadata + packed scheme blob."""
+    if generation < 1:
+        raise StoreError(f"generation must be >= 1, got {generation}")
+    meta = _meta_bytes(name, generation, {"manifest": manifest})
+    payload = len(meta).to_bytes(4, "big") + meta + blob
+    if len(payload) > _MAX_PAYLOAD:
+        raise StoreError(
+            f"record payload of {len(payload)} bytes exceeds the "
+            f"{_MAX_PAYLOAD}-byte cap"
+        )
+    head = bytes((_MAGIC, RecordKind.PUT)) + len(payload).to_bytes(4, "big")
+    return _frame(head + payload)
+
+
+def encode_swap(name: str, generation: int) -> bytes:
+    """Encode a SWAP record activating ``generation`` of ``name``."""
+    if generation < 1:
+        raise StoreError(f"generation must be >= 1, got {generation}")
+    payload = _meta_bytes(name, generation, {})
+    head = bytes((_MAGIC, RecordKind.SWAP)) + len(payload).to_bytes(4, "big")
+    return _frame(head + payload)
+
+
+def _parse_payload(
+    kind: RecordKind, payload: bytes, offset: int, length: int
+) -> JournalRecord:
+    """Decode a CRC-verified payload (raises ValueError on bad structure)."""
+    if kind is RecordKind.PUT:
+        if len(payload) < 4:
+            raise ValueError("PUT payload too short for its meta header")
+        meta_len = int.from_bytes(payload[:4], "big")
+        if 4 + meta_len > len(payload):
+            raise ValueError("PUT meta length exceeds payload")
+        meta = json.loads(payload[4 : 4 + meta_len].decode("utf-8"))
+        blob: Optional[bytes] = payload[4 + meta_len :]
+        manifest = meta.get("manifest")
+    else:
+        meta = json.loads(payload.decode("utf-8"))
+        blob = None
+        manifest = None
+    name = meta["name"]
+    generation = meta["generation"]
+    if not isinstance(name, str) or not isinstance(generation, int):
+        raise ValueError("record metadata has wrong field types")
+    return JournalRecord(
+        kind=kind,
+        name=name,
+        generation=generation,
+        manifest=manifest,
+        blob=blob,
+        offset=offset,
+        length=length,
+    )
+
+
+def scan_journal(data: bytes) -> JournalScan:
+    """Defensively parse journal bytes; damage is reported, never raised."""
+    scan = JournalScan(scanned_bytes=len(data))
+    offset = 0
+    while offset < len(data):
+        remaining = len(data) - offset
+        if remaining < _HEADER_LEN + _CRC_LEN:
+            scan.torn_tail_bytes = remaining
+            break
+        if data[offset] != _MAGIC:
+            scan.quarantined.append(
+                QuarantinedRange(
+                    offset=offset,
+                    length=remaining,
+                    reason=(
+                        f"bad magic 0x{data[offset]:02x} at offset {offset}: "
+                        "unreadable tail"
+                    ),
+                )
+            )
+            break
+        payload_len = int.from_bytes(data[offset + 2 : offset + 6], "big")
+        record_len = _HEADER_LEN + payload_len + _CRC_LEN
+        if payload_len > _MAX_PAYLOAD:
+            scan.quarantined.append(
+                QuarantinedRange(
+                    offset=offset,
+                    length=remaining,
+                    reason=(
+                        f"implausible payload length {payload_len} at offset "
+                        f"{offset}: unreadable tail"
+                    ),
+                )
+            )
+            break
+        if record_len > remaining:
+            # The record runs past EOF: a crash mid-append left a prefix.
+            scan.torn_tail_bytes = remaining
+            break
+        record = data[offset : offset + record_len]
+        framed = BitArray._from_packed(record, 8 * len(record))
+        if not verify_frame(framed, FramingPolicy.CRC16):
+            scan.quarantined.append(
+                QuarantinedRange(
+                    offset=offset,
+                    length=record_len,
+                    reason=f"CRC-16 mismatch on record at offset {offset}",
+                )
+            )
+            offset += record_len
+            continue
+        try:
+            kind = RecordKind(record[1])
+            scan.records.append(
+                _parse_payload(
+                    kind,
+                    record[_HEADER_LEN : _HEADER_LEN + payload_len],
+                    offset,
+                    record_len,
+                )
+            )
+        except (ValueError, KeyError, UnicodeDecodeError, TypeError) as exc:
+            scan.quarantined.append(
+                QuarantinedRange(
+                    offset=offset,
+                    length=record_len,
+                    reason=(
+                        f"undecodable record at offset {offset} "
+                        f"({type(exc).__name__}: {exc})"
+                    ),
+                )
+            )
+        offset += record_len
+    return scan

@@ -77,6 +77,18 @@ class TestErrors:
         with pytest.raises(CodecError):
             restore_scheme(blob, other, model_ii_alpha)
 
+    def test_declared_n_vs_functions_present_mismatch(self, graph,
+                                                      model_ii_alpha):
+        # A blob whose length header is *consistent* with its (short)
+        # payload but which holds fewer functions than its declared n
+        # must be reported as that structural lie, not as a leaked
+        # bitstream exhaustion from deep inside a prime code.
+        blob = pack_scheme(build_scheme("full-table", graph, model_ii_alpha))
+        cut = len(blob) // 2
+        tampered = (8 * (cut - 4)).to_bytes(4, "big") + blob[4:cut]
+        with pytest.raises(CodecError, match=r"declares n=28 but holds only"):
+            unpack_blob(tampered)
+
     def test_corrupt_header_length(self, graph, model_ii_alpha):
         blob = pack_scheme(build_scheme("thm4-hub", graph, model_ii_alpha))
         corrupted = (2**31).to_bytes(4, "big") + blob[4:]

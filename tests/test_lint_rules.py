@@ -192,6 +192,65 @@ def test_r002_flags_incomplete_topology_mutation_dispatch():
     assert "NODE_LEAVE" in findings[0].message
 
 
+def test_r002_flags_incomplete_store_fault_kind_dispatch():
+    # Seeded violation over the storage-fault taxonomy: a handler that
+    # forgets BIT_ROT would never check for post-hoc corruption.
+    findings = findings_for(
+        "R002",
+        """
+        def inject(fault):
+            if fault.kind is StoreFaultKind.TORN_WRITE:
+                return "tear"
+            elif fault.kind is StoreFaultKind.SHORT_WRITE:
+                return "truncate"
+            elif fault.kind is StoreFaultKind.LOST_FSYNC:
+                return "forget"
+            elif fault.kind is StoreFaultKind.RENAME_FAIL:
+                return "refuse"
+        """,
+    )
+    assert len(findings) == 1
+    assert "StoreFaultKind" in findings[0].message
+    assert "BIT_ROT" in findings[0].message
+
+
+def test_r002_flags_incomplete_record_kind_dispatch():
+    # Seeded violation over the journal record taxonomy: a `match` that
+    # replays only PUTs drops every active-pointer switch on recovery.
+    findings = findings_for(
+        "R002",
+        """
+        def replay(record):
+            match record.kind:
+                case RecordKind.PUT:
+                    return "put"
+        """,
+    )
+    assert len(findings) == 1
+    assert "RecordKind" in findings[0].message
+    assert "SWAP" in findings[0].message
+
+
+def test_r002_accepts_complete_store_fault_kind_dispatch():
+    findings = findings_for(
+        "R002",
+        """
+        def inject(fault):
+            if fault.kind is StoreFaultKind.TORN_WRITE:
+                return "tear"
+            elif fault.kind is StoreFaultKind.SHORT_WRITE:
+                return "truncate"
+            elif fault.kind is StoreFaultKind.LOST_FSYNC:
+                return "forget"
+            elif fault.kind is StoreFaultKind.RENAME_FAIL:
+                return "refuse"
+            elif fault.kind is StoreFaultKind.BIT_ROT:
+                return "rot"
+        """,
+    )
+    assert findings == []
+
+
 def test_r002_flags_incomplete_better_direction_dispatch():
     # Seeded violation over the bench-gating taxonomy: a comparator that
     # forgets NEUTRAL would gate on wall-clock seconds.
@@ -379,6 +438,46 @@ def test_r003_out_of_scope_packages_are_ignored():
             tracer.emit(msg)
         """,
         module="repro.observability.fake",
+    )
+    assert findings == []
+
+
+def test_r003_flags_unguarded_store_spans_in_store_package():
+    # Seeded violations for the durable-store spans: persist, reject,
+    # recover and swap are hot-path emissions, and repro.store is in
+    # the rule's scanned package set.
+    findings = findings_for(
+        "R003",
+        """
+        def put(self, record):
+            self.tracer.persist("put", "ft@1", time=0.0, duration=0.1)
+
+        def quarantine(self, damage):
+            self.tracer.reject("crc mismatch", "offset 40", time=0.0)
+
+        def reopen(self):
+            self.tracer.recover("journal", time=0.0, duration=0.2)
+            self.tracer.swap("ft@2", time=0.0, cause="hot-swap")
+        """,
+        module="repro.store.fake",
+    )
+    assert [f.message.split("`")[1] for f in findings] == [
+        "self.tracer.persist(...)",
+        "self.tracer.reject(...)",
+        "self.tracer.recover(...)",
+        "self.tracer.swap(...)",
+    ]
+
+
+def test_r003_accepts_guarded_store_spans():
+    findings = findings_for(
+        "R003",
+        """
+        def put(self, record):
+            if self.tracer is not None:
+                self.tracer.persist("put", "ft@1", time=0.0, duration=0.1)
+        """,
+        module="repro.store.fake",
     )
     assert findings == []
 

@@ -1,0 +1,79 @@
+"""Property tests for RetryPolicy.delay: the cap and the jitter band."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ReproError
+from repro.simulator import RetryPolicy
+
+policies = st.builds(
+    RetryPolicy,
+    max_attempts=st.integers(min_value=1, max_value=10),
+    base_delay=st.floats(min_value=0.01, max_value=10.0,
+                         allow_nan=False, allow_infinity=False),
+    multiplier=st.floats(min_value=1.0, max_value=8.0,
+                         allow_nan=False, allow_infinity=False),
+    max_delay=st.floats(min_value=10.0, max_value=1000.0,
+                        allow_nan=False, allow_infinity=False),
+    jitter=st.floats(min_value=0.0, max_value=0.99,
+                     allow_nan=False, allow_infinity=False),
+)
+
+
+@settings(max_examples=200)
+@given(
+    policy=policies,
+    retry=st.integers(min_value=0, max_value=10_000),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_delay_never_exceeds_jittered_cap(policy, retry, seed):
+    # The cap must hold for ALL retry indices — including ones large
+    # enough that multiplier**retry overflows any sane float range.
+    delay = policy.delay(retry, random.Random(seed))
+    assert delay <= policy.max_delay * (1 + policy.jitter) + 1e-9
+    assert delay >= 0.0
+
+
+@settings(max_examples=200)
+@given(
+    policy=policies,
+    retry=st.integers(min_value=0, max_value=60),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_jittered_delay_stays_in_band(policy, retry, seed):
+    nominal = min(
+        policy.base_delay * policy.multiplier**retry, policy.max_delay
+    )
+    delay = policy.delay(retry, random.Random(seed))
+    low = nominal * (1 - policy.jitter)
+    high = nominal * (1 + policy.jitter)
+    assert low - 1e-9 <= delay <= high + 1e-9
+
+
+@settings(max_examples=100)
+@given(
+    policy=policies,
+    retry=st.integers(min_value=0, max_value=60),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_delay_is_deterministic_under_a_seeded_rng(policy, retry, seed):
+    assert policy.delay(retry, random.Random(seed)) == policy.delay(
+        retry, random.Random(seed)
+    )
+
+
+@given(retry=st.integers(min_value=0, max_value=60))
+def test_zero_jitter_is_exactly_nominal(retry):
+    policy = RetryPolicy(base_delay=0.5, multiplier=3.0, max_delay=40.0,
+                         jitter=0.0)
+    expected = min(0.5 * 3.0**retry, 40.0)
+    assert policy.delay(retry, random.Random(0)) == expected
+
+
+def test_negative_retry_rejected():
+    with pytest.raises(ReproError, match="retry index"):
+        RetryPolicy().delay(-1, random.Random(0))

@@ -1,0 +1,205 @@
+"""The filesystem durability model and the seeded fault-injection shim."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StoreError
+from repro.store import (
+    FaultyFilesystem,
+    LocalFilesystem,
+    MemoryFilesystem,
+    SimulatedCrash,
+    StoreFault,
+    StoreFaultKind,
+    storage_faults,
+)
+
+
+class TestMemoryFilesystem:
+    def test_append_is_visible_but_not_durable(self):
+        fs = MemoryFilesystem()
+        fs.append("f", b"hello")
+        assert fs.read("f") == b"hello"
+        assert fs.durable_bytes("f") == b""
+        fs.crash()
+        assert not fs.exists("f")
+
+    def test_sync_promotes_to_durable(self):
+        fs = MemoryFilesystem()
+        fs.append("f", b"hello")
+        fs.sync("f")
+        fs.append("f", b" world")
+        fs.crash()
+        assert fs.read("f") == b"hello"
+
+    def test_replace_is_atomic_and_durable(self):
+        fs = MemoryFilesystem()
+        fs.replace("f", b"new")
+        fs.crash()
+        assert fs.read("f") == b"new"
+
+    def test_delete_and_list(self):
+        fs = MemoryFilesystem()
+        fs.replace("b", b"x")
+        fs.replace("a", b"y")
+        assert fs.list() == ["a", "b"]
+        fs.delete("a")
+        fs.delete("missing")  # idempotent
+        assert fs.list() == ["b"]
+
+    def test_corrupt_bit_flips_modulo_length(self):
+        fs = MemoryFilesystem()
+        fs.replace("f", b"\x00\x00")
+        position = fs.corrupt_bit("f", 17)  # 17 % 16 = 1
+        assert position == 1
+        assert fs.read("f") == b"\x40\x00"
+        assert fs.durable_bytes("f") == b"\x40\x00"
+
+    def test_corrupt_bit_missing_file_raises(self):
+        with pytest.raises(StoreError, match="corrupt"):
+            MemoryFilesystem().corrupt_bit("missing", 0)
+
+
+class TestLocalFilesystem:
+    def test_mirrors_memory_semantics(self, tmp_path):
+        fs = LocalFilesystem(str(tmp_path / "store"))
+        fs.append("f", b"abc")
+        fs.append("f", b"def")
+        fs.sync("f")
+        assert fs.read("f") == b"abcdef"
+        fs.replace("f", b"short")
+        assert fs.read("f") == b"short"
+        assert fs.exists("f") and not fs.exists("g")
+        assert fs.list() == ["f"]
+        fs.delete("f")
+        assert fs.list() == []
+
+    def test_read_missing_raises_store_error(self, tmp_path):
+        fs = LocalFilesystem(str(tmp_path))
+        with pytest.raises(StoreError, match="cannot read"):
+            fs.read("missing")
+
+
+class TestFaultyFilesystem:
+    def test_torn_write_keeps_prefix_and_crashes(self):
+        inner = MemoryFilesystem()
+        fs = FaultyFilesystem(
+            inner,
+            [StoreFault(kind=StoreFaultKind.TORN_WRITE, op_index=0,
+                        fraction=0.5)],
+        )
+        with pytest.raises(SimulatedCrash):
+            fs.append("j", b"12345678")
+        # The torn prefix is durable: it is what recovery must face.
+        inner.crash()
+        assert inner.read("j") == b"1234"
+
+    def test_short_write_truncates_silently(self):
+        inner = MemoryFilesystem()
+        fs = FaultyFilesystem(
+            inner,
+            [StoreFault(kind=StoreFaultKind.SHORT_WRITE, op_index=1,
+                        fraction=0.25)],
+        )
+        fs.append("j", b"aaaa")   # op 0: untouched
+        fs.append("j", b"bbbb")   # op 1: only one byte lands
+        assert inner.read("j") == b"aaaab"
+
+    def test_lost_fsync_leaves_data_volatile(self):
+        inner = MemoryFilesystem()
+        fs = FaultyFilesystem(
+            inner, [StoreFault(kind=StoreFaultKind.LOST_FSYNC, op_index=0)]
+        )
+        fs.append("j", b"data")
+        fs.sync("j")  # lies
+        inner.crash()
+        assert not inner.exists("j")
+
+    def test_rename_fail_raises_and_preserves_old(self):
+        inner = MemoryFilesystem()
+        inner.replace("snap", b"old")
+        fs = FaultyFilesystem(
+            inner, [StoreFault(kind=StoreFaultKind.RENAME_FAIL, op_index=0)]
+        )
+        with pytest.raises(StoreError, match="rename fail"):
+            fs.replace("snap", b"new")
+        assert inner.read("snap") == b"old"
+        fs.replace("snap", b"new")  # fault consumed: next one lands
+        assert inner.read("snap") == b"new"
+
+    def test_bit_rot_applied_post_hoc(self):
+        inner = MemoryFilesystem()
+        inner.replace("journal.log", b"\x00")
+        fs = FaultyFilesystem(
+            inner, [StoreFault(kind=StoreFaultKind.BIT_ROT, bit_offset=3)]
+        )
+        assert inner.read("journal.log") == b"\x00"  # not yet
+        positions = fs.rot()
+        assert positions == [3]
+        assert inner.read("journal.log") == b"\x10"
+        assert fs.pending == []
+
+    def test_path_pinned_fault_skips_other_files(self):
+        inner = MemoryFilesystem()
+        fs = FaultyFilesystem(
+            inner,
+            [StoreFault(kind=StoreFaultKind.SHORT_WRITE, op_index=0,
+                        fraction=0.0, path="victim")],
+        )
+        fs.append("other", b"ok")      # op 0, wrong path: untouched
+        assert inner.read("other") == b"ok"
+        assert fs.pending  # still armed
+
+    def test_write_faults_share_one_op_counter(self):
+        # Torn and short writes both target "the k-th append", so a plan
+        # mixing them must not double-count operations.
+        inner = MemoryFilesystem()
+        fs = FaultyFilesystem(
+            inner,
+            [StoreFault(kind=StoreFaultKind.SHORT_WRITE, op_index=1,
+                        fraction=0.5)],
+        )
+        fs.append("j", b"xx")
+        fs.append("j", b"yyyy")
+        assert inner.read("j") == b"xxyy"
+
+    def test_validation(self):
+        with pytest.raises(StoreError):
+            StoreFault(kind=StoreFaultKind.TORN_WRITE, op_index=-1)
+        with pytest.raises(StoreError):
+            StoreFault(kind=StoreFaultKind.TORN_WRITE, fraction=1.0)
+        with pytest.raises(StoreError):
+            StoreFault(kind=StoreFaultKind.BIT_ROT, bit_offset=-1)
+
+
+class TestStorageFaults:
+    def test_same_seed_same_plan(self):
+        assert storage_faults(10, seed=42) == storage_faults(10, seed=42)
+
+    def test_different_seed_different_plan(self):
+        assert storage_faults(10, seed=1) != storage_faults(10, seed=2)
+
+    def test_respects_kind_restriction(self):
+        plan = storage_faults(
+            8, seed=3, kinds=(StoreFaultKind.BIT_ROT,)
+        )
+        assert plan and all(
+            fault.kind is StoreFaultKind.BIT_ROT for fault in plan
+        )
+
+    def test_no_duplicate_op_index_per_kind(self):
+        plan = storage_faults(40, seed=9, horizon_ops=8)
+        seen = set()
+        for fault in plan:
+            key = (fault.kind, fault.op_index)
+            assert key not in seen
+            seen.add(key)
+
+    def test_validation(self):
+        with pytest.raises(StoreError):
+            storage_faults(-1, seed=0)
+        with pytest.raises(StoreError):
+            storage_faults(1, seed=0, kinds=())
+        with pytest.raises(StoreError):
+            storage_faults(1, seed=0, horizon_ops=0)

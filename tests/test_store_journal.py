@@ -1,0 +1,135 @@
+"""Journal record framing and the defensive scan semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StoreError
+from repro.store import (
+    RecordKind,
+    encode_put,
+    encode_swap,
+    scan_journal,
+)
+
+MANIFEST = {"command": "test", "seed": 7}
+
+
+def put_record(name="ft", generation=1, blob=b"\x01\x02\x03\x04"):
+    return encode_put(name, generation, MANIFEST, blob)
+
+
+class TestEncoding:
+    def test_put_roundtrips_through_scan(self):
+        record = put_record(blob=b"payload-bytes")
+        scan = scan_journal(record)
+        assert scan.clean
+        [rec] = scan.records
+        assert rec.kind is RecordKind.PUT
+        assert rec.name == "ft"
+        assert rec.generation == 1
+        assert rec.manifest == MANIFEST
+        assert rec.blob == b"payload-bytes"
+        assert rec.offset == 0
+        assert rec.length == len(record)
+
+    def test_swap_roundtrips_through_scan(self):
+        scan = scan_journal(encode_swap("ft", 3))
+        assert scan.clean
+        [rec] = scan.records
+        assert rec.kind is RecordKind.SWAP
+        assert (rec.name, rec.generation) == ("ft", 3)
+        assert rec.blob is None and rec.manifest is None
+
+    def test_multiple_records_scan_in_order(self):
+        data = put_record(generation=1) + put_record(generation=2) + \
+            encode_swap("ft", 2)
+        scan = scan_journal(data)
+        assert scan.clean
+        assert [r.generation for r in scan.records] == [1, 2, 2]
+        assert scan.records[1].offset == len(put_record(generation=1))
+
+    def test_rejects_nonpositive_generation(self):
+        with pytest.raises(StoreError, match="generation"):
+            encode_put("ft", 0, {}, b"")
+        with pytest.raises(StoreError, match="generation"):
+            encode_swap("ft", -1)
+
+    def test_empty_journal_is_clean(self):
+        scan = scan_journal(b"")
+        assert scan.clean
+        assert scan.records == []
+
+
+class TestDamage:
+    def test_torn_tail_stops_scan_without_quarantine(self):
+        whole = put_record(generation=1)
+        for cut in (1, 5, len(whole) // 2, len(whole) - 1):
+            scan = scan_journal(whole[:cut])
+            assert scan.records == []
+            assert scan.quarantined == []
+            assert scan.torn_tail_bytes == cut
+
+    def test_torn_tail_after_good_record_keeps_the_prefix(self):
+        good = put_record(generation=1)
+        torn = put_record(generation=2)[:-3]
+        scan = scan_journal(good + torn)
+        assert [r.generation for r in scan.records] == [1]
+        assert scan.torn_tail_bytes == len(torn)
+        assert not scan.quarantined
+
+    def test_single_bit_flip_quarantines_exactly_that_record(self):
+        first = put_record(generation=1)
+        second = put_record(generation=2)
+        data = bytearray(first + second)
+        # Flip one payload bit of the first record.
+        data[10] ^= 0x04
+        scan = scan_journal(bytes(data))
+        assert [r.generation for r in scan.records] == [2]
+        [damage] = scan.quarantined
+        assert damage.offset == 0
+        assert damage.length == len(first)
+        assert "CRC-16" in damage.reason
+
+    def test_crc_flip_detected_too(self):
+        record = bytearray(put_record())
+        record[-1] ^= 0x01  # flip inside the stored checksum itself
+        scan = scan_journal(bytes(record))
+        assert scan.records == []
+        assert len(scan.quarantined) == 1
+
+    def test_bad_magic_quarantines_the_tail(self):
+        good = put_record(generation=1)
+        scan = scan_journal(good + b"\x00garbage-follows-here")
+        assert [r.generation for r in scan.records] == [1]
+        [damage] = scan.quarantined
+        assert damage.offset == len(good)
+        assert "bad magic" in damage.reason
+
+    def test_implausible_length_quarantines_the_tail(self):
+        record = bytearray(put_record())
+        record[2] = 0xFF  # payload length now ~4 GiB
+        record += b"\x00" * 64
+        scan = scan_journal(bytes(record))
+        assert scan.records == []
+        [damage] = scan.quarantined
+        assert "implausible" in damage.reason
+
+    def test_every_single_bit_flip_is_detected(self):
+        # The CRC-16 frame must catch a flip at *any* position: no record
+        # may survive, and nothing may parse as a different valid record.
+        record = put_record(blob=b"\x55" * 8)
+        for bit in range(8 * len(record)):
+            data = bytearray(record)
+            data[bit // 8] ^= 1 << (7 - bit % 8)
+            scan = scan_journal(bytes(data))
+            assert scan.records == [] and not scan.clean, (
+                f"flip at bit {bit} went undetected"
+            )
+
+    def test_quarantine_range_is_json_ready(self):
+        data = bytearray(put_record())
+        data[8] ^= 0x10
+        [damage] = scan_journal(bytes(data)).quarantined
+        as_dict = damage.to_dict()
+        assert set(as_dict) == {"offset", "length", "reason"}
