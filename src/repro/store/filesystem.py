@@ -6,7 +6,11 @@ sync, atomic replace, delete, list) that two implementations satisfy:
 
 * :class:`LocalFilesystem` — a directory on the real disk, for the CLI
   and any long-lived deployment.  ``replace`` is the classic
-  write-to-temp + ``fsync`` + ``os.replace`` atomic-install idiom.
+  write-to-temp + ``fsync`` + ``os.replace`` atomic-install idiom,
+  followed by an ``fsync`` of the containing directory so the rename
+  itself survives power loss; file creation gets the same directory
+  sync, and leftover ``*.tmp*`` files from a crashed install are swept
+  on open.
 * :class:`MemoryFilesystem` — an in-memory model that distinguishes
   *visible* bytes (what a subsequent read returns) from *durable* bytes
   (what survives :meth:`MemoryFilesystem.crash`).  ``append`` alone
@@ -64,8 +68,26 @@ class Filesystem:
         raise NotImplementedError
 
 
+def _is_temp(name: str) -> bool:
+    """Whether ``name`` is a :meth:`LocalFilesystem.replace` scratch file.
+
+    The store itself only ever uses flat ``journal.log`` /
+    ``snapshot-NNNNNN.snap`` names, so the ``mkstemp`` prefix's
+    ``.tmp`` marker cannot collide with a real file.
+    """
+    return ".tmp" in name
+
+
 class LocalFilesystem(Filesystem):
-    """A real directory on disk (created on first use)."""
+    """A real directory on disk (created on first use).
+
+    Durability is taken seriously: renames and file creations are
+    followed by an ``fsync`` of the directory itself — without it the
+    new directory entry can vanish on power failure even though the
+    file's own bytes were synced.  ``*.tmp*`` droppings from an install
+    that crashed between ``mkstemp`` and ``os.replace`` are invisible
+    to :meth:`list` and deleted the next time the directory is opened.
+    """
 
     def __init__(self, root: str) -> None:
         self.root = root
@@ -73,9 +95,23 @@ class LocalFilesystem(Filesystem):
             os.makedirs(root, exist_ok=True)
         except OSError as exc:
             raise StoreError(f"cannot create store directory {root}: {exc}") from exc
+        for entry in os.listdir(root):
+            if _is_temp(entry):
+                try:
+                    os.remove(os.path.join(root, entry))
+                except OSError:
+                    pass  # best-effort sweep; a survivor stays hidden
 
     def _path(self, name: str) -> str:
         return os.path.join(self.root, name)
+
+    def _sync_dir(self) -> None:
+        """fsync the directory so renames/creations are themselves durable."""
+        fd = os.open(self.root, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
 
     def read(self, name: str) -> bytes:
         try:
@@ -88,9 +124,13 @@ class LocalFilesystem(Filesystem):
         return os.path.exists(self._path(name))
 
     def append(self, name: str, data: bytes) -> None:
+        path = self._path(name)
+        created = not os.path.exists(path)
         try:
-            with open(self._path(name), "ab") as handle:
+            with open(path, "ab") as handle:
                 handle.write(data)
+            if created:
+                self._sync_dir()
         except OSError as exc:
             raise StoreError(f"cannot append to {name}: {exc}") from exc
 
@@ -105,6 +145,7 @@ class LocalFilesystem(Filesystem):
             raise StoreError(f"cannot fsync {name}: {exc}") from exc
 
     def replace(self, name: str, data: bytes) -> None:
+        tmp = None
         try:
             fd, tmp = tempfile.mkstemp(dir=self.root, prefix=name + ".tmp")
             try:
@@ -113,7 +154,14 @@ class LocalFilesystem(Filesystem):
             finally:
                 os.close(fd)
             os.replace(tmp, self._path(name))
+            tmp = None  # installed; nothing left to clean up
+            self._sync_dir()
         except OSError as exc:
+            if tmp is not None:
+                try:
+                    os.remove(tmp)
+                except OSError:
+                    pass
             raise StoreError(f"cannot install {name}: {exc}") from exc
 
     def delete(self, name: str) -> None:
@@ -128,7 +176,7 @@ class LocalFilesystem(Filesystem):
         try:
             return sorted(
                 entry for entry in os.listdir(self.root)
-                if os.path.isfile(self._path(entry))
+                if os.path.isfile(self._path(entry)) and not _is_temp(entry)
             )
         except OSError as exc:
             raise StoreError(f"cannot list {self.root}: {exc}") from exc

@@ -57,7 +57,7 @@ JOURNAL_NAME = "journal.log"
 _MAGIC = 0xA7
 _HEADER_LEN = 6  # magic + kind + 4-byte payload length
 _CRC_LEN = FramingPolicy.CRC16.overhead_bits // 8
-_MAX_PAYLOAD = 1 << 28  # 32 MiB sanity cap on one record
+_MAX_PAYLOAD = 1 << 25  # 32 MiB sanity cap on one record
 
 
 class RecordKind(enum.IntEnum):

@@ -13,9 +13,10 @@ follow the same durability discipline:
   is idempotent by ``(name, generation)``, so re-applying the stale
   journal over the snapshot changes nothing.
 * **hot-swap** — the new blob must *prove* itself before it serves:
-  it is unpacked, durably PUT, read back, compared bit-exact per node
-  against the candidate, and only then SWAPped active.  Any failure
-  leaves the previously active generation serving.
+  it is unpacked, durably PUT, re-read **from disk** (a fresh recovery
+  pass over snapshot + journal, never the in-memory catalog), compared
+  bit-exact per node against the candidate, and only then SWAPped
+  active.  Any failure leaves the previously active generation serving.
 
 ``verify`` re-reads the disk from scratch (a fresh recovery pass plus a
 deep decode of every blob) and diffs it against the in-memory catalog,
@@ -74,6 +75,10 @@ class SchemeStore:
         self.catalog = Catalog()
         self.last_recovery: Optional[RecoveryReport] = None
         self._puts_since_snapshot = 0
+        # Journal length mirror, kept so the journal-size gauge never
+        # needs to re-read the file (that would make puts O(n^2) in
+        # total I/O).  Reset on recover/compact, bumped per append.
+        self._journal_bytes = 0
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -114,6 +119,7 @@ class SchemeStore:
         )
         self.catalog, self.last_recovery = manager.recover()
         self._puts_since_snapshot = 0
+        self._journal_bytes = self.last_recovery.journal_bytes
         if heal and not self.last_recovery.clean:
             try:
                 self.compact()
@@ -155,6 +161,10 @@ class SchemeStore:
     def _append_record(self, record: bytes) -> None:
         self.fs.append(JOURNAL_NAME, record)
         self.fs.sync(JOURNAL_NAME)
+        self._journal_bytes += len(record)
+        self.registry.gauge("repro_store_journal_bits").set(
+            8 * self._journal_bytes
+        )
 
     def put(
         self,
@@ -183,9 +193,6 @@ class SchemeStore:
             )
         )
         self.registry.counter("repro_store_records_total", op="put").inc()
-        self.registry.gauge("repro_store_journal_bits").set(
-            8 * len(self.fs.read(JOURNAL_NAME))
-        )
         if self.tracer is not None:
             self.tracer.persist("put", detail=f"{name}@{generation}")
         self._puts_since_snapshot += 1
@@ -213,12 +220,16 @@ class SchemeStore:
     ) -> int:
         """Build new → verify → atomically switch; returns the generation.
 
-        The candidate blob is decoded up front, durably PUT, read back
-        from the catalog, decoded again, and compared **bit-exact per
-        node** against the candidate before the SWAP record is written.
-        Any failure raises :class:`~repro.errors.StoreError` and leaves
-        the previously active generation serving (the stored-but-never-
-        activated generation remains visible in ``list`` for forensics).
+        The candidate blob is decoded up front, durably PUT, then
+        re-read **from disk** — a fresh recovery pass over snapshot plus
+        journal, deliberately not the in-memory catalog (which still
+        holds the very bytes object just written and would make the
+        comparison vacuous) — decoded again, and compared **bit-exact
+        per node** against the candidate before the SWAP record is
+        written.  Any failure raises :class:`~repro.errors.StoreError`
+        and leaves the previously active generation serving (the
+        stored-but-never-activated generation remains visible in
+        ``list`` for forensics).
         """
         try:
             candidate = unpack_blob(blob)
@@ -227,7 +238,25 @@ class SchemeStore:
                 f"hot-swap candidate for {name!r} failed verification: {exc}"
             ) from exc
         generation = self.put(name, blob, manifest)
-        stored = self.get(name, generation)
+        # Scratch tracer/registry: this read-back is an internal proof
+        # step, not an operator-visible recovery.
+        audit = RecoveryManager(
+            self.fs, tracer=None, registry=MetricsRegistry()
+        )
+        disk_catalog, _ = audit.recover()
+        try:
+            stored = disk_catalog.get(name, generation)
+        except StoreError as exc:
+            raise StoreError(
+                f"hot-swap PUT of {name}@{generation} did not survive a "
+                f"disk read-back: {exc}"
+            ) from exc
+        if stored.blob != blob:
+            raise StoreError(
+                f"hot-swap read-back of {name}@{generation} from disk is "
+                "not byte-identical to the candidate; active generation "
+                "left untouched"
+            )
         try:
             readback = unpack_blob(stored.blob)
         except CodecError as exc:
@@ -271,6 +300,7 @@ class SchemeStore:
         self._puts_since_snapshot = 0
         try:
             self.fs.replace(JOURNAL_NAME, b"")
+            self._journal_bytes = 0
             self.registry.gauge("repro_store_journal_bits").set(0)
             for seq in sorted(existing, reverse=True)[self.keep_snapshots - 1:]:
                 self.fs.delete(snapshot_name(seq))

@@ -204,6 +204,27 @@ class TestHotSwap:
         store.hot_swap("ft", blob)
         assert [e.event for e in tracer.events if e.event == "swap"] == ["swap"]
 
+    def test_hot_swap_read_back_comes_from_disk(self, blob):
+        # A short write silently persists only a prefix of the PUT
+        # record.  The in-memory catalog still holds the full blob, so
+        # only a genuine disk read-back can notice — hot_swap must
+        # refuse to activate and leave the old generation serving.
+        fs = MemoryFilesystem()
+        store = open_store(fs)
+        store.put("ft", blob)  # append 0: healthy baseline
+        faulty = FaultyFilesystem(
+            fs,
+            [StoreFault(kind=StoreFaultKind.SHORT_WRITE, op_index=0,
+                        fraction=0.5)],
+        )
+        store2 = open_store(faulty)
+        with pytest.raises(StoreError, match="read-back"):
+            store2.hot_swap("ft", blob)
+        assert store2.active_generation("ft") == 1
+        # Recovery over the damaged journal also serves generation 1.
+        reopened = open_store(fs)
+        assert reopened.active_generation("ft") == 1
+
 
 class TestVerifyAndRot:
     def test_verify_clean(self, blob):
@@ -255,6 +276,20 @@ class TestVerifyAndRot:
 
 
 class TestOnRealDisk:
+    def test_stale_temp_files_are_hidden_and_swept(self, tmp_path, blob):
+        root = tmp_path / "store"
+        fs = LocalFilesystem(str(root))
+        store = open_store(fs)
+        store.put("ft", blob)
+        target = store.compact()
+        # A crash between mkstemp and os.replace leaves a scratch file.
+        stale = root / (target + ".tmpdeadbeef")
+        stale.write_bytes(b"half-written snapshot")
+        assert stale.name not in fs.list()  # invisible to the store
+        reopened = open_store(LocalFilesystem(str(root)))
+        assert not stale.exists()  # swept on open
+        assert reopened.get("ft").blob == blob
+
     def test_local_filesystem_roundtrip(self, tmp_path, blob, scheme,
                                         random_graph_32, model_ii_alpha):
         fs = LocalFilesystem(str(tmp_path / "store"))
