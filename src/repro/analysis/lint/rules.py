@@ -300,10 +300,10 @@ class DropReasonExhaustiveRule(LintRule):
     name = "dropreason-exhaustive"
     severity = Severity.ERROR
     description = (
-        "`if`/`elif` chains and `match` statements branching on a closed "
-        "taxonomy (`DropReason`, `FaultKind`, `MutationKind`, "
-        "`TopologyMutationKind`) must handle every member or end in an "
-        "explicit default branch"
+        "`if`/`elif` chains, `match` statements and dict literals "
+        "dispatching on a closed taxonomy (`DropReason`, `FaultKind`, "
+        "`MutationKind`, `TopologyMutationKind`) must handle every member "
+        "or end in an explicit default branch"
     )
     rationale = (
         "The taxonomies grow PR over PR (QUEUE_OVERFLOW arrived after the "
@@ -323,6 +323,8 @@ class DropReasonExhaustiveRule(LintRule):
                 yield from self._check_chain(context, node)
             elif isinstance(node, ast.Match):
                 yield from self._check_match(context, node)
+            elif isinstance(node, ast.Dict):
+                yield from self._check_dict(context, node)
 
     def _check_chain(
         self, context: ModuleContext, head: ast.If
@@ -357,6 +359,34 @@ class DropReasonExhaustiveRule(LintRule):
                 head,
                 f"{enum_name} dispatch does not handle "
                 f"{', '.join(sorted(missing))} and has no `else` default",
+            )
+
+    def _check_dict(
+        self, context: ModuleContext, node: ast.Dict
+    ) -> Iterator[Finding]:
+        """A dict literal keyed entirely by one taxonomy is a dispatch
+        table: a missing key silently falls through `.get` defaults the
+        same way a missing `elif` does.  Comprehensions and dicts with
+        `**` spreads or non-taxonomy keys are left alone (their coverage
+        cannot be read off the literal)."""
+        if len(node.keys) < 2 or any(key is None for key in node.keys):
+            return  # too small to be a table, or has a ** spread
+        decoded = [_taxonomy_member(key) for key in node.keys]
+        if any(d is None for d in decoded):
+            return  # not purely taxonomy-keyed
+        enums = {d[0] for d in decoded}  # type: ignore[index]
+        if len(enums) != 1:
+            return  # mixed taxonomies: not a dispatch table
+        enum_name = next(iter(enums))
+        covered = {d[1] for d in decoded}  # type: ignore[index]
+        missing = _taxonomy_members(enum_name) - covered
+        if missing:
+            yield self.finding(
+                context,
+                node,
+                f"{enum_name}-keyed dict literal omits "
+                f"{', '.join(sorted(missing))}; cover every member or "
+                f"build the table from the enum",
             )
 
     def _check_match(

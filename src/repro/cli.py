@@ -247,6 +247,28 @@ def _retry_policy(args: argparse.Namespace) -> Optional[RetryPolicy]:
     )
 
 
+def _batch_parent() -> argparse.ArgumentParser:
+    """Shared ``--batch``/``--workers`` flags for every simulate command.
+
+    Same parent-parser pattern as :func:`_retry_parent`: one definition,
+    composed into each subcommand instead of repeated per parser.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--batch", action="store_true",
+        help="route through the vectorised batch kernel (bit-identical "
+             "records to the scalar path under the same configuration)",
+    )
+    parent.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="run N seed replicas (seed..seed+N-1) through the "
+             "multiprocessing sweep driver and print aggregate results "
+             "(replicas use the kernel-expressible core of this command; "
+             "tracing/metrics flags apply only to single runs)",
+    )
+    return parent
+
+
 def _run_manifest(args: argparse.Namespace, graph=None) -> RunManifest:
     """One RunManifest per CLI invocation, embedded in every artifact."""
     params = {
@@ -349,7 +371,13 @@ def _build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--pairs", type=int, default=500)
     verify.add_argument("--model", type=parse_model, default=None)
 
-    simulate = sub.add_parser("simulate", help="run a workload through the simulator")
+    batch_parent = _batch_parent()
+
+    simulate = sub.add_parser(
+        "simulate",
+        help="run a workload through the simulator",
+        parents=[batch_parent],
+    )
     simulate.add_argument("scheme", choices=available_schemes())
     simulate.add_argument("n", type=int)
     simulate.add_argument(
@@ -374,7 +402,7 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos = sub.add_parser(
         "simulate-chaos",
         help="run the event engine under a dynamic fault schedule",
-        parents=[retry_parent],
+        parents=[retry_parent, batch_parent],
     )
     chaos.add_argument("scheme", choices=available_schemes())
     chaos.add_argument("n", type=int)
@@ -424,7 +452,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "simulate-corruption",
         help="run the event engine while seeded faults corrupt routing "
              "tables mid-run (integrity framing + self-healing)",
-        parents=[retry_parent],
+        parents=[retry_parent, batch_parent],
     )
     corruption.add_argument("scheme", choices=available_schemes())
     corruption.add_argument("n", type=int)
@@ -482,7 +510,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "simulate-churn",
         help="run the event engine under live topology churn with "
              "incremental scheme repair and convergence reporting",
-        parents=[retry_parent],
+        parents=[retry_parent, batch_parent],
     )
     churn.add_argument("scheme", choices=available_schemes())
     churn.add_argument("n", type=int)
@@ -791,7 +819,81 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0 if result.ok() else 1
 
 
+
+def _cmd_sweep_replicas(args: argparse.Namespace, variant: str) -> int:
+    """Shard N seed replicas of a simulate command over worker processes.
+
+    Each replica is a :class:`~repro.simulator.sweep.SweepTask` built from
+    the command's kernel-expressible knobs; records never cross the
+    process boundary, only per-replica aggregates and record digests.
+    """
+    from repro.simulator.sweep import run_sweep, seed_replicas
+
+    if args.workload not in ("uniform", "hotspot", "permutation"):
+        print(f"--workers sweeps support uniform/hotspot/permutation "
+              f"workloads, not {args.workload!r}", file=sys.stderr)
+        return 2
+    knobs: dict = {
+        "messages": args.messages,
+        "workload": args.workload,
+        "variant": variant,
+        "batch": True,
+    }
+    if variant == "plain":
+        knobs["failures"] = args.failures
+        knobs["node_failures"] = args.node_failures
+    else:
+        knobs["horizon"] = args.horizon
+        knobs["retries"] = args.retries
+        knobs["retry_base_delay"] = args.backoff_base
+    if variant == "chaos":
+        knobs["chaos_links"] = args.chaos_links
+        knobs["chaos_nodes"] = args.chaos_nodes
+    elif variant == "corruption":
+        knobs["corrupt_nodes"] = args.corrupt_nodes
+        knobs["repair_delay"] = (
+            args.repair_delay if args.repair_delay > 0 else None
+        )
+    elif variant == "churn":
+        knobs["churn_events"] = args.events
+        knobs["churn_repair_delay"] = args.repair_delay
+    tasks = seed_replicas(
+        args.scheme, args.n, graph_seed=args.seed, base_seed=args.seed,
+        count=args.workers, **knobs,
+    )
+    results = run_sweep(tasks, workers=args.workers)
+    if getattr(args, "json", False):
+        payload = [
+            {
+                "seed": result.task.seed,
+                "messages": result.messages,
+                "delivered": result.delivered,
+                "dropped": result.dropped,
+                "retries": result.retries,
+                "stale": result.stale,
+                "drop_reasons": dict(result.drop_reasons),
+                "record_digest": result.record_digest,
+            }
+            for result in results
+        ]
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    total = sum(r.messages for r in results)
+    delivered = sum(r.delivered for r in results)
+    print(f"{args.scheme} on G({args.n}, 1/2) x{args.workers} seed "
+          f"replicas ({variant} sweep, {total} messages)")
+    for result in results:
+        print(f"  seed {result.task.seed}: {result.delivered}/"
+              f"{result.messages} delivered, {result.retries} retries, "
+              f"digest {result.record_digest[:12]}")
+    fraction = delivered / total if total else 0.0
+    print(f"aggregate: {delivered}/{total} delivered ({fraction:.1%})")
+    return 0
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    if args.workers > 1:
+        return _cmd_sweep_replicas(args, "plain")
     started = _time.perf_counter()
     model = args.model or _default_model(args.scheme)
     graph = gnp_random_graph(args.n, seed=args.seed)
@@ -821,7 +923,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     network = Network(
         scheme, failures, failed_nodes=node_failures, tracer=tracer
     )
-    records = [network.route(s, t) for s, t in pairs]
+    if args.batch:
+        records = network.route_batch(pairs)
+    else:
+        records = [network.route(s, t) for s, t in pairs]
     if tracer is not None:
         tracer.close()
     metrics = summarize(records, graph)
@@ -844,6 +949,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 def _cmd_simulate_chaos(args: argparse.Namespace) -> int:
     import random as _random
 
+    if args.workers > 1:
+        if args.schedule != "renewal":
+            print("--workers sweeps support only the renewal schedule",
+                  file=sys.stderr)
+            return 2
+        return _cmd_sweep_replicas(args, "chaos")
     started = _time.perf_counter()
     model = args.model or _default_model(args.scheme)
     graph = gnp_random_graph(args.n, seed=args.seed)
@@ -880,13 +991,25 @@ def _cmd_simulate_chaos(args: argparse.Namespace) -> int:
         pairs = permutation_traffic(graph, seed=args.seed)
     retry = _retry_policy(args)
     tracer = _open_tracer(args, manifest)
-    sim = EventDrivenSimulator(
-        scheme,
-        fault_schedule=schedule,
-        retry_policy=retry,
-        retry_seed=args.seed,
-        tracer=tracer,
-    )
+    sim: "EventDrivenSimulator | BatchKernel"
+    if args.batch:
+        from repro.simulator.kernel import BatchKernel
+
+        sim = BatchKernel(
+            scheme,
+            fault_schedule=schedule,
+            retry_policy=retry,
+            retry_seed=args.seed,
+            tracer=tracer,
+        )
+    else:
+        sim = EventDrivenSimulator(
+            scheme,
+            fault_schedule=schedule,
+            retry_policy=retry,
+            retry_seed=args.seed,
+            tracer=tracer,
+        )
     clock = _random.Random(args.seed)
     for source, destination in pairs:
         sim.inject(source, destination, clock.uniform(0.0, args.horizon * 0.8))
@@ -937,6 +1060,8 @@ _MUTATION_CHOICES = {
 def _cmd_simulate_corruption(args: argparse.Namespace) -> int:
     import random as _random
 
+    if args.workers > 1:
+        return _cmd_sweep_replicas(args, "corruption")
     started = _time.perf_counter()
     model = args.model or _default_model(args.scheme)
     graph = gnp_random_graph(args.n, seed=args.seed)
@@ -971,14 +1096,27 @@ def _cmd_simulate_corruption(args: argparse.Namespace) -> int:
     retry = _retry_policy(args)
     repair_delay = args.repair_delay if args.repair_delay > 0 else None
     tracer = _open_tracer(args, manifest)
-    sim = EventDrivenSimulator(
-        scheme,
-        fault_schedule=schedule,
-        retry_policy=retry,
-        retry_seed=args.seed,
-        tracer=tracer,
-        repair_delay=repair_delay,
-    )
+    sim: "EventDrivenSimulator | BatchKernel"
+    if args.batch:
+        from repro.simulator.kernel import BatchKernel
+
+        sim = BatchKernel(
+            scheme,
+            fault_schedule=schedule,
+            retry_policy=retry,
+            retry_seed=args.seed,
+            tracer=tracer,
+            repair_delay=repair_delay,
+        )
+    else:
+        sim = EventDrivenSimulator(
+            scheme,
+            fault_schedule=schedule,
+            retry_policy=retry,
+            retry_seed=args.seed,
+            tracer=tracer,
+            repair_delay=repair_delay,
+        )
     clock = _random.Random(args.seed)
     for source, destination in pairs:
         sim.inject(source, destination, clock.uniform(0.0, args.horizon * 0.8))
@@ -1044,6 +1182,8 @@ _CHURN_KINDS = {
 def _cmd_simulate_churn(args: argparse.Namespace) -> int:
     import random as _random
 
+    if args.workers > 1:
+        return _cmd_sweep_replicas(args, "churn")
     started = _time.perf_counter()
     model = args.model or _default_model(args.scheme)
     graph = gnp_random_graph(args.n, seed=args.seed)
@@ -1064,16 +1204,34 @@ def _cmd_simulate_churn(args: argparse.Namespace) -> int:
         pairs = permutation_traffic(graph, seed=args.seed)
     retry = _retry_policy(args)
     tracer = _open_tracer(args, manifest)
-    sim = EventDrivenSimulator(
-        scheme,
-        retry_policy=retry,
-        retry_seed=args.seed,
-        tracer=tracer,
-        churn_schedule=schedule,
-        churn_repair_delay=args.repair_delay,
-        churn_repair_rate=args.repair_rate,
-        incremental_repair=not args.full_rebuild,
-    )
+    sim: "EventDrivenSimulator | BatchKernel"
+    if args.batch:
+        from repro.simulator.kernel import BatchKernel
+
+        if args.repair_rate is not None:
+            print("--batch installs repairs instantly; --repair-rate "
+                  "needs the scalar engine", file=sys.stderr)
+            return 2
+        sim = BatchKernel(
+            scheme,
+            retry_policy=retry,
+            retry_seed=args.seed,
+            tracer=tracer,
+            churn_schedule=schedule,
+            churn_repair_delay=args.repair_delay,
+            incremental_repair=not args.full_rebuild,
+        )
+    else:
+        sim = EventDrivenSimulator(
+            scheme,
+            retry_policy=retry,
+            retry_seed=args.seed,
+            tracer=tracer,
+            churn_schedule=schedule,
+            churn_repair_delay=args.repair_delay,
+            churn_repair_rate=args.repair_rate,
+            incremental_repair=not args.full_rebuild,
+        )
     clock = _random.Random(args.seed)
     for source, destination in pairs:
         sim.inject(source, destination, clock.uniform(0.0, args.horizon * 0.8))

@@ -514,6 +514,94 @@ class GraphContext:
             raise GraphError("pristine-bits cache keyed a recycled scheme id")
         return bits
 
+    def port_matrix(self) -> np.ndarray:
+        """The identity port table as a dense C-contiguous ``int32`` array.
+
+        ``matrix[u - 1, p]`` is the neighbour that port ``p`` of node ``u``
+        leads to, padded with ``-1`` past ``degree(u)``.  Shape is
+        ``[n, max_degree]`` (at least one column), derived from
+        :meth:`port_table` and frozen read-only so the batch kernel can
+        gather from it without per-step copies.
+        """
+
+        def _compute() -> np.ndarray:
+            graph = self._graph
+            table = self.port_table()
+            width = max((graph.degree(u) for u in graph.nodes), default=0)
+            matrix = np.full((graph.n, max(width, 1)), -1, dtype=np.int32)
+            for u in graph.nodes:
+                for port in range(graph.degree(u)):
+                    matrix[u - 1, port] = table.neighbor(u, port)
+            matrix = np.ascontiguousarray(matrix)
+            matrix.setflags(write=False)
+            return matrix
+
+        return self._memo("port_matrix", None, _compute)
+
+    def next_hop_matrix(self, scheme: "RoutingScheme") -> Optional[np.ndarray]:
+        """A dense next-hop lookup for ``scheme``, or None if not derivable.
+
+        ``matrix[u - 1, d - 1]`` is the next node on ``scheme``'s route
+        from ``u`` towards destination ``d`` whenever the scheme's local
+        function at ``u`` answers with a stateless single-neighbour
+        decision; ``-1`` marks a :class:`~repro.errors.RoutingError`
+        ("no route"), ``-2`` marks entries a vectorised consumer must
+        resolve through the scalar path (self-routing, non-neighbour or
+        non-integer decisions).  The whole matrix degrades to ``None``
+        when any decision carries header state, the scheme wraps detour
+        functions, or evaluation fails in a scheme-specific way — batch
+        consumers then fall back to scalar routing wholesale.
+
+        Keyed on the scheme *instance* (like :meth:`pristine_bits`) with a
+        strong reference pinning it against id recycling; the array is
+        C-contiguous ``int32`` and frozen read-only.
+        """
+
+        def _compute() -> Tuple["RoutingScheme", Optional[np.ndarray]]:
+            # Imported lazily: core imports graphs, so graphs cannot import
+            # core at module scope.
+            from repro.core.detour import DetourFunction
+            from repro.errors import ReproError, RoutingError
+
+            graph = self._graph
+            n = graph.n
+            matrix = np.full((n, n), -2, dtype=np.int32)
+            for u in graph.nodes:
+                try:
+                    function = scheme.function(u)
+                except (ReproError, KeyError, IndexError, TypeError, ValueError):
+                    return (scheme, None)
+                if isinstance(function, DetourFunction):
+                    return (scheme, None)
+                for d in graph.nodes:
+                    if d == u:
+                        continue
+                    address = scheme.address_of(d)
+                    try:
+                        decision = function.next_hop(address)
+                    except RoutingError:
+                        matrix[u - 1, d - 1] = -1
+                        continue
+                    except (ReproError, KeyError, IndexError, TypeError, ValueError):
+                        return (scheme, None)
+                    if decision.state is not None:
+                        return (scheme, None)
+                    nxt = decision.next_node
+                    if (
+                        isinstance(nxt, int)
+                        and nxt != u
+                        and scheme.graph.has_edge(u, nxt)
+                    ):
+                        matrix[u - 1, d - 1] = nxt
+            matrix = np.ascontiguousarray(matrix)
+            matrix.setflags(write=False)
+            return (scheme, matrix)
+
+        held, matrix = self._memo("next_hop_matrix", id(scheme), _compute)
+        if held is not scheme:  # pragma: no cover - defensive (id collision)
+            raise GraphError("next-hop cache keyed a recycled scheme id")
+        return matrix
+
     def __repr__(self) -> str:
         return (
             f"GraphContext(n={self._graph.n}, edges={self._graph.edge_count}, "

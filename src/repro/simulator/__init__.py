@@ -6,8 +6,11 @@ events (:class:`~repro.simulator.network.EventDrivenSimulator`),
 reproducible static failure injection (:mod:`~repro.simulator.failures`),
 dynamic chaos schedules (:mod:`~repro.simulator.chaos`), live topology
 churn with incremental repair (:mod:`~repro.simulator.churn`),
-retry/backoff recovery (:mod:`~repro.simulator.recovery`), and
-delivery/stretch/resilience metrics.
+retry/backoff recovery (:mod:`~repro.simulator.recovery`),
+delivery/stretch/resilience metrics, a vectorised batch kernel behind a
+scalar-equivalent boundary (:mod:`~repro.simulator.kernel`), and a
+multiprocessing sweep driver sharding ``(graph, seed)`` instances
+(:mod:`~repro.simulator.sweep`).
 """
 
 from repro.simulator.bootstrap import BootstrapResult, simulate_dissemination
@@ -17,6 +20,7 @@ from repro.simulator.chaos import (
     FaultSchedule,
     MutationKind,
     TableMutation,
+    failure_masks,
     flapping_links,
     regional_failures,
     renewal_faults,
@@ -26,6 +30,7 @@ from repro.simulator.churn import (
     ChurnSchedule,
     TopologyMutation,
     TopologyMutationKind,
+    adjacency_mask,
     random_churn,
 )
 from repro.simulator.failures import (
@@ -33,7 +38,13 @@ from repro.simulator.failures import (
     sample_link_failures,
     sample_node_failures,
 )
-from repro.simulator.message import DeliveryRecord, DropReason, Message
+from repro.simulator.kernel import BatchKernel, run_batch
+from repro.simulator.message import (
+    DeliveryRecord,
+    DropReason,
+    Message,
+    MessageBatch,
+)
 from repro.simulator.metrics import (
     RoutingMetrics,
     cached_distance_matrix,
@@ -43,6 +54,13 @@ from repro.simulator.metrics import (
 )
 from repro.simulator.network import EventDrivenSimulator, Network
 from repro.simulator.recovery import DetourWrapper, RetryPolicy
+from repro.simulator.sweep import (
+    SweepResult,
+    SweepTask,
+    run_sweep,
+    run_task,
+    seed_replicas,
+)
 from repro.simulator.workloads import (
     all_to_one,
     hotspot_pairs,
@@ -52,6 +70,7 @@ from repro.simulator.workloads import (
 )
 
 __all__ = [
+    "BatchKernel",
     "BootstrapResult",
     "ChurnSchedule",
     "DeliveryRecord",
@@ -62,16 +81,21 @@ __all__ = [
     "FaultKind",
     "FaultSchedule",
     "Message",
+    "MessageBatch",
     "MutationKind",
     "Network",
     "RetryPolicy",
     "RoutingMetrics",
+    "SweepResult",
+    "SweepTask",
     "TableMutation",
     "TopologyMutation",
     "TopologyMutationKind",
+    "adjacency_mask",
     "all_to_one",
     "cached_distance_matrix",
     "drop_breakdown",
+    "failure_masks",
     "flapping_links",
     "hotspot_pairs",
     "one_to_all",
@@ -80,9 +104,13 @@ __all__ = [
     "regional_failures",
     "renewal_faults",
     "retry_histogram",
+    "run_batch",
+    "run_sweep",
+    "run_task",
     "sample_incident_failures",
     "sample_link_failures",
     "sample_node_failures",
+    "seed_replicas",
     "simulate_dissemination",
     "summarize",
     "table_corruption",

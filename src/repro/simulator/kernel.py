@@ -1,0 +1,1067 @@
+"""Vectorised batch routing kernel behind a scalar-equivalent boundary.
+
+:class:`BatchKernel` advances *all* in-flight messages one generation of
+hops at a time over the struct-of-arrays
+:class:`~repro.simulator.message.MessageBatch`.  Each generation splits
+the cohort (the messages whose ready time equals the current simulated
+time) into two lanes:
+
+* the **fast lane** — messages whose next step is provably a clean
+  advance or a clean delivery.  Eligibility is decided by pure numpy mask
+  algebra over precomputed lookups: the scheme's dense next-hop matrix
+  (:meth:`~repro.graphs.context.GraphContext.next_hop_matrix`), the
+  failure masks (:func:`~repro.simulator.chaos.failure_masks`), the live
+  adjacency under churn (:func:`~repro.simulator.churn.adjacency_mask`)
+  and overlay masks for corrupted/quarantined/healed/updated tables.
+  Fast rows gather their next hop from the matrix and scatter it back in
+  one vector operation — no Python per message.
+* the **slow lane** — everything else: traced messages (span emission),
+  arrivals needing promotion, anything adjacent to a failure, overlay or
+  churn boundary, stateful headers, hop-limit and loop candidates.  Slow
+  rows replay the *exact* scalar step of
+  :class:`~repro.simulator.network.EventDrivenSimulator` (same check
+  order, same :meth:`~repro.simulator.network.Network._choose_hop`, same
+  drop details, spans and counters), in ascending row order.
+
+Because fast-lane eligibility is deliberately conservative — a row is
+fast only when no shared state it touches can change this generation —
+``batch=True`` and ``batch=False`` (every row through the slow lane)
+produce **bit-identical** :class:`~repro.simulator.message.DeliveryRecord`
+streams.  That equivalence is the batch boundary's contract, enforced by
+a hypothesis property over every registered scheme with chaos, churn and
+corruption enabled.
+
+Relation to the event engine: the kernel is the engine restricted to
+``link_latency=1.0``, ``node_service_time=0``, unbounded queues and
+instantaneous churn installs (``churn_repair_rate`` has no batched
+counterpart).  One deliberate divergence: retry backoff jitter draws from
+a *per-message* :class:`random.Random` seeded as
+``retry_seed * 1_000_003 + msg_id`` (the engine shares one stream in
+completion order, which has no stable batched analogue), so engine and
+kernel runs only match bit-for-bit when retries are disabled.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple, Union
+
+import numpy as np
+
+from repro.core import RoutingScheme
+from repro.core.full_information import FullInformationFunction
+from repro.core.repair import RepairPlan, plan_repair
+from repro.errors import IntegrityError, RoutingError
+from repro.observability.registry import get_registry
+from repro.observability.tracer import Tracer, link_subject, node_subject
+from repro.simulator.chaos import (
+    FaultEvent,
+    FaultKind,
+    FaultSchedule,
+    failure_masks,
+)
+from repro.simulator.churn import (
+    ChurnSchedule,
+    TopologyMutation,
+    adjacency_mask,
+)
+from repro.simulator.message import (
+    DeliveryRecord,
+    DropReason,
+    Message,
+    MessageBatch,
+)
+from repro.simulator.network import (
+    _RETRYABLE,
+    Network,
+    _live_tracer,
+    _mutation_subject,
+)
+from repro.simulator.recovery import RetryPolicy
+
+__all__ = ["BatchKernel", "run_batch"]
+
+_HOP_LATENCY = 1.0
+
+
+@dataclass(frozen=True)
+class _RepairTick:
+    """Internal event: plan and apply the repair for one churn generation."""
+
+    generation: int
+
+
+_Event = Union[FaultEvent, TopologyMutation, _RepairTick]
+_EventEntry = Tuple[float, int, _Event]
+
+
+class BatchKernel:
+    """Generation-stepped batch execution of one routing scheme.
+
+    Accepts the same fault/churn/retry configuration as the event engine
+    (minus service times, queue capacities and rate-staggered installs);
+    :meth:`inject` schedules messages and :meth:`run` drains them,
+    returning one record per message **in injection order** (the batch's
+    row order — stable across worker counts and lane splits, unlike the
+    engine's completion order).
+
+    ``batch=False`` routes every row through the scalar slow lane — the
+    reference stream the vectorised mode must reproduce bit-for-bit.
+    """
+
+    def __init__(
+        self,
+        scheme: Optional[RoutingScheme] = None,
+        *,
+        network: Optional[Network] = None,
+        failed_links: Iterable[Tuple[int, int]] = (),
+        failed_nodes: Iterable[int] = (),
+        fault_schedule: Optional[FaultSchedule] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        retry_seed: int = 0,
+        tracer: Optional[Tracer] = None,
+        repair_delay: Optional[float] = None,
+        churn_schedule: Optional[ChurnSchedule] = None,
+        churn_repair_delay: float = 5.0,
+        incremental_repair: bool = True,
+        batch: bool = True,
+    ) -> None:
+        if network is not None:
+            self._network = network
+        elif scheme is not None:
+            self._network = Network(scheme, failed_links, failed_nodes)
+        else:
+            raise RoutingError("BatchKernel needs a scheme or a network")
+        if repair_delay is not None and repair_delay <= 0:
+            raise RoutingError(
+                f"repair delay must be positive, got {repair_delay}"
+            )
+        if churn_repair_delay <= 0:
+            raise RoutingError(
+                f"churn repair delay must be positive, got {churn_repair_delay}"
+            )
+        if (
+            churn_schedule is not None
+            and self._network.scheme.address_of(1) != 1
+        ):
+            raise RoutingError(
+                "live topology churn requires a plain-label scheme "
+                "(address_of(u) == u)"
+            )
+        self._batch = batch
+        self._schedule = fault_schedule
+        self._retry = retry_policy
+        self._retry_seed = retry_seed
+        self._retry_rngs: Dict[int, random.Random] = {}
+        self._repair_delay = repair_delay
+        self._tracer = _live_tracer(tracer)
+        self._pending: List[Tuple[int, int, int, float, bool]] = []
+        self._events: List[_EventEntry] = []
+        self._sequence = itertools.count()
+        self._control_events = 0
+        self._limit = 0
+        self._corrupted_at: Dict[int, float] = {}
+        self._reacted: Set[int] = set()
+        self._hop_sets: Dict[Tuple[int, int], Set[Tuple[int, Any]]] = {}
+        self._addresses: Dict[int, Any] = {}
+        self._forward_counts: Dict[int, int] = {}
+        # Live topology churn state (instant installs: no staggered plan).
+        self._churn = churn_schedule
+        self._churn_delay = churn_repair_delay
+        self._incremental = incremental_repair
+        self._base_scheme = self._network.scheme
+        self._generation = 0
+        self._pending_mutations: List[TopologyMutation] = []
+        self._stale_since: Optional[float] = None
+        self._convergence_times: List[float] = []
+        self._churn_stats: Dict[str, int] = {
+            "mutations": 0,
+            "repairs": 0,
+            "tables_rebuilt": 0,
+            "tables_reused": 0,
+            "bits_rewritten": 0,
+            "bits_reused": 0,
+        }
+        self._corrupt_spans: Dict[int, int] = {}
+        self._mutate_span: Optional[int] = None
+        self._episode_root_span: Optional[int] = None
+        # Vectorised state caches, keyed on Network.state_epoch.
+        self._mask_epoch = -1
+        self._mask_scheme: Optional[RoutingScheme] = None
+        self._matrix: Optional[np.ndarray] = None
+        self._scheme_adj: Optional[np.ndarray] = None
+        self._fa_nodes: Optional[np.ndarray] = None
+        self._fa_any = False
+        self._fa_guard = False
+        self._link_down: Optional[np.ndarray] = None
+        self._node_down: Optional[np.ndarray] = None
+        self._quar_like: Optional[np.ndarray] = None
+        self._override: Optional[np.ndarray] = None
+        self._live_adj: Optional[np.ndarray] = None
+        self._node_clear: Optional[np.ndarray] = None
+        self._all_clear = False
+        self._matrix_complete = False
+        self._fwd_vec: Optional[np.ndarray] = None
+        self._fwd_pending: List[np.ndarray] = []
+        # Per-row kernel bookkeeping (sized at run()).
+        self._has_state = np.zeros(0, dtype=bool)
+        self.batch: Optional[MessageBatch] = None
+
+    # -- public surface -------------------------------------------------------
+
+    @property
+    def network(self) -> Network:
+        """The underlying failure-state holder (live during a run)."""
+        return self._network
+
+    @property
+    def forward_counts(self) -> Dict[int, int]:
+        """Messages forwarded per node in the last :meth:`run`."""
+        if self._fwd_pending:
+            # The quiescent drain defers its (0-based) hop sources here;
+            # one bincount on first read replaces a per-step accumulate.
+            vec = self._fwd_vec
+            if vec is None:
+                n = self._network.scheme.graph.n
+                vec = self._fwd_vec = np.zeros(n + 1, dtype=np.int64)
+            hop0 = np.concatenate(self._fwd_pending)
+            self._fwd_pending = []
+            vec[1:] += np.bincount(hop0, minlength=vec.size - 1)
+        counts = dict(self._forward_counts)
+        if self._fwd_vec is not None:
+            for node, count in enumerate(self._fwd_vec.tolist()):
+                if count:
+                    counts[node] = counts.get(node, 0) + count
+        return counts
+
+    def churn_summary(self) -> Dict[str, object]:
+        """Episode accounting mirroring the event engine's summary."""
+        stats = self._churn_stats
+        return {
+            "mutations": stats["mutations"],
+            "repairs": stats["repairs"],
+            "tables_rebuilt": stats["tables_rebuilt"],
+            "tables_reused": stats["tables_reused"],
+            "bits_rewritten": stats["bits_rewritten"],
+            "bits_reused": stats["bits_reused"],
+            "bits_full": stats["bits_rewritten"] + stats["bits_reused"],
+            "convergence_times": list(self._convergence_times),
+            "converged": self._stale_since is None,
+        }
+
+    def inject(self, source: int, destination: int, at_time: float = 0.0) -> None:
+        """Schedule one message (call before :meth:`run`)."""
+        msg_id = next(self._network._counter)
+        traced = False
+        tracer = self._tracer
+        if tracer is not None:
+            if tracer.wants(msg_id):
+                tracer.inject(msg_id, source, destination, time=at_time)
+                traced = True
+        self._pending.append((msg_id, source, destination, at_time, traced))
+
+    def run(self) -> List[DeliveryRecord]:
+        """Drain every injected message; one record per row, row order."""
+        return self.drain().records()
+
+    def drain(self) -> MessageBatch:
+        """Route every injected message, leaving outcomes in SoA form.
+
+        Returns the finished :class:`MessageBatch` with every row
+        inactive.  :meth:`run` is this plus the per-row
+        ``DeliveryRecord`` materialisation; consumers that aggregate
+        straight from the arrays (the throughput bench's batched lane)
+        can stay on the vector side of the boundary.
+        """
+        nw = self._network
+        self._limit = nw.scheme.hop_limit()
+        self._hop_sets = {}
+        self._retry_rngs = {}
+        self._forward_counts = {}
+        self._fwd_vec = None
+        self._fwd_pending = []
+        msg_ids = [p[0] for p in self._pending]
+        sources = [p[1] for p in self._pending]
+        destinations = [p[2] for p in self._pending]
+        times = [p[3] for p in self._pending]
+        batch = MessageBatch(msg_ids, sources, destinations, times, self._limit)
+        for i, pending in enumerate(self._pending):
+            batch.traced[i] = pending[4]
+        self._pending = []
+        self._has_state = np.zeros(batch.size, dtype=bool)
+        self.batch = batch
+        if self._schedule is not None:
+            for event in self._schedule:
+                heapq.heappush(
+                    self._events,
+                    (event.time, next(self._sequence), event),
+                )
+        if self._churn is not None:
+            for mutation in self._churn:
+                self._push_control(mutation, mutation.time)
+        while True:
+            if bool(batch.active.any()):
+                now = float(batch.ready[batch.active].min())
+                while self._events and self._events[0][0] <= now:
+                    time, _, payload = heapq.heappop(self._events)
+                    self._dispatch_event(payload, time)
+                # The retry RNG is seeded from retry_seed and msg_id only;
+                # the simulated clock never feeds it.
+                self._step_cohort(batch, now)  # repro-lint: disable=R010
+            elif self._control_events:
+                if not self._events:  # pragma: no cover - defensive
+                    break
+                time, _, payload = heapq.heappop(self._events)
+                self._dispatch_event(payload, time)
+            else:
+                break
+        self._events = []
+        self._control_events = 0
+        return batch
+
+    # -- event plumbing -------------------------------------------------------
+
+    def _push_control(self, payload: _Event, at_time: float) -> None:
+        """Queue a churn control event; keeps the drain loop alive."""
+        heapq.heappush(
+            self._events, (at_time, next(self._sequence), payload)
+        )
+        self._control_events += 1
+
+    def _dispatch_event(self, payload: _Event, now: float) -> None:
+        if isinstance(payload, FaultEvent):
+            self._apply_timed_fault(payload, now)
+        else:
+            self._control_events -= 1
+            if isinstance(payload, TopologyMutation):
+                self._apply_mutation_event(payload, now)
+            else:
+                self._start_repair(payload, now)
+
+    def _apply_timed_fault(self, event: FaultEvent, now: float) -> None:
+        """Mirror of the engine's fault application and lifecycle spans.
+
+        The kernel's own network is untraced, so corruption spans are
+        emitted here with simulated timestamps; when the kernel adopts an
+        externally traced network (:meth:`Network.route_batch`) span
+        emission stays with the network and is skipped here.
+        """
+        tracer = self._tracer
+        network_traced = self._network._tracer is not None
+        if event.kind is FaultKind.TABLE_CORRUPT:
+            node = event.subject[0]
+            self._network.apply_fault(event)
+            self._corrupted_at[node] = now
+            self._reacted.discard(node)
+            if tracer is not None:
+                if not network_traced:
+                    detail = (
+                        event.mutation.describe()
+                        if event.mutation is not None
+                        else None
+                    )
+                    self._corrupt_spans[node] = tracer.corrupt(
+                        node=node, time=now, detail=detail
+                    )
+            return
+        if event.kind is FaultKind.TABLE_REPAIR:
+            node = event.subject[0]
+            healed = self._network.heal_table(node)
+            self._corrupted_at.pop(node, None)
+            self._reacted.discard(node)
+            if healed and tracer is not None:
+                if not network_traced:
+                    tracer.heal(
+                        node=node, time=now,
+                        cause=self._corrupt_spans.pop(node, None),
+                    )
+            return
+        if tracer is not None:
+            subject = (
+                link_subject(*event.subject)
+                if len(event.subject) == 2
+                else node_subject(event.subject[0])
+            )
+            tracer.fault(kind=event.kind.value, subject=subject, time=now)
+        self._network.apply_fault(event)
+
+    def _on_detection(self, node: int, now: float) -> None:
+        """React once per corruption episode, as the engine does."""
+        if node in self._reacted:
+            return
+        self._reacted.add(node)
+        tracer = self._tracer
+        if tracer is not None:
+            if self._network._tracer is None:
+                tracer.quarantine(
+                    node=node, time=now, cause=self._corrupt_spans.get(node)
+                )
+        corrupted_since = self._corrupted_at.pop(node, None)
+        if corrupted_since is not None:
+            get_registry().histogram(
+                "repro_corruption_detection_latency"
+            ).observe(now - corrupted_since)
+        if self._repair_delay is not None:
+            heal_time = now + self._repair_delay
+            heapq.heappush(
+                self._events,
+                (
+                    heal_time,
+                    next(self._sequence),
+                    FaultEvent.table_repair(heal_time, node),
+                ),
+            )
+
+    # -- live topology churn (instant installs) -------------------------------
+
+    def _apply_mutation_event(
+        self, mutation: TopologyMutation, now: float
+    ) -> None:
+        self._network.apply_mutation(mutation)
+        self._pending_mutations.append(mutation)
+        self._churn_stats["mutations"] += 1
+        if self._stale_since is None:
+            self._stale_since = now
+        self._generation += 1
+        tracer = self._tracer
+        if tracer is not None:
+            if self._network._tracer is None:
+                self._mutate_span = tracer.mutate(
+                    kind=mutation.kind.value,
+                    subject=_mutation_subject(mutation),
+                    time=now,
+                    detail=mutation.describe(),
+                )
+            else:
+                # Adopted traced network: apply_mutation already emitted
+                # the span; reuse it as the episode cause.
+                self._mutate_span = self._network._mutate_span
+            if self._episode_root_span is None:
+                self._episode_root_span = self._mutate_span
+        self._push_control(
+            _RepairTick(self._generation), now + self._churn_delay
+        )
+
+    def _start_repair(self, tick: _RepairTick, now: float) -> None:
+        """Plan, install and converge in one step (instant installs)."""
+        if tick.generation != self._generation:
+            return  # superseded by a newer mutation
+        plan = plan_repair(
+            self._base_scheme,
+            self._network.live_graph,
+            full=not self._incremental,
+        )
+        stats = self._churn_stats
+        stats["repairs"] += 1
+        stats["tables_rebuilt"] += len(plan.dirty)
+        stats["tables_reused"] += len(plan.clean)
+        stats["bits_rewritten"] += plan.bits_rewritten
+        stats["bits_reused"] += plan.bits_reused
+        get_registry().counter("repro_churn_repairs_total").inc()
+        for node, _bits in plan.table_bits:
+            self._install_node(plan, node, now)
+        self._finalize_convergence(plan, now)
+
+    def _install_node(self, plan: RepairPlan, node: int, now: float) -> None:
+        scheme = plan.new_scheme
+        bits = scheme.ctx.pristine_bits(scheme, node)
+        self._network.install_table(node, scheme.decode_function(node, bits))
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.repair(
+                node=node, time=now,
+                detail=f"{len(bits)} bits reinstalled",
+                cause=self._mutate_span,
+            )
+
+    def _finalize_convergence(self, plan: RepairPlan, now: float) -> None:
+        self._network.install_scheme(plan.new_scheme)
+        self._base_scheme = plan.new_scheme
+        histogram = get_registry().histogram("repro_churn_convergence_time")
+        for mutation in self._pending_mutations:
+            histogram.observe(now - mutation.time)
+        duration = (
+            now - self._stale_since if self._stale_since is not None else 0.0
+        )
+        self._convergence_times.append(duration)
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.converged(
+                time=now, duration=duration, detail=plan.describe(),
+                cause=self._episode_root_span,
+            )
+            self._episode_root_span = None
+        self._pending_mutations = []
+        self._stale_since = None
+
+    # -- vectorised masks -----------------------------------------------------
+
+    def _refresh_state(self) -> None:
+        """Rebuild the cached masks when the network's state epoch moved."""
+        nw = self._network
+        scheme = nw.scheme
+        if nw.state_epoch == self._mask_epoch and scheme is self._mask_scheme:
+            return
+        n = scheme.graph.n
+        if scheme is not self._mask_scheme:
+            self._mask_scheme = scheme
+            self._matrix = scheme.ctx.next_hop_matrix(scheme)
+            if self._matrix is not None:
+                # Complete off the diagonal means the quiescent drain can
+                # skip the per-step no-route check entirely.
+                off_diag = self._matrix.copy()
+                np.fill_diagonal(off_diag, 1)
+                self._matrix_complete = bool((off_diag >= 1).all())
+            else:
+                self._matrix_complete = False
+            fa = np.zeros(n + 1, dtype=bool)
+            if self._matrix is not None:
+                for u in scheme.graph.nodes:
+                    if isinstance(scheme.function(u), FullInformationFunction):
+                        fa[u] = True
+            self._fa_nodes = fa
+            self._fa_any = bool(fa.any())
+            self._scheme_adj = adjacency_mask(scheme.graph)
+        self._link_down, self._node_down = failure_masks(
+            n, nw._failed, nw._failed_nodes
+        )
+        quar_like = np.zeros(n + 1, dtype=bool)
+        for u in nw._quarantined:
+            quar_like[u] = True
+        override = quar_like.copy()
+        # Corrupted tables count as quarantine-like: a mid-cohort detection
+        # can only quarantine an already-corrupted node, so excluding them
+        # up front keeps fast advances independent of slow-lane ordering.
+        for u in nw._corrupt_tables:
+            quar_like[u] = True
+            override[u] = True
+        for u in nw._healed_functions:
+            override[u] = True
+        for u in nw._updated_functions:
+            override[u] = True
+        self._quar_like = quar_like
+        self._override = override
+        if nw.churned:
+            self._live_adj = adjacency_mask(nw.live_graph)
+        self._all_clear = not (
+            nw._failed
+            or nw._failed_nodes
+            or nw._quarantined
+            or nw._corrupt_tables
+            or nw._healed_functions
+            or nw._updated_functions
+            or nw.churned
+        )
+        blocked_now = bool(
+            nw._failed or nw._failed_nodes or nw._quarantined or nw._churned
+        )
+        self._fa_guard = self._fa_any and (
+            blocked_now or bool(nw._corrupt_tables)
+        )
+        if self._fa_guard:
+            assert self._scheme_adj is not None
+            bad = self._node_down | quar_like
+            adjacency = self._scheme_adj
+            if nw.churned and self._live_adj is not None:
+                adjacency = adjacency | self._live_adj
+                blocked_edge = adjacency & (
+                    self._link_down | bad[None, :] | ~self._live_adj
+                )
+            else:
+                blocked_edge = adjacency & (self._link_down | bad[None, :])
+            self._node_clear = ~blocked_edge.any(axis=1)
+        self._mask_epoch = nw.state_epoch
+
+    # -- cohort stepping ------------------------------------------------------
+
+    def _step_cohort(self, batch: MessageBatch, now: float) -> None:
+        rows = np.nonzero(batch.active & (batch.ready == now))[0]
+        if rows.size == 0:  # pragma: no cover - defensive
+            return
+        if not self._batch:
+            for i in rows:
+                self._step_one(batch, int(i), now)
+            return
+        self._refresh_state()
+        if (
+            self._all_clear
+            and self._tracer is None
+            and self._churn is None
+            and not self._events
+            and self._matrix is not None
+        ):
+            self._drain_quiescent(batch, rows, now)
+            return
+        node_down = self._node_down
+        quar_like = self._quar_like
+        override = self._override
+        link_down = self._link_down
+        assert node_down is not None and quar_like is not None
+        assert override is not None and link_down is not None
+        cur = batch.current[rows]
+        dst = batch.destination[rows]
+        arrived = cur == dst
+        traced = batch.traced[rows]
+        deliver = arrived & ~node_down[dst]
+        if self._tracer is not None:
+            # Traced and stale deliveries emit spans (or a promotion):
+            # exact scalar path.
+            deliver &= ~traced & ~batch.stale[rows]
+        fast = np.zeros(rows.size, dtype=bool)
+        nxt = np.ones(rows.size, dtype=np.int32)
+        matrix = self._matrix
+        if matrix is not None:
+            fast = ~arrived
+            fast &= ~traced
+            fast &= ~self._has_state[rows]
+            fast &= (batch.plen[rows] - 1) < self._limit
+            fast &= ~override[cur]
+            fast &= ~node_down[cur]
+            nxt = matrix[cur - 1, dst - 1]
+            fast &= nxt >= 1
+            nxt = np.where(fast, nxt, 1).astype(np.int32)
+            fast &= ~quar_like[nxt]
+            fast &= ~node_down[nxt]
+            fast &= ~link_down[cur, nxt]
+            if self._network.churned and self._live_adj is not None:
+                fast &= self._live_adj[cur, nxt]
+            if self._fa_guard:
+                assert self._fa_nodes is not None
+                assert self._node_clear is not None
+                fast &= ~self._fa_nodes[cur] | self._node_clear[cur]
+            if self._churn is not None and bool(fast.any()):
+                # Routing-loop candidates drop through the scalar path.
+                span = int(batch.plen[rows].max())
+                prefix = batch.path[rows, :span]
+                cols = np.arange(span)[None, :]
+                revisit = (prefix == cur[:, None]) & (
+                    cols < (batch.plen[rows] - 1)[:, None]
+                )
+                fast &= ~revisit.any(axis=1)
+        deliver_rows = rows[deliver]
+        fast_rows = rows[fast]
+        slow = ~deliver & ~fast
+        if deliver_rows.size:
+            batch.delivered[deliver_rows] = True
+            batch.completed[deliver_rows] = now
+            batch.active[deliver_rows] = False
+        if fast_rows.size:
+            self._advance_fast(batch, fast_rows, nxt[fast], now)
+        for i in rows[slow]:
+            self._step_one(batch, int(i), now)
+
+    def _drain_quiescent(
+        self, batch: MessageBatch, rows: np.ndarray, now: float
+    ) -> None:
+        """Advance lockstep cohorts with pure gather/scatter steps.
+
+        Entered only when nothing outside a row can perturb it: no
+        failures, overlays or churn (``_all_clear``), no tracer, and no
+        queued events — so rows are mutually independent and the whole
+        cohort can be walked to completion without returning to the
+        event loop.  Rows that arrive deliver unconditionally; rows that
+        carry header state, hit the hop limit or lack a matrix entry
+        leave the lockstep set through the exact scalar step (and, after
+        a retry backoff, re-enter via the outer loop at their own ready
+        time).  Each surviving step is one arrival compare plus one
+        matrix gather — the untraced hot path the throughput bench
+        measures.
+        """
+        matrix = self._matrix
+        assert matrix is not None
+        nw = self._network
+        limit = self._limit
+        idx = rows
+        # Row position is kept in compacted local copies; the shared
+        # arrays are scattered to only when a row delivers, leaves for
+        # the scalar lane, or the drain hands control back.
+        cur0 = batch.current[idx] - 1
+        dst0 = batch.destination[idx] - 1
+        plen = batch.plen[idx]
+        state_any = bool(self._has_state[idx].any())
+        # Steps every row can take before any could trip the hop limit
+        # (hops = plen - 1 grows by one per step); until then the limit
+        # check is provably redundant.
+        safe_steps = limit - int(plen.max())
+        needed = int(plen.max()) + 1
+        complete = self._matrix_complete
+        # Deliveries and forward counts are deferred and flushed in one
+        # shot after the loop; nothing inside the drain reads them back.
+        done_idx: List[np.ndarray] = []
+        done_plen: List[np.ndarray] = []
+        done_time: List[float] = []
+        while True:
+            arrived = cur0 == dst0
+            if arrived.any():
+                done_idx.append(idx[arrived])
+                done_plen.append(plen[arrived])
+                done_time.append(now)
+                keep = ~arrived
+                idx = idx[keep]
+                if not idx.size:
+                    break
+                cur0 = cur0[keep]
+                dst0 = dst0[keep]
+                plen = plen[keep]
+            nxt = matrix[cur0, dst0]
+            if state_any or safe_steps <= 0 or not complete:
+                ok = nxt >= 1
+                if state_any:
+                    ok &= ~self._has_state[idx]
+                if safe_steps <= 0:
+                    ok &= (plen - 1) < limit
+                if not ok.all():
+                    leave = ~ok
+                    out = idx[leave]
+                    batch.current[out] = cur0[leave] + 1
+                    batch.plen[out] = plen[leave]
+                    batch.ready[out] = now
+                    for i in out:
+                        self._step_one(batch, int(i), now)
+                    idx = idx[ok]
+                    cur0 = cur0[ok]
+                    dst0 = dst0[ok]
+                    plen = plen[ok]
+                    nxt = nxt[ok]
+                    if nw.state_epoch != self._mask_epoch:
+                        # A slow row touched shared network state; hand
+                        # the rest back to the mask-checked path.
+                        batch.current[idx] = cur0 + 1
+                        batch.plen[idx] = plen
+                        batch.ready[idx] = now
+                        break
+                    if not idx.size:
+                        break
+                    if state_any:
+                        state_any = bool(self._has_state[idx].any())
+            self._fwd_pending.append(cur0)
+            batch.ensure_path_capacity(needed)
+            batch.path[idx, plen] = nxt
+            plen = plen + 1
+            cur0 = nxt - 1
+            now += _HOP_LATENCY
+            safe_steps -= 1
+            needed += 1
+        if done_idx:
+            done = np.concatenate(done_idx)
+            batch.delivered[done] = True
+            batch.active[done] = False
+            batch.current[done] = batch.destination[done]
+            batch.plen[done] = np.concatenate(done_plen)
+            times = np.repeat(
+                np.asarray(done_time), [d.size for d in done_idx]
+            )
+            batch.completed[done] = times
+            batch.ready[done] = times
+
+    def _count_forwards(self, hop_from: np.ndarray) -> None:
+        """Accumulate per-node forward counts without a Python loop."""
+        vec = self._fwd_vec
+        if vec is None:
+            n = self._network.scheme.graph.n
+            vec = self._fwd_vec = np.zeros(n + 1, dtype=np.int64)
+        vec += np.bincount(hop_from, minlength=vec.size)
+
+    def _advance_fast(
+        self,
+        batch: MessageBatch,
+        fast_rows: np.ndarray,
+        next_nodes: np.ndarray,
+        now: float,
+    ) -> None:
+        """Scatter one clean hop for every fast-lane row."""
+        self._count_forwards(batch.current[fast_rows])
+        batch.ensure_path_capacity(int(batch.plen[fast_rows].max()) + 1)
+        batch.path[fast_rows, batch.plen[fast_rows]] = next_nodes
+        batch.plen[fast_rows] += 1
+        batch.current[fast_rows] = next_nodes
+        batch.ready[fast_rows] = now + _HOP_LATENCY
+        if self._churn is not None and self._stale_since is not None:
+            batch.stale[fast_rows] = True
+
+    # -- scalar slow lane (exact engine step) ---------------------------------
+
+    def _address_of(self, destination: int) -> Any:
+        address = self._addresses.get(destination)
+        if address is None:
+            address = self._network.scheme.address_of(destination)
+            self._addresses[destination] = address
+        return address
+
+    def _step_one(self, batch: MessageBatch, i: int, now: float) -> None:
+        """One scalar step for row ``i`` — the engine's run-loop body."""
+        nw = self._network
+        current = int(batch.current[i])
+        destination = int(batch.destination[i])
+        if current == destination:
+            if current in nw._failed_nodes:
+                self._finish(
+                    batch, i, now,
+                    DropReason.ENDPOINT_DOWN,
+                    f"destination {current} crashed before arrival",
+                    subject=node_subject(current),
+                )
+            else:
+                self._finish(batch, i, now, None)
+            return
+        if current in nw._failed_nodes:
+            hops = int(batch.plen[i]) - 1
+            reason = (
+                DropReason.ENDPOINT_DOWN if hops == 0 else DropReason.NODE_DOWN
+            )
+            self._finish(
+                batch, i, now, reason,
+                f"node {current} holding the message is down",
+                subject=node_subject(current),
+            )
+            return
+        if current in nw._quarantined:
+            self._finish(
+                batch, i, now,
+                DropReason.TABLE_CORRUPT,
+                f"node {current} is quarantined with a corrupt table",
+                subject=node_subject(current),
+            )
+            return
+        if int(batch.plen[i]) - 1 >= self._limit:
+            self._finish(
+                batch, i, now,
+                DropReason.HOP_LIMIT,
+                f"hop limit {self._limit} exceeded",
+            )
+            return
+        state = batch.state[i]
+        if self._churn is not None:
+            if self._stale_since is not None:
+                batch.stale[i] = True
+            if self._looped(batch, i, current, state):
+                get_registry().counter("repro_routing_loops_total").inc()
+                self._finish(
+                    batch, i, now,
+                    DropReason.ROUTING_LOOP,
+                    f"revisited node {current} with identical header "
+                    f"state during churn convergence",
+                    subject=node_subject(current),
+                )
+                return
+        message = Message(
+            msg_id=int(batch.msg_id[i]),
+            source=int(batch.source[i]),
+            destination=destination,
+            address=self._address_of(destination),
+            state=state,
+            attempt=int(batch.attempt[i]),
+        )
+        try:
+            decision = nw._choose_hop(current, message)
+        except IntegrityError as exc:
+            self._on_detection(current, now)
+            self._finish(
+                batch, i, now,
+                DropReason.TABLE_CORRUPT,
+                str(exc),
+                subject=node_subject(current),
+            )
+            return
+        except RoutingError as exc:
+            self._finish(batch, i, now, DropReason.NO_ROUTE, str(exc))
+            return
+        next_node = decision.next_node
+        if next_node in nw._quarantined and next_node != destination:
+            self._finish(
+                batch, i, now,
+                DropReason.TABLE_CORRUPT,
+                f"next hop {next_node} is quarantined with a corrupt table",
+                subject=node_subject(next_node),
+            )
+            return
+        if (
+            nw.churned
+            and next_node != current
+            and not nw.live_graph.has_edge(current, next_node)
+        ):
+            if nw.scheme.graph.has_edge(current, next_node):
+                # Stale table forwarding over a mutated-away edge.
+                self._finish(
+                    batch, i, now,
+                    DropReason.LINK_DOWN,
+                    f"link {current}-{next_node} was removed by a "
+                    f"topology mutation",
+                    subject=link_subject(current, next_node),
+                )
+            else:
+                self._finish(
+                    batch, i, now,
+                    DropReason.INVALID_FORWARD,
+                    f"{current} forwarded to non-adjacent {next_node}",
+                )
+            return
+        if frozenset((current, next_node)) in nw._failed:
+            self._finish(
+                batch, i, now,
+                DropReason.LINK_DOWN,
+                f"link {current}-{next_node} is down",
+                subject=link_subject(current, next_node),
+            )
+            return
+        if next_node in nw._failed_nodes:
+            self._finish(
+                batch, i, now,
+                DropReason.NODE_DOWN,
+                f"node {next_node} is down",
+                subject=node_subject(next_node),
+            )
+            return
+        self._forward_counts[current] = (
+            self._forward_counts.get(current, 0) + 1
+        )
+        tracer = self._tracer
+        if tracer is not None and bool(batch.traced[i]):
+            tracer.hop(
+                int(batch.msg_id[i]),
+                node=current,
+                next_node=next_node,
+                hop=int(batch.plen[i]) - 1,
+                time=now,
+                duration=_HOP_LATENCY,
+                attempt=int(batch.attempt[i]),
+            )
+        batch.state[i] = decision.state
+        if decision.state is not None:
+            self._has_state[i] = True
+        batch.append_hop(i, next_node)
+        batch.ready[i] = now + _HOP_LATENCY
+
+    def _looped(
+        self, batch: MessageBatch, i: int, current: int, state: Any
+    ) -> bool:
+        """The engine's per-attempt ``(node, state)`` revisit check.
+
+        While every header state of the attempt has been ``None`` the
+        engine's seen-set is exactly the previously visited nodes, so the
+        path prefix answers membership without a side table.  Once a
+        non-``None`` state appears the row is pinned to the slow lane and
+        an explicit seen-set takes over, seeded from the (all-``None``)
+        path prefix.
+        """
+        if not self._has_state[i]:
+            plen = int(batch.plen[i])
+            for j in range(plen - 1):
+                if int(batch.path[i, j]) == current:
+                    return True
+            return False
+        key = (int(batch.msg_id[i]), int(batch.attempt[i]))
+        seen = self._hop_sets.get(key)
+        if seen is None:
+            seen = {
+                (int(batch.path[i, j]), None)
+                for j in range(int(batch.plen[i]) - 1)
+            }
+            self._hop_sets[key] = seen
+        entry = (current, state)
+        try:
+            looped = entry in seen
+            if not looped:
+                seen.add(entry)
+        except TypeError:
+            # Unhashable header state: loop detection skipped; the hop
+            # limit still bounds the walk.
+            looped = False
+        return looped
+
+    def _finish(
+        self,
+        batch: MessageBatch,
+        i: int,
+        now: float,
+        reason: Optional[DropReason],
+        detail: Optional[str] = None,
+        subject: Optional[Tuple[str, ...]] = None,
+    ) -> None:
+        """Record a final outcome or re-arm the row for a retry."""
+        tracer = self._tracer
+        msg_id = int(batch.msg_id[i])
+        source = int(batch.source[i])
+        destination = int(batch.destination[i])
+        attempt = int(batch.attempt[i])
+        traced = bool(batch.traced[i])
+        stale = bool(batch.stale[i])
+        hops = int(batch.plen[i]) - 1
+        injected_at = float(batch.injected[i])
+        if reason is None:
+            if tracer is not None and (traced or stale):
+                if not traced:
+                    tracer.promote(msg_id, source, destination, injected_at)
+                tracer.deliver(
+                    msg_id,
+                    node=destination,
+                    time=now,
+                    hop=hops,
+                    attempt=attempt,
+                    detail="stale" if stale else None,
+                )
+            batch.finish_delivered(i, now)
+            return
+        if (
+            self._retry is not None
+            and reason in _RETRYABLE
+            and attempt < self._retry.max_retries
+        ):
+            rng = self._retry_rngs.get(msg_id)
+            if rng is None:
+                rng = random.Random(self._retry_seed * 1_000_003 + msg_id)
+                self._retry_rngs[msg_id] = rng
+            backoff = self._retry.delay(attempt, rng)
+            if tracer is not None:
+                if not traced:
+                    tracer.promote(msg_id, source, destination, injected_at)
+                tracer.retry(
+                    msg_id,
+                    source=source,
+                    attempt=attempt + 1,
+                    time=now,
+                    reason=reason.name,
+                    duration=backoff,
+                )
+            batch.reset_for_retry(i, now + backoff)
+            self._has_state[i] = False
+            if tracer is not None:
+                # The engine's retry message defaults back to traced.
+                batch.traced[i] = True
+            return
+        if tracer is not None:
+            if not traced:
+                tracer.promote(msg_id, source, destination, injected_at)
+            tracer.drop(
+                msg_id,
+                node=int(batch.current[i]),
+                reason=reason.name,
+                time=now,
+                detail=detail,
+                subject=subject,
+                attempt=attempt,
+                hop=hops,
+            )
+        batch.finish_dropped(i, reason, detail, now)
+
+
+def run_batch(
+    scheme: RoutingScheme,
+    pairs: Iterable[Tuple[int, int]],
+    *,
+    batch: bool = True,
+    **kwargs: Any,
+) -> List[DeliveryRecord]:
+    """Route ``pairs`` through a fresh :class:`BatchKernel` at time 0.
+
+    Convenience wrapper for the common all-at-once workload; keyword
+    arguments pass through to the kernel constructor.
+    """
+    kernel = BatchKernel(scheme, batch=batch, **kwargs)
+    for source, destination in pairs:
+        kernel.inject(source, destination)
+    return kernel.run()

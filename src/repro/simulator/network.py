@@ -195,11 +195,26 @@ class Network:
         # most recent mutate span (repairs link back to their trigger).
         self._corrupt_spans: Dict[int, int] = {}
         self._mutate_span: Optional[int] = None
+        # Monotone counter bumped by every state change that can affect a
+        # routing decision; the batch kernel keys its cached boolean masks
+        # on it so unchanged state costs zero mask rebuilds per generation.
+        self._state_epoch = 0
 
     @property
     def scheme(self) -> RoutingScheme:
         """The routing scheme installed on this network."""
         return self._scheme
+
+    @property
+    def state_epoch(self) -> int:
+        """Monotone version of the mutable routing state.
+
+        Incremented by every failure/restore, corruption/quarantine/heal,
+        table install, scheme swap and topology mutation — anything that
+        could change a forwarding decision.  Batch consumers compare it to
+        decide whether their vectorised masks are still valid.
+        """
+        return self._state_epoch
 
     @property
     def failed_links(self) -> Set[Link]:
@@ -209,10 +224,12 @@ class Network:
     def fail_link(self, u: int, v: int) -> None:
         """Mark one link as failed."""
         self._failed.add(frozenset((u, v)))
+        self._state_epoch += 1
 
     def restore_link(self, u: int, v: int) -> None:
         """Bring one link back up."""
         self._failed.discard(frozenset((u, v)))
+        self._state_epoch += 1
 
     @property
     def failed_nodes(self) -> Set[int]:
@@ -222,10 +239,12 @@ class Network:
     def fail_node(self, node: int) -> None:
         """Crash one node: it neither forwards nor receives."""
         self._failed_nodes.add(node)
+        self._state_epoch += 1
 
     def restore_node(self, node: int) -> None:
         """Bring a crashed node back."""
         self._failed_nodes.discard(node)
+        self._state_epoch += 1
 
     def apply_fault(self, event: FaultEvent) -> None:
         """Apply one scheduled fault event to the live failure state."""
@@ -267,6 +286,7 @@ class Network:
         """
         self._live_graph = mutation.apply(self._live_graph)
         self._churned = True
+        self._state_epoch += 1
         if mutation.kind is TopologyMutationKind.NODE_LEAVE:
             self.fail_node(mutation.subject[0])
         elif mutation.kind is TopologyMutationKind.NODE_JOIN:
@@ -295,6 +315,7 @@ class Network:
         self._healed_functions.pop(node, None)
         self._quarantined.discard(node)
         self._updated_functions[node] = function
+        self._state_epoch += 1
 
     def install_scheme(self, scheme: RoutingScheme) -> None:
         """Swap in the converged scheme built over the live graph.
@@ -312,6 +333,7 @@ class Network:
         self._ctx = scheme.ctx
         self._ctx.set_tracer(self._tracer)
         self._updated_functions.clear()
+        self._state_epoch += 1
 
     # -- table corruption ----------------------------------------------------
 
@@ -343,6 +365,7 @@ class Network:
         self._healed_functions.pop(node, None)
         # Fresh damage supersedes any earlier detection verdict.
         self._quarantined.discard(node)
+        self._state_epoch += 1
         self._corruption_stats["injected"] += 1
         get_registry().counter(
             "repro_table_corruptions_total", kind=mutation.kind.name
@@ -369,6 +392,7 @@ class Network:
         self._corrupt_tables.pop(node, None)
         self._corrupt_functions.pop(node, None)
         self._quarantined.discard(node)
+        self._state_epoch += 1
         self._healed_functions[node] = self._scheme.decode_function(
             node, self._ctx.pristine_bits(self._scheme, node)
         )
@@ -384,6 +408,7 @@ class Network:
         """Quarantine ``node`` after a detection; returns the error to raise."""
         if node not in self._quarantined:
             self._quarantined.add(node)
+            self._state_epoch += 1
             self._corruption_stats["detected"] += 1
             get_registry().counter(
                 "repro_table_corruption_detected_total"
@@ -669,6 +694,27 @@ class Network:
                 attempt=message.attempt,
             )
         return _delivered_record(message)
+
+    def route_batch(
+        self,
+        pairs: Iterable[Tuple[int, int]],
+        batch: bool = True,
+    ) -> List[DeliveryRecord]:
+        """Route many pairs at once through the vectorised batch kernel.
+
+        The kernel shares this network's failure/overlay state, tracer
+        and message-id counter, so batched and per-call routing can
+        interleave.  Semantics are the timed kernel's (simultaneous
+        injection at time 0, unit hop latency), not the untimed walk of
+        :meth:`route`; ``batch=False`` forces the kernel's scalar lane —
+        the reference stream the vectorised mode reproduces bit-for-bit.
+        """
+        from repro.simulator.kernel import BatchKernel
+
+        kernel = BatchKernel(network=self, tracer=self._tracer, batch=batch)
+        for source, destination in pairs:
+            kernel.inject(source, destination)
+        return kernel.run()
 
 
 # Heap entries: (time, priority, sequence, payload, first_injected_at).

@@ -359,6 +359,62 @@ def test_r002_match_statement_needs_wildcard_or_full_coverage():
     assert covered == []
 
 
+def test_r002_flags_incomplete_taxonomy_dict_literal():
+    # The batch kernel builds lookup tables as dict literals; a partial
+    # table silently mis-buckets the members it omits.
+    findings = findings_for(
+        "R002",
+        """
+        WEIGHTS = {
+            DropReason.NO_ROUTE: 1.0,
+            DropReason.LINK_DOWN: 2.0,
+        }
+        """,
+    )
+    assert len(findings) == 1
+    assert "omits" in findings[0].message
+    assert "HOP_LIMIT" in findings[0].message
+
+
+def test_r002_complete_or_spread_dict_literals_are_clean():
+    members = ", ".join(
+        f"DropReason.{name}: 0"
+        for name in (
+            "ENDPOINT_DOWN", "LINK_DOWN", "NODE_DOWN", "HOP_LIMIT",
+            "NO_ROUTE", "INVALID_FORWARD", "QUEUE_OVERFLOW",
+            "TABLE_CORRUPT", "ROUTING_LOOP",
+        )
+    )
+    assert findings_for("R002", f"FULL = {{{members}}}") == []
+    # A ** spread may supply the rest; not statically decidable.
+    assert (
+        findings_for(
+            "R002",
+            """
+            PARTIAL = {
+                DropReason.NO_ROUTE: 1.0,
+                DropReason.LINK_DOWN: 2.0,
+                **EXTRA,
+            }
+            """,
+        )
+        == []
+    )
+    # Non-taxonomy and mixed-taxonomy dicts are not dispatch tables.
+    assert (
+        findings_for(
+            "R002",
+            """
+            MIXED = {
+                DropReason.NO_ROUTE: 1.0,
+                FaultKind.LINK_DOWN: 2.0,
+            }
+            """,
+        )
+        == []
+    )
+
+
 # -- R003: nullable-tracer idiom in hot paths --------------------------------
 
 
@@ -480,6 +536,35 @@ def test_r003_accepts_guarded_store_spans():
         module="repro.store.fake",
     )
     assert findings == []
+
+
+def test_r003_covers_the_batch_kernel_module():
+    # Seeded violation: the kernel module lives in repro.simulator, so an
+    # unguarded span in a kernel-shaped fast path cannot slip past R003.
+    findings = findings_for(
+        "R003",
+        """
+        def _step_cohort(self, batch, now):
+            tracer = self._tracer
+            for i in batch.rows:
+                tracer.hop(int(batch.msg_id[i]), 1, 2, now)
+        """,
+        module="repro.simulator.kernel",
+    )
+    assert len(findings) == 1
+    assert "tracer.hop" in findings[0].message
+    guarded = findings_for(
+        "R003",
+        """
+        def _step_cohort(self, batch, now):
+            tracer = self._tracer
+            for i in batch.rows:
+                if tracer is not None:
+                    tracer.hop(int(batch.msg_id[i]), 1, 2, now)
+        """,
+        module="repro.simulator.kernel",
+    )
+    assert guarded == []
 
 
 # -- R004: explicit seeded RNGs ----------------------------------------------
